@@ -1,0 +1,38 @@
+"""Benchmark fixtures: isolated graph cache and the bench scale.
+
+Each ``test_figXX`` bench regenerates one of the paper's tables/figures at
+a reduced scale (the shapes are scale-invariant; see DESIGN.md) and
+asserts the figure's key qualitative claim, so the bench suite doubles as
+the reproduction harness. Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Scale
+
+#: scale used by the figure benches: small enough for quick runs, large
+#: enough that every paper shape (orderings, crossovers) holds.
+BENCH = Scale(name="bench", cores_per_node=8, tasks_per_core=10,
+              iterations=3, micropp_subdomains_per_core=4,
+              local_period=0.02, global_period=0.2)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_graph_cache(tmp_path_factory, monkeypatch):
+    cache_dir = tmp_path_factory.getbasetemp() / "bench-graph-cache"
+    monkeypatch.setenv("REPRO_GRAPH_CACHE", str(cache_dir))
+
+
+@pytest.fixture
+def bench_scale() -> Scale:
+    return BENCH
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """One timed round: experiments are seconds-long, deterministic runs."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,202 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation flips one mechanism the paper motivates and checks the
+stated rationale holds in the simulation:
+
+* the §5.5 two-tasks-per-owned-core scheduler threshold;
+* the §5.4.2 home-core incentive (offload penalty);
+* taskwait write-back of remotely written data (§3.2);
+* the modelled solver cost (§5.4.2's 57 ms / quadratic growth);
+* the partitioned solver for clusters beyond the group size.
+"""
+
+import numpy as np
+
+from repro.apps.synthetic import SyntheticSpec, make_synthetic_app
+from repro.balance import solve_core_allocation, solve_partitioned_allocation
+from repro.cluster import MARENOSTRUM4, ClusterSpec
+from repro.graph import random_biregular
+from repro.nanos import ClusterRuntime, RuntimeConfig
+
+from .conftest import run_once
+
+MACHINE = MARENOSTRUM4.scaled(8)
+
+
+def run_config(config, num_nodes=4, imbalance=2.0, iterations=4, seed=21):
+    spec = SyntheticSpec(num_appranks=num_nodes, imbalance=imbalance,
+                         cores_per_apprank=8, tasks_per_core=10,
+                         iterations=iterations, seed=seed)
+    runtime = ClusterRuntime(ClusterSpec.homogeneous(MACHINE, num_nodes),
+                             num_nodes, config)
+    runtime.run_app(make_synthetic_app(spec))
+    return runtime
+
+
+def test_ablation_scheduler_threshold(benchmark):
+    """§5.5 sets two tasks per core: 'one task to be executing and another
+    to have the data transfer initiated'. Threshold 1 starves the pipeline;
+    a large threshold over-commits to early placement decisions."""
+    def sweep():
+        return {t: run_config(RuntimeConfig.offloading(
+                    4, "global", global_period=0.2, tasks_per_core=t)).elapsed
+                for t in (1, 2, 8)}
+
+    elapsed = run_once(benchmark, sweep)
+    print()
+    for threshold, value in elapsed.items():
+        print(f"  tasks_per_core={threshold}: {value:.3f} s")
+    # threshold 2 should not lose to either extreme by much
+    assert elapsed[2] <= elapsed[1] * 1.05
+    assert elapsed[2] <= elapsed[8] * 1.10
+
+
+def test_ablation_offload_penalty(benchmark):
+    """Without the 1+1e-6 incentive the LP has no reason to prefer home
+    cores; with it, balanced load means no gratuitous remote ownership."""
+    def both():
+        out = {}
+        for label, penalty in (("with", 1e-6), ("without", 0.0)):
+            runtime = run_config(
+                RuntimeConfig.offloading(4, "global", global_period=0.2,
+                                         offload_penalty=penalty),
+                imbalance=1.0)       # perfectly balanced load
+            snapshot = runtime.drom.ownership_snapshot()
+            remote = sum(count
+                         for node, counts in snapshot.items()
+                         for (a, n), count in counts.items()
+                         if runtime.graph.home_node(a) != n)
+            out[label] = (runtime.elapsed, remote)
+        return out
+
+    out = run_once(benchmark, both)
+    print()
+    for label, (elapsed, remote) in out.items():
+        print(f"  penalty {label}: elapsed {elapsed:.3f} s, "
+              f"{remote} remotely owned cores at end")
+    # the incentive must not cost time, and should not own MORE remotely
+    assert out["with"][1] <= out["without"][1]
+
+
+def test_ablation_taskwait_writeback(benchmark):
+    """§3.2: values come home when 'needed by a task or a taskwait'.
+    Disabling the write-back removes transfer volume but breaks the
+    MPI-visible memory contract — it must at least show up as traffic."""
+    def both():
+        out = {}
+        for flag in (True, False):
+            runtime = run_config(RuntimeConfig.offloading(
+                4, "global", global_period=0.2, taskwait_writeback=flag))
+            moved = sum(rt.directory.bytes_transferred
+                        for rt in runtime.appranks)
+            out[flag] = (runtime.elapsed, moved)
+        return out
+
+    out = run_once(benchmark, both)
+    print()
+    print(f"  writeback on : {out[True][0]:.3f} s, {out[True][1]} bytes")
+    print(f"  writeback off: {out[False][0]:.3f} s, {out[False][1]} bytes")
+    # the write-back must show up as transfer volume; its *time* cost is
+    # largely hidden behind the barrier and can even flip sign through
+    # second-order locality effects, so only the volume is asserted
+    assert out[True][1] > out[False][1]
+    assert abs(out[True][0] - out[False][0]) < 0.2 * out[False][0]
+
+
+def test_ablation_solver_cost_model(benchmark):
+    """The modelled gather+solve latency delays DROM's reaction but must
+    not change steady-state quality at the paper's 2 s cadence."""
+    def both():
+        with_cost = run_config(RuntimeConfig.offloading(
+            4, "global", global_period=0.2, model_solver_cost=True))
+        without = run_config(RuntimeConfig.offloading(
+            4, "global", global_period=0.2, model_solver_cost=False))
+        return with_cost.elapsed, without.elapsed
+
+    with_cost, without = run_once(benchmark, both)
+    print()
+    print(f"  solver cost modelled: {with_cost:.3f} s, ignored: {without:.3f} s")
+    assert with_cost >= without * 0.98
+    assert with_cost <= without * 1.25
+
+
+def test_ablation_partitioned_solver_quality(benchmark):
+    """§5.4.2: partitioned groups 'allow almost complete load balancing' —
+    provided the expander graph respects the groups. Compare the
+    partitioned/full bottleneck ratio on a scattered random graph vs a
+    group-local one at 64 nodes."""
+    from repro.graph import grouped_biregular
+
+    rng = np.random.default_rng(3)
+    cores = {n: 48 for n in range(64)}
+    speed = {n: 1.0 for n in range(64)}
+    work = {a: float(rng.uniform(1, 48)) for a in range(64)}
+    scattered = random_biregular(64, 64, 4, np.random.default_rng(3))
+    grouped = grouped_biregular(64, 64, 4, 32, np.random.default_rng(3))
+
+    def bottleneck(graph, allocation):
+        worst = 0.0
+        for a in range(64):
+            capacity = sum(allocation[n].get((a, n), 0)
+                           for n in graph.nodes_of(a))
+            worst = max(worst, work[a] / capacity)
+        return worst
+
+    def solve_all():
+        out = {}
+        for label, graph in (("scattered", scattered), ("grouped", grouped)):
+            full = solve_core_allocation(graph, work, cores, speed)
+            part = solve_partitioned_allocation(graph, work, cores, speed,
+                                                group_nodes=32)
+            out[label] = (bottleneck(graph, part) / bottleneck(graph, full))
+        return out
+
+    ratios = run_once(benchmark, solve_all)
+    print(f"\n  partitioned/full bottleneck ratio: "
+          f"scattered graph {ratios['scattered']:.3f}, "
+          f"group-local graph {ratios['grouped']:.3f}")
+    # cross-group edges are wasted capacity for the partitioned solver...
+    assert ratios["scattered"] < 2.0
+    # ...while a group-local expander loses (almost) nothing to it
+    assert ratios["grouped"] < 1.1
+    assert ratios["grouped"] < ratios["scattered"]
+
+
+def test_ablation_dynamic_vs_static_spreading(benchmark):
+    """§5.2's open design question, answered on the simulator: growing the
+    graph dynamically from degree 1 vs pre-provisioned static degrees.
+
+    The paper chose static, judging the dynamic benefit "would likely not
+    be sufficient to compensate for the extra implementation and
+    evaluation complexity" — here dynamic lands near the tuned static
+    degree while spawning only the helpers the imbalance needs."""
+    def sweep():
+        out = {}
+        for label, config in {
+            "static-d1": RuntimeConfig.offloading(1, "global",
+                                                  global_period=0.2),
+            "static-d3": RuntimeConfig.offloading(3, "global",
+                                                  global_period=0.2),
+            "dynamic": RuntimeConfig(
+                offload_degree=1, lewi=True, drom=True, policy="global",
+                global_period=0.2, dynamic_spreading=True,
+                dynamic_period=0.1, dynamic_patience=2,
+                dynamic_spawn_latency=0.05),
+        }.items():
+            runtime = run_config(config, num_nodes=4, imbalance=3.0,
+                                 iterations=6)
+            helpers = (runtime.spreader.helpers_spawned
+                       if runtime.spreader else
+                       runtime.graph.num_helper_ranks())
+            out[label] = (runtime.elapsed, helpers)
+        return out
+
+    out = run_once(benchmark, sweep)
+    print()
+    for label, (elapsed, helpers) in out.items():
+        print(f"  {label:<10s}: {elapsed:.3f} s, {helpers} helper ranks")
+    assert out["dynamic"][0] < out["static-d1"][0] * 0.8
+    assert out["dynamic"][0] < out["static-d3"][0] * 1.4
+    # dynamic provisions fewer helpers than static degree 3 (which creates
+    # 2 helpers per apprank up front)
+    assert out["dynamic"][1] <= out["static-d3"][1]

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 5 (local vs global coarse-grained traces)."""
+
+from repro.experiments import fig05_policies
+
+from .conftest import BENCH, run_once
+
+
+def test_fig05_policy_comparison(benchmark):
+    table = run_once(benchmark, fig05_policies.run, BENCH)
+    print()
+    print(table.format())
+    local = table.find(policy="local")[0]
+    global_ = table.find(policy="global")[0]
+    # the figure's claim: global avoids offloading once the load balances
+    assert global_["remote_frac_phase2"] < local["remote_frac_phase2"]

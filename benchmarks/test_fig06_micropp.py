@@ -1,0 +1,35 @@
+"""Bench: Figure 6(a,b) — MicroPP weak scaling under the global policy."""
+
+from repro.experiments import fig06_applications
+
+from .conftest import BENCH, run_once
+
+
+def test_fig06_micropp_weak_scaling(benchmark):
+    table = run_once(benchmark, fig06_applications.run_micropp, BENCH,
+                     node_counts=(2, 4, 8), degrees=(2, 4),
+                     appranks_per_node_list=(1,))
+    print()
+    print(table.format())
+    for nodes in (2, 4, 8):
+        rows = [r for r in table.find(nodes=nodes)
+                if r["series"].startswith("degree")]
+        assert rows
+        # offloading cuts MicroPP's time substantially vs DLB at every size
+        assert max(r["reduction_vs_dlb_pct"] for r in rows) > 20
+    # baseline == dlb with one apprank per node (§7.1)
+    for nodes in (2, 4, 8):
+        base = table.find(nodes=nodes, series="baseline")[0]
+        dlb = table.find(nodes=nodes, series="dlb")[0]
+        assert abs(base["steady_per_iter"] - dlb["steady_per_iter"]) \
+            < 0.05 * base["steady_per_iter"]
+
+
+def test_fig06_micropp_two_appranks_per_node(benchmark):
+    table = run_once(benchmark, fig06_applications.run_micropp, BENCH,
+                     node_counts=(4,), degrees=(2,),
+                     appranks_per_node_list=(2,))
+    print()
+    print(table.format())
+    off = table.find(nodes=4, series="degree2", appranks_per_node=2)[0]
+    assert off["reduction_vs_dlb_pct"] > 10

@@ -1,0 +1,19 @@
+"""Bench: Figure 6(c) — n-body on Nord3 with one slow node."""
+
+from repro.experiments import fig06_applications
+
+from .conftest import BENCH, run_once
+
+
+def test_fig06_nbody_slow_node(benchmark):
+    table = run_once(benchmark, fig06_applications.run_nbody, BENCH,
+                     node_counts=(4, 8, 16))
+    print()
+    print(table.format())
+    for nodes in (4, 8, 16):
+        rows = {r["series"]: r for r in table.find(nodes=nodes)}
+        offload = next(v for k, v in rows.items() if k.startswith("degree"))
+        # DLB pools the co-located ranks; offloading fixes the slow node
+        assert rows["dlb"]["reduction_vs_baseline_pct"] > 3
+        assert offload["reduction_vs_baseline_pct"] > \
+            rows["dlb"]["reduction_vs_baseline_pct"]

@@ -1,0 +1,43 @@
+"""Bench: Figure 8 — synthetic imbalance sweep (§7.3)."""
+
+from repro.experiments import fig08_sweep
+
+from .conftest import BENCH, run_once
+
+
+def test_fig08_imbalance_sweep(benchmark):
+    table = run_once(benchmark, fig08_sweep.run, BENCH,
+                     node_counts=(4, 8), imbalances=(1.0, 2.0, 3.0),
+                     degrees=(1, 2, 3, 4))
+    print()
+    print(table.format())
+
+    # baseline time scales linearly with imbalance (it IS the imbalance)
+    for nodes in (4, 8):
+        base = {r["imbalance"]: r["steady_per_iter"]
+                for r in table.find(nodes=nodes, degree=1)}
+        assert abs(base[2.0] / base[1.0] - 2.0) < 0.05
+        assert abs(base[3.0] / base[1.0] - 3.0) < 0.05
+
+    # degree >= imbalance flattens the curve on small node counts (§7.3)
+    for nodes in (4, 8):
+        for imbalance_target in (2.0, 3.0):
+            degree_ok = table.find(nodes=nodes, imbalance=imbalance_target,
+                                   degree=4)[0]
+            assert degree_ok["vs_optimal_pct"] < 35
+
+    # degree 2 is insufficient at imbalance 3 (limited connectivity)
+    low = table.find(nodes=8, imbalance=3.0, degree=2)[0]
+    high = table.find(nodes=8, imbalance=3.0, degree=4)[0]
+    assert high["steady_per_iter"] < low["steady_per_iter"]
+
+
+def test_fig08_64_nodes_spot_check(benchmark):
+    """One 64-node point: degree 4 stays dependable at scale."""
+    table = run_once(benchmark, fig08_sweep.run, BENCH,
+                     node_counts=(64,), imbalances=(2.0,), degrees=(1, 4))
+    print()
+    print(table.format())
+    base = table.find(degree=1)[0]
+    off = table.find(degree=4)[0]
+    assert off["steady_per_iter"] < 0.75 * base["steady_per_iter"]

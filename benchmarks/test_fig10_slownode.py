@@ -1,0 +1,25 @@
+"""Bench: Figure 10 — synthetic sweep with one emulated slow node (§7.5)."""
+
+from repro.experiments import fig10_slownode
+
+from .conftest import BENCH, run_once
+
+
+def test_fig10_slow_node_sweep(benchmark):
+    table = run_once(benchmark, fig10_slownode.run, BENCH,
+                     node_counts=(2, 8), imbalances=(1.0, 2.0),
+                     degrees=(1, 2, 4))
+    print()
+    print(table.format())
+
+    # on two nodes, degree 2 stays close to the optimal (grey) line across
+    # the whole range — "flat" in the paper is relative to optimal, whose
+    # own level moves with the total work on the x-axis
+    for row in table.find(nodes=2, degree=2):
+        assert row["vs_optimal_pct"] < 40
+
+    # offloading beats degree 1 on both sides of the axis at 8 nodes
+    for signed in (-2.0, 2.0):
+        base = table.find(nodes=8, degree=1, signed_imbalance=signed)[0]
+        off = table.find(nodes=8, degree=4, signed_imbalance=signed)[0]
+        assert off["steady_per_iter"] < base["steady_per_iter"]

@@ -1,0 +1,32 @@
+"""Bench: Figure 11 — convergence of the node imbalance over time (§7.6)."""
+
+from repro.experiments import fig11_convergence
+
+from .conftest import BENCH, run_once
+
+
+def test_fig11_convergence(benchmark):
+    table = run_once(benchmark, fig11_convergence.run, BENCH,
+                     scenarios=((4, 4.0),))
+    print()
+    print(table.format())
+    rows = {r["config"]: r for r in table.rows}
+    # DROM drives the node imbalance close to 1.0. (The +LeWI variants sit
+    # higher at this tiny bench scale: with 8-core nodes the one-core
+    # floors cap DROM at 5/8 of a node and borrowed home cores skew the
+    # node signal — a scale artefact quantified in EXPERIMENTS.md; at
+    # paper scale all four converge to ~1.0.)
+    for config in ("local+drom", "global+drom"):
+        assert rows[config]["plateau"] < 1.25
+    # LeWI alone is always the worst balancer: no ownership convergence.
+    assert rows["lewi-only"]["plateau"] >= max(
+        rows[c]["plateau"] for c in rows if c != "lewi-only") - 1e-9
+    assert rows["lewi-only"]["plateau"] > 1.10
+    # local acts continuously, global waits for the solver period: the
+    # local policy's time-to-balance is never slower
+    assert rows["local+drom"]["time_to_near_1"] <= \
+        rows["global+drom"]["time_to_near_1"] + 1e-9
+    # with completion stealing, LeWI keeps borrowed cores busy but still
+    # cannot converge the *ownership*: it remains the slowest to balance
+    assert rows["lewi-only"]["time_to_near_1"] >= \
+        rows["local+drom"]["time_to_near_1"]

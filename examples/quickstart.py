@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: transparent load balancing of an imbalanced MPI+tasks app.
+
+Builds a 4-node simulated cluster, runs the paper's synthetic benchmark
+(§6.2) at imbalance 2.0 under three configurations —
+
+  * baseline       : plain MPI + OmpSs-2 (no DLB, no offloading)
+  * dlb            : single-node DLB (LeWI + DROM, the paper's reference)
+  * offloading     : MPI + OmpSs-2@Cluster, degree 4, global LP policy
+
+— and prints time-to-solution against the perfect-balance bound, plus the
+TALP efficiency report for the offloading run.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps.synthetic import SyntheticSpec, apprank_loads, make_synthetic_app
+from repro.balance import perfect_iteration_time
+from repro.cluster import MARENOSTRUM4, ClusterSpec
+from repro.nanos import ClusterRuntime, RuntimeConfig
+
+NUM_NODES = 4
+CORES_PER_NODE = 16          # scaled-down MareNostrum 4 nodes
+IMBALANCE = 2.0
+
+
+def main() -> None:
+    machine = MARENOSTRUM4.scaled(CORES_PER_NODE)
+    cluster = ClusterSpec.homogeneous(machine, NUM_NODES)
+    workload = SyntheticSpec(
+        num_appranks=NUM_NODES,            # one apprank per node
+        imbalance=IMBALANCE,
+        cores_per_apprank=CORES_PER_NODE,
+        tasks_per_core=25,
+        iterations=5,
+    )
+    optimal = perfect_iteration_time(apprank_loads(workload), cluster)
+
+    configs = {
+        "baseline": RuntimeConfig.baseline(),
+        "dlb": RuntimeConfig.dlb_single_node(local_period=0.05),
+        "offloading(d=4)": RuntimeConfig.offloading(4, "global",
+                                                    global_period=0.5),
+    }
+
+    print(f"synthetic benchmark: {NUM_NODES} nodes x {CORES_PER_NODE} cores, "
+          f"imbalance {IMBALANCE}")
+    print(f"perfect-balance bound: {optimal:.3f} s/iteration\n")
+    print(f"{'config':<16s} {'total':>8s} {'s/iter':>8s} "
+          f"{'vs optimal':>11s} {'offloaded':>10s}")
+
+    last_runtime = None
+    for name, config in configs.items():
+        runtime = ClusterRuntime(cluster, NUM_NODES, config)
+        runtime.run_app(make_synthetic_app(workload))
+        per_iter = runtime.elapsed / workload.iterations
+        print(f"{name:<16s} {runtime.elapsed:8.3f} {per_iter:8.3f} "
+              f"{100 * (per_iter / optimal - 1):+10.1f}% "
+              f"{runtime.total_offloaded():>10d}")
+        last_runtime = runtime
+
+    print("\nTALP report for the offloading run:")
+    print(last_runtime.talp_report().format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim for environments without the `wheel` package (offline): enables
+`python setup.py develop` and keeps `pip install -e .` workable via the
+legacy code path."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Reproduction of "Transparent load balancing of MPI programs using
+OmpSs-2@Cluster and DLB" (Aguilar Mena et al., ICPP 2022) on a
+deterministic discrete-event cluster simulator.
+
+The one-stop entry points:
+
+* :class:`repro.nanos.ClusterRuntime` — the wired MPI+OmpSs-2@Cluster+DLB
+  stack; run SPMD generator apps with :meth:`run_app`.
+* :class:`repro.nanos.RuntimeConfig` — mechanism selection (offloading
+  degree, LeWI, DROM, allocation policy); named constructors build the
+  paper's configurations.
+* :mod:`repro.experiments` — one module per paper figure.
+
+See README.md for a guided tour and DESIGN.md for the system inventory.
+"""
+
+from .cluster import GENERIC_SMALL, MARENOSTRUM4, NORD3, Cluster, ClusterSpec
+from .nanos import (AccessType, AppRankRuntime, ClusterRuntime, DataAccess,
+                    RuntimeConfig, Task)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterRuntime",
+    "RuntimeConfig",
+    "AppRankRuntime",
+    "Task",
+    "DataAccess",
+    "AccessType",
+    "Cluster",
+    "ClusterSpec",
+    "MARENOSTRUM4",
+    "NORD3",
+    "GENERIC_SMALL",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Application workloads: synthetic (§6.2), MicroPP, and n-body."""
+
+from . import micropp, nbody
+from .synthetic import (SyntheticSpec, apprank_loads, make_synthetic_app,
+                        synthetic_main, task_durations)
+
+__all__ = [
+    "micropp",
+    "nbody",
+    "SyntheticSpec",
+    "task_durations",
+    "apprank_loads",
+    "synthetic_main",
+    "make_synthetic_app",
+]

@@ -1,0 +1,41 @@
+"""Mini MicroPP: a real 3-D voxel FE solid-mechanics kernel plus the
+simulator workload model derived from it."""
+
+from .assembly import assemble_global, element_stiffness
+from .driver import SubdomainResult, macro_strain_displacement, solve_subdomain
+from .homogenization import (EffectiveModuli, effective_moduli,
+                             homogenised_stress, stress_strain_curve)
+from .material import LinearElastic, SecantNonlinear, elasticity_matrix
+from .mesh import StructuredHexMesh
+from .microstructure import layered_phases, spherical_inclusions
+from .solver import CgResult, conjugate_gradient
+from .workload import (MicroppSpec, apprank_loads, make_micropp_app,
+                       measure_kernel_costs, micropp_main,
+                       nonlinear_fractions, subdomain_durations)
+
+__all__ = [
+    "StructuredHexMesh",
+    "LinearElastic",
+    "SecantNonlinear",
+    "elasticity_matrix",
+    "element_stiffness",
+    "assemble_global",
+    "conjugate_gradient",
+    "CgResult",
+    "solve_subdomain",
+    "SubdomainResult",
+    "macro_strain_displacement",
+    "homogenised_stress",
+    "stress_strain_curve",
+    "effective_moduli",
+    "EffectiveModuli",
+    "spherical_inclusions",
+    "layered_phases",
+    "MicroppSpec",
+    "nonlinear_fractions",
+    "subdomain_durations",
+    "apprank_loads",
+    "micropp_main",
+    "make_micropp_app",
+    "measure_kernel_costs",
+]

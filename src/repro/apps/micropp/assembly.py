@@ -1,0 +1,127 @@
+"""Hex8 element stiffness and global CSR assembly.
+
+Standard displacement-based FEM: trilinear shape functions on the
+reference cube, 2×2×2 Gauss quadrature, Voigt B-matrices. Because the
+voxel mesh's elements are congruent cubes, the geometric element stiffness
+is computed once and scaled per element — which is also what makes the
+secant (Picard) reassembly in the driver cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ...errors import WorkloadError
+from .mesh import StructuredHexMesh
+
+__all__ = ["gauss_points", "shape_gradients", "element_stiffness",
+           "assemble_global", "element_strains"]
+
+_SIGNS = np.array([
+    [-1, -1, -1], [1, -1, -1], [1, 1, -1], [-1, 1, -1],
+    [-1, -1, 1], [1, -1, 1], [1, 1, 1], [-1, 1, 1],
+], dtype=float)
+
+
+def gauss_points() -> tuple[np.ndarray, np.ndarray]:
+    """2×2×2 Gauss rule on [-1,1]^3: (points (8,3), weights (8,))."""
+    g = 1.0 / np.sqrt(3.0)
+    pts = _SIGNS * g
+    return pts, np.ones(8)
+
+
+def shape_gradients(xi: np.ndarray) -> np.ndarray:
+    """d N_a / d xi_j for the 8 trilinear shape functions at point *xi* (8,3)."""
+    xi = np.asarray(xi, dtype=float)
+    grads = np.empty((8, 3))
+    for a in range(8):
+        sx, sy, sz = _SIGNS[a]
+        grads[a, 0] = sx * (1 + sy * xi[1]) * (1 + sz * xi[2]) / 8.0
+        grads[a, 1] = sy * (1 + sx * xi[0]) * (1 + sz * xi[2]) / 8.0
+        grads[a, 2] = sz * (1 + sx * xi[0]) * (1 + sy * xi[1]) / 8.0
+    return grads
+
+
+def _b_matrix(dn_dx: np.ndarray) -> np.ndarray:
+    """Voigt strain-displacement matrix (6, 24) from physical gradients (8,3)."""
+    b = np.zeros((6, 24))
+    for a in range(8):
+        dx, dy, dz = dn_dx[a]
+        col = 3 * a
+        b[0, col + 0] = dx
+        b[1, col + 1] = dy
+        b[2, col + 2] = dz
+        b[3, col + 1] = dz   # gamma_yz
+        b[3, col + 2] = dy
+        b[4, col + 0] = dz   # gamma_xz
+        b[4, col + 2] = dx
+        b[5, col + 0] = dy   # gamma_xy
+        b[5, col + 1] = dx
+    return b
+
+
+def element_stiffness(d_matrix: np.ndarray, element_size: float) -> np.ndarray:
+    """(24, 24) stiffness of one cube element of edge *element_size*."""
+    if element_size <= 0:
+        raise WorkloadError("element size must be positive")
+    jac = element_size / 2.0          # uniform isotropic mapping
+    det_j = jac ** 3
+    pts, weights = gauss_points()
+    ke = np.zeros((24, 24))
+    for p, w in zip(pts, weights):
+        dn_dx = shape_gradients(p) / jac
+        b = _b_matrix(dn_dx)
+        ke += w * det_j * (b.T @ d_matrix @ b)
+    return 0.5 * (ke + ke.T)          # symmetrise numerical noise away
+
+
+def element_b_at_center(element_size: float) -> np.ndarray:
+    """B-matrix at the element centroid (used for strain recovery)."""
+    jac = element_size / 2.0
+    dn_dx = shape_gradients(np.zeros(3)) / jac
+    return _b_matrix(dn_dx)
+
+
+def assemble_global(mesh: StructuredHexMesh, ke: np.ndarray,
+                    scale: np.ndarray | None = None) -> sp.csr_matrix:
+    """Assemble ``sum_e scale_e * Ke`` into a CSR matrix.
+
+    *scale* is the per-element secant factor (None = all ones). Congruent
+    elements mean one dense Ke scattered ``num_elements`` times — done with
+    a single vectorised COO build.
+    """
+    ne = mesh.num_elements
+    if scale is None:
+        scale = np.ones(ne)
+    scale = np.asarray(scale, dtype=float)
+    if scale.shape != (ne,):
+        raise WorkloadError(f"scale must have shape ({ne},), got {scale.shape}")
+    dofs = mesh.all_element_dofs                       # (ne, 24)
+    rows = np.repeat(dofs, 24, axis=1).reshape(ne, 24, 24)
+    cols = np.tile(dofs[:, None, :], (1, 24, 1))
+    vals = scale[:, None, None] * ke[None, :, :]
+    matrix = sp.coo_matrix(
+        (vals.ravel(), (rows.ravel(), cols.ravel())),
+        shape=(mesh.num_dofs, mesh.num_dofs))
+    return matrix.tocsr()
+
+
+def element_strains(mesh: StructuredHexMesh, displacement: np.ndarray
+                    ) -> np.ndarray:
+    """(num_elements, 6) centroid Voigt strains from a displacement field."""
+    if displacement.shape != (mesh.num_dofs,):
+        raise WorkloadError(
+            f"displacement must have {mesh.num_dofs} entries")
+    b = element_b_at_center(mesh.element_size)         # (6, 24)
+    u_e = displacement[mesh.all_element_dofs]          # (ne, 24)
+    return u_e @ b.T
+
+
+def equivalent_strain(strains: np.ndarray) -> np.ndarray:
+    """Scalar von-Mises-style equivalent strain per element."""
+    normal = strains[:, :3]
+    shear = strains[:, 3:]
+    dev = normal - normal.mean(axis=1, keepdims=True)
+    return np.sqrt(2.0 / 3.0 * (np.sum(dev ** 2, axis=1)
+                                + 0.5 * np.sum(shear ** 2, axis=1)))

@@ -1,0 +1,92 @@
+"""Material models for the micro-scale kernel.
+
+MicroPP's imbalance comes from "the mix of linear and non-linear finite
+elements" (paper §6.2): linear-elastic regions need a single solve while
+nonlinear regions iterate. We provide:
+
+* :class:`LinearElastic` — standard isotropic Hooke's law;
+* :class:`SecantNonlinear` — a strain-softening material whose effective
+  modulus decays with equivalent strain (Ramberg–Osgood-flavoured secant
+  model), solved by Picard iteration in the driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import WorkloadError
+
+__all__ = ["LinearElastic", "SecantNonlinear", "elasticity_matrix"]
+
+
+def elasticity_matrix(youngs: float, poisson: float) -> np.ndarray:
+    """6×6 isotropic elasticity matrix in Voigt notation (xx yy zz yz xz xy)."""
+    if youngs <= 0:
+        raise WorkloadError(f"Young's modulus must be positive, got {youngs}")
+    if not -1.0 < poisson < 0.5:
+        raise WorkloadError(f"Poisson ratio must be in (-1, 0.5), got {poisson}")
+    lam = youngs * poisson / ((1 + poisson) * (1 - 2 * poisson))
+    mu = youngs / (2 * (1 + poisson))
+    d = np.zeros((6, 6))
+    d[:3, :3] = lam
+    d[np.arange(3), np.arange(3)] += 2 * mu
+    d[np.arange(3, 6), np.arange(3, 6)] = mu
+    return d
+
+
+@dataclass(frozen=True)
+class LinearElastic:
+    """Isotropic linear elasticity."""
+
+    youngs: float = 1.0e3
+    poisson: float = 0.3
+
+    @property
+    def is_nonlinear(self) -> bool:
+        return False
+
+    def d_matrix(self) -> np.ndarray:
+        """Voigt elasticity matrix of the undamaged material."""
+        return elasticity_matrix(self.youngs, self.poisson)
+
+    def stiffness_scale(self, equivalent_strain: np.ndarray) -> np.ndarray:
+        """Per-element secant scaling (identically 1 for a linear material)."""
+        return np.ones_like(equivalent_strain)
+
+
+@dataclass(frozen=True)
+class SecantNonlinear:
+    """Strain-softening secant material.
+
+    The effective modulus is ``E / (1 + (eps_eq / eps0)**m)``: stiff at
+    small strain, softening as the equivalent strain passes ``eps0``. The
+    Picard iteration in the driver converges geometrically; the iteration
+    count is what makes nonlinear subdomains several times more expensive
+    than linear ones — the very imbalance source the paper exploits.
+    """
+
+    youngs: float = 1.0e3
+    poisson: float = 0.3
+    reference_strain: float = 5e-3
+    exponent: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.reference_strain <= 0:
+            raise WorkloadError("reference strain must be positive")
+        if self.exponent <= 0:
+            raise WorkloadError("softening exponent must be positive")
+
+    @property
+    def is_nonlinear(self) -> bool:
+        return True
+
+    def d_matrix(self) -> np.ndarray:
+        """Voigt elasticity matrix of the undamaged material."""
+        return elasticity_matrix(self.youngs, self.poisson)
+
+    def stiffness_scale(self, equivalent_strain: np.ndarray) -> np.ndarray:
+        """Secant softening factor per element, in (0, 1]."""
+        ratio = np.maximum(equivalent_strain, 0.0) / self.reference_strain
+        return 1.0 / (1.0 + ratio ** self.exponent)

@@ -1,0 +1,115 @@
+"""Structured hexahedral voxel meshes for the micro-scale FE kernel.
+
+MicroPP (Giuntoli et al., the paper's [24]) solves micro-scale solid
+mechanics on voxel RVEs — regular grids of 8-node hexahedra. This module
+provides that substrate: node coordinates, element connectivity, boundary
+identification, and DOF numbering (3 displacement DOFs per node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from ...errors import WorkloadError
+
+__all__ = ["StructuredHexMesh"]
+
+
+@dataclass(frozen=True)
+class StructuredHexMesh:
+    """A unit cube meshed into ``n`` × ``n`` × ``n`` identical hexahedra."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise WorkloadError(f"mesh needs n >= 1 elements per edge, got {self.n}")
+
+    @property
+    def nodes_per_edge(self) -> int:
+        return self.n + 1
+
+    @property
+    def num_nodes(self) -> int:
+        return self.nodes_per_edge ** 3
+
+    @property
+    def num_elements(self) -> int:
+        return self.n ** 3
+
+    @property
+    def num_dofs(self) -> int:
+        return 3 * self.num_nodes
+
+    @property
+    def element_size(self) -> float:
+        return 1.0 / self.n
+
+    def node_id(self, i: int, j: int, k: int) -> int:
+        """Lexicographic node numbering (k fastest)."""
+        m = self.nodes_per_edge
+        return (i * m + j) * m + k
+
+    @cached_property
+    def coordinates(self) -> np.ndarray:
+        """(num_nodes, 3) node positions in the unit cube."""
+        m = self.nodes_per_edge
+        axis = np.linspace(0.0, 1.0, m)
+        grid = np.stack(np.meshgrid(axis, axis, axis, indexing="ij"), axis=-1)
+        return grid.reshape(-1, 3)
+
+    @cached_property
+    def connectivity(self) -> np.ndarray:
+        """(num_elements, 8) node ids in the standard hex8 local order."""
+        n = self.n
+        conn = np.empty((self.num_elements, 8), dtype=np.int64)
+        e = 0
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    # local order: bottom face CCW, then top face CCW
+                    conn[e] = [
+                        self.node_id(i, j, k),
+                        self.node_id(i + 1, j, k),
+                        self.node_id(i + 1, j + 1, k),
+                        self.node_id(i, j + 1, k),
+                        self.node_id(i, j, k + 1),
+                        self.node_id(i + 1, j, k + 1),
+                        self.node_id(i + 1, j + 1, k + 1),
+                        self.node_id(i, j + 1, k + 1),
+                    ]
+                    e += 1
+        return conn
+
+    @cached_property
+    def boundary_nodes(self) -> np.ndarray:
+        """Node ids on the surface of the cube (Dirichlet boundary for RVEs)."""
+        coords = self.coordinates
+        on_surface = np.any((coords <= 0.0) | (coords >= 1.0), axis=1)
+        return np.nonzero(on_surface)[0]
+
+    @cached_property
+    def boundary_dofs(self) -> np.ndarray:
+        nodes = self.boundary_nodes
+        return np.concatenate([3 * nodes, 3 * nodes + 1, 3 * nodes + 2])
+
+    @cached_property
+    def free_dofs(self) -> np.ndarray:
+        mask = np.ones(self.num_dofs, dtype=bool)
+        mask[self.boundary_dofs] = False
+        return np.nonzero(mask)[0]
+
+    def element_dofs(self, element: int) -> np.ndarray:
+        """The 24 global DOF indices of one element."""
+        nodes = self.connectivity[element]
+        return (3 * nodes[:, None] + np.arange(3)[None, :]).reshape(-1)
+
+    @cached_property
+    def all_element_dofs(self) -> np.ndarray:
+        """(num_elements, 24) DOF indices, precomputed for assembly."""
+        nodes = self.connectivity
+        return (3 * nodes[:, :, None] + np.arange(3)[None, None, :]).reshape(
+            self.num_elements, 24)

@@ -1,0 +1,67 @@
+"""Jacobi-preconditioned conjugate gradient for the FE systems.
+
+A dependency-free CG keeps the kernel self-contained and lets tests assert
+iteration counts — the quantity that separates linear from nonlinear
+subdomain costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ...errors import WorkloadError
+
+__all__ = ["CgResult", "conjugate_gradient"]
+
+
+@dataclass(frozen=True)
+class CgResult:
+    x: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+
+
+def conjugate_gradient(matrix: sp.csr_matrix, rhs: np.ndarray,
+                       tol: float = 1e-8, max_iterations: int = 2000,
+                       x0: np.ndarray | None = None) -> CgResult:
+    """Solve ``matrix @ x = rhs`` (SPD) with Jacobi preconditioning.
+
+    Convergence is relative: ``||r|| <= tol * ||rhs||``. A zero right-hand
+    side returns immediately with the zero solution.
+    """
+    n = rhs.shape[0]
+    if matrix.shape != (n, n):
+        raise WorkloadError(f"matrix shape {matrix.shape} != rhs size {n}")
+    rhs_norm = float(np.linalg.norm(rhs))
+    if rhs_norm == 0.0:
+        return CgResult(np.zeros(n), 0, 0.0, True)
+    diag = matrix.diagonal()
+    if np.any(diag <= 0):
+        raise WorkloadError("matrix diagonal must be positive (SPD expected)")
+    m_inv = 1.0 / diag
+
+    x = np.zeros(n) if x0 is None else x0.astype(float).copy()
+    r = rhs - matrix @ x
+    z = m_inv * r
+    p = z.copy()
+    rz = float(r @ z)
+    for iteration in range(1, max_iterations + 1):
+        ap = matrix @ p
+        pap = float(p @ ap)
+        if pap <= 0:
+            raise WorkloadError("matrix is not positive definite")
+        alpha = rz / pap
+        x += alpha * p
+        r -= alpha * ap
+        res = float(np.linalg.norm(r))
+        if res <= tol * rhs_norm:
+            return CgResult(x, iteration, res, True)
+        z = m_inv * r
+        rz_new = float(r @ z)
+        p = z + (rz_new / rz) * p
+        rz = rz_new
+    return CgResult(x, max_iterations, float(np.linalg.norm(r)), False)

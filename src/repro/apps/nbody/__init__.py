@@ -1,0 +1,36 @@
+"""Barnes–Hut n-body with ORB: real implementation + simulator workload."""
+
+from .bodies import BodySet, plummer_sphere, uniform_cube
+from .distributed import (DistributedNBodyConfig, distributed_nbody_main,
+                          run_distributed_nbody)
+from .forces import ForceResult, accelerations_barnes_hut, accelerations_direct
+from .octree import Octree, build_octree
+from .orb import orb_partition, partition_weights
+from .simulation import NBodySimulation, StepStats, total_energy
+from .workload import (NBodySpec, apprank_loads, block_durations,
+                       make_nbody_app, nbody_main, rank_residual)
+
+__all__ = [
+    "BodySet",
+    "plummer_sphere",
+    "uniform_cube",
+    "Octree",
+    "build_octree",
+    "ForceResult",
+    "accelerations_barnes_hut",
+    "accelerations_direct",
+    "orb_partition",
+    "partition_weights",
+    "NBodySimulation",
+    "StepStats",
+    "total_energy",
+    "NBodySpec",
+    "block_durations",
+    "apprank_loads",
+    "nbody_main",
+    "make_nbody_app",
+    "rank_residual",
+    "DistributedNBodyConfig",
+    "distributed_nbody_main",
+    "run_distributed_nbody",
+]

@@ -1,0 +1,92 @@
+"""Body-set generation for the n-body application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import WorkloadError
+
+__all__ = ["BodySet", "plummer_sphere", "uniform_cube"]
+
+
+@dataclass
+class BodySet:
+    """Positions (n,3), velocities (n,3), masses (n,)."""
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    masses: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.masses)
+        if self.positions.shape != (n, 3) or self.velocities.shape != (n, 3):
+            raise WorkloadError("inconsistent body array shapes")
+        if np.any(self.masses <= 0):
+            raise WorkloadError("masses must be positive")
+
+    def __len__(self) -> int:
+        return len(self.masses)
+
+    @property
+    def total_mass(self) -> float:
+        return float(self.masses.sum())
+
+    def center_of_mass(self) -> np.ndarray:
+        """Mass-weighted mean position."""
+        return (self.masses[:, None] * self.positions).sum(axis=0) / self.total_mass
+
+    def copy(self) -> "BodySet":
+        """Deep copy (simulations mutate in place)."""
+        return BodySet(self.positions.copy(), self.velocities.copy(),
+                       self.masses.copy())
+
+
+def plummer_sphere(n: int, seed: int = 0, total_mass: float = 1.0,
+                   scale_radius: float = 1.0) -> BodySet:
+    """Sample a Plummer model (the classic n-body benchmark distribution).
+
+    Positions follow the Plummer density; velocities are drawn isotropically
+    from the local escape-speed distribution (Aarseth–Hénon–Wielen method).
+    """
+    if n < 1:
+        raise WorkloadError(f"need at least one body, got {n}")
+    rng = np.random.default_rng(seed)
+    # Radius from inverse CDF of the Plummer cumulative mass profile.
+    x = rng.uniform(0.0, 1.0, n)
+    r = scale_radius / np.sqrt(x ** (-2.0 / 3.0) - 1.0)
+    positions = r[:, None] * _random_directions(rng, n)
+    # Velocity magnitude by von Neumann rejection on g(q) = q^2 (1-q^2)^3.5.
+    q = np.empty(n)
+    remaining = np.arange(n)
+    while remaining.size:
+        trial_q = rng.uniform(0.0, 1.0, remaining.size)
+        trial_g = rng.uniform(0.0, 0.1, remaining.size)
+        accepted = trial_g < trial_q ** 2 * (1.0 - trial_q ** 2) ** 3.5
+        q[remaining[accepted]] = trial_q[accepted]
+        remaining = remaining[~accepted]
+    escape = np.sqrt(2.0 * total_mass) * (r ** 2 + scale_radius ** 2) ** -0.25
+    velocities = (q * escape)[:, None] * _random_directions(rng, n)
+    masses = np.full(n, total_mass / n)
+    return BodySet(positions, velocities, masses)
+
+
+def uniform_cube(n: int, seed: int = 0, side: float = 1.0,
+                 total_mass: float = 1.0) -> BodySet:
+    """Uniformly random bodies at rest in a cube (simple test distribution)."""
+    if n < 1:
+        raise WorkloadError(f"need at least one body, got {n}")
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(-side / 2, side / 2, size=(n, 3))
+    velocities = np.zeros((n, 3))
+    masses = np.full(n, total_mass / n)
+    return BodySet(positions, velocities, masses)
+
+
+def _random_directions(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Uniform points on the unit sphere."""
+    z = rng.uniform(-1.0, 1.0, n)
+    phi = rng.uniform(0.0, 2.0 * np.pi, n)
+    s = np.sqrt(1.0 - z ** 2)
+    return np.stack([s * np.cos(phi), s * np.sin(phi), z], axis=1)

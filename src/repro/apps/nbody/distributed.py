@@ -1,0 +1,166 @@
+"""Distributed Barnes–Hut over the simulated MPI.
+
+This is the closest analogue of the paper's actual n-body application: an
+SPMD program in which every rank
+
+1. receives the full body state (ring allgather on the simulated MPI,
+   paying real simulated communication time for real numpy payloads);
+2. repartitions with ORB using last step's measured per-body costs;
+3. computes *real* Barnes–Hut forces for its own partition — and charges
+   the simulated clock for them via the measured interaction counts (so a
+   slow simulated node takes proportionally longer, exactly the effect
+   ORB cannot see);
+4. integrates its bodies (leapfrog) and feeds the next exchange.
+
+The physics is bit-identical to :class:`~repro.apps.nbody.NBodySimulation`
+run serially with the same parameters, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+import numpy as np
+
+from ...errors import WorkloadError
+from ...mpisim.comm import RankComm
+from ...mpisim.world import MpiWorld
+from ...sim.engine import Timeout
+from .bodies import BodySet
+from .forces import accelerations_barnes_hut
+from .octree import build_octree
+from .orb import orb_partition
+
+__all__ = ["DistributedNBodyConfig", "distributed_nbody_main",
+           "run_distributed_nbody"]
+
+
+@dataclass(frozen=True)
+class DistributedNBodyConfig:
+    """Parameters of one distributed run."""
+
+    timesteps: int = 4
+    dt: float = 1e-3
+    theta: float = 0.5
+    gravity: float = 1.0
+    softening: float = 1e-3
+    #: simulated seconds charged per Barnes–Hut interaction per core
+    seconds_per_interaction: float = 2e-7
+    #: cores available to each rank for the force loop
+    cores_per_rank: int = 8
+
+    def __post_init__(self) -> None:
+        if self.timesteps < 1 or self.dt <= 0:
+            raise WorkloadError("need timesteps >= 1 and dt > 0")
+        if self.seconds_per_interaction <= 0 or self.cores_per_rank < 1:
+            raise WorkloadError("invalid cost model")
+
+
+def distributed_nbody_main(comm: RankComm, bodies: BodySet,
+                           config: DistributedNBodyConfig,
+                           node_speed: float = 1.0
+                           ) -> Generator[Any, Any, dict]:
+    """One rank's main. Every rank starts from the same *bodies* copy.
+
+    Returns the final positions (every rank converges to the same state —
+    SPMD with deterministic repartitioning) plus per-step diagnostics.
+    """
+    positions = bodies.positions.copy()
+    velocities = bodies.velocities.copy()
+    masses = bodies.masses.copy()
+    n = len(masses)
+    weights = np.ones(n)
+    acc = None
+    step_times: list[float] = []
+    my_interactions: list[int] = []
+
+    for _step in range(config.timesteps):
+        t0 = comm.sim.now
+        # ORB with last step's measured weights; rank 0 decides, broadcast
+        # keeps every rank on the identical partition (as the real code's
+        # deterministic parallel ORB does).
+        if comm.rank == 0:
+            assignment = orb_partition(positions, weights, comm.size)
+        else:
+            assignment = None
+        assignment = yield from comm.bcast(assignment, root=0)
+        mine = np.nonzero(assignment == comm.rank)[0]
+
+        my_interactions.append(0)
+        if acc is None:
+            # First step: real forces at the initial positions, charged to
+            # the simulated clock via the measured interaction counts.
+            tree = build_octree(positions, masses)
+            result = accelerations_barnes_hut(
+                positions, masses, theta=config.theta,
+                gravity=config.gravity, softening=config.softening,
+                targets=mine, tree=tree)
+            compute = (result.interactions.sum()
+                       * config.seconds_per_interaction
+                       / (config.cores_per_rank * node_speed))
+            yield Timeout(float(compute))
+            my_interactions[-1] += int(result.interactions.sum())
+            acc = np.zeros((n, 3))
+            gathered = yield from comm.allgather(
+                (mine, result.accelerations))
+            for ids, values in gathered:
+                acc[ids] = values
+        # leapfrog for my bodies
+        velocities[mine] += 0.5 * config.dt * acc[mine]
+        positions[mine] += config.dt * velocities[mine]
+
+        # Exchange updated positions/velocities (real payloads, real cost).
+        gathered = yield from comm.allgather(
+            (mine, positions[mine], velocities[mine]))
+        for ids, pos, vel in gathered:
+            positions[ids] = pos
+            velocities[ids] = vel
+
+        # second force evaluation at the new positions (kick)
+        tree = build_octree(positions, masses)
+        result = accelerations_barnes_hut(
+            positions, masses, theta=config.theta, gravity=config.gravity,
+            softening=config.softening, targets=mine, tree=tree)
+        compute = (result.interactions.sum() * config.seconds_per_interaction
+                   / (config.cores_per_rank * node_speed))
+        yield Timeout(float(compute))
+        my_interactions[-1] += int(result.interactions.sum())
+        new_acc = np.zeros((n, 3))
+        new_acc[mine] = result.accelerations
+        velocities[mine] += 0.5 * config.dt * new_acc[mine]
+
+        gathered = yield from comm.allgather(
+            (mine, velocities[mine], new_acc[mine],
+             result.interactions.astype(float)))
+        acc = np.zeros((n, 3))
+        new_weights = np.ones(n)
+        for ids, vel, accel, counts in gathered:
+            velocities[ids] = vel
+            acc[ids] = accel
+            new_weights[ids] = np.maximum(counts, 1.0)
+        weights = new_weights
+        step_times.append(comm.sim.now - t0)
+
+    return {
+        "iteration_times": step_times,
+        "positions": positions,
+        "velocities": velocities,
+        "interactions": my_interactions,
+    }
+
+
+def run_distributed_nbody(world: MpiWorld, bodies: BodySet,
+                          config: DistributedNBodyConfig,
+                          node_speeds: dict[int, float] | None = None
+                          ) -> list[dict]:
+    """Launch the distributed n-body across the world's ranks."""
+    node_speeds = node_speeds or {}
+    processes = []
+    for rank in range(world.size):
+        comm = world.world_comm.view(rank)
+        speed = node_speeds.get(world.node_of(rank), 1.0)
+        gen = distributed_nbody_main(comm, bodies.copy(), config, speed)
+        processes.append(world.sim.spawn(gen, name=f"nbody-rank{rank}"))
+    world.sim.run_all(processes)
+    return [p.result for p in processes]

@@ -1,0 +1,90 @@
+"""Force evaluation: Barnes–Hut traversal and the O(n²) reference.
+
+The Barnes–Hut acceptance criterion is the classic one: a cell of size
+``s`` at distance ``d`` is treated as a point mass when ``s / d < theta``.
+The traversal also counts interactions — that count is the cost model ORB
+uses to divide work, exactly the quantity that is blind to node speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import WorkloadError
+from .octree import Octree, build_octree
+
+__all__ = ["ForceResult", "accelerations_direct", "accelerations_barnes_hut"]
+
+
+@dataclass(frozen=True)
+class ForceResult:
+    accelerations: np.ndarray      # (n, 3)
+    interactions: np.ndarray       # (n,) per-body interaction counts
+
+
+def accelerations_direct(positions: np.ndarray, masses: np.ndarray,
+                         gravity: float = 1.0,
+                         softening: float = 1e-3) -> np.ndarray:
+    """Exact pairwise accelerations (vectorised O(n²) reference)."""
+    n = positions.shape[0]
+    if positions.shape != (n, 3) or masses.shape != (n,):
+        raise WorkloadError("positions must be (n,3) and masses (n,)")
+    delta = positions[None, :, :] - positions[:, None, :]       # (n, n, 3)
+    dist2 = (delta ** 2).sum(axis=2) + softening ** 2
+    np.fill_diagonal(dist2, np.inf)
+    inv_d3 = dist2 ** -1.5
+    return gravity * (delta * (masses[None, :] * inv_d3)[:, :, None]).sum(axis=1)
+
+
+def accelerations_barnes_hut(positions: np.ndarray, masses: np.ndarray,
+                             theta: float = 0.5, gravity: float = 1.0,
+                             softening: float = 1e-3,
+                             targets: np.ndarray | None = None,
+                             tree: Octree | None = None) -> ForceResult:
+    """Barnes–Hut accelerations for *targets* (default: every body).
+
+    Providing *tree* lets callers reuse one tree across target blocks —
+    the way the distributed version computes each rank's block.
+    """
+    n = positions.shape[0]
+    if positions.shape != (n, 3) or masses.shape != (n,):
+        raise WorkloadError("positions must be (n,3) and masses (n,)")
+    if not 0.0 < theta < 2.0:
+        raise WorkloadError(f"theta must be in (0, 2), got {theta}")
+    if tree is None:
+        tree = build_octree(positions, masses)
+    if targets is None:
+        targets = np.arange(n)
+    eps2 = softening ** 2
+    acc = np.zeros((len(targets), 3))
+    counts = np.zeros(len(targets), dtype=np.int64)
+    for out_i, body in enumerate(targets):
+        pos = positions[body]
+        total = np.zeros(3)
+        interactions = 0
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            delta = tree.coms[node] - pos
+            dist2 = float(delta @ delta)
+            size = 2.0 * tree.half_sizes[node]
+            if tree.is_leaf(node):
+                ids = tree.leaf_bodies[node]
+                ids = ids[ids != body]
+                if ids.size:
+                    d = positions[ids] - pos
+                    r2 = (d ** 2).sum(axis=1) + eps2
+                    total += (d * (masses[ids] / r2 ** 1.5)[:, None]).sum(axis=0)
+                    interactions += ids.size
+            elif size * size < theta * theta * dist2:
+                # Far enough: the whole cell acts as one point mass.
+                r2 = dist2 + eps2
+                total += delta * (tree.masses[node] / r2 ** 1.5)
+                interactions += 1
+            else:
+                stack.extend(int(c) for c in tree.children[node] if c >= 0)
+        acc[out_i] = gravity * total
+        counts[out_i] = interactions
+    return ForceResult(accelerations=acc, interactions=counts)

@@ -1,0 +1,123 @@
+"""Octree construction with mass/centre-of-mass aggregation (Barnes–Hut).
+
+Flat-array tree: node *i* stores its cube (centre + half size), total mass,
+centre of mass, its 8 child slots (-1 = absent), and — for leaves — the
+indices of the bodies it holds (bucket leaves keep construction shallow
+and the force loop fast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import WorkloadError
+
+__all__ = ["Octree", "build_octree"]
+
+_OCTANT_SIGNS = np.array([
+    [-1, -1, -1], [1, -1, -1], [-1, 1, -1], [1, 1, -1],
+    [-1, -1, 1], [1, -1, 1], [-1, 1, 1], [1, 1, 1],
+], dtype=float)
+
+
+@dataclass
+class Octree:
+    """Flat Barnes–Hut tree over one body set."""
+
+    centers: np.ndarray           # (num_nodes, 3)
+    half_sizes: np.ndarray        # (num_nodes,)
+    masses: np.ndarray            # (num_nodes,)
+    coms: np.ndarray              # (num_nodes, 3) centres of mass
+    children: np.ndarray          # (num_nodes, 8) node ids, -1 = none
+    leaf_bodies: list[np.ndarray]  # per node: body ids (empty for internal)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.half_sizes)
+
+    def is_leaf(self, node: int) -> bool:
+        """Whether *node* has no children (holds bodies directly)."""
+        return bool((self.children[node] < 0).all())
+
+    def depth(self) -> int:
+        """Maximum depth (root = 1), by traversal."""
+        best = 0
+        stack = [(0, 1)]
+        while stack:
+            node, d = stack.pop()
+            best = max(best, d)
+            for child in self.children[node]:
+                if child >= 0:
+                    stack.append((int(child), d + 1))
+        return best
+
+    def total_mass(self) -> float:
+        """Mass aggregated at the root (== total body mass)."""
+        return float(self.masses[0])
+
+
+def build_octree(positions: np.ndarray, masses: np.ndarray,
+                 leaf_size: int = 8, max_depth: int = 40) -> Octree:
+    """Build the tree over all bodies.
+
+    The root cube is the bounding cube of the positions (slightly padded).
+    Subdivision stops at *leaf_size* bodies or *max_depth* (protecting
+    against coincident points).
+    """
+    n = positions.shape[0]
+    if n < 1:
+        raise WorkloadError("cannot build an octree over zero bodies")
+    if positions.shape != (n, 3) or masses.shape != (n,):
+        raise WorkloadError("positions must be (n,3) and masses (n,)")
+    if leaf_size < 1:
+        raise WorkloadError("leaf_size must be >= 1")
+    lo = positions.min(axis=0)
+    hi = positions.max(axis=0)
+    center = (lo + hi) / 2.0
+    half = float(max((hi - lo).max() / 2.0, 1e-12)) * 1.0001
+
+    centers: list[np.ndarray] = []
+    halves: list[float] = []
+    node_masses: list[float] = []
+    coms: list[np.ndarray] = []
+    children: list[np.ndarray] = []
+    leaves: list[np.ndarray] = []
+
+    def new_node(c: np.ndarray, h: float) -> int:
+        centers.append(c)
+        halves.append(h)
+        node_masses.append(0.0)
+        coms.append(np.zeros(3))
+        children.append(np.full(8, -1, dtype=np.int64))
+        leaves.append(np.empty(0, dtype=np.int64))
+        return len(halves) - 1
+
+    def build(node: int, body_ids: np.ndarray, depth: int) -> None:
+        mass = masses[body_ids].sum()
+        node_masses[node] = float(mass)
+        coms[node] = (masses[body_ids, None]
+                      * positions[body_ids]).sum(axis=0) / mass
+        if len(body_ids) <= leaf_size or depth >= max_depth:
+            leaves[node] = body_ids
+            return
+        c = centers[node]
+        h = halves[node]
+        octant = ((positions[body_ids, 0] >= c[0]).astype(int)
+                  + 2 * (positions[body_ids, 1] >= c[1]).astype(int)
+                  + 4 * (positions[body_ids, 2] >= c[2]).astype(int))
+        for o in range(8):
+            sub = body_ids[octant == o]
+            if sub.size == 0:
+                continue
+            child_center = c + _OCTANT_SIGNS[o] * (h / 2.0)
+            child = new_node(child_center, h / 2.0)
+            children[node][o] = child
+            build(child, sub, depth + 1)
+
+    root = new_node(center, half)
+    build(root, np.arange(n, dtype=np.int64), 1)
+    return Octree(centers=np.asarray(centers), half_sizes=np.asarray(halves),
+                  masses=np.asarray(node_masses), coms=np.asarray(coms),
+                  children=np.asarray(children), leaf_bodies=leaves)

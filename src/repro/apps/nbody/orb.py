@@ -1,0 +1,74 @@
+"""Orthogonal Recursive Bisection (the n-body app's own balancer).
+
+ORB recursively splits the body set along the widest coordinate axis at
+the *weighted* median, so that each side carries (nearly) equal total
+work weight; recursion yields any number of parts. The weights come from
+measured per-body interaction counts — which is why ORB equalises *work*
+but cannot see that a node executes that work slower (paper §7.1: "ORB
+does not perform well" with a slow node; its "cost model does not adapt to
+varying node performance").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import WorkloadError
+
+__all__ = ["orb_partition", "partition_weights"]
+
+
+def orb_partition(positions: np.ndarray, weights: np.ndarray,
+                  num_parts: int) -> np.ndarray:
+    """Assign each body to one of *num_parts* partitions.
+
+    Returns an (n,) integer array of partition ids in ``[0, num_parts)``.
+    Handles any part count (not just powers of two) by splitting part
+    counts ``k`` into ``ceil(k/2)`` / ``floor(k/2)`` with a proportional
+    weight threshold.
+    """
+    n = positions.shape[0]
+    if positions.shape != (n, 3) or weights.shape != (n,):
+        raise WorkloadError("positions must be (n,3) and weights (n,)")
+    if num_parts < 1:
+        raise WorkloadError(f"need at least one part, got {num_parts}")
+    if np.any(weights < 0):
+        raise WorkloadError("weights must be non-negative")
+    if num_parts > n:
+        raise WorkloadError(f"cannot split {n} bodies into {num_parts} parts")
+    assignment = np.empty(n, dtype=np.int64)
+
+    def split(ids: np.ndarray, first_part: int, parts: int) -> None:
+        if parts == 1:
+            assignment[ids] = first_part
+            return
+        left_parts = (parts + 1) // 2
+        target = left_parts / parts          # weight fraction for the left side
+        axis = int(np.argmax(positions[ids].max(axis=0)
+                             - positions[ids].min(axis=0)))
+        order = ids[np.argsort(positions[ids, axis], kind="stable")]
+        w = weights[order]
+        total = w.sum()
+        if total <= 0:
+            # Unweighted fallback: split by count.
+            cut = max(1, min(len(order) - 1,
+                             int(round(len(order) * target))))
+        else:
+            cumulative = np.cumsum(w)
+            cut = int(np.searchsorted(cumulative, target * total))
+            cut = max(1, min(len(order) - 1, cut + 1))
+        # Both sides must still be splittable into their part counts.
+        cut = max(left_parts, min(len(order) - (parts - left_parts), cut))
+        split(order[:cut], first_part, left_parts)
+        split(order[cut:], first_part + left_parts, parts - left_parts)
+
+    split(np.arange(n, dtype=np.int64), 0, num_parts)
+    return assignment
+
+
+def partition_weights(assignment: np.ndarray, weights: np.ndarray,
+                      num_parts: int) -> np.ndarray:
+    """Total weight per partition (for balance checks)."""
+    if assignment.shape != weights.shape:
+        raise WorkloadError("assignment and weights must align")
+    return np.bincount(assignment, weights=weights, minlength=num_parts)

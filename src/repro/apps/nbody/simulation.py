@@ -1,0 +1,131 @@
+"""Standalone Barnes–Hut n-body simulation (leapfrog integrator).
+
+This is the runnable application: build tree → forces → kick-drift-kick,
+with ORB repartitioning each step exactly like the paper's n-body code.
+It runs serially (each "rank" is a partition processed in turn) and is
+used by the example scripts and accuracy tests; the simulator workload
+model in :mod:`.workload` reproduces its cost structure at cluster scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...errors import WorkloadError
+from .bodies import BodySet
+from .forces import accelerations_barnes_hut, accelerations_direct
+from .octree import build_octree
+from .orb import orb_partition, partition_weights
+
+__all__ = ["NBodySimulation", "StepStats", "total_energy"]
+
+
+@dataclass(frozen=True)
+class StepStats:
+    """Per-step diagnostics."""
+
+    step: int
+    interactions_total: int
+    work_per_rank: np.ndarray       # interaction counts per ORB partition
+    orb_imbalance: float            # max/avg of work_per_rank
+
+
+def total_energy(bodies: BodySet, gravity: float = 1.0,
+                 softening: float = 1e-3) -> float:
+    """Kinetic + potential energy (O(n²); for conservation tests)."""
+    kinetic = 0.5 * float(
+        (bodies.masses * (bodies.velocities ** 2).sum(axis=1)).sum())
+    delta = bodies.positions[None, :, :] - bodies.positions[:, None, :]
+    dist = np.sqrt((delta ** 2).sum(axis=2) + softening ** 2)
+    inv = 1.0 / dist
+    np.fill_diagonal(inv, 0.0)
+    mm = bodies.masses[:, None] * bodies.masses[None, :]
+    potential = -0.5 * gravity * float((mm * inv).sum())
+    return kinetic + potential
+
+
+@dataclass
+class NBodySimulation:
+    """Leapfrog Barnes–Hut simulation with per-step ORB partitioning."""
+
+    bodies: BodySet
+    num_ranks: int = 1
+    dt: float = 1e-3
+    theta: float = 0.5
+    gravity: float = 1.0
+    softening: float = 1e-3
+    steps_taken: int = 0
+    _weights: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _acc: np.ndarray = field(default=None, repr=False)      # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.num_ranks < 1:
+            raise WorkloadError("need at least one rank")
+        if self.dt <= 0:
+            raise WorkloadError("dt must be positive")
+        if self._weights is None:
+            self._weights = np.ones(len(self.bodies))
+
+    def step(self) -> StepStats:
+        """One kick-drift-kick step; returns work-distribution diagnostics."""
+        bodies = self.bodies
+        n = len(bodies)
+        # ORB repartition using last step's measured per-body work.
+        assignment = orb_partition(bodies.positions, self._weights,
+                                   self.num_ranks)
+        if self._acc is None:
+            self._acc = self._forces(assignment)[0]
+        acc = self._acc
+        bodies.velocities += 0.5 * self.dt * acc
+        bodies.positions += self.dt * bodies.velocities
+        new_acc, counts = self._forces(assignment)
+        bodies.velocities += 0.5 * self.dt * new_acc
+        self._acc = new_acc
+        self._weights = np.maximum(counts.astype(float), 1.0)
+        self.steps_taken += 1
+        work = partition_weights(assignment, counts.astype(float),
+                                 self.num_ranks)
+        avg = work.mean() if work.mean() > 0 else 1.0
+        return StepStats(step=self.steps_taken,
+                         interactions_total=int(counts.sum()),
+                         work_per_rank=work,
+                         orb_imbalance=float(work.max() / avg))
+
+    def _forces(self, assignment: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Forces computed partition-by-partition against the shared tree."""
+        bodies = self.bodies
+        tree = build_octree(bodies.positions, bodies.masses)
+        acc = np.zeros((len(bodies), 3))
+        counts = np.zeros(len(bodies), dtype=np.int64)
+        for rank in range(self.num_ranks):
+            targets = np.nonzero(assignment == rank)[0]
+            if targets.size == 0:
+                continue
+            result = accelerations_barnes_hut(
+                bodies.positions, bodies.masses, theta=self.theta,
+                gravity=self.gravity, softening=self.softening,
+                targets=targets, tree=tree)
+            acc[targets] = result.accelerations
+            counts[targets] = result.interactions
+        return acc, counts
+
+    def run(self, steps: int) -> list[StepStats]:
+        """Advance *steps* timesteps; returns per-step diagnostics."""
+        return [self.step() for _ in range(steps)]
+
+    def validate_against_direct(self, tolerance: float = 0.05) -> float:
+        """Relative BH-vs-direct force error (median over bodies)."""
+        direct = accelerations_direct(self.bodies.positions, self.bodies.masses,
+                                      self.gravity, self.softening)
+        bh = accelerations_barnes_hut(self.bodies.positions, self.bodies.masses,
+                                      theta=self.theta, gravity=self.gravity,
+                                      softening=self.softening).accelerations
+        err = np.linalg.norm(bh - direct, axis=1)
+        scale = np.linalg.norm(direct, axis=1) + 1e-30
+        median = float(np.median(err / scale))
+        if median > tolerance:
+            raise WorkloadError(
+                f"Barnes–Hut error {median:.3f} exceeds tolerance {tolerance}")
+        return median

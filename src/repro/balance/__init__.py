@@ -1,0 +1,26 @@
+"""Core-allocation policies and load measurement."""
+
+from .global_policy import (GlobalLpPolicy, solve_core_allocation,
+                            solve_edge_allocation,
+                            solve_partitioned_allocation)
+from .load import LoadMeter, MeterReader
+from .local_policy import LocalConvergencePolicy
+from .optimal import (baseline_iteration_time, granularity_bound,
+                      perfect_iteration_time, single_node_dlb_time)
+from .rounding import proportional_allocation, round_allocation
+
+__all__ = [
+    "LoadMeter",
+    "MeterReader",
+    "LocalConvergencePolicy",
+    "GlobalLpPolicy",
+    "solve_core_allocation",
+    "solve_edge_allocation",
+    "solve_partitioned_allocation",
+    "proportional_allocation",
+    "round_allocation",
+    "perfect_iteration_time",
+    "granularity_bound",
+    "baseline_iteration_time",
+    "single_node_dlb_time",
+]

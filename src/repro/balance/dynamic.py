@@ -1,0 +1,130 @@
+"""Dynamic work spreading — the paper's proposed §5.2 extension.
+
+"A better approach may therefore be to grow the expander graph
+dynamically. This would allow the execution to adapt to the program and
+system characteristics, and it would remove the offloading degree
+parameter. ... The main change to the runtime would be to extend it to
+support dynamic process spawning."
+
+This controller implements exactly that: it watches each apprank's spill
+queue (tasks the §5.5 scheduler could not place anywhere), and when a
+queue stays backed up for ``patience`` consecutive periods, it spawns a
+helper rank for that apprank on the least-busy node it does not reach yet
+— paying a modelled process-spawn latency before the helper exists. New
+helpers join DLB, the trace, and the allocation policy on arrival.
+
+The paper expected the benefit "would likely not be sufficient to
+compensate for the extra implementation and evaluation complexity"
+(§7.3); the ablation bench lets you check that judgement on the
+simulator: dynamic spreading from degree 1 approaches the well-tuned
+static degree while spawning only the helpers the imbalance needs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import AllocationError
+from ..sim.engine import Simulator
+from ..sim.events import Event, EventPriority
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..nanos.runtime import ClusterRuntime
+
+__all__ = ["DynamicSpreader"]
+
+
+class DynamicSpreader:
+    """Queue-pressure-driven helper spawning."""
+
+    def __init__(self, runtime: "ClusterRuntime", period: float = 0.2,
+                 patience: int = 2, max_degree: int = 8,
+                 spawn_latency: float = 0.1) -> None:
+        if period <= 0 or spawn_latency < 0:
+            raise AllocationError("invalid dynamic-spreading timing")
+        if patience < 1 or max_degree < 1:
+            raise AllocationError("invalid dynamic-spreading limits")
+        self.runtime = runtime
+        self.sim: Simulator = runtime.sim
+        self.period = period
+        self.patience = patience
+        self.max_degree = max_degree
+        self.spawn_latency = spawn_latency
+        self._backed_up: dict[int, int] = {}
+        self._pending: set[int] = set()     # appranks with a spawn in flight
+        self._event: Optional[Event] = None
+        self.helpers_spawned = 0
+        self.ticks = 0
+
+    def start(self) -> None:
+        self._event = self.sim.schedule(self.period, self._tick,
+                                        priority=EventPriority.POLICY,
+                                        label="dynamic-spread-tick")
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self.sim.cancel(self._event)
+            self._event = None
+
+    # -- controller ----------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.ticks += 1
+        idle_exists = any(node.busy_cores() < node.num_cores
+                          for node in self.runtime.cluster.nodes)
+        for apprank_rt in self.runtime.appranks:
+            apprank = apprank_rt.apprank
+            if apprank in self._pending:
+                continue
+            # Pressure = work this apprank cannot place anywhere it reaches
+            # WHILE capacity sits idle somewhere it does not reach. A spill
+            # queue alone is normal (it drains through the iteration); only
+            # the combination means the imbalance is "stuck" (§5.2).
+            stuck = (apprank_rt.scheduler.queued > 0 and idle_exists
+                     and self._pick_node(apprank_rt) is not None)
+            if stuck:
+                self._backed_up[apprank] = self._backed_up.get(apprank, 0) + 1
+                if self._backed_up[apprank] >= self.patience:
+                    self._try_spawn(apprank_rt)
+            else:
+                self._backed_up[apprank] = 0
+        self._event = self.sim.schedule(self.period, self._tick,
+                                        priority=EventPriority.POLICY,
+                                        label="dynamic-spread-tick")
+
+    def _try_spawn(self, apprank_rt) -> None:
+        target = self._pick_node(apprank_rt)
+        if target is None:
+            return
+        apprank = apprank_rt.apprank
+        self._pending.add(apprank)
+        self._backed_up[apprank] = 0
+
+        def arrive() -> None:
+            self._pending.discard(apprank)
+            self.runtime.add_helper(apprank, target)
+            self.helpers_spawned += 1
+
+        # "dynamic process spawning" is not free: the helper only exists
+        # after the modelled spawn latency.
+        self.sim.schedule(self.spawn_latency, arrive,
+                          label=f"helper-spawn:a{apprank}n{target}")
+
+    def _pick_node(self, apprank_rt) -> Optional[int]:
+        """Least-busy node this apprank cannot reach yet (None = give up)."""
+        if len(apprank_rt.workers) >= self.max_degree:
+            return None
+        reachable = set(apprank_rt.workers)
+        cluster = self.runtime.cluster
+        cores = cluster.spec.machine.cores_per_node
+        best, best_busy = None, None
+        for node in cluster.nodes:
+            if node.node_id in reachable:
+                continue
+            # placement feasibility: the new worker needs a one-core floor
+            if len(self.runtime.arbiters[node.node_id].workers) >= cores:
+                continue
+            busy = node.busy_cores()
+            if best_busy is None or (busy, node.node_id) < (best_busy, best):
+                best, best_busy = node.node_id, busy
+        return best

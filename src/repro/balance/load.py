@@ -1,0 +1,91 @@
+"""Busy-core measurement (paper §5.4).
+
+"Each worker measures its average number of busy cores" — a
+:class:`LoadMeter` integrates the worker's busy-core level over simulated
+time; a :class:`MeterReader` turns that into the per-period averages the
+policies consume. Separate readers keep independent checkpoints, so the
+local policy, the global policy and the trace sampler never perturb each
+other.
+"""
+
+from __future__ import annotations
+
+from ..errors import AllocationError
+
+__all__ = ["LoadMeter", "MeterReader"]
+
+
+class LoadMeter:
+    """Piecewise-constant busy-core level with an exact time integral."""
+
+    __slots__ = ("_integral", "_last_time", "_level")
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._integral = 0.0
+        self._last_time = start_time
+        self._level = 0
+
+    @property
+    def level(self) -> int:
+        """Current number of busy cores."""
+        return self._level
+
+    def _advance(self, now: float) -> None:
+        if now < self._last_time:
+            raise AllocationError(
+                f"meter time went backwards: {now} < {self._last_time}")
+        self._integral += self._level * (now - self._last_time)
+        self._last_time = now
+
+    def increment(self, now: float) -> None:
+        """One more core became busy at *now*."""
+        self._advance(now)
+        self._level += 1
+
+    def decrement(self, now: float) -> None:
+        """One core became idle at *now*."""
+        self._advance(now)
+        self._level -= 1
+        if self._level < 0:
+            raise AllocationError("busy-core level went negative")
+
+    def integral_at(self, now: float) -> float:
+        """∫ busy_cores dt from meter start to *now* (core·seconds)."""
+        if now < self._last_time:
+            raise AllocationError(
+                f"meter queried in the past: {now} < {self._last_time}")
+        return self._integral + self._level * (now - self._last_time)
+
+
+class MeterReader:
+    """Per-consumer checkpoint over a :class:`LoadMeter`.
+
+    ``read(now)`` returns the average busy cores since the previous
+    ``read`` (or since creation), then advances the checkpoint.
+    """
+
+    __slots__ = ("_meter", "_last_integral", "_last_time")
+
+    def __init__(self, meter: LoadMeter, start_time: float = 0.0) -> None:
+        self._meter = meter
+        self._last_integral = meter.integral_at(start_time)
+        self._last_time = start_time
+
+    def read(self, now: float) -> float:
+        """Average busy cores since the last read; advances the checkpoint."""
+        integral = self._meter.integral_at(now)
+        window = now - self._last_time
+        if window <= 0:
+            return float(self._meter.level)
+        average = (integral - self._last_integral) / window
+        self._last_integral = integral
+        self._last_time = now
+        return average
+
+    def peek(self, now: float) -> float:
+        """Average since the checkpoint without advancing it."""
+        integral = self._meter.integral_at(now)
+        window = now - self._last_time
+        if window <= 0:
+            return float(self._meter.level)
+        return (integral - self._last_integral) / window

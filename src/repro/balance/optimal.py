@@ -1,0 +1,78 @@
+"""Perfect-balance reference times (the figures' "perfect"/"optimal" lines).
+
+Given per-apprank work (core·seconds of task time) and the cluster's
+per-node capacity (cores × speed), the best any balancer could do — with
+zero overheads and infinitely divisible work — is total work divided by
+total capacity, per iteration. The figures plot this as the grey line.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..cluster.topology import ClusterSpec
+from ..errors import ReproError
+
+__all__ = ["perfect_iteration_time", "baseline_iteration_time",
+           "granularity_bound", "single_node_dlb_time"]
+
+
+def perfect_iteration_time(work_by_apprank: Sequence[float],
+                           spec: ClusterSpec) -> float:
+    """Lower bound with global perfect balancing (core·s / total capacity)."""
+    if len(work_by_apprank) == 0:
+        raise ReproError("no work")
+    capacity = spec.total_capacity()
+    if capacity <= 0:
+        raise ReproError("zero cluster capacity")
+    return sum(work_by_apprank) / capacity
+
+
+def baseline_iteration_time(work_by_apprank: Sequence[float],
+                            spec: ClusterSpec,
+                            appranks_per_node: int) -> float:
+    """No balancing at all: each apprank on its share of its home node."""
+    if appranks_per_node <= 0:
+        raise ReproError("appranks_per_node must be positive")
+    cores_each = spec.machine.cores_per_node / appranks_per_node
+    worst = 0.0
+    for a, work in enumerate(work_by_apprank):
+        node = a // appranks_per_node
+        speed = spec.node_speed(node)
+        worst = max(worst, work / (cores_each * speed))
+    return worst
+
+
+def granularity_bound(work_by_apprank: Sequence[float],
+                      spec: ClusterSpec, max_task_seconds: float) -> float:
+    """Perfect balance adjusted for task granularity.
+
+    List scheduling cannot beat ``fluid + one longest task`` (the classic
+    Graham bound's additive term): the final wave straggles by up to one
+    task. With the paper's 100+ tasks per core the term vanishes; scaled
+    runs with fewer, chunkier tasks sit on this bound even when the
+    balancing itself is perfect — report it alongside the fluid optimum.
+    """
+    if max_task_seconds < 0:
+        raise ReproError("negative task duration")
+    return perfect_iteration_time(work_by_apprank, spec) + max_task_seconds
+
+
+def single_node_dlb_time(work_by_apprank: Sequence[float],
+                         spec: ClusterSpec,
+                         appranks_per_node: int) -> float:
+    """Ideal single-node DLB: co-located appranks pool their node's cores.
+
+    This is the best the paper's "DLB (degree 1)" reference can reach —
+    load imbalance is still "confined to a node" (§5.2).
+    """
+    if appranks_per_node <= 0:
+        raise ReproError("appranks_per_node must be positive")
+    cores = spec.machine.cores_per_node
+    worst = 0.0
+    num_nodes = spec.num_nodes
+    for node in range(num_nodes):
+        work = sum(work_by_apprank[node * appranks_per_node
+                                   + i] for i in range(appranks_per_node))
+        worst = max(worst, work / (cores * spec.node_speed(node)))
+    return worst

@@ -1,0 +1,92 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    repro-experiments <target> [--scale small|medium|paper] [--csv DIR]
+
+where *target* is one of ``fig05``, ``fig06``, ``fig07``, ``fig08``,
+``fig09``, ``fig10``, ``fig11``, ``headline`` or ``all``. Every run prints
+the paper-style series; ``--csv`` additionally writes one CSV per table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Iterable
+
+from .experiments import (MEDIUM, PAPER, SMALL, ResultTable, Scale,
+                          fig05_policies, fig06_applications, fig07_local,
+                          fig08_sweep, fig09_traces, fig10_slownode,
+                          fig11_convergence, headline)
+
+__all__ = ["main"]
+
+_SCALES = {"small": SMALL, "medium": MEDIUM, "paper": PAPER}
+
+
+def _run_target(target: str, scale: Scale) -> list[ResultTable]:
+    if target == "fig05":
+        return [fig05_policies.run(scale)]
+    if target == "fig06":
+        micropp, nbody = fig06_applications.run(scale)
+        return [micropp, nbody]
+    if target == "fig07":
+        micropp, nbody = fig07_local.run(scale)
+        return [micropp, nbody]
+    if target == "fig08":
+        return [fig08_sweep.run(scale)]
+    if target == "fig09":
+        return [fig09_traces.run(scale)]
+    if target == "fig10":
+        return [fig10_slownode.run(scale)]
+    if target == "fig11":
+        return [fig11_convergence.run(scale)]
+    if target == "headline":
+        return [headline.run(scale)]
+    raise ValueError(f"unknown target {target!r}")
+
+
+TARGETS = ("fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
+           "headline")
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables/figures of 'Transparent load "
+                    "balancing of MPI programs using OmpSs-2@Cluster and "
+                    "DLB' (ICPP 2022) on the simulator.")
+    parser.add_argument("target", choices=TARGETS + ("all",),
+                        help="which figure/table to regenerate")
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="medium",
+                        help="experiment sizing; 'paper' uses the published "
+                             "parameters (48-core nodes, 100 tasks/core) "
+                             "and is slow")
+    parser.add_argument("--csv", type=Path, default=None, metavar="DIR",
+                        help="also write each table as CSV into DIR")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    scale = _SCALES[args.scale]
+    targets = TARGETS if args.target == "all" else (args.target,)
+    for target in targets:
+        started = time.perf_counter()
+        tables = _run_target(target, scale)
+        elapsed = time.perf_counter() - started
+        for i, table in enumerate(tables):
+            print(table.format())
+            print(f"# wall time: {elapsed:.1f} s")
+            print()
+            if args.csv is not None:
+                args.csv.mkdir(parents=True, exist_ok=True)
+                suffix = f"_{i}" if len(tables) > 1 else ""
+                path = args.csv / f"{target}{suffix}_{scale.name}.csv"
+                path.write_text(table.to_csv() + "\n")
+                print(f"# wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Simulated hardware: machines, nodes, cores, and the network model."""
+
+from .machine import GENERIC_SMALL, MARENOSTRUM4, NORD3, MachineSpec
+from .network import NetworkModel
+from .node import Core, Node
+from .topology import Cluster, ClusterSpec
+
+__all__ = [
+    "MachineSpec",
+    "MARENOSTRUM4",
+    "NORD3",
+    "GENERIC_SMALL",
+    "NetworkModel",
+    "Core",
+    "Node",
+    "Cluster",
+    "ClusterSpec",
+]

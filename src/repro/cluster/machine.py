@@ -1,0 +1,95 @@
+"""Machine descriptions for the simulated clusters.
+
+The two presets mirror the paper's platforms (§6.3):
+
+* **MareNostrum 4** — 2× 24-core Intel Xeon Platinum per node (48 cores),
+  96 GB, 100 Gb/s Intel Omni-Path full-fat tree.
+* **Nord 3** — 2× 8-core Intel E5-2670 SandyBridge per node (16 cores),
+  running at 3.0 GHz normally and 1.8 GHz for the "slow node" experiments.
+
+Frequencies follow the paper's stated values rather than vendor nominal
+clocks, because it is the paper's 3.0/1.8 ratio that drives Figure 6(c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ClusterConfigError
+
+__all__ = ["MachineSpec", "MARENOSTRUM4", "NORD3", "GENERIC_SMALL"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of one machine type.
+
+    Network parameters feed the LogGP-style transfer model in
+    :mod:`repro.cluster.network`; they are calibration knobs, not claims
+    about the real fabric.
+    """
+
+    name: str
+    cores_per_node: int
+    base_freq_ghz: float
+    memory_per_node_gb: float
+    network_latency_s: float
+    network_bandwidth_bps: float
+    #: per-message software overhead (send+recv side combined), seconds
+    network_overhead_s: float = 1e-6
+    #: messages at or below this size are sent eagerly (no rendezvous)
+    eager_threshold_bytes: int = 32 * 1024
+
+    def __post_init__(self) -> None:
+        if self.cores_per_node <= 0:
+            raise ClusterConfigError(f"{self.name}: cores_per_node must be > 0")
+        if self.base_freq_ghz <= 0:
+            raise ClusterConfigError(f"{self.name}: base frequency must be > 0")
+        if self.network_latency_s < 0 or self.network_overhead_s < 0:
+            raise ClusterConfigError(f"{self.name}: negative network timing")
+        if self.network_bandwidth_bps <= 0:
+            raise ClusterConfigError(f"{self.name}: bandwidth must be > 0")
+        if self.memory_per_node_gb <= 0:
+            raise ClusterConfigError(f"{self.name}: memory must be > 0")
+
+    def scaled(self, cores_per_node: int) -> "MachineSpec":
+        """A copy with a different core count (for fast, scaled-down runs).
+
+        Scheduling behaviour is per-core-ratio driven, so experiments keep
+        their shape when scaled; benchmarks use this to stay quick.
+        """
+        if cores_per_node == self.cores_per_node:
+            return self
+        return replace(self, name=f"{self.name}/c{cores_per_node}",
+                       cores_per_node=cores_per_node)
+
+
+#: MareNostrum 4 general-purpose block (paper §6.3).
+MARENOSTRUM4 = MachineSpec(
+    name="MareNostrum4",
+    cores_per_node=48,
+    base_freq_ghz=2.1,
+    memory_per_node_gb=96.0,
+    network_latency_s=1.5e-6,
+    network_bandwidth_bps=100e9 / 8,
+)
+
+#: Nord 3 (paper §6.3), used for the slow-node experiments.
+NORD3 = MachineSpec(
+    name="Nord3",
+    cores_per_node=16,
+    base_freq_ghz=3.0,
+    memory_per_node_gb=32.0,
+    network_latency_s=2.5e-6,
+    network_bandwidth_bps=40e9 / 8,
+)
+
+#: Small generic machine for unit tests and quick benchmarks.
+GENERIC_SMALL = MachineSpec(
+    name="generic-small",
+    cores_per_node=8,
+    base_freq_ghz=2.0,
+    memory_per_node_gb=16.0,
+    network_latency_s=2e-6,
+    network_bandwidth_bps=12.5e9,
+)

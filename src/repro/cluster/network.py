@@ -1,0 +1,65 @@
+"""LogGP-style network timing model.
+
+The interconnects in the paper (Omni-Path, full-fat tree) are close enough
+to non-blocking at the studied scales that a per-message model suffices:
+
+    transfer_time(n) = latency + overhead + n / bandwidth
+
+Messages at or below the eager threshold complete in one flight; larger
+messages pay an extra round-trip for the rendezvous handshake, mirroring
+how real MPI implementations behave and how the simulated MPI layer uses
+this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ClusterConfigError
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    latency_s: float
+    bandwidth_bps: float
+    overhead_s: float = 1e-6
+    eager_threshold_bytes: int = 32 * 1024
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.overhead_s < 0:
+            raise ClusterConfigError("negative network timing parameter")
+        if self.bandwidth_bps <= 0:
+            raise ClusterConfigError("bandwidth must be positive")
+        if self.eager_threshold_bytes < 0:
+            raise ClusterConfigError("eager threshold must be >= 0")
+
+    def is_eager(self, nbytes: int) -> bool:
+        """Whether a message of *nbytes* is sent without a rendezvous."""
+        return nbytes <= self.eager_threshold_bytes
+
+    def transfer_time(self, nbytes: int) -> float:
+        """One-way time for *nbytes* between two distinct nodes."""
+        if nbytes < 0:
+            raise ClusterConfigError(f"negative message size: {nbytes}")
+        base = self.latency_s + self.overhead_s + nbytes / self.bandwidth_bps
+        if not self.is_eager(nbytes):
+            # rendezvous: request + clear-to-send round trip before payload
+            base += 2 * self.latency_s
+        return base
+
+    def local_copy_time(self, nbytes: int) -> float:
+        """Time for an intra-node handoff (no NIC, just software overhead).
+
+        Shared-memory transports are roughly an order of magnitude faster
+        than loopback through the NIC; this model only needs them to be
+        cheap-but-not-free.
+        """
+        if nbytes < 0:
+            raise ClusterConfigError(f"negative message size: {nbytes}")
+        return self.overhead_s + nbytes / (8 * self.bandwidth_bps / 2)
+
+    def control_message_time(self) -> float:
+        """Time for a tiny runtime control message (offload, satisfy, finish)."""
+        return self.transfer_time(128)

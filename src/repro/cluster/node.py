@@ -1,0 +1,149 @@
+"""Node and core state.
+
+A :class:`Core` tracks two orthogonal facts used by DLB:
+
+* **ownership** — which worker process the core belongs to (DROM changes
+  this semi-permanently);
+* **occupancy** — which worker is *currently running* on it, which differs
+  from the owner while the core is lent out via LeWI.
+
+The "worker" identifiers stored here are opaque hashables; the runtime uses
+``(apprank_id, node_id)`` tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Optional
+
+from ..errors import ClusterConfigError, DlbError
+
+__all__ = ["Core", "Node"]
+
+WorkerKey = Hashable
+
+
+class Core:
+    """One CPU core on a node."""
+
+    __slots__ = ("node_id", "index", "owner", "occupant", "lent", "pending_owner")
+
+    def __init__(self, node_id: int, index: int) -> None:
+        self.node_id = node_id
+        self.index = index
+        #: worker that owns the core under DROM (None = unassigned)
+        self.owner: Optional[WorkerKey] = None
+        #: worker currently executing on the core (None = idle)
+        self.occupant: Optional[WorkerKey] = None
+        #: True while the owner has lent the core to the DLB pool
+        self.lent = False
+        #: DROM ownership transfer deferred to the current task's completion
+        self.pending_owner: Optional[WorkerKey] = None
+
+    @property
+    def busy(self) -> bool:
+        """Whether something is executing on the core right now."""
+        return self.occupant is not None
+
+    @property
+    def borrowed(self) -> bool:
+        """Whether a non-owner is currently running on the core."""
+        return self.occupant is not None and self.occupant != self.owner
+
+    def set_owner(self, worker: Optional[WorkerKey]) -> None:
+        """DROM ownership change. Clears lend state and pending transfers."""
+        self.owner = worker
+        self.lent = False
+        self.pending_owner = None
+
+    def apply_pending_owner(self) -> bool:
+        """Apply a deferred DROM transfer; returns True if ownership moved."""
+        if self.pending_owner is None:
+            return False
+        self.owner = self.pending_owner
+        self.pending_owner = None
+        self.lent = False
+        return True
+
+    def start(self, worker: WorkerKey) -> None:
+        """Mark the core busy on behalf of *worker*."""
+        if self.occupant is not None:
+            raise DlbError(
+                f"core {self.node_id}.{self.index} already occupied by {self.occupant!r}"
+            )
+        self.occupant = worker
+
+    def stop(self, worker: WorkerKey) -> None:
+        """Mark the core idle again; *worker* must be the occupant."""
+        if self.occupant != worker:
+            raise DlbError(
+                f"core {self.node_id}.{self.index}: stop by {worker!r} "
+                f"but occupant is {self.occupant!r}"
+            )
+        self.occupant = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Core({self.node_id}.{self.index}, owner={self.owner!r}, "
+                f"occupant={self.occupant!r}, lent={self.lent})")
+
+
+class Node:
+    """A compute node: a set of cores and a speed factor.
+
+    ``speed`` multiplies compute throughput: a task of nominal duration *d*
+    takes ``d / speed`` on this node. The slow-node experiments set
+    ``speed = 1.8/3.0 = 0.6`` (paper §6.3).
+    """
+
+    __slots__ = ("node_id", "num_cores", "speed", "cores")
+
+    def __init__(self, node_id: int, num_cores: int, speed: float = 1.0) -> None:
+        if num_cores <= 0:
+            raise ClusterConfigError(f"node {node_id}: num_cores must be > 0")
+        if speed <= 0:
+            raise ClusterConfigError(f"node {node_id}: speed must be > 0")
+        self.node_id = node_id
+        self.num_cores = num_cores
+        self.speed = speed
+        self.cores = [Core(node_id, i) for i in range(num_cores)]
+
+    def cores_owned_by(self, worker: WorkerKey) -> list[Core]:
+        """All cores currently owned (under DROM) by *worker*."""
+        return [c for c in self.cores if c.owner == worker]
+
+    def count_owned(self, worker: WorkerKey) -> int:
+        """Number of cores currently owned by *worker* under DROM."""
+        return sum(1 for c in self.cores if c.owner == worker)
+
+    def busy_cores(self) -> int:
+        """Number of cores executing right now."""
+        return sum(1 for c in self.cores if c.busy)
+
+    def busy_cores_of(self, worker: WorkerKey) -> int:
+        """Cores this worker is currently executing on (owned or borrowed)."""
+        return sum(1 for c in self.cores if c.occupant == worker)
+
+    def iter_idle(self) -> Iterator[Core]:
+        """Iterate over cores with nothing executing on them."""
+        return (c for c in self.cores if not c.busy)
+
+    def owners(self) -> set[WorkerKey]:
+        """Distinct owners present on the node (excluding unowned cores)."""
+        return {c.owner for c in self.cores if c.owner is not None}
+
+    def task_duration(self, nominal: float) -> float:
+        """Wall time of a task with nominal duration *nominal* on this node."""
+        return nominal / self.speed
+
+    def set_speed(self, speed: float) -> None:
+        """Change the node's speed at runtime (DVFS / thermal throttling).
+
+        Affects tasks *started* after the change; tasks already running
+        keep their committed duration (the common modelling simplification
+        for events far longer than one task).
+        """
+        if speed <= 0:
+            raise ClusterConfigError(f"node {self.node_id}: speed must be > 0")
+        self.speed = speed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.node_id}, cores={self.num_cores}, speed={self.speed})"

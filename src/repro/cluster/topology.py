@@ -1,0 +1,109 @@
+"""Cluster-level description: a machine type instantiated over N nodes.
+
+:class:`ClusterSpec` is the *static* description (hashable, comparable,
+usable as an experiment parameter); :class:`Cluster` is the *stateful*
+instantiation holding live :class:`~repro.cluster.node.Node` objects for one
+simulation run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ClusterConfigError
+from .machine import MachineSpec
+from .network import NetworkModel
+from .node import Node
+
+__all__ = ["ClusterSpec", "Cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static cluster description.
+
+    ``slow_nodes`` maps node id → speed factor (< 1 means slower). All other
+    nodes run at speed 1.0 relative to the machine's base frequency.
+    """
+
+    machine: MachineSpec
+    num_nodes: int
+    slow_nodes: tuple[tuple[int, float], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ClusterConfigError(f"num_nodes must be > 0, got {self.num_nodes}")
+        for node_id, speed in self.slow_nodes:
+            if not 0 <= node_id < self.num_nodes:
+                raise ClusterConfigError(f"slow node id {node_id} out of range")
+            if speed <= 0:
+                raise ClusterConfigError(f"slow node {node_id}: speed must be > 0")
+
+    @classmethod
+    def homogeneous(cls, machine: MachineSpec, num_nodes: int) -> "ClusterSpec":
+        """All nodes at nominal speed."""
+        return cls(machine=machine, num_nodes=num_nodes)
+
+    def with_slow_nodes(self, speeds: dict[int, float]) -> "ClusterSpec":
+        """Copy of this spec with the given node-id → speed overrides."""
+        merged = dict(self.slow_nodes)
+        merged.update(speeds)
+        return ClusterSpec(machine=self.machine, num_nodes=self.num_nodes,
+                           slow_nodes=tuple(sorted(merged.items())))
+
+    def with_slow_node_freq(self, node_id: int, freq_ghz: float) -> "ClusterSpec":
+        """Paper-style override: one node clocked at *freq_ghz* (§6.3)."""
+        return self.with_slow_nodes({node_id: freq_ghz / self.machine.base_freq_ghz})
+
+    def node_speed(self, node_id: int) -> float:
+        """Speed factor of *node_id* (1.0 unless listed slow)."""
+        for nid, speed in self.slow_nodes:
+            if nid == node_id:
+                return speed
+        return 1.0
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.machine.cores_per_node
+
+    def total_capacity(self) -> float:
+        """Sum of core·speed over the cluster — the perfect-balance throughput."""
+        return sum(self.machine.cores_per_node * self.node_speed(n)
+                   for n in range(self.num_nodes))
+
+
+class Cluster:
+    """Stateful cluster for one simulation run."""
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.nodes = [
+            Node(node_id=i,
+                 num_cores=spec.machine.cores_per_node,
+                 speed=spec.node_speed(i))
+            for i in range(spec.num_nodes)
+        ]
+        self.network = NetworkModel(
+            latency_s=spec.machine.network_latency_s,
+            bandwidth_bps=spec.machine.network_bandwidth_bps,
+            overhead_s=spec.machine.network_overhead_s,
+            eager_threshold_bytes=spec.machine.eager_threshold_bytes,
+        )
+
+    @property
+    def num_nodes(self) -> int:
+        return self.spec.num_nodes
+
+    def node(self, node_id: int) -> Node:
+        """The live :class:`Node` for *node_id* (range-checked)."""
+        if not 0 <= node_id < len(self.nodes):
+            raise ClusterConfigError(f"node id {node_id} out of range")
+        return self.nodes[node_id]
+
+    def busy_cores_by_node(self) -> list[int]:
+        """Currently executing cores, per node."""
+        return [n.busy_cores() for n in self.nodes]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Cluster({self.spec.machine.name}, nodes={self.num_nodes}, "
+                f"cores/node={self.spec.machine.cores_per_node})")

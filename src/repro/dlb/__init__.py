@@ -1,0 +1,15 @@
+"""Simulated DLB: per-node arbiters plus LeWI / DROM / TALP modules."""
+
+from .drom import DromModule
+from .lewi import LewiModule
+from .shmem import NodeArbiter, WorkerPort
+from .talp import TalpModule, TalpReport
+
+__all__ = [
+    "NodeArbiter",
+    "WorkerPort",
+    "LewiModule",
+    "DromModule",
+    "TalpModule",
+    "TalpReport",
+]

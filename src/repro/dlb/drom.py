@@ -1,0 +1,59 @@
+"""DROM — Dynamic Resource Ownership Management (paper §3.3, §5.4).
+
+Facade over the per-node arbiters mirroring DROM's role: semi-permanent
+ownership changes requested by a core-allocation policy. Validation of the
+DLB invariants (every core owned, one core minimum per process) happens in
+the arbiter; this layer adds the cluster-wide entry point and statistics.
+"""
+
+from __future__ import annotations
+
+from ..cluster.node import WorkerKey
+from ..errors import DlbError
+from .shmem import NodeArbiter
+
+__all__ = ["DromModule"]
+
+
+class DromModule:
+    """Cluster-wide ownership management."""
+
+    def __init__(self, arbiters: dict[int, NodeArbiter], enabled: bool = True) -> None:
+        self.arbiters = arbiters
+        self.enabled = enabled
+
+    def set_node_ownership(self, node_id: int,
+                           counts: dict[WorkerKey, int]) -> int:
+        """``DLB_DROM_SetProcessMask`` analogue for one node.
+
+        Returns the number of cores moved (now or pending). Raises
+        :class:`DlbError` when DROM is disabled — policies must not run
+        without it.
+        """
+        if not self.enabled:
+            raise DlbError("DROM is disabled for this run")
+        try:
+            arbiter = self.arbiters[node_id]
+        except KeyError:
+            raise DlbError(f"no arbiter for node {node_id}") from None
+        return arbiter.set_ownership(counts)
+
+    def apply_allocation(self, allocation: dict[int, dict[WorkerKey, int]]) -> int:
+        """Apply a multi-node allocation (policy output); returns cores moved."""
+        moved = 0
+        for node_id, counts in allocation.items():
+            moved += self.set_node_ownership(node_id, counts)
+        return moved
+
+    def ownership_snapshot(self) -> dict[int, dict[WorkerKey, int]]:
+        """Current owned-core counts per node (for traces and tests)."""
+        return {node_id: arbiter.ownership_counts()
+                for node_id, arbiter in self.arbiters.items()}
+
+    @property
+    def total_changes(self) -> int:
+        return sum(a.ownership_changes for a in self.arbiters.values())
+
+    @property
+    def total_cores_moved(self) -> int:
+        return sum(a.cores_moved for a in self.arbiters.values())

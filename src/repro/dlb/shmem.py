@@ -1,0 +1,274 @@
+"""Per-node DLB arbiter — the simulated "shared memory" coordination point.
+
+On a real system DLB processes coordinate through a shared-memory segment;
+here one :class:`NodeArbiter` per node plays that role. It owns the core
+state machine used by both modules:
+
+* **LeWI** (fine-grained, §5.3): a worker with no ready work *lends* its
+  idle cores; other workers *borrow* them; the owner *reclaims* at the
+  borrower's next task boundary;
+* **DROM** (coarse-grained, §5.4): ownership reassignment; busy cores
+  transfer at their current task's completion (malleability happens at task
+  boundaries in OmpSs-2/OpenMP).
+
+Workers register with a small duck-typed interface: ``key``,
+``has_ready()`` and ``start_next_on(core)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from ..cluster.node import Core, Node, WorkerKey
+from ..errors import DlbError
+
+__all__ = ["NodeArbiter", "WorkerPort"]
+
+
+class WorkerPort(Protocol):
+    """What the arbiter needs from a worker (implemented by nanos.Worker)."""
+
+    key: WorkerKey
+
+    def has_ready(self) -> bool:
+        """Whether the worker has a runnable task waiting for a core."""
+        ...
+
+    def start_next_on(self, core: Core) -> bool:
+        """Start the next ready task on *core*; False if nothing started."""
+        ...
+
+
+class NodeArbiter:
+    """Core arbitration for one node."""
+
+    def __init__(self, node: Node, lewi_enabled: bool = True,
+                 on_ownership_change: Optional[Callable[[int], None]] = None) -> None:
+        self.node = node
+        self.lewi_enabled = lewi_enabled
+        self.on_ownership_change = on_ownership_change
+        self.workers: dict[WorkerKey, WorkerPort] = {}
+        # LeWI statistics (used by tests and by the DLB facade objects)
+        self.lends = 0
+        self.borrows = 0
+        self.reclaims = 0
+        # DROM statistics
+        self.ownership_changes = 0
+        self.cores_moved = 0
+
+    # -- registration / initialisation ------------------------------------
+
+    def register_worker(self, worker: WorkerPort) -> None:
+        """Attach a worker process to this node's DLB shared state."""
+        if worker.key in self.workers:
+            raise DlbError(f"worker {worker.key!r} registered twice on node "
+                           f"{self.node.node_id}")
+        self.workers[worker.key] = worker
+
+    def initialize_ownership(self, counts: dict[WorkerKey, int]) -> None:
+        """Assign initial owners contiguously (t=0, nothing running)."""
+        self._check_counts(counts)
+        cursor = 0
+        for worker_key, count in counts.items():
+            for _ in range(count):
+                self.node.cores[cursor].set_owner(worker_key)
+                cursor += 1
+
+    def _check_counts(self, counts: dict[WorkerKey, int]) -> None:
+        for worker_key, count in counts.items():
+            if worker_key not in self.workers:
+                raise DlbError(f"unknown worker {worker_key!r} in ownership map")
+            if count < 1:
+                raise DlbError(
+                    f"worker {worker_key!r} must own >= 1 core (DLB minimum)")
+        total = sum(counts.values())
+        if total != self.node.num_cores:
+            raise DlbError(
+                f"ownership totals {total} != {self.node.num_cores} cores")
+        if set(counts) != set(self.workers):
+            raise DlbError("ownership map must cover every registered worker")
+
+    # -- ownership queries ---------------------------------------------------
+
+    def owned_count(self, worker_key: WorkerKey) -> int:
+        """Cores currently owned by *worker_key* on this node."""
+        return self.node.count_owned(worker_key)
+
+    def ownership_counts(self) -> dict[WorkerKey, int]:
+        """Current owned-core count per registered worker."""
+        counts = {key: 0 for key in self.workers}
+        for core in self.node.cores:
+            if core.owner is not None:
+                counts[core.owner] += 1
+        return counts
+
+    def effective_counts(self) -> dict[WorkerKey, int]:
+        """Ownership with pending DROM transfers counted at their target.
+
+        This is the view :meth:`set_ownership` validates against; callers
+        composing a new ownership map must start from it, or an in-flight
+        transfer makes a floor-owning worker look core-less.
+        """
+        counts = {key: 0 for key in self.workers}
+        for core in self.node.cores:
+            effective = core.pending_owner or core.owner
+            if effective is not None:
+                counts[effective] += 1
+        return counts
+
+    def lent_idle_count(self) -> int:
+        """Cores currently available to borrowers."""
+        return sum(1 for c in self.node.cores if c.lent and not c.busy)
+
+    def available_idle_count(self, worker_key: WorkerKey) -> int:
+        """Idle cores *worker_key* could start on right now: its own idle
+        cores plus — with LeWI — idle cores lent by others."""
+        count = 0
+        for core in self.node.cores:
+            if core.occupant is not None:
+                continue
+            if core.owner == worker_key:
+                count += 1
+            elif self.lewi_enabled and core.lent:
+                count += 1
+        return count
+
+    # -- LeWI: acquire / lend / release ---------------------------------------
+
+    def acquire_core(self, worker: WorkerPort) -> Optional[Core]:
+        """A core *worker* may start a task on right now, or None.
+
+        Preference order: an idle core it owns (taking back ones it lent),
+        then — with LeWI — an idle core another worker has lent.
+        """
+        for core in self.node.cores:
+            if core.occupant is None and core.owner == worker.key:
+                core.lent = False
+                return core
+        if self.lewi_enabled:
+            for core in self.node.cores:
+                if core.occupant is None and core.lent and core.owner != worker.key:
+                    self.borrows += 1
+                    return core
+        return None
+
+    def lend_idle_cores(self, worker_key: WorkerKey) -> int:
+        """LeWI lend: mark the worker's idle cores borrowable.
+
+        Called by a worker that has run out of ready tasks. No-op unless
+        LeWI is enabled. Returns the number of cores newly lent.
+        """
+        if not self.lewi_enabled:
+            return 0
+        lent = 0
+        for core in self.node.cores:
+            if core.owner == worker_key and core.occupant is None and not core.lent:
+                core.lent = True
+                lent += 1
+        self.lends += lent
+        return lent
+
+    def release_core(self, core: Core, worker_key: WorkerKey) -> None:
+        """A task just finished on *core*; decide who runs next.
+
+        Applies any pending DROM transfer first, then hands the core to (in
+        order): its owner if the owner has ready work (this is the LeWI
+        *reclaim* path when the releaser was a borrower), the releasing
+        worker, then any other worker with ready work (LeWI borrow). If
+        nobody can use it, the core goes idle — lent if LeWI is on and the
+        owner has nothing ready.
+        """
+        if core.busy:
+            raise DlbError("release_core on a busy core (stop the task first)")
+        moved = core.apply_pending_owner()
+        if moved:
+            self.cores_moved += 1
+        owner = self.workers.get(core.owner) if core.owner is not None else None
+        if owner is not None and owner.has_ready():
+            if core.owner != worker_key:
+                self.reclaims += 1
+            core.lent = False
+            if owner.start_next_on(core):
+                return
+        releaser = self.workers.get(worker_key)
+        if (releaser is not None and releaser.has_ready()
+                and (core.owner == worker_key or self.lewi_enabled)):
+            if core.owner != worker_key:
+                self.borrows += 1
+            if releaser.start_next_on(core):
+                return
+        if self.lewi_enabled:
+            for other in self._borrowers_by_priority(exclude=(core.owner, worker_key)):
+                if other.has_ready():
+                    self.borrows += 1
+                    if other.start_next_on(core):
+                        return
+        # Nobody can use it: idle. Lend it if its owner has nothing ready.
+        core.lent = self.lewi_enabled and (owner is None or not owner.has_ready())
+        if core.lent:
+            self.lends += 1
+
+    def _borrowers_by_priority(self, exclude: tuple) -> list[WorkerPort]:
+        """Other workers, busiest backlog first (deterministic tie-break)."""
+        candidates = [w for key, w in self.workers.items() if key not in exclude]
+        return sorted(candidates, key=lambda w: (-self._backlog(w), w.key))
+
+    @staticmethod
+    def _backlog(worker: WorkerPort) -> int:
+        return getattr(worker, "ready_count", lambda: 1 if worker.has_ready() else 0)()
+
+    # -- DROM: ownership reassignment -------------------------------------
+
+    def set_ownership(self, counts: dict[WorkerKey, int]) -> int:
+        """DROM reassignment towards *counts*.
+
+        Idle cores move immediately; busy cores get a pending transfer
+        applied at their current task's completion. Returns the number of
+        cores whose (current or pending) owner changed.
+        """
+        self._check_counts(counts)
+        current: dict[WorkerKey, list[Core]] = {key: [] for key in self.workers}
+        for core in self.node.cores:
+            effective = core.pending_owner or core.owner
+            if effective is None:
+                raise DlbError("set_ownership before initialize_ownership")
+            current[effective].append(core)
+        surplus: list[Core] = []
+        deficit: list[tuple[WorkerKey, int]] = []
+        for worker_key in self.workers:
+            have = current[worker_key]
+            want = counts[worker_key]
+            if len(have) > want:
+                # Donate idle cores first so transfers take effect now.
+                have_sorted = sorted(have, key=lambda c: (c.busy, c.index))
+                surplus.extend(have_sorted[want:])
+            elif len(have) < want:
+                deficit.append((worker_key, want - len(have)))
+        moved = 0
+        surplus.sort(key=lambda c: (c.busy, c.index))
+        it = iter(surplus)
+        for worker_key, needed in deficit:
+            for _ in range(needed):
+                core = next(it)
+                moved += 1
+                if core.busy:
+                    core.pending_owner = worker_key
+                else:
+                    core.set_owner(worker_key)
+        self.ownership_changes += 1
+        self.cores_moved += moved
+        if moved:
+            self._dispatch_idle_cores()
+            if self.on_ownership_change is not None:
+                self.on_ownership_change(self.node.node_id)
+        return moved
+
+    def _dispatch_idle_cores(self) -> None:
+        """After ownership moves, put newly idle-owned cores to work."""
+        for core in self.node.cores:
+            if core.occupant is not None:
+                continue
+            owner = self.workers.get(core.owner) if core.owner is not None else None
+            if owner is not None and owner.has_ready():
+                core.lent = False
+                owner.start_next_on(core)

@@ -1,0 +1,128 @@
+"""TALP — Tracking Application Live Performance (paper §3.3).
+
+TALP measures parallel efficiency by splitting each rank's time into
+*useful computation* and *MPI/synchronisation*. In the simulation the same
+split falls out of worker busy integrals versus wall time, per apprank.
+The report exposes the classic POP-style metrics:
+
+* **parallel efficiency** = useful time / (ranks × elapsed × cores)
+* **load balance** = average useful / maximum useful across appranks
+* **communication fraction** = 1 − parallel efficiency
+
+The data is available at runtime (``snapshot``), matching TALP's live API,
+and as an end-of-run report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DlbError
+
+__all__ = ["TalpModule", "TalpReport"]
+
+
+@dataclass(frozen=True)
+class TalpReport:
+    """End-of-run (or live) efficiency summary."""
+
+    elapsed: float
+    useful_by_apprank: dict[int, float]
+    cores_total: int
+    #: main-thread time blocked inside MPI calls, per apprank (from the
+    #: interception hooks in the simulated MPI layer)
+    mpi_by_apprank: dict[int, float] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.mpi_by_apprank is None:
+            object.__setattr__(self, "mpi_by_apprank", {})
+
+    @property
+    def mpi_total(self) -> float:
+        return sum(self.mpi_by_apprank.values())
+
+    @property
+    def communication_efficiency(self) -> float:
+        """Main-thread view: useful / (useful + MPI wait), POP-style."""
+        denom = self.useful_total + self.mpi_total
+        return self.useful_total / denom if denom > 0 else 1.0
+
+    @property
+    def useful_total(self) -> float:
+        return sum(self.useful_by_apprank.values())
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Fraction of core·seconds spent in useful computation."""
+        denom = self.elapsed * self.cores_total
+        return self.useful_total / denom if denom > 0 else 0.0
+
+    @property
+    def load_balance(self) -> float:
+        """POP load-balance metric: average / maximum useful time."""
+        if not self.useful_by_apprank:
+            return 1.0
+        peak = max(self.useful_by_apprank.values())
+        if peak == 0:
+            return 1.0
+        avg = self.useful_total / len(self.useful_by_apprank)
+        return avg / peak
+
+    @property
+    def communication_fraction(self) -> float:
+        return 1.0 - self.parallel_efficiency
+
+    def format(self) -> str:
+        """Human-readable report block (the end-of-run TALP output)."""
+        lines = ["TALP report",
+                 f"  elapsed              : {self.elapsed:.4f} s",
+                 f"  parallel efficiency  : {self.parallel_efficiency:.3f}",
+                 f"  load balance         : {self.load_balance:.3f}",
+                 f"  communication        : {self.communication_fraction:.3f}"]
+        if self.mpi_by_apprank:
+            lines.append(f"  comm. efficiency     : "
+                         f"{self.communication_efficiency:.3f}")
+        for apprank in sorted(self.useful_by_apprank):
+            line = (f"  useful[apprank {apprank}] : "
+                    f"{self.useful_by_apprank[apprank]:.4f} s")
+            if apprank in self.mpi_by_apprank:
+                line += f"  (mpi {self.mpi_by_apprank[apprank]:.4f} s)"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+class TalpModule:
+    """Accumulates useful-time integrals reported by workers."""
+
+    def __init__(self, cores_total: int) -> None:
+        if cores_total <= 0:
+            raise DlbError("TALP needs a positive core count")
+        self.cores_total = cores_total
+        self._useful: dict[int, float] = {}
+        self._mpi: dict[int, float] = {}
+        self._start_time = 0.0
+
+    def start(self, now: float) -> None:
+        """Reset the accounting window to start at *now*."""
+        self._start_time = now
+        self._useful.clear()
+        self._mpi.clear()
+
+    def add_useful(self, apprank: int, seconds: float) -> None:
+        """Credit *seconds* of task execution to *apprank*."""
+        if seconds < 0:
+            raise DlbError(f"negative useful time {seconds}")
+        self._useful[apprank] = self._useful.get(apprank, 0.0) + seconds
+
+    def add_mpi(self, apprank: int, seconds: float) -> None:
+        """Credit blocked-in-MPI main-thread time (the §3.3 interception)."""
+        if seconds < 0:
+            raise DlbError(f"negative MPI time {seconds}")
+        self._mpi[apprank] = self._mpi.get(apprank, 0.0) + seconds
+
+    def snapshot(self, now: float) -> TalpReport:
+        """Live report since :meth:`start` (TALP exposes this at runtime)."""
+        return TalpReport(elapsed=max(0.0, now - self._start_time),
+                          useful_by_apprank=dict(self._useful),
+                          cores_total=self.cores_total,
+                          mpi_by_apprank=dict(self._mpi))

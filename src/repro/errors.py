@@ -1,0 +1,73 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+Subsystems define narrower types below it; nothing here carries state
+beyond the message except where noted.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Invalid use of the discrete-event engine (e.g. scheduling in the past)."""
+
+
+class ProcessError(SimulationError):
+    """A simulated process misbehaved (yielded a non-awaitable, resumed dead)."""
+
+
+class ClusterConfigError(ReproError):
+    """Inconsistent hardware description (zero cores, bad frequency, ...)."""
+
+
+class MpiError(ReproError):
+    """Invalid simulated-MPI usage (bad rank, mismatched collective, ...)."""
+
+
+class CommunicatorError(MpiError):
+    """Operation on a rank outside the communicator or a freed communicator."""
+
+
+class GraphError(ReproError):
+    """Expander / bipartite graph construction or validation failure."""
+
+
+class InfeasibleGraphError(GraphError):
+    """The requested (appranks, nodes, degree) combination admits no biregular graph."""
+
+
+class RuntimeModelError(ReproError):
+    """Invalid use of the simulated Nanos6 runtime."""
+
+
+class TaskError(RuntimeModelError):
+    """Malformed task definition (negative duration, overlapping bad accesses...)."""
+
+
+class DependencyError(RuntimeModelError):
+    """Internal dependency-graph invariant violated."""
+
+
+class SchedulerError(RuntimeModelError):
+    """Scheduler invariant violated (e.g. offloading a non-offloadable task)."""
+
+
+class DlbError(ReproError):
+    """Invalid DLB interaction (double lend, reclaiming an unowned core, ...)."""
+
+
+class AllocationError(ReproError):
+    """Core-allocation policy produced or received an invalid allocation."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification (imbalance < 1, zero tasks, ...)."""
+
+
+class ExperimentError(ReproError):
+    """Experiment harness misconfiguration."""

@@ -1,0 +1,23 @@
+"""Per-figure experiment harnesses (see DESIGN.md's experiment index)."""
+
+from . import (fig05_policies, fig06_applications, fig07_local, fig08_sweep,
+               fig09_traces, fig10_slownode, fig11_convergence, headline)
+from .base import MEDIUM, PAPER, SMALL, ResultTable, RunResult, Scale, run_workload
+
+__all__ = [
+    "Scale",
+    "SMALL",
+    "MEDIUM",
+    "PAPER",
+    "RunResult",
+    "run_workload",
+    "ResultTable",
+    "fig05_policies",
+    "fig06_applications",
+    "fig07_local",
+    "fig08_sweep",
+    "fig09_traces",
+    "fig10_slownode",
+    "fig11_convergence",
+    "headline",
+]

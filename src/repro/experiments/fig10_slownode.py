@@ -1,0 +1,90 @@
+"""Figure 10: synthetic sweep with one emulated slow node (§7.5).
+
+One apprank per node; apprank 0 "runs on a slow node" emulated by tripling
+its task durations (the paper stresses it is *emulated by the task
+durations*, not a clocked-down node). The x-axis is the application
+imbalance: to the left the slow node has the *least* application work, to
+the right the *most*. Degree 2 keeps two nodes nearly flat across the
+range; on eight nodes degree 4 handles imbalance up to 4.0.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..apps.synthetic import SyntheticSpec, emulated_loads, make_synthetic_app
+from ..balance.optimal import perfect_iteration_time
+from ..cluster.machine import MARENOSTRUM4
+from ..cluster.topology import ClusterSpec
+from ..nanos.config import RuntimeConfig
+from .base import MEDIUM, ResultTable, Scale, run_workload
+
+__all__ = ["run", "DEFAULT_IMBALANCES"]
+
+DEFAULT_IMBALANCES = (1.0, 1.5, 2.0, 3.0, 4.0)
+
+
+def run(scale: Scale = MEDIUM,
+        node_counts: Sequence[int] = (2, 8),
+        imbalances: Sequence[float] = DEFAULT_IMBALANCES,
+        degrees: Sequence[int] = (1, 2, 3, 4),
+        slow_factor: float = 3.0,
+        policy: str = "global",
+        seed: int = 1234) -> ResultTable:
+    """Regenerate the Figure 10 series.
+
+    ``signed_imbalance`` in the output encodes the x-axis: negative values
+    are the "slow node has least work" side, positive the "most work" side
+    (1.0 appears once — both sides coincide there).
+    """
+    machine = scale.machine(MARENOSTRUM4)
+    table = ResultTable(
+        title=f"Figure 10: emulated slow node sweep "
+              f"(scale={scale.name}, slow_factor={slow_factor})",
+        columns=["nodes", "signed_imbalance", "degree", "steady_per_iter",
+                 "optimal", "vs_optimal_pct"])
+    for num_nodes in node_counts:
+        for imbalance_target in imbalances:
+            if imbalance_target > num_nodes:
+                continue
+            sides = ("most",) if imbalance_target == 1.0 else ("least", "most")
+            for side in sides:
+                spec = SyntheticSpec(
+                    num_appranks=num_nodes, imbalance=imbalance_target,
+                    cores_per_apprank=machine.cores_per_node,
+                    tasks_per_core=scale.tasks_per_core,
+                    iterations=scale.iterations, seed=seed,
+                    slow_rank=0, slow_factor=slow_factor, slow_has=side)
+                cluster = ClusterSpec.homogeneous(machine, num_nodes)
+                optimal = perfect_iteration_time(emulated_loads(spec), cluster)
+                signed = (imbalance_target if side == "most"
+                          else -imbalance_target)
+                for degree in degrees:
+                    if degree > num_nodes:
+                        continue
+                    if degree > 1 and not scale.feasible(degree, 1):
+                        continue
+                    if degree == 1:
+                        config = scale.tune(RuntimeConfig.dlb_single_node())
+                    else:
+                        config = scale.tune(
+                            RuntimeConfig.offloading(degree, policy))
+                    result = run_workload(
+                        machine, num_nodes, 1, config,
+                        lambda s=spec: make_synthetic_app(s))
+                    steady = result.steady_time_per_iteration
+                    table.add(nodes=num_nodes, signed_imbalance=signed,
+                              degree=degree, steady_per_iter=steady,
+                              optimal=optimal,
+                              vs_optimal_pct=100.0 * (steady / optimal - 1.0))
+    table.note("negative signed_imbalance = slow apprank has the least work "
+               "(left half of the paper's x-axis)")
+    return table
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().format())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

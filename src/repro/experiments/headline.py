@@ -1,0 +1,106 @@
+"""The paper's headline numbers (abstract / §7) in one table.
+
+* MicroPP on 32 nodes: 46–47% time reduction vs single-node DLB, within
+  ~7% of perfect balancing;
+* n-body on 16 nodes with one slow node: DLB −16%, offloading a further
+  −20% vs the same baseline;
+* synthetic on 8 nodes: within 10% of perfect balance up to imbalance 2.0.
+
+Absolute simulator times differ from MareNostrum times by construction;
+the claims checked here are the *relative* ones the paper makes.
+"""
+
+from __future__ import annotations
+
+from ..apps.micropp.workload import MicroppSpec, apprank_loads, make_micropp_app
+from ..apps.nbody.workload import NBodySpec, make_nbody_app
+from ..apps.synthetic import SyntheticSpec, make_synthetic_app
+from ..apps.synthetic import apprank_loads as synthetic_loads
+from ..balance.optimal import perfect_iteration_time
+from ..cluster.machine import MARENOSTRUM4, NORD3
+from ..cluster.topology import ClusterSpec
+from ..nanos.config import RuntimeConfig
+from .base import MEDIUM, ResultTable, Scale, reduction_vs, run_workload
+
+__all__ = ["run"]
+
+
+def run(scale: Scale = MEDIUM, seed: int = 7) -> ResultTable:
+    table = ResultTable(
+        title=f"Headline claims (scale={scale.name})",
+        columns=["claim", "paper", "measured"])
+
+    # -- MicroPP, 32 nodes, degree 4, global policy ------------------------
+    machine = scale.machine(MARENOSTRUM4)
+    num_nodes = 32
+    spec = MicroppSpec(num_appranks=num_nodes,
+                       cores_per_apprank=machine.cores_per_node,
+                       subdomains_per_core=scale.micropp_subdomains_per_core,
+                       iterations=scale.iterations, seed=seed)
+    dlb = run_workload(machine, num_nodes, 1,
+                       scale.tune(RuntimeConfig.dlb_single_node()),
+                       lambda: make_micropp_app(spec))
+    off = run_workload(machine, num_nodes, 1,
+                       scale.tune(RuntimeConfig.offloading(4, "global")),
+                       lambda: make_micropp_app(spec))
+    optimal = perfect_iteration_time(
+        apprank_loads(spec), ClusterSpec.homogeneous(machine, num_nodes))
+    table.add(claim="MicroPP 32 nodes: reduction vs DLB (deg 4, global)",
+              paper="46-47%",
+              measured=f"{reduction_vs(off.steady_time_per_iteration, dlb.steady_time_per_iteration):.0f}%")
+    table.add(claim="MicroPP 32 nodes: above perfect balance",
+              paper="~7%",
+              measured=f"{100 * (off.steady_time_per_iteration / optimal - 1):.0f}%")
+
+    # -- n-body, 16 nodes, 2 appranks/node, one slow node ------------------
+    nord = scale.machine(NORD3)
+    nodes = 16
+    per_node = 2
+    slow = {0: 1.8 / NORD3.base_freq_ghz}
+    nspec = NBodySpec(num_appranks=nodes * per_node,
+                      cores_per_apprank=nord.cores_per_node // per_node,
+                      bodies_per_apprank=64 * scale.tasks_per_core
+                      * (nord.cores_per_node // per_node) // 2,
+                      bodies_per_task=64, timesteps=scale.iterations)
+    baseline = run_workload(nord, nodes, per_node,
+                            scale.tune(RuntimeConfig.baseline()),
+                            lambda: make_nbody_app(nspec), slow_nodes=slow)
+    dlb_nb = run_workload(nord, nodes, per_node,
+                          scale.tune(RuntimeConfig.dlb_single_node()),
+                          lambda: make_nbody_app(nspec), slow_nodes=slow)
+    off_nb = run_workload(nord, nodes, per_node,
+                          scale.tune(RuntimeConfig.offloading(3, "global")),
+                          lambda: make_nbody_app(nspec), slow_nodes=slow)
+    base_t = baseline.steady_time_per_iteration
+    table.add(claim="n-body 16 nodes + slow node: DLB vs baseline",
+              paper="-16%",
+              measured=f"{-reduction_vs(dlb_nb.steady_time_per_iteration, base_t):.0f}%")
+    table.add(claim="n-body 16 nodes + slow node: degree-3 further reduction",
+              paper="-20%",
+              measured=f"{-(reduction_vs(off_nb.steady_time_per_iteration, base_t) - reduction_vs(dlb_nb.steady_time_per_iteration, base_t)):.0f}%")
+
+    # -- synthetic, 8 nodes, imbalance <= 2.0, degree 4 --------------------
+    worst_gap = 0.0
+    for imbalance_target in (1.0, 1.5, 2.0):
+        sspec = SyntheticSpec(num_appranks=8, imbalance=imbalance_target,
+                              cores_per_apprank=machine.cores_per_node,
+                              tasks_per_core=scale.tasks_per_core,
+                              iterations=scale.iterations)
+        result = run_workload(machine, 8, 1,
+                              scale.tune(RuntimeConfig.offloading(4, "global")),
+                              lambda s=sspec: make_synthetic_app(s))
+        opt = perfect_iteration_time(
+            synthetic_loads(sspec), ClusterSpec.homogeneous(machine, 8))
+        worst_gap = max(worst_gap,
+                        100 * (result.steady_time_per_iteration / opt - 1))
+    table.add(claim="synthetic 8 nodes, imbalance<=2.0: gap to optimal",
+              paper="<10%", measured=f"{worst_gap:.0f}%")
+    return table
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().format())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,172 @@
+"""Bipartite apprank↔node graphs (paper §5.2, Figure 4(d)).
+
+An edge between apprank *a* and node *n* means *a* may execute tasks on
+*n*: the edge to the apprank's **home node** (where its main runs) always
+exists, and every other edge corresponds to a **helper rank** placed on
+that node. The graph is *bipartite biregular*: every apprank has degree
+``offloading_degree`` and every node has degree
+``offloading_degree * appranks_per_node``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import GraphError
+
+__all__ = ["BipartiteGraph", "home_node_of", "appranks_per_node_of"]
+
+
+def appranks_per_node_of(num_appranks: int, num_nodes: int) -> int:
+    """Appranks hosted per node; the paper always uses an integer count."""
+    if num_appranks <= 0 or num_nodes <= 0:
+        raise GraphError("need positive apprank and node counts")
+    if num_appranks % num_nodes != 0:
+        raise GraphError(
+            f"{num_appranks} appranks do not divide over {num_nodes} nodes")
+    return num_appranks // num_nodes
+
+
+def home_node_of(apprank: int, num_appranks: int, num_nodes: int) -> int:
+    """Home node of an apprank under the paper's block placement.
+
+    Appranks are laid out in blocks: with 2 appranks/node, appranks 0,1 live
+    on node 0, appranks 2,3 on node 1, ... (Figure 4(a))."""
+    per_node = appranks_per_node_of(num_appranks, num_nodes)
+    if not 0 <= apprank < num_appranks:
+        raise GraphError(f"apprank {apprank} out of range")
+    return apprank // per_node
+
+
+@dataclass(frozen=True)
+class BipartiteGraph:
+    """Immutable, validated apprank↔node adjacency.
+
+    ``adjacency[a]`` is the sorted tuple of node ids apprank *a* may execute
+    on; it always contains ``home_node(a)``.
+    """
+
+    num_appranks: int
+    num_nodes: int
+    degree: int
+    adjacency: tuple[tuple[int, ...], ...] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        per_node = appranks_per_node_of(self.num_appranks, self.num_nodes)
+        if not 1 <= self.degree <= self.num_nodes:
+            raise GraphError(
+                f"offloading degree {self.degree} outside [1, {self.num_nodes}]")
+        if len(self.adjacency) != self.num_appranks:
+            raise GraphError("adjacency length != num_appranks")
+        node_degrees = [0] * self.num_nodes
+        for a, nodes in enumerate(self.adjacency):
+            if len(nodes) != self.degree:
+                raise GraphError(
+                    f"apprank {a} has degree {len(nodes)}, expected {self.degree}")
+            if len(set(nodes)) != len(nodes):
+                raise GraphError(f"apprank {a} has duplicate edges")
+            if tuple(sorted(nodes)) != tuple(nodes):
+                raise GraphError(f"apprank {a} adjacency not sorted")
+            home = home_node_of(a, self.num_appranks, self.num_nodes)
+            if home not in nodes:
+                raise GraphError(f"apprank {a} missing its home node {home}")
+            for n in nodes:
+                if not 0 <= n < self.num_nodes:
+                    raise GraphError(f"apprank {a}: node {n} out of range")
+                node_degrees[n] += 1
+        expected_node_degree = self.degree * per_node
+        for n, deg in enumerate(node_degrees):
+            if deg != expected_node_degree:
+                raise GraphError(
+                    f"node {n} has degree {deg}, expected {expected_node_degree} "
+                    "(graph is not biregular)")
+
+    # -- structure queries -------------------------------------------------
+
+    @property
+    def appranks_per_node(self) -> int:
+        return self.num_appranks // self.num_nodes
+
+    def home_node(self, apprank: int) -> int:
+        """Node where *apprank*'s main function runs."""
+        return home_node_of(apprank, self.num_appranks, self.num_nodes)
+
+    def nodes_of(self, apprank: int) -> tuple[int, ...]:
+        """All nodes apprank *a* may execute tasks on (home included)."""
+        return self.adjacency[apprank]
+
+    def helper_nodes_of(self, apprank: int) -> tuple[int, ...]:
+        """Nodes where apprank *a* has a helper rank (home excluded)."""
+        home = self.home_node(apprank)
+        return tuple(n for n in self.adjacency[apprank] if n != home)
+
+    def appranks_on(self, node: int) -> tuple[int, ...]:
+        """Appranks adjacent to *node* (their workers live there)."""
+        return tuple(a for a in range(self.num_appranks)
+                     if node in self.adjacency[a])
+
+    def home_appranks_of(self, node: int) -> tuple[int, ...]:
+        """Appranks whose main runs on *node*."""
+        per_node = self.appranks_per_node
+        return tuple(range(node * per_node, (node + 1) * per_node))
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Yield every (apprank, node) edge."""
+        for a, nodes in enumerate(self.adjacency):
+            for n in nodes:
+                yield a, n
+
+    def neighbourhood(self, appranks: set[int] | frozenset[int]) -> set[int]:
+        """``N(A)``: nodes adjacent to at least one apprank of *appranks*."""
+        out: set[int] = set()
+        for a in appranks:
+            out.update(self.adjacency[a])
+        return out
+
+    def num_helper_ranks(self) -> int:
+        """Total helper processes in the system (edges minus home edges)."""
+        return self.num_appranks * (self.degree - 1)
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_adjacency(cls, adjacency: list[list[int]], num_nodes: int
+                       ) -> "BipartiteGraph":
+        adj = tuple(tuple(sorted(nodes)) for nodes in adjacency)
+        degree = len(adj[0]) if adj else 0
+        return cls(num_appranks=len(adj), num_nodes=num_nodes,
+                   degree=degree, adjacency=adj)
+
+    @classmethod
+    def trivial(cls, num_appranks: int, num_nodes: int) -> "BipartiteGraph":
+        """Degree-1 graph: no offloading (the paper's baseline)."""
+        adjacency = tuple(
+            (home_node_of(a, num_appranks, num_nodes),)
+            for a in range(num_appranks))
+        return cls(num_appranks=num_appranks, num_nodes=num_nodes,
+                   degree=1, adjacency=adjacency)
+
+    @classmethod
+    def full(cls, num_appranks: int, num_nodes: int) -> "BipartiteGraph":
+        """Fully connected graph (Figure 4(b)): every apprank on every node."""
+        nodes = tuple(range(num_nodes))
+        return cls(num_appranks=num_appranks, num_nodes=num_nodes,
+                   degree=num_nodes,
+                   adjacency=tuple(nodes for _ in range(num_appranks)))
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used by the graph cache)."""
+        return {
+            "num_appranks": self.num_appranks,
+            "num_nodes": self.num_nodes,
+            "degree": self.degree,
+            "adjacency": [list(nodes) for nodes in self.adjacency],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BipartiteGraph":
+        return cls(num_appranks=data["num_appranks"],
+                   num_nodes=data["num_nodes"],
+                   degree=data["degree"],
+                   adjacency=tuple(tuple(n) for n in data["adjacency"]))

@@ -1,0 +1,167 @@
+"""Random bipartite biregular graph generation (paper §5.2).
+
+"It is well-known that a large randomly-chosen graph is an expander graph
+with high probability" — we generate the helper edges with a configuration
+model under three constraints:
+
+* every apprank gets exactly ``degree - 1`` helper edges (the home edge is
+  fixed by placement);
+* every node ends with total degree ``degree * appranks_per_node``;
+* no apprank connects twice to one node, and never to its home (that edge
+  already exists).
+
+The configuration model can produce collisions; a bounded swap-repair pass
+fixes them, and we re-draw on the rare unrepairable outcome.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError, InfeasibleGraphError
+from .bipartite import BipartiteGraph, appranks_per_node_of, home_node_of
+
+__all__ = ["random_biregular", "grouped_biregular", "check_feasible"]
+
+_MAX_DRAWS = 200
+_MAX_REPAIR_SWAPS = 10_000
+
+
+def check_feasible(num_appranks: int, num_nodes: int, degree: int) -> None:
+    """Raise :class:`InfeasibleGraphError` unless a biregular graph exists.
+
+    Feasibility needs ``degree <= num_nodes`` (an apprank cannot reach more
+    distinct nodes than exist) and an integer appranks-per-node count.
+    """
+    appranks_per_node_of(num_appranks, num_nodes)  # divisibility
+    if degree < 1:
+        raise InfeasibleGraphError(f"degree must be >= 1, got {degree}")
+    if degree > num_nodes:
+        raise InfeasibleGraphError(
+            f"degree {degree} exceeds node count {num_nodes}")
+
+
+def _helper_capacity(num_appranks: int, num_nodes: int, degree: int) -> int:
+    """Helper edges each node must absorb for biregularity."""
+    per_node = num_appranks // num_nodes
+    return (degree - 1) * per_node
+
+
+def random_biregular(num_appranks: int, num_nodes: int, degree: int,
+                     rng: np.random.Generator) -> BipartiteGraph:
+    """Draw a uniform-ish random biregular graph with home edges fixed.
+
+    Deterministic given *rng* state. Raises
+    :class:`InfeasibleGraphError` for impossible parameter combinations and
+    :class:`GraphError` if repeated draws keep failing (practically
+    unreachable for feasible parameters).
+    """
+    check_feasible(num_appranks, num_nodes, degree)
+    if degree == 1:
+        return BipartiteGraph.trivial(num_appranks, num_nodes)
+    if degree == num_nodes:
+        return BipartiteGraph.full(num_appranks, num_nodes)
+
+    need = degree - 1          # helper edges per apprank
+    cap = _helper_capacity(num_appranks, num_nodes, degree)
+    homes = [home_node_of(a, num_appranks, num_nodes) for a in range(num_appranks)]
+
+    for _ in range(_MAX_DRAWS):
+        assignment = _draw_configuration(num_appranks, num_nodes, need, cap,
+                                         homes, rng)
+        if assignment is None:
+            continue
+        adjacency = [sorted(set(nodes) | {homes[a]})
+                     for a, nodes in enumerate(assignment)]
+        return BipartiteGraph.from_adjacency(adjacency, num_nodes)
+    raise GraphError(
+        f"could not generate biregular graph A={num_appranks} N={num_nodes} "
+        f"d={degree} after {_MAX_DRAWS} draws")
+
+
+def grouped_biregular(num_appranks: int, num_nodes: int, degree: int,
+                      group_nodes: int,
+                      rng: np.random.Generator) -> BipartiteGraph:
+    """Biregular expander whose helper edges stay within contiguous node
+    groups of *group_nodes* — an independent expander per group.
+
+    This is the graph shape implied by §5.4.2's partitioned solving:
+    "larger graphs than 32 nodes should be partitioned and solved in
+    parts". When the allocation problem is solved per group, a graph whose
+    edges never cross group boundaries loses nothing to the partitioning;
+    each group is itself a random biregular expander.
+    """
+    check_feasible(num_appranks, num_nodes, degree)
+    if group_nodes < 1:
+        raise InfeasibleGraphError("group_nodes must be >= 1")
+    if num_nodes % group_nodes != 0 and group_nodes < num_nodes:
+        raise InfeasibleGraphError(
+            f"{num_nodes} nodes do not divide into groups of {group_nodes}")
+    if degree > min(group_nodes, num_nodes):
+        raise InfeasibleGraphError(
+            f"degree {degree} exceeds group size {group_nodes}")
+    per_node = num_appranks // num_nodes
+    adjacency: list[list[int]] = [[] for _ in range(num_appranks)]
+    for start in range(0, num_nodes, group_nodes):
+        size = min(group_nodes, num_nodes - start)
+        sub = random_biregular(size * per_node, size, degree, rng)
+        for sub_apprank in range(size * per_node):
+            apprank = start * per_node + sub_apprank
+            adjacency[apprank] = [start + n for n in sub.nodes_of(sub_apprank)]
+    return BipartiteGraph.from_adjacency(adjacency, num_nodes)
+
+
+def _draw_configuration(num_appranks: int, num_nodes: int, need: int, cap: int,
+                        homes: list[int], rng: np.random.Generator
+                        ) -> list[list[int]] | None:
+    """One configuration-model draw plus swap repair; None if unrepairable."""
+    # Stub lists: each apprank contributes `need` stubs, each node `cap` slots.
+    apprank_stubs = np.repeat(np.arange(num_appranks), need)
+    node_slots = np.repeat(np.arange(num_nodes), cap)
+    rng.shuffle(node_slots)
+    # assignment[a] = multiset of helper nodes for apprank a
+    assignment: list[list[int]] = [[] for _ in range(num_appranks)]
+    for a, n in zip(apprank_stubs, node_slots):
+        assignment[int(a)].append(int(n))
+    return _repair(assignment, homes, rng)
+
+
+def _conflicts(assignment: list[list[int]], homes: list[int]) -> list[tuple[int, int]]:
+    """(apprank, position) pairs whose edge is a duplicate or hits home."""
+    bad = []
+    for a, nodes in enumerate(assignment):
+        seen: set[int] = set()
+        for i, n in enumerate(nodes):
+            if n == homes[a] or n in seen:
+                bad.append((a, i))
+            else:
+                seen.add(n)
+    return bad
+
+
+def _repair(assignment: list[list[int]], homes: list[int],
+            rng: np.random.Generator) -> list[list[int]] | None:
+    """Swap conflicting edges with random other edges until clean.
+
+    Each swap preserves both apprank degrees and node degrees, so the
+    repaired graph is still biregular. Returns None if the swap budget runs
+    out (caller re-draws)."""
+    num_appranks = len(assignment)
+    for _ in range(_MAX_REPAIR_SWAPS):
+        bad = _conflicts(assignment, homes)
+        if not bad:
+            return assignment
+        a, i = bad[int(rng.integers(len(bad)))]
+        # Pick a random partner edge (b, j) and swap node endpoints.
+        b = int(rng.integers(num_appranks))
+        if not assignment[b]:
+            continue
+        j = int(rng.integers(len(assignment[b])))
+        na, nb = assignment[a][i], assignment[b][j]
+        # Only swap when it does not create the same class of conflict at b.
+        if nb == homes[a] or nb in assignment[a]:
+            continue
+        if na == homes[b] or na in assignment[b]:
+            continue
+        assignment[a][i], assignment[b][j] = nb, na
+    return None

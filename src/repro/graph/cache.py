@@ -1,0 +1,122 @@
+"""On-disk expander graph store.
+
+"Each graph is stored for future executions so that it is only created
+once" (paper §5.2). Graphs are keyed by (appranks, nodes, degree, seed) and
+stored as JSON under a cache directory; :func:`get_graph` is the one entry
+point the runtime uses — it loads, or generates + validates + stores.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..errors import GraphError
+from .biregular import random_biregular
+from .bipartite import BipartiteGraph
+from .expansion import is_good_expander
+from .search import search_best_graph
+
+__all__ = ["GraphCache", "get_graph", "default_cache_dir"]
+
+#: Node count at or below which the paper runs the extra expansion checks
+#: and a heuristic search ("For small graphs up to about 32 nodes...").
+SMALL_GRAPH_NODES = 32
+
+#: Bad random draws tolerated before falling back to the heuristic search.
+_MAX_REJECTED_DRAWS = 25
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_GRAPH_CACHE`` or a per-user cache directory."""
+    env = os.environ.get("REPRO_GRAPH_CACHE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-expander-graphs"
+
+
+class GraphCache:
+    """Directory-backed store of validated expander graphs."""
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+
+    def _path(self, num_appranks: int, num_nodes: int, degree: int,
+              seed: int) -> Path:
+        name = f"a{num_appranks}_n{num_nodes}_d{degree}_s{seed}.json"
+        return self.directory / name
+
+    def load(self, num_appranks: int, num_nodes: int, degree: int,
+             seed: int) -> Optional[BipartiteGraph]:
+        """Return the cached graph or None; corrupt entries are discarded."""
+        path = self._path(num_appranks, num_nodes, degree, seed)
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            graph = BipartiteGraph.from_dict(data)
+        except (json.JSONDecodeError, KeyError, GraphError, TypeError):
+            path.unlink(missing_ok=True)
+            return None
+        if (graph.num_appranks, graph.num_nodes, graph.degree) != (
+                num_appranks, num_nodes, degree):
+            path.unlink(missing_ok=True)
+            return None
+        return graph
+
+    def store(self, graph: BipartiteGraph, seed: int) -> Path:
+        """Persist *graph* under its (A, N, d, seed) key; returns the path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(graph.num_appranks, graph.num_nodes, graph.degree, seed)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(graph.to_dict()))
+        tmp.replace(path)  # atomic on POSIX
+        return path
+
+    def clear(self) -> int:
+        """Delete every cached graph; returns the number removed."""
+        if not self.directory.exists():
+            return 0
+        removed = 0
+        for path in self.directory.glob("a*_n*_d*_s*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+
+def generate_graph(num_appranks: int, num_nodes: int, degree: int,
+                   seed: int) -> BipartiteGraph:
+    """Generate a validated expander graph (no caching).
+
+    Pipeline per §5.2: random biregular draws, rejected by the expansion
+    checks for small graphs; heuristic search as the fallback when random
+    draws keep failing or the instance is small enough to afford it.
+    """
+    rng = np.random.default_rng(seed)
+    small = num_nodes <= SMALL_GRAPH_NODES
+    if small and num_nodes <= 8:
+        # Small enough that exhaustive-ish search is cheap and worthwhile.
+        return search_best_graph(num_appranks, num_nodes, degree, rng)
+    for _ in range(_MAX_REJECTED_DRAWS):
+        graph = random_biregular(num_appranks, num_nodes, degree, rng)
+        if not small or is_good_expander(graph):
+            return graph
+    return search_best_graph(num_appranks, num_nodes, degree, rng)
+
+
+def get_graph(num_appranks: int, num_nodes: int, degree: int, seed: int = 0,
+              cache: Optional[GraphCache] = None,
+              use_cache: bool = True) -> BipartiteGraph:
+    """Load-or-generate the expander graph for a run configuration."""
+    if not use_cache:
+        return generate_graph(num_appranks, num_nodes, degree, seed)
+    cache = cache or GraphCache()
+    graph = cache.load(num_appranks, num_nodes, degree, seed)
+    if graph is None:
+        graph = generate_graph(num_appranks, num_nodes, degree, seed)
+        cache.store(graph, seed)
+    return graph

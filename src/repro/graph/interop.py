@@ -1,0 +1,64 @@
+"""NetworkX interoperability for the expander graphs.
+
+Exports the bipartite apprank↔node graph to :mod:`networkx` for ad-hoc
+analysis/plotting, and provides cross-checked graph metrics (connectivity,
+diameter, algebraic connectivity) used by the tests to validate our own
+expansion measures against an independent implementation.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..errors import GraphError
+from .bipartite import BipartiteGraph
+
+__all__ = ["to_networkx", "is_connected", "diameter",
+           "algebraic_connectivity"]
+
+
+def to_networkx(graph: BipartiteGraph) -> "nx.Graph":
+    """The graph as a networkx bipartite graph.
+
+    Apprank vertices are ``("apprank", i)`` with ``bipartite=0``; node
+    vertices ``("node", j)`` with ``bipartite=1``. Home edges carry
+    ``home=True``.
+    """
+    out = nx.Graph()
+    for a in range(graph.num_appranks):
+        out.add_node(("apprank", a), bipartite=0)
+    for n in range(graph.num_nodes):
+        out.add_node(("node", n), bipartite=1)
+    for a, n in graph.edges():
+        out.add_edge(("apprank", a), ("node", n),
+                     home=(graph.home_node(a) == n))
+    return out
+
+
+def is_connected(graph: BipartiteGraph) -> bool:
+    """Whether every apprank can reach every node through shared helpers."""
+    return nx.is_connected(to_networkx(graph))
+
+
+def diameter(graph: BipartiteGraph) -> int:
+    """Longest shortest path in the bipartite graph (hops).
+
+    A good expander has logarithmic diameter; a degenerate spreading graph
+    (e.g. disconnected rings) has none. Raises :class:`GraphError` when
+    disconnected.
+    """
+    g = to_networkx(graph)
+    if not nx.is_connected(g):
+        raise GraphError("graph is disconnected: diameter undefined")
+    return int(nx.diameter(g))
+
+
+def algebraic_connectivity(graph: BipartiteGraph) -> float:
+    """Fiedler value of the bipartite graph's Laplacian.
+
+    An independent expansion measure: strictly positive iff connected, and
+    bounded by Cheeger-type inequalities against the isoperimetric number
+    our generator checks.
+    """
+    g = to_networkx(graph)
+    return float(nx.algebraic_connectivity(g, method="tracemin_lu"))

@@ -1,0 +1,82 @@
+"""Worker placement and initial core ownership (paper §5.1, §5.4).
+
+A **worker** is one (apprank, node) edge of the bipartite graph: the
+apprank's *main* worker on its home node, or a *helper rank* elsewhere.
+Initial DROM ownership follows §5.4: every helper rank starts with one core
+(the DLB minimum) and the remaining cores are divided equally among the
+appranks homed on the node — e.g. 48-core MareNostrum 4 nodes with two
+home appranks and two degree-3 helpers start as 22/22/1/1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GraphError
+from .bipartite import BipartiteGraph
+
+__all__ = ["WorkerKey", "Placement", "build_placement"]
+
+#: (apprank_id, node_id) — the identifier used throughout runtime/DLB code.
+WorkerKey = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Workers per node, with the initial ownership map."""
+
+    graph: BipartiteGraph
+    #: every worker in the system, home workers first, in deterministic order
+    workers: tuple[WorkerKey, ...]
+    #: node → workers living there (home appranks first)
+    workers_by_node: tuple[tuple[WorkerKey, ...], ...]
+    #: worker → initial number of owned cores
+    initial_cores: dict[WorkerKey, int]
+
+    def workers_of_apprank(self, apprank: int) -> tuple[WorkerKey, ...]:
+        """All workers of one apprank, home first, then helpers in node order."""
+        home = self.graph.home_node(apprank)
+        keys = [(apprank, home)]
+        keys += [(apprank, n) for n in self.graph.nodes_of(apprank) if n != home]
+        return tuple(keys)
+
+    def is_home(self, worker: WorkerKey) -> bool:
+        """Whether *worker* is an apprank's main (vs a helper rank)."""
+        apprank, node = worker
+        return self.graph.home_node(apprank) == node
+
+    @property
+    def num_helpers(self) -> int:
+        return sum(1 for w in self.workers if not self.is_home(w))
+
+
+def build_placement(graph: BipartiteGraph, cores_per_node: int) -> Placement:
+    """Compute workers and §5.4 initial ownership for *graph*.
+
+    Raises :class:`GraphError` when a node cannot give each of its workers
+    at least one core (offloading degree too high for the machine).
+    """
+    if cores_per_node <= 0:
+        raise GraphError(f"cores_per_node must be positive, got {cores_per_node}")
+    per_node_lists: list[tuple[WorkerKey, ...]] = []
+    initial: dict[WorkerKey, int] = {}
+    for node in range(graph.num_nodes):
+        homes = [(a, node) for a in graph.home_appranks_of(node)]
+        helpers = [(a, node) for a in graph.appranks_on(node)
+                   if graph.home_node(a) != node]
+        workers_here = homes + sorted(helpers)
+        if len(workers_here) > cores_per_node:
+            raise GraphError(
+                f"node {node} hosts {len(workers_here)} workers but has only "
+                f"{cores_per_node} cores; reduce the offloading degree")
+        remaining = cores_per_node - len(helpers)
+        base, extra = divmod(remaining, len(homes))
+        for i, worker in enumerate(homes):
+            initial[worker] = base + (1 if i < extra else 0)
+        for worker in helpers:
+            initial[worker] = 1
+        per_node_lists.append(tuple(workers_here))
+    all_workers = tuple(w for node_workers in per_node_lists for w in node_workers)
+    return Placement(graph=graph, workers=all_workers,
+                     workers_by_node=tuple(per_node_lists),
+                     initial_cores=initial)

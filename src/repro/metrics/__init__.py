@@ -1,0 +1,27 @@
+"""Measurement utilities: imbalance, step-function timelines, traces."""
+
+from .export import (resampled_matrix, trace_to_csv, trace_to_json,
+                     trace_to_records)
+from .paraver import export_paraver
+from .imbalance import (imbalance, node_imbalance_series, perfect_time,
+                        worst_time)
+from .report import GLYPHS, render_series, render_trace
+from .timeline import StepSeries
+from .trace import TraceRecorder
+
+__all__ = [
+    "imbalance",
+    "node_imbalance_series",
+    "perfect_time",
+    "worst_time",
+    "StepSeries",
+    "TraceRecorder",
+    "render_series",
+    "render_trace",
+    "GLYPHS",
+    "trace_to_records",
+    "trace_to_csv",
+    "trace_to_json",
+    "resampled_matrix",
+    "export_paraver",
+]

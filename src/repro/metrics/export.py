@@ -1,0 +1,90 @@
+"""Structured trace export.
+
+The paper's traces are Paraver timelines; this module dumps a
+:class:`~repro.metrics.trace.TraceRecorder` into portable formats for
+external plotting tools:
+
+* :func:`trace_to_records` — flat (metric, node, apprank, time, value)
+  change-point records;
+* :func:`trace_to_csv` — the same as CSV text;
+* :func:`trace_to_json` — a JSON document with per-series change points;
+* :func:`resampled_matrix` — a dense (series × time-grid) numpy matrix
+  plus labels, ready for ``matplotlib.pyplot.imshow``-style plotting.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from .trace import TraceRecorder
+
+__all__ = ["trace_to_records", "trace_to_csv", "trace_to_json",
+           "resampled_matrix"]
+
+
+def _series_keys(trace: TraceRecorder, metrics: Iterable[str]
+                 ) -> list[tuple[str, int, int]]:
+    keys = []
+    for metric in metrics:
+        for node in trace.nodes(metric):
+            for apprank in trace.appranks_on_node(metric, node):
+                keys.append((metric, node, apprank))
+    if not keys:
+        raise ReproError("trace holds none of the requested metrics")
+    return keys
+
+
+def trace_to_records(trace: TraceRecorder,
+                     metrics: Iterable[str] = ("busy", "owned")
+                     ) -> list[tuple[str, int, int, float, float]]:
+    """Flat change-point records sorted by (metric, node, apprank, time)."""
+    records = []
+    for metric, node, apprank in _series_keys(trace, metrics):
+        for t, value in trace.series(metric, node, apprank).change_points():
+            records.append((metric, node, apprank, t, value))
+    return records
+
+
+def trace_to_csv(trace: TraceRecorder,
+                 metrics: Iterable[str] = ("busy", "owned")) -> str:
+    """CSV text: ``metric,node,apprank,time,value`` per change point."""
+    lines = ["metric,node,apprank,time,value"]
+    for metric, node, apprank, t, value in trace_to_records(trace, metrics):
+        lines.append(f"{metric},{node},{apprank},{t},{value}")
+    return "\n".join(lines) + "\n"
+
+
+def trace_to_json(trace: TraceRecorder,
+                  metrics: Iterable[str] = ("busy", "owned")) -> str:
+    """JSON document: one entry per series with its change points."""
+    series = []
+    for metric, node, apprank in _series_keys(trace, metrics):
+        points = trace.series(metric, node, apprank).change_points()
+        series.append({
+            "metric": metric,
+            "node": node,
+            "apprank": apprank,
+            "times": [t for t, _v in points],
+            "values": [v for _t, v in points],
+        })
+    return json.dumps({"series": series}, indent=1)
+
+
+def resampled_matrix(trace: TraceRecorder, metric: str,
+                     times: Sequence[float]
+                     ) -> tuple[np.ndarray, list[str]]:
+    """Dense matrix of one metric: rows = (node, apprank), columns = times.
+
+    Returns ``(matrix, labels)`` where labels[i] names row i.
+    """
+    keys = _series_keys(trace, [metric])
+    matrix = np.empty((len(keys), len(times)))
+    labels = []
+    for i, (m, node, apprank) in enumerate(keys):
+        matrix[i] = trace.series(m, node, apprank).resample(times)
+        labels.append(f"node{node}/apprank{apprank}")
+    return matrix, labels

@@ -1,0 +1,73 @@
+"""Imbalance metrics (paper §6.1, Eq. 2).
+
+``imbalance = max(load) / mean(load) >= 1`` — dimensionless, 1.0 is
+perfect, and the value directly scales the critical path: an imbalance of
+2.0 means the critical path is roughly twice the perfectly balanced one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from .timeline import StepSeries
+
+__all__ = ["imbalance", "node_imbalance_series", "perfect_time", "worst_time"]
+
+
+def imbalance(loads: Iterable[float]) -> float:
+    """Eq. 2 over any per-entity load vector (appranks, nodes, ...)."""
+    arr = np.asarray(list(loads), dtype=float)
+    if arr.size == 0:
+        raise ReproError("imbalance of an empty load vector")
+    if np.any(arr < 0):
+        raise ReproError("negative loads")
+    mean = arr.mean()
+    if mean == 0:
+        return 1.0
+    return float(arr.max() / mean)
+
+
+def perfect_time(loads: Iterable[float], cores_per_entity: float = 1.0) -> float:
+    """Lower bound on time-to-solution with perfect balancing.
+
+    *loads* are per-entity work amounts (core·seconds); the bound is the
+    average load per core across the whole machine.
+    """
+    arr = np.asarray(list(loads), dtype=float)
+    if arr.size == 0 or cores_per_entity <= 0:
+        raise ReproError("invalid perfect_time inputs")
+    return float(arr.sum() / (arr.size * cores_per_entity))
+
+
+def worst_time(loads: Iterable[float], cores_per_entity: float = 1.0) -> float:
+    """Time-to-solution with no balancing: the most loaded entity's time."""
+    arr = np.asarray(list(loads), dtype=float)
+    if arr.size == 0 or cores_per_entity <= 0:
+        raise ReproError("invalid worst_time inputs")
+    return float(arr.max() / cores_per_entity)
+
+
+def node_imbalance_series(busy_by_node: Sequence[StepSeries],
+                          times: Sequence[float],
+                          window: float,
+                          min_avg_load: float = 0.0) -> np.ndarray:
+    """Figure 11's signal: (max node load) / (average node load) over time.
+
+    The "current load" is the trailing-window average of busy cores on each
+    node (§7.6 measures load as "the total average number of busy cores").
+    Samples where the cluster is (nearly) idle — average load at or below
+    *min_avg_load* cores — are returned as NaN: an idle machine is not
+    "balanced", there is simply nothing to measure.
+    """
+    if not busy_by_node:
+        raise ReproError("need at least one node series")
+    samples = np.vstack([s.windowed_mean(times, window) for s in busy_by_node])
+    peak = samples.max(axis=0)
+    avg = samples.mean(axis=0)
+    out = np.full(len(times), np.nan)
+    active = avg > max(min_avg_load, 1e-12)
+    out[active] = peak[active] / avg[active]
+    return out

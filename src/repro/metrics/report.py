@@ -1,0 +1,79 @@
+"""ASCII rendering of traces and result summaries.
+
+The paper's trace figures (5, 9) are timelines of busy/owned cores per
+(node, apprank). :func:`render_trace` draws the same picture in text:
+one row per (node, apprank) series, one column per time bucket, with the
+glyph scaled to the bucket's average value — enough to eyeball LeWI
+borrowing and DROM convergence in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from .timeline import StepSeries
+from .trace import TraceRecorder
+
+__all__ = ["render_series", "render_trace", "GLYPHS"]
+
+#: glyph ramp from idle to full
+GLYPHS = " .:-=+*#%@"
+
+
+def _row(series: StepSeries, start: float, end: float, width: int,
+         peak: float) -> str:
+    edges = np.linspace(start, end, width + 1)
+    cells = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        value = series.mean(lo, hi)
+        level = 0 if peak <= 0 else min(len(GLYPHS) - 1,
+                                        int(round(value / peak
+                                                  * (len(GLYPHS) - 1))))
+        cells.append(GLYPHS[level])
+    return "".join(cells)
+
+
+def render_series(series: StepSeries, start: float, end: float,
+                  width: int = 80, peak: Optional[float] = None,
+                  label: str = "") -> str:
+    """One labelled timeline row."""
+    if end <= start:
+        raise ReproError("empty render window")
+    if peak is None:
+        grid = np.linspace(start, end, max(width * 2, 16))
+        peak = float(series.resample(grid).max()) or 1.0
+    return f"{label:<18s}|{_row(series, start, end, width, peak)}|"
+
+
+def render_trace(trace: TraceRecorder, metric: str, start: float, end: float,
+                 width: int = 80, peak: Optional[float] = None,
+                 nodes: Optional[Sequence[int]] = None) -> str:
+    """Paper-style timeline block: one row per (node, apprank) series.
+
+    *peak* defaults to the max value across all rendered series so rows are
+    comparable (for 'busy'/'owned', pass the node core count).
+    """
+    node_list = list(nodes) if nodes is not None else trace.nodes(metric)
+    if not node_list:
+        raise ReproError(f"no '{metric}' series recorded")
+    rows: list[tuple[str, StepSeries]] = []
+    for node in node_list:
+        for apprank in trace.appranks_on_node(metric, node):
+            rows.append((f"node{node} apprank{apprank}",
+                         trace.series(metric, node, apprank)))
+    if peak is None:
+        grid = np.linspace(start, end, max(width * 2, 16))
+        peak = max(float(s.resample(grid).max()) for _l, s in rows) or 1.0
+    lines = [f"-- {metric} (t = {start:.3f} .. {end:.3f} s, "
+             f"peak = {peak:g}) --"]
+    previous_node = None
+    for label, series in rows:
+        node_tag = label.split()[0]
+        if previous_node is not None and node_tag != previous_node:
+            lines.append("")
+        previous_node = node_tag
+        lines.append(f"{label:<18s}|{_row(series, start, end, width, peak)}|")
+    return "\n".join(lines)

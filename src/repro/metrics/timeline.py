@@ -1,0 +1,124 @@
+"""Step-function time series.
+
+Traces in the paper (Figs 5, 9, 11) are piecewise-constant signals: number
+of busy cores, number of owned cores, imbalance over time.
+:class:`StepSeries` stores exact change points and supports the operations
+the figures need: value lookup, exact integration, resampling onto a grid,
+and windowed averaging.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["StepSeries"]
+
+
+class StepSeries:
+    """Right-continuous step function built from (time, value) change points."""
+
+    def __init__(self, initial_value: float = 0.0, start_time: float = 0.0) -> None:
+        self._times: list[float] = [start_time]
+        self._values: list[float] = [float(initial_value)]
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def current(self) -> float:
+        return self._values[-1]
+
+    @property
+    def last_time(self) -> float:
+        return self._times[-1]
+
+    def set(self, time: float, value: float) -> None:
+        """Record the signal changing to *value* at *time* (monotone times)."""
+        if time < self._times[-1]:
+            raise ReproError(
+                f"step series time went backwards: {time} < {self._times[-1]}")
+        if value == self._values[-1]:
+            return
+        if time == self._times[-1]:
+            self._values[-1] = float(value)
+            # Collapse if the previous point now carries the same value.
+            if len(self._values) >= 2 and self._values[-2] == self._values[-1]:
+                self._times.pop()
+                self._values.pop()
+            return
+        self._times.append(time)
+        self._values.append(float(value))
+
+    def add(self, time: float, delta: float) -> None:
+        """Record the signal changing by *delta* at *time*."""
+        self.set(time, self._values[-1] + delta)
+
+    def value_at(self, time: float) -> float:
+        """Value of the step function at *time* (initial value before start)."""
+        i = bisect_right(self._times, time) - 1
+        return self._values[max(i, 0)]
+
+    def integrate(self, start: float, end: float) -> float:
+        """Exact ∫ value dt over [start, end]."""
+        if end < start:
+            raise ReproError(f"inverted integration range [{start}, {end}]")
+        if end == start:
+            return 0.0
+        total = 0.0
+        cursor = start
+        i = max(bisect_right(self._times, start) - 1, 0)
+        while cursor < end:
+            next_change = self._times[i + 1] if i + 1 < len(self._times) else end
+            upper = min(next_change, end)
+            if upper > cursor:
+                total += self._values[i] * (upper - cursor)
+                cursor = upper
+            i += 1
+            if i >= len(self._times):
+                if cursor < end:
+                    total += self._values[-1] * (end - cursor)
+                break
+        return total
+
+    def mean(self, start: float, end: float) -> float:
+        """Time-average of the signal over [start, end]."""
+        if end <= start:
+            return self.value_at(start)
+        return self.integrate(start, end) / (end - start)
+
+    def resample(self, times: Sequence[float]) -> np.ndarray:
+        """Values at each requested time (vectorised lookup)."""
+        times_arr = np.asarray(times, dtype=float)
+        idx = np.searchsorted(self._times, times_arr, side="right") - 1
+        idx = np.clip(idx, 0, len(self._values) - 1)
+        return np.asarray(self._values, dtype=float)[idx]
+
+    def windowed_mean(self, times: Sequence[float], window: float) -> np.ndarray:
+        """Trailing-window average at each requested time."""
+        if window <= 0:
+            raise ReproError(f"window must be positive, got {window}")
+        return np.array([self.integrate(max(t - window, self._times[0]), t)
+                         / min(window, max(t - self._times[0], 1e-12))
+                         for t in times])
+
+    def change_points(self) -> list[tuple[float, float]]:
+        """The exact (time, value) change points, in order."""
+        return list(zip(self._times, self._values))
+
+    @classmethod
+    def sum_of(cls, series: Iterable["StepSeries"]) -> "StepSeries":
+        """Pointwise sum of several step series (exact, at merged points)."""
+        series = list(series)
+        if not series:
+            raise ReproError("sum_of needs at least one series")
+        times = sorted({t for s in series for t, _v in s.change_points()})
+        out = cls(initial_value=sum(s.value_at(times[0]) for s in series),
+                  start_time=times[0])
+        for t in times[1:]:
+            out.set(t, sum(s.value_at(t) for s in series))
+        return out

@@ -1,0 +1,17 @@
+"""Simulated MPI: ranks, communicators, point-to-point and collectives."""
+
+from .comm import COLL_TAG_BASE, Communicator, RankComm, Request
+from .message import ANY_SOURCE, ANY_TAG, Envelope, payload_nbytes
+from .world import MpiWorld
+
+__all__ = [
+    "MpiWorld",
+    "Communicator",
+    "RankComm",
+    "Request",
+    "Envelope",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "COLL_TAG_BASE",
+    "payload_nbytes",
+]

@@ -1,0 +1,321 @@
+"""Collective algorithms over the simulated point-to-point layer.
+
+Each collective is a generator usable with ``yield from`` from a rank's
+main process. The implementations are the textbook algorithms (binomial
+trees, dissemination barrier, ring allgather, pairwise alltoall), so the
+simulated costs scale with log/linear factors the way real MPI libraries
+do — the experiments in the paper hinge on synchronisation cost shapes.
+
+Tag discipline: every collective call consumes one sequence number from the
+calling :class:`~repro.mpisim.comm.RankComm`; per the MPI standard all ranks
+issue collectives on a communicator in the same order, so the sequence
+numbers agree across ranks. Tags are ``COLL_TAG_BASE + seq*ROUND_SPACE +
+round``, keeping concurrent collectives and their internal rounds disjoint.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
+
+from ..errors import MpiError
+from .comm import COLL_TAG_BASE, RankComm
+
+__all__ = ["barrier", "bcast", "reduce", "allreduce", "gather", "allgather",
+           "scatter", "alltoall", "scan", "exscan", "reduce_scatter",
+           "resolve_op"]
+
+#: Max internal rounds per collective (two phases of up to 512 steps).
+ROUND_SPACE = 1024
+
+_NAMED_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "max": np.maximum,
+    "min": np.minimum,
+}
+
+
+def resolve_op(op: Any) -> Callable[[Any, Any], Any]:
+    """Turn an op name or callable into a binary reduction function."""
+    if callable(op):
+        return op
+    try:
+        return _NAMED_OPS[op]
+    except (KeyError, TypeError):
+        raise MpiError(f"unknown reduction op {op!r}; "
+                       f"expected callable or one of {sorted(_NAMED_OPS)}") from None
+
+
+def _tag(seq: int, round_no: int) -> int:
+    if round_no >= ROUND_SPACE:
+        raise MpiError(f"collective exceeded {ROUND_SPACE} internal rounds")
+    return COLL_TAG_BASE + seq * ROUND_SPACE + round_no
+
+
+def barrier(rc: RankComm) -> Generator[Any, Any, None]:
+    """Dissemination barrier: ceil(log2(size)) rounds of shifted exchanges."""
+    seq = rc._next_coll_seq()
+    size = rc.size
+    if size == 1:
+        return None
+    distance = 1
+    round_no = 0
+    while distance < size:
+        dst = (rc.rank + distance) % size
+        src = (rc.rank - distance) % size
+        sreq = rc._isend(None, dst, _tag(seq, round_no), nbytes=1)
+        rreq = rc.irecv(src, _tag(seq, round_no))
+        yield rreq.signal
+        yield sreq.signal
+        distance *= 2
+        round_no += 1
+    return None
+
+
+def _bcast_binomial(rc: RankComm, payload: Any, root: int, seq: int,
+                    round_offset: int) -> Generator[Any, Any, Any]:
+    """Binomial-tree broadcast; returns the payload on every rank."""
+    size = rc.size
+    if size == 1:
+        return payload
+    relative = (rc.rank - root) % size
+    # Receive phase: the lowest set bit of `relative` names our parent.
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            src = ((relative - mask) + root) % size
+            payload = yield from rc._recv_gen(src, _tag(seq, round_offset))
+            break
+        mask *= 2
+    # Send phase: forward to children at every bit below where we received
+    # (for the root, below the highest power of two < size).
+    mask //= 2
+    sends = []
+    while mask >= 1:
+        if relative + mask < size:
+            dst = ((relative + mask) + root) % size
+            sends.append(rc._isend(payload, dst, _tag(seq, round_offset)))
+        mask //= 2
+    for req in sends:
+        yield req.signal
+    return payload
+
+
+def bcast(rc: RankComm, payload: Any, root: int = 0) -> Generator[Any, Any, Any]:
+    """Broadcast *payload* from *root*; every rank returns the value."""
+    seq = rc._next_coll_seq()
+    value = yield from _bcast_binomial(rc, payload, root, seq, 0)
+    return value
+
+
+def _reduce_binomial(rc: RankComm, payload: Any, op: Callable[[Any, Any], Any],
+                     root: int, seq: int, round_offset: int
+                     ) -> Generator[Any, Any, Any]:
+    """Binomial-tree reduction; only *root* returns the combined value."""
+    size = rc.size
+    relative = (rc.rank - root) % size
+    value = payload
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            dst = ((relative & ~mask) + root) % size
+            req = rc._isend(value, dst, _tag(seq, round_offset))
+            yield req.signal
+            return None
+        partner = relative | mask
+        if partner < size:
+            src = (partner + root) % size
+            other = yield from rc._recv_gen(src, _tag(seq, round_offset))
+            value = op(value, other)
+        mask *= 2
+    return value if relative == 0 else None
+
+
+def reduce(rc: RankComm, payload: Any, op: Any = "sum", root: int = 0
+           ) -> Generator[Any, Any, Any]:
+    """Reduce to *root* (others return ``None``)."""
+    seq = rc._next_coll_seq()
+    fn = resolve_op(op)
+    value = yield from _reduce_binomial(rc, payload, fn, root, seq, 0)
+    return value
+
+
+def allreduce(rc: RankComm, payload: Any, op: Any = "sum"
+              ) -> Generator[Any, Any, Any]:
+    """Reduce-then-broadcast allreduce; every rank returns the result.
+
+    Reduce+bcast costs 2·log2(P) rounds — the same asymptotics as recursive
+    doubling while staying correct for non-power-of-two sizes.
+    """
+    seq = rc._next_coll_seq()
+    fn = resolve_op(op)
+    value = yield from _reduce_binomial(rc, payload, fn, 0, seq, 0)
+    value = yield from _bcast_binomial(rc, value, 0, seq, 512)
+    return value
+
+
+def gather(rc: RankComm, payload: Any, root: int = 0
+           ) -> Generator[Any, Any, Optional[list[Any]]]:
+    """Linear gather to *root*; root returns the list indexed by rank."""
+    seq = rc._next_coll_seq()
+    if rc.rank != root:
+        req = rc._isend(payload, root, _tag(seq, 0))
+        yield req.signal
+        return None
+    values: list[Any] = [None] * rc.size
+    values[root] = payload
+    requests = [(src, rc.irecv(src, _tag(seq, 0)))
+                for src in range(rc.size) if src != root]
+    for src, req in requests:
+        values[src] = yield req.signal
+    return values
+
+
+def allgather(rc: RankComm, payload: Any) -> Generator[Any, Any, list[Any]]:
+    """Ring allgather: size-1 rounds, each forwarding the newest block."""
+    seq = rc._next_coll_seq()
+    size = rc.size
+    values: list[Any] = [None] * size
+    values[rc.rank] = payload
+    right = (rc.rank + 1) % size
+    left = (rc.rank - 1) % size
+    carried_index = rc.rank
+    for round_no in range(size - 1):
+        sreq = rc._isend((carried_index, values[carried_index]), right,
+                         _tag(seq, round_no))
+        rreq = rc.irecv(left, _tag(seq, round_no))
+        idx, val = yield rreq.signal
+        yield sreq.signal
+        values[idx] = val
+        carried_index = idx
+    return values
+
+
+def scatter(rc: RankComm, payloads: Optional[list[Any]], root: int = 0
+            ) -> Generator[Any, Any, Any]:
+    """Linear scatter from *root*; each rank returns its element."""
+    seq = rc._next_coll_seq()
+    if rc.rank == root:
+        if payloads is None or len(payloads) != rc.size:
+            raise MpiError("scatter root must supply exactly size payloads")
+        requests = [rc._isend(payloads[dst], dst, _tag(seq, 0))
+                    for dst in range(rc.size) if dst != root]
+        for req in requests:
+            yield req.signal
+        return payloads[root]
+    value = yield from rc._recv_gen(root, _tag(seq, 0))
+    return value
+
+
+def alltoall(rc: RankComm, payloads: list[Any]) -> Generator[Any, Any, list[Any]]:
+    """Pairwise-shift alltoall: size-1 simultaneous exchanges."""
+    seq = rc._next_coll_seq()
+    size = rc.size
+    if len(payloads) != size:
+        raise MpiError("alltoall needs exactly size payloads")
+    values: list[Any] = [None] * size
+    values[rc.rank] = payloads[rc.rank]
+    for shift in range(1, size):
+        dst = (rc.rank + shift) % size
+        src = (rc.rank - shift) % size
+        sreq = rc._isend(payloads[dst], dst, _tag(seq, shift - 1))
+        rreq = rc.irecv(src, _tag(seq, shift - 1))
+        values[src] = yield rreq.signal
+        yield sreq.signal
+    return values
+
+
+def scan(rc: RankComm, payload: Any, op: Any = "sum"
+         ) -> Generator[Any, Any, Any]:
+    """Inclusive prefix reduction (Hillis–Steele): rank i returns
+    op(x_0, ..., x_i) in ceil(log2(size)) rounds."""
+    seq = rc._next_coll_seq()
+    fn = resolve_op(op)
+    value = payload
+    distance = 1
+    round_no = 0
+    while distance < rc.size:
+        requests = []
+        if rc.rank + distance < rc.size:
+            requests.append(rc._isend(value, rc.rank + distance,
+                                      _tag(seq, round_no)))
+        if rc.rank - distance >= 0:
+            partial = yield from rc._recv_gen(rc.rank - distance,
+                                              _tag(seq, round_no))
+            # the earlier ranks' partial combines on the left
+            value = fn(partial, value)
+        for req in requests:
+            yield req.signal
+        distance *= 2
+        round_no += 1
+    return value
+
+
+def exscan(rc: RankComm, payload: Any, op: Any = "sum"
+           ) -> Generator[Any, Any, Any]:
+    """Exclusive prefix reduction: rank i returns op(x_0, ..., x_{i-1});
+    rank 0 returns None (MPI's undefined buffer)."""
+    seq = rc._next_coll_seq()
+    fn = resolve_op(op)
+    # shift inputs right by one, then run the inclusive algorithm on the
+    # shifted values (rank 0 contributes an identity placeholder).
+    requests = []
+    if rc.rank + 1 < rc.size:
+        requests.append(rc._isend(payload, rc.rank + 1, _tag(seq, 512)))
+    shifted = None
+    if rc.rank > 0:
+        shifted = yield from rc._recv_gen(rc.rank - 1, _tag(seq, 512))
+    for req in requests:
+        yield req.signal
+    if rc.rank == 0:
+        # still participate in the remaining rounds as a no-op sender
+        value = None
+    else:
+        value = shifted
+    distance = 1
+    round_no = 0
+    while distance < rc.size:
+        requests = []
+        if rc.rank + distance < rc.size:
+            requests.append(rc._isend(value, rc.rank + distance,
+                                      _tag(seq, round_no)))
+        if rc.rank - distance >= 0:
+            partial = yield from rc._recv_gen(rc.rank - distance,
+                                              _tag(seq, round_no))
+            if value is None:
+                value = partial
+            elif partial is not None:
+                value = fn(partial, value)
+        for req in requests:
+            yield req.signal
+        distance *= 2
+        round_no += 1
+    return value
+
+
+def reduce_scatter(rc: RankComm, payloads: list[Any], op: Any = "sum"
+                   ) -> Generator[Any, Any, Any]:
+    """Reduce element-wise across ranks, scattering element i to rank i.
+
+    Implemented as pairwise exchange + local reduction (the classic
+    non-power-of-two-safe algorithm): every rank sends payloads[j] to rank
+    j and combines what it receives for its own slot.
+    """
+    seq = rc._next_coll_seq()
+    if len(payloads) != rc.size:
+        raise MpiError("reduce_scatter needs exactly size payloads")
+    fn = resolve_op(op)
+    value = payloads[rc.rank]
+    requests = []
+    for shift in range(1, rc.size):
+        dst = (rc.rank + shift) % rc.size
+        requests.append(rc._isend(payloads[dst], dst, _tag(seq, shift - 1)))
+    for shift in range(1, rc.size):
+        src = (rc.rank - shift) % rc.size
+        other = yield from rc._recv_gen(src, _tag(seq, shift - 1))
+        value = fn(value, other)
+    for req in requests:
+        yield req.signal
+    return value

@@ -1,0 +1,385 @@
+"""Point-to-point simulated MPI: requests, endpoints, communicators.
+
+The shape of the API mirrors mpi4py's lowercase object interface: blocking
+calls are generator methods used with ``yield from`` inside a rank's main
+process, and ``isend``/``irecv`` return :class:`Request` handles that are
+awaitable.
+
+Timing model (driven by :class:`repro.cluster.network.NetworkModel`):
+
+* eager messages — the sender's request completes after the injection
+  overhead; the payload arrives one transfer-time later and waits in the
+  unexpected queue if no receive is posted;
+* rendezvous messages — the envelope (RTS) arrives after one latency; the
+  payload only moves once a matching receive exists, costing the CTS round
+  trip plus the payload transfer, and the *sender* completes at the same
+  moment the receiver does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import CommunicatorError, MpiError
+from ..sim.engine import Simulator
+from ..sim.primitives import Signal
+from .message import ANY_SOURCE, ANY_TAG, Envelope, matches, payload_nbytes
+
+__all__ = ["Request", "Communicator", "RankComm", "COLL_TAG_BASE"]
+
+#: First tag reserved for collective algorithms; user tags must stay below.
+COLL_TAG_BASE = 1 << 20
+
+
+class Request:
+    """Handle for a nonblocking operation. Awaitable (yields the recv payload)."""
+
+    __slots__ = ("signal", "kind")
+
+    def __init__(self, sim: Simulator, kind: str) -> None:
+        self.signal = Signal(sim, name=f"mpi-{kind}")
+        self.kind = kind
+
+    @property
+    def done(self) -> bool:
+        return self.signal.fired
+
+    def test(self) -> tuple[bool, Any]:
+        """Nonblocking completion check: ``(done, payload_or_None)``."""
+        if self.signal.fired:
+            return True, self.signal.value
+        return False, None
+
+    def _complete(self, value: Any = None) -> None:
+        self.signal.fire(value)
+
+    def _subscribe(self, sim: Simulator, resume: Callable[[Any], None]) -> None:
+        self.signal.wait(resume)
+
+    def wait(self) -> Generator[Any, Any, Any]:
+        """Blocking wait as a sub-generator: ``payload = yield from req.wait()``."""
+        value = yield self.signal
+        return value
+
+
+class _PostedRecv:
+    """A receive waiting for a matching message."""
+
+    __slots__ = ("source", "tag", "comm_id", "request", "post_time")
+
+    def __init__(self, source: int, tag: int, comm_id: int, request: Request,
+                 post_time: float) -> None:
+        self.source = source
+        self.tag = tag
+        self.comm_id = comm_id
+        self.request = request
+        self.post_time = post_time
+
+
+class _PendingSend:
+    """Sender-side state for a rendezvous message awaiting its match."""
+
+    __slots__ = ("envelope", "request")
+
+    def __init__(self, envelope: Envelope, request: Request) -> None:
+        self.envelope = envelope
+        self.request = request
+
+
+class Endpoint:
+    """Per-world-rank matching state (unexpected queue + posted receives)."""
+
+    __slots__ = ("world_rank", "unexpected", "posted")
+
+    def __init__(self, world_rank: int) -> None:
+        self.world_rank = world_rank
+        #: arrived-but-unmatched envelopes, in arrival order; rendezvous
+        #: envelopes carry their _PendingSend alongside
+        self.unexpected: list[tuple[Envelope, Optional[_PendingSend]]] = []
+        self.posted: list[_PostedRecv] = []
+
+    def match_arrival(self, env: Envelope) -> Optional[_PostedRecv]:
+        """Match an arriving envelope against posted receives (oldest first)."""
+        for i, recv in enumerate(self.posted):
+            if matches(env, recv.source, recv.tag, recv.comm_id):
+                del self.posted[i]
+                return recv
+        return None
+
+    def match_recv(self, source: int, tag: int, comm_id: int
+                   ) -> Optional[tuple[Envelope, Optional[_PendingSend]]]:
+        """Match a newly posted receive against the unexpected queue."""
+        for i, (env, pending) in enumerate(self.unexpected):
+            if matches(env, source, tag, comm_id):
+                del self.unexpected[i]
+                return env, pending
+        return None
+
+    def probe(self, source: int, tag: int, comm_id: int) -> Optional[Envelope]:
+        """Oldest matching unexpected envelope, without removing it."""
+        for env, _pending in self.unexpected:
+            if matches(env, source, tag, comm_id):
+                return env
+        return None
+
+
+class Communicator:
+    """A group of world ranks with private message-matching space.
+
+    Ranks inside the communicator are numbered ``0..size-1`` in the order of
+    ``world_ranks``. Per-rank handles come from :meth:`view`.
+    """
+
+    def __init__(self, world: "MpiWorld", comm_id: int, world_ranks: list[int],
+                 name: str = "") -> None:
+        if len(set(world_ranks)) != len(world_ranks):
+            raise CommunicatorError("duplicate world ranks in communicator")
+        self.world = world
+        self.comm_id = comm_id
+        self.world_ranks = list(world_ranks)
+        self.name = name or f"comm{comm_id}"
+        self._rank_of_world = {wr: r for r, wr in enumerate(self.world_ranks)}
+
+    @property
+    def size(self) -> int:
+        return len(self.world_ranks)
+
+    def world_rank(self, rank: int) -> int:
+        """World rank behind a communicator rank (range-checked)."""
+        if not 0 <= rank < self.size:
+            raise CommunicatorError(
+                f"rank {rank} out of range for {self.name} (size {self.size})")
+        return self.world_ranks[rank]
+
+    def rank_from_world(self, world_rank: int) -> int:
+        """Communicator rank of a world rank (error if absent)."""
+        try:
+            return self._rank_of_world[world_rank]
+        except KeyError:
+            raise CommunicatorError(
+                f"world rank {world_rank} not in {self.name}") from None
+
+    def view(self, rank: int) -> "RankComm":
+        """Per-rank handle used by that rank's main process."""
+        self.world_rank(rank)  # range check
+        return RankComm(self, rank)
+
+
+class RankComm:
+    """A communicator as seen by one rank (mirrors mpi4py's ``comm`` object).
+
+    Blocking operations are sub-generators (``yield from comm.recv(...)``);
+    nonblocking operations return awaitable :class:`Request` objects.
+    Collective methods live here too (implemented in
+    :mod:`repro.mpisim.collectives`); per the MPI standard every rank must
+    call them in the same order.
+    """
+
+    def __init__(self, comm: Communicator, rank: int) -> None:
+        self.comm = comm
+        self.rank = rank
+        self._coll_seq = 0
+        self._in_mpi = False
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    @property
+    def sim(self) -> Simulator:
+        return self.comm.world.sim
+
+    # -- point to point -------------------------------------------------
+
+    def isend(self, payload: Any, dest: int, tag: int = 0,
+              nbytes: Optional[int] = None) -> Request:
+        """Nonblocking send; *nbytes* overrides the wire-size estimate."""
+        if not 0 <= tag < COLL_TAG_BASE:
+            raise MpiError(f"user tags must be in [0, {COLL_TAG_BASE}), got {tag}")
+        return self._isend(payload, dest, tag, nbytes)
+
+    def _isend(self, payload: Any, dest: int, tag: int,
+               nbytes: Optional[int] = None) -> Request:
+        world = self.comm.world
+        src_w = self.comm.world_rank(self.rank)
+        dst_w = self.comm.world_rank(dest)
+        size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        env = Envelope(src=src_w, dst=dst_w, tag=tag, comm_id=self.comm.comm_id,
+                       payload=payload, nbytes=size, seq=world._next_msg_seq())
+        return world._post_send(env)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive; awaiting the request yields the payload."""
+        world = self.comm.world
+        src_w = (ANY_SOURCE if source == ANY_SOURCE
+                 else self.comm.world_rank(source))
+        dst_w = self.comm.world_rank(self.rank)
+        return world._post_recv(dst_w, src_w, tag, self.comm.comm_id)
+
+    def _mpi_timed(self, gen: Generator[Any, Any, Any]
+                   ) -> Generator[Any, Any, Any]:
+        """TALP interception (§3.3): time spent blocked in an MPI call."""
+        hook = self.comm.world.talp_hook
+        if hook is None or self._in_mpi:
+            value = yield from gen
+            return value
+        self._in_mpi = True
+        start = self.sim.now
+        try:
+            value = yield from gen
+        finally:
+            self._in_mpi = False
+        hook(self.comm.world_rank(self.rank), self.sim.now - start)
+        return value
+
+    def send(self, payload: Any, dest: int, tag: int = 0,
+             nbytes: Optional[int] = None) -> Generator[Any, Any, None]:
+        """Blocking send (``yield from comm.send(...)``)."""
+        return self._mpi_timed(self._send_gen(payload, dest, tag, nbytes))
+
+    def _send_gen(self, payload, dest, tag, nbytes):
+        req = self.isend(payload, dest, tag, nbytes)
+        yield req.signal
+        return None
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+             ) -> Generator[Any, Any, Any]:
+        """Blocking receive; returns the matched payload."""
+        return self._mpi_timed(self._recv_gen(source, tag))
+
+    def _recv_gen(self, source, tag):
+        req = self.irecv(source, tag)
+        value = yield req.signal
+        return value
+
+    def sendrecv(self, payload: Any, dest: int, source: int,
+                 send_tag: int = 0, recv_tag: int = ANY_TAG
+                 ) -> Generator[Any, Any, Any]:
+        """Simultaneous send+recv (deadlock-free pairwise exchange)."""
+        return self._mpi_timed(self._sendrecv_gen(payload, dest, source,
+                                                  send_tag, recv_tag))
+
+    def _sendrecv_gen(self, payload, dest, source, send_tag, recv_tag):
+        sreq = self.isend(payload, dest, send_tag)
+        rreq = self.irecv(source, recv_tag)
+        value = yield rreq.signal
+        yield sreq.signal
+        return value
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Whether a matching message has already arrived."""
+        world = self.comm.world
+        src_w = (ANY_SOURCE if source == ANY_SOURCE
+                 else self.comm.world_rank(source))
+        dst_w = self.comm.world_rank(self.rank)
+        endpoint = world._endpoint(dst_w)
+        return endpoint.probe(src_w, tag, self.comm.comm_id) is not None
+
+    @staticmethod
+    def waitall(requests: Iterable[Request]) -> Generator[Any, Any, list[Any]]:
+        """Wait for every request; returns their values in order."""
+        values = []
+        for req in requests:
+            value = yield req.signal
+            values.append(value)
+        return values
+
+    # -- collectives (implementations in collectives.py) -----------------
+
+    def _next_coll_seq(self) -> int:
+        seq = self._coll_seq
+        self._coll_seq += 1
+        return seq
+
+    def barrier(self):
+        """Synchronise every rank (dissemination barrier)."""
+        from .collectives import barrier
+        return self._mpi_timed(barrier(self))
+
+    def bcast(self, payload: Any, root: int = 0):
+        """Broadcast from *root*; every rank returns the value."""
+        from .collectives import bcast
+        return self._mpi_timed(bcast(self, payload, root))
+
+    def reduce(self, payload: Any, op: Any = "sum", root: int = 0):
+        """Reduce to *root* (others get None)."""
+        from .collectives import reduce
+        return self._mpi_timed(reduce(self, payload, op, root))
+
+    def allreduce(self, payload: Any, op: Any = "sum"):
+        """Reduce and distribute the result to every rank."""
+        from .collectives import allreduce
+        return self._mpi_timed(allreduce(self, payload, op))
+
+    def gather(self, payload: Any, root: int = 0):
+        """Collect each rank's payload at *root*."""
+        from .collectives import gather
+        return self._mpi_timed(gather(self, payload, root))
+
+    def allgather(self, payload: Any):
+        """Collect each rank's payload at every rank."""
+        from .collectives import allgather
+        return self._mpi_timed(allgather(self, payload))
+
+    def scatter(self, payloads: Optional[list[Any]], root: int = 0):
+        """Distribute *root*'s payload list, one element per rank."""
+        from .collectives import scatter
+        return self._mpi_timed(scatter(self, payloads, root))
+
+    def alltoall(self, payloads: list[Any]):
+        """Personalised exchange: element j goes to rank j."""
+        from .collectives import alltoall
+        return self._mpi_timed(alltoall(self, payloads))
+
+    def scan(self, payload: Any, op: Any = "sum"):
+        """Inclusive prefix reduction: rank i gets op over ranks 0..i."""
+        from .collectives import scan
+        return self._mpi_timed(scan(self, payload, op))
+
+    def exscan(self, payload: Any, op: Any = "sum"):
+        """Exclusive prefix reduction; rank 0 gets None."""
+        from .collectives import exscan
+        return self._mpi_timed(exscan(self, payload, op))
+
+    def reduce_scatter(self, payloads: list[Any], op: Any = "sum"):
+        """Element-wise reduce across ranks; rank i keeps element i."""
+        from .collectives import reduce_scatter
+        return self._mpi_timed(reduce_scatter(self, payloads, op))
+
+    def split(self, color: int, key: Optional[int] = None
+              ) -> Generator[Any, Any, Optional["RankComm"]]:
+        """``MPI_Comm_split``: collective; returns this rank's view of its
+        new communicator (None for ``color < 0``, MPI's UNDEFINED).
+
+        Ranks within a colour are ordered by (*key*, old rank). Implemented
+        as an allgather of (color, key) followed by a deterministic local
+        construction, exactly like real MPI libraries do.
+        """
+        sort_key = self.rank if key is None else key
+        entries = yield from self.allgather((color, sort_key))
+        if color < 0:
+            return None
+        members = sorted(
+            (entry_key, old_rank)
+            for old_rank, (entry_color, entry_key) in enumerate(entries)
+            if entry_color == color)
+        world = self.comm.world
+        world_ranks = [self.comm.world_rank(old) for _k, old in members]
+        # Every member computes the same group, but create_comm must run
+        # once per communicator: the lowest old rank creates, others look
+        # it up through the world's split registry.
+        registry_key = (self.comm.comm_id, self._coll_seq, color,
+                        tuple(world_ranks))
+        new_comm = world._split_registry.get(registry_key)
+        if new_comm is None:
+            new_comm = world.create_comm(world_ranks,
+                                         name=f"{self.comm.name}.split{color}")
+            world._split_registry[registry_key] = new_comm
+        my_new_rank = [old for _k, old in members].index(self.rank)
+        return new_comm.view(my_new_rank)
+
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .world import MpiWorld  # noqa: F401

@@ -1,0 +1,82 @@
+"""Message envelopes and MPI-style matching rules.
+
+Matching follows the MPI standard: a posted receive matches the oldest
+arrived message with the same communicator, a matching source (or
+:data:`ANY_SOURCE`) and a matching tag (or :data:`ANY_TAG`), preserving
+per-(source, tag) arrival order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..errors import MpiError
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Envelope", "payload_nbytes", "matches"]
+
+#: Wildcard source for receives (mirrors ``MPI.ANY_SOURCE``).
+ANY_SOURCE = -1
+#: Wildcard tag for receives (mirrors ``MPI.ANY_TAG``).
+ANY_TAG = -1
+
+#: Nominal wire size of a Python object with no buffer interface.
+_DEFAULT_OBJECT_NBYTES = 256
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Estimate the wire size of *payload* without serialising it.
+
+    NumPy arrays and byte strings report their true size; scalars a machine
+    word; other objects a flat estimate. The simulator only needs sizes for
+    timing, so an estimate is fine — callers that care pass ``nbytes``
+    explicitly.
+    """
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, (int, float, complex, bool, np.generic)) or payload is None:
+        return 8
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, (list, tuple)):
+        return 16 + sum(payload_nbytes(p) for p in payload)
+    if isinstance(payload, dict):
+        return 16 + sum(payload_nbytes(k) + payload_nbytes(v) for k, v in payload.items())
+    return _DEFAULT_OBJECT_NBYTES
+
+
+@dataclass
+class Envelope:
+    """One in-flight message."""
+
+    src: int
+    dst: int
+    tag: int
+    comm_id: int
+    payload: Any
+    nbytes: int
+    #: issue order at the sender, used to keep per-pair ordering stable
+    seq: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.tag < 0:
+            raise MpiError(f"messages must carry a non-negative tag, got {self.tag}")
+        if self.src < 0 or self.dst < 0:
+            raise MpiError("source/destination ranks must be non-negative")
+        if self.nbytes < 0:
+            raise MpiError(f"negative message size {self.nbytes}")
+
+
+def matches(envelope: Envelope, source: int, tag: int, comm_id: int) -> bool:
+    """Whether a posted receive ``(source, tag, comm_id)`` accepts *envelope*."""
+    if envelope.comm_id != comm_id:
+        return False
+    if source != ANY_SOURCE and envelope.src != source:
+        return False
+    if tag != ANY_TAG and envelope.tag != tag:
+        return False
+    return True

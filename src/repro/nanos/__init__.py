@@ -1,0 +1,32 @@
+"""Simulated Nanos6 / OmpSs-2@Cluster runtime."""
+
+from .apprank import AppRankRuntime
+from .calibrate import CalibratedTask
+from .config import RuntimeConfig
+from .dependencies import DependencyTracker
+from .locality import DataDirectory
+from .nesting import BodyExecution, TaskContext
+from .regions import IntervalMap, Segment
+from .runtime import ClusterRuntime
+from .scheduler import AppRankScheduler
+from .task import AccessType, DataAccess, Task, TaskState
+from .worker import Worker
+
+__all__ = [
+    "ClusterRuntime",
+    "RuntimeConfig",
+    "AppRankRuntime",
+    "CalibratedTask",
+    "AppRankScheduler",
+    "Worker",
+    "Task",
+    "TaskState",
+    "DataAccess",
+    "AccessType",
+    "DependencyTracker",
+    "DataDirectory",
+    "TaskContext",
+    "BodyExecution",
+    "IntervalMap",
+    "Segment",
+]

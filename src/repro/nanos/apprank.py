@@ -1,0 +1,159 @@
+"""Apprank-level runtime: submission, dependency release, taskwait (§4/§5).
+
+One :class:`AppRankRuntime` per application rank glues together the
+dependency tracker (task ordering inherited from sequential order), the
+scheduler, and the apprank's workers on its graph-adjacent nodes. The
+application main interacts only with :meth:`submit` and :meth:`taskwait`,
+mirroring the OmpSs-2 programmer's model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, Optional
+
+from ..cluster.network import NetworkModel
+from ..errors import RuntimeModelError
+from ..sim.engine import Simulator, Timeout
+from ..sim.primitives import Signal
+from .config import RuntimeConfig
+from .dependencies import DependencyTracker
+from .locality import DataDirectory
+from .scheduler import AppRankScheduler
+from .task import AccessType, DataAccess, Task, TaskState
+from .worker import Worker
+
+__all__ = ["AppRankRuntime"]
+
+
+class AppRankRuntime:
+    """The Nanos6 instance cluster for one apprank (main + helpers)."""
+
+    def __init__(self, sim: Simulator, apprank: int, home_node: int,
+                 workers: dict[int, Worker], network: NetworkModel,
+                 config: RuntimeConfig) -> None:
+        self.sim = sim
+        self.apprank = apprank
+        self.home_node = home_node
+        self.workers = workers
+        self.network = network
+        self.config = config
+        self.directory = DataDirectory(home_node)
+        self.scheduler = AppRankScheduler(
+            sim, apprank, home_node, workers, self.directory, network, config)
+        self.deps = DependencyTracker(self.scheduler.on_ready)
+        self.outstanding = 0
+        self.tasks_submitted = 0
+        self._taskwait_signal: Optional[Signal] = None
+        #: child task -> the BodyExecution that submitted it (nesting)
+        self._child_exec: dict[Task, object] = {}
+
+    # -- programmer's model -------------------------------------------------
+
+    def submit(self, work: float, accesses: Iterable[DataAccess] = (),
+               offloadable: bool = True, label: str = "",
+               body=None) -> Task:
+        """Create and register one task (the ``#pragma oss task`` analogue).
+
+        Returns the task; it becomes ready as soon as its region
+        dependencies allow and is then scheduled per §5.5. Pass *body* (a
+        generator function taking a :class:`~repro.nanos.nesting.TaskContext`)
+        to create a nested task that submits children of its own.
+        """
+        task = Task(work=work, accesses=tuple(accesses),
+                    offloadable=offloadable, label=label,
+                    apprank=self.apprank, body=body)
+        return self.submit_task(task)
+
+    def register_child(self, child: Task, execution) -> None:
+        """Nesting hook: a body submitted *child* into its own domain.
+
+        Children do not count toward the apprank-level taskwait — their
+        parent only finishes after its implicit final taskwait, so waiting
+        for the parents transitively waits for every descendant.
+        """
+        self._child_exec[child] = execution
+        self.tasks_submitted += 1
+
+    def submit_task(self, task: Task) -> Task:
+        """Register an already-constructed task (see :meth:`submit`)."""
+        if task.state != TaskState.CREATED:
+            raise RuntimeModelError(f"{task!r} already submitted")
+        task.apprank = self.apprank
+        self.outstanding += 1
+        self.tasks_submitted += 1
+        self.deps.register(task)
+        return task
+
+    def taskwait(self) -> Generator[Any, Any, None]:
+        """Wait until every submitted task finished (``#pragma oss taskwait``).
+
+        Includes the write-back of remotely written data to the home node
+        when the configuration asks for it — the cost that makes gratuitous
+        offloading visible.
+        """
+        if self._taskwait_signal is not None:
+            raise RuntimeModelError(
+                f"apprank {self.apprank}: concurrent taskwaits")
+        if self.outstanding > 0:
+            signal = Signal(self.sim, name=f"taskwait-a{self.apprank}")
+            self._taskwait_signal = signal
+            yield signal
+        if self.config.taskwait_writeback:
+            missing = self.directory.bytes_missing_home()
+            if missing > 0:
+                yield Timeout(self.network.transfer_time(missing))
+                self.directory.record_pull_home()
+        return None
+
+    # -- convenience for applications ----------------------------------------
+
+    @staticmethod
+    def access(mode: str, start: int, end: int) -> DataAccess:
+        """Shorthand: ``access("inout", lo, hi)``."""
+        return DataAccess(AccessType(mode), start, end)
+
+    # -- completion path -------------------------------------------------
+
+    def on_task_finished(self, task: Task, worker: Worker) -> None:
+        """Worker callback at the execution site.
+
+        Output regions become valid (only) where they were produced; the
+        completion notice travels back to the home node's dependency graph
+        with one control-message latency when remote.
+        """
+        self.directory.record_write(task.outputs, worker.node_id)
+        if worker.node_id == self.home_node:
+            self._finish_at_home(task)
+        else:
+            self.sim.schedule(self.network.control_message_time(),
+                              lambda: self._finish_at_home(task),
+                              label=f"task-finish-notice:{task.task_id}")
+
+    def _finish_at_home(self, task: Task) -> None:
+        execution = self._child_exec.pop(task, None)
+        if execution is not None:
+            execution.on_child_finished(task)
+            self.scheduler.drain()
+            return
+        self.deps.notify_finished(task)
+        self.outstanding -= 1
+        if self.outstanding < 0:
+            raise RuntimeModelError(
+                f"apprank {self.apprank}: outstanding tasks went negative")
+        self.scheduler.drain()
+        if self.outstanding == 0 and self._taskwait_signal is not None:
+            signal = self._taskwait_signal
+            self._taskwait_signal = None
+            signal.fire(None)
+
+    # -- statistics ---------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Submission/offload/transfer counters for this apprank."""
+        return {
+            "submitted": self.tasks_submitted,
+            "offloaded": self.scheduler.tasks_offloaded,
+            "kept_home": self.scheduler.tasks_kept_home,
+            "queued_now": self.scheduler.queued,
+            "bytes_transferred": self.directory.bytes_transferred,
+        }

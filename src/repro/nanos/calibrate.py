@@ -1,0 +1,94 @@
+"""Calibrated task functions: bring your own kernel.
+
+The paper's toolchain turns pragma-annotated C functions into tasks whose
+cost is whatever the code takes. The simulator needs durations instead.
+:class:`CalibratedTask` bridges the two: wrap a real Python kernel, measure
+it once per argument-shape class (median of a few repetitions), and from
+then on ``submit`` simulator tasks carrying the measured duration — so a
+real kernel's cost structure drives the simulated schedule, as in
+``examples/micropp_rve.py``.
+
+The wrapped function is *not* re-executed per simulated task (the
+simulator models thousands of tasks); calibration runs it
+``calibration_runs`` times per distinct key. Pass ``key=`` to group
+argument shapes that share a cost (e.g. mesh size), or rely on the default
+shape-based key for numpy arguments.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+from ..errors import RuntimeModelError
+from .apprank import AppRankRuntime
+from .task import DataAccess, Task
+
+__all__ = ["CalibratedTask"]
+
+
+def _default_key(args: tuple, kwargs: dict) -> Hashable:
+    """Cost class of a call: numpy shapes/dtypes + scalar values."""
+    parts: list[Hashable] = []
+    for value in list(args) + sorted(kwargs.items()):
+        if isinstance(value, tuple):
+            _name, value = value
+        if isinstance(value, np.ndarray):
+            parts.append(("array", value.shape, str(value.dtype)))
+        elif isinstance(value, (int, float, str, bool)) or value is None:
+            parts.append(("scalar", value))
+        else:
+            parts.append(("object", type(value).__name__))
+    return tuple(parts)
+
+
+@dataclass
+class CalibratedTask:
+    """A real kernel plus its measured cost table."""
+
+    fn: Callable[..., Any]
+    calibration_runs: int = 3
+    key_fn: Callable[[tuple, dict], Hashable] = _default_key
+    _costs: dict[Hashable, float] = field(default_factory=dict)
+    #: results of the calibration executions, by key (for checking outputs)
+    last_result: Any = None
+
+    @property
+    def name(self) -> str:
+        return getattr(self.fn, "__name__", "kernel")
+
+    def measure(self, *args: Any, **kwargs: Any) -> float:
+        """Measured wall seconds for this argument class (cached)."""
+        key = self.key_fn(args, kwargs)
+        cached = self._costs.get(key)
+        if cached is not None:
+            return cached
+        if self.calibration_runs < 1:
+            raise RuntimeModelError("calibration_runs must be >= 1")
+        samples = []
+        for _ in range(self.calibration_runs):
+            start = time.perf_counter()
+            self.last_result = self.fn(*args, **kwargs)
+            samples.append(time.perf_counter() - start)
+        cost = float(np.median(samples))
+        # a zero-cost kernel breaks nothing, but keep durations positive
+        cost = max(cost, 1e-9)
+        self._costs[key] = cost
+        return cost
+
+    def submit(self, rt: AppRankRuntime, *args: Any,
+               accesses: tuple[DataAccess, ...] = (),
+               offloadable: bool = True,
+               label: str = "", **kwargs: Any) -> Task:
+        """Measure (once per cost class) and submit a simulator task."""
+        duration = self.measure(*args, **kwargs)
+        return rt.submit(work=duration, accesses=accesses,
+                         offloadable=offloadable,
+                         label=label or self.name)
+
+    def known_costs(self) -> dict[Hashable, float]:
+        """Measured seconds per calibrated cost class."""
+        return dict(self._costs)

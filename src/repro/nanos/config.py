@@ -1,0 +1,124 @@
+"""Runtime configuration (the paper's ``nanos6.toml`` analogue).
+
+One frozen dataclass selects every mechanism the evaluation ablates:
+offloading degree, LeWI, DROM, and the core-allocation policy. The named
+constructors build the exact configurations the figures compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..errors import RuntimeModelError
+
+__all__ = ["RuntimeConfig"]
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs for one simulated run."""
+
+    #: nodes each apprank may execute on, including its own (§5.2); 1 = no offload
+    offload_degree: int = 1
+    #: fine-grained lend/borrow of idle cores (§5.3)
+    lewi: bool = True
+    #: coarse-grained ownership changes (§5.4); policies need this
+    drom: bool = True
+    #: core-allocation policy: "local" (§5.4.1), "global" (§5.4.2), or None
+    policy: Optional[str] = "global"
+    #: local-policy invocation period, seconds ("operates continuously")
+    local_period: float = 0.1
+    #: global-policy invocation period; the paper runs the solver every 2 s
+    global_period: float = 2.0
+    #: scheduler threshold: tasks per owned core before spilling (§5.5)
+    tasks_per_core: int = 2
+    #: seed for expander-graph generation
+    graph_seed: int = 0
+    #: reuse stored graphs ("each graph is stored for future executions")
+    use_graph_cache: bool = True
+    #: pull written data back to the home node at taskwait (§3.2: data is
+    #: written back when "needed by a task or a taskwait")
+    taskwait_writeback: bool = True
+    #: model the global solver's gather+solve latency (57 ms at 32 nodes)
+    model_solver_cost: bool = True
+    #: §5.4.2 home-core incentive: offloaded work counts as (1+penalty)
+    offload_penalty: float = 1e-6
+    #: §5.4.2 scaling path: solve the global LP in groups of at most this
+    #: many nodes ("larger graphs than 32 nodes should be partitioned and
+    #: solved in parts"). None = one whole-cluster solve.
+    global_partition_nodes: Optional[int] = None
+    #: §5.2 "Dynamic work spreading" (the paper's proposed extension):
+    #: start at the configured degree and grow helper ranks at runtime
+    #: when an apprank's spill queue stays backed up
+    dynamic_spreading: bool = False
+    #: controller period for dynamic spreading, seconds
+    dynamic_period: float = 0.2
+    #: backed-up controller ticks before a helper is spawned
+    dynamic_patience: int = 2
+    #: cap on nodes per apprank that dynamic spreading may reach
+    dynamic_max_degree: int = 8
+    #: modelled process-spawn latency for a new helper rank, seconds
+    dynamic_spawn_latency: float = 0.1
+    #: record busy/owned trace timelines (costs memory; used by Figs 5/9/11)
+    trace: bool = False
+    #: ownership sampling period for traces, seconds
+    trace_period: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.offload_degree < 1:
+            raise RuntimeModelError(
+                f"offload degree must be >= 1, got {self.offload_degree}")
+        if self.policy not in (None, "local", "global"):
+            raise RuntimeModelError(f"unknown policy {self.policy!r}")
+        if self.policy is not None and not self.drom:
+            raise RuntimeModelError(
+                "core-allocation policies act through DROM; enable drom or "
+                "set policy=None")
+        if self.tasks_per_core < 1:
+            raise RuntimeModelError("tasks_per_core must be >= 1")
+        if self.local_period <= 0 or self.global_period <= 0:
+            raise RuntimeModelError("policy periods must be positive")
+        if self.offload_penalty < 0:
+            raise RuntimeModelError("offload penalty must be >= 0")
+        if (self.global_partition_nodes is not None
+                and self.global_partition_nodes < 1):
+            raise RuntimeModelError("global_partition_nodes must be >= 1")
+        if self.dynamic_spreading:
+            if self.global_partition_nodes is not None:
+                raise RuntimeModelError(
+                    "dynamic spreading and partitioned solves are mutually "
+                    "exclusive (a grown edge may cross any group boundary)")
+            if not self.drom:
+                raise RuntimeModelError(
+                    "dynamic spreading seeds new helpers through DROM")
+        if self.dynamic_period <= 0 or self.dynamic_spawn_latency < 0:
+            raise RuntimeModelError("invalid dynamic-spreading timing")
+        if self.dynamic_patience < 1 or self.dynamic_max_degree < 1:
+            raise RuntimeModelError("invalid dynamic-spreading limits")
+
+    # -- the configurations the paper evaluates ---------------------------
+
+    @classmethod
+    def baseline(cls, **overrides) -> "RuntimeConfig":
+        """Plain MPI+OmpSs-2: no offloading, no DLB (Figs 6/9 "baseline")."""
+        return cls(offload_degree=1, lewi=False, drom=False,
+                   policy=None, **overrides)
+
+    @classmethod
+    def dlb_single_node(cls, **overrides) -> "RuntimeConfig":
+        """Single-node DLB (the paper's "degree 1"/"DLB" reference):
+        LeWI + DROM balancing among the appranks of each node."""
+        return cls(offload_degree=1, lewi=True, drom=True,
+                   policy="local", **overrides)
+
+    @classmethod
+    def offloading(cls, degree: int, policy: str = "global",
+                   **overrides) -> "RuntimeConfig":
+        """MPI + OmpSs-2@Cluster with DLB (the paper's contribution)."""
+        return cls(offload_degree=degree, lewi=True, drom=True,
+                   policy=policy, **overrides)
+
+    def with_(self, **overrides) -> "RuntimeConfig":
+        """Functional update helper."""
+        return replace(self, **overrides)

@@ -1,0 +1,139 @@
+"""Per-apprank data-location directory (paper §3.2).
+
+Tracks which nodes hold a valid copy of each region of the apprank's
+address space. Copies are *eager*: inputs are transferred to the executing
+node before the task starts, and "there is no automatic write-back to the
+original node, unless the data value is needed by a task or a taskwait" —
+so a write simply invalidates every other copy, and data written remotely
+stays remote until someone reads it elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import RuntimeModelError
+from .regions import IntervalMap
+from .task import DataAccess
+
+__all__ = ["DataDirectory"]
+
+
+@dataclass
+class _Locations:
+    """Segment value: the set of nodes holding a valid copy."""
+
+    nodes: set[int] = field(default_factory=set)
+
+    def clone(self) -> "_Locations":
+        return _Locations(set(self.nodes))
+
+
+class DataDirectory:
+    """Region → location-set map for one apprank.
+
+    Untouched regions implicitly live on the apprank's home node (where the
+    data was allocated by the main function).
+    """
+
+    def __init__(self, home_node: int) -> None:
+        self.home_node = home_node
+        self._map: IntervalMap[_Locations] = IntervalMap()
+        self.bytes_transferred = 0
+        self.transfers = 0
+
+    def locations_of(self, start: int, end: int) -> list[tuple[int, int, frozenset[int]]]:
+        """(start, end, nodes) pieces covering ``[start, end)``."""
+        if end <= start:
+            raise RuntimeModelError(f"empty region [{start}, {end})")
+        pieces: list[tuple[int, int, frozenset[int]]] = []
+        cursor = start
+        for seg in self._map.overlapping(start, end):
+            if seg.start > cursor:
+                pieces.append((cursor, seg.start, frozenset({self.home_node})))
+            pieces.append((max(seg.start, start), min(seg.end, end),
+                           frozenset(seg.value.nodes)))
+            cursor = min(seg.end, end)
+        if cursor < end:
+            pieces.append((cursor, end, frozenset({self.home_node})))
+        return pieces
+
+    def bytes_missing_at(self, accesses: Iterable[DataAccess], node: int) -> int:
+        """Input bytes that must be copied in before executing at *node*."""
+        missing = 0
+        for access in accesses:
+            if not access.mode.reads:
+                continue
+            for start, end, nodes in self.locations_of(access.start, access.end):
+                if node not in nodes:
+                    missing += end - start
+        return missing
+
+    def bytes_present_at(self, accesses: Iterable[DataAccess], node: int) -> int:
+        """Input bytes already valid at *node* (the scheduler's locality score)."""
+        present = 0
+        for access in accesses:
+            if not access.mode.reads:
+                continue
+            for start, end, nodes in self.locations_of(access.start, access.end):
+                if node in nodes:
+                    present += end - start
+        return present
+
+    def record_copy_in(self, accesses: Iterable[DataAccess], node: int) -> int:
+        """Mark every read region valid at *node*; returns bytes copied."""
+        copied = 0
+        for access in accesses:
+            if not access.mode.reads:
+                continue
+            for start, end, nodes in self.locations_of(access.start, access.end):
+                if node not in nodes:
+                    copied += end - start
+
+            def update(value):
+                if value is None:
+                    value = _Locations({self.home_node})
+                value.nodes.add(node)
+                return value
+
+            self._map.apply(access.start, access.end, update)
+        self.bytes_transferred += copied
+        if copied:
+            self.transfers += 1
+        return copied
+
+    def record_write(self, accesses: Iterable[DataAccess], node: int) -> None:
+        """A write at *node* makes it the sole valid location of out regions."""
+        for access in accesses:
+            if not access.mode.writes:
+                continue
+            self._map.set_range(access.start, access.end, _Locations({node}))
+
+    def bytes_missing_home(self) -> int:
+        """Bytes written remotely whose value is not valid at home."""
+        return sum(seg.length for seg in self._map
+                   if self.home_node not in seg.value.nodes)
+
+    def record_pull_home(self) -> int:
+        """Taskwait write-back: make every region valid at home.
+
+        Returns the bytes that had to move (§3.2: values come home when
+        "needed by a task or a taskwait").
+        """
+        pulled = 0
+        for seg in self._map:
+            if self.home_node not in seg.value.nodes:
+                pulled += seg.length
+                seg.value.nodes.add(self.home_node)
+        self.bytes_transferred += pulled
+        if pulled:
+            self.transfers += 1
+        return pulled
+
+    def nodes_with_any_copy(self, start: int, end: int) -> set[int]:
+        """Every node holding a valid copy of any part of the region."""
+        out: set[int] = set()
+        for _s, _e, nodes in self.locations_of(start, end):
+            out |= nodes
+        return out

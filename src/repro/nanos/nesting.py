@@ -1,0 +1,199 @@
+"""Nested tasks: bodies, child domains, blocking taskwait (paper §3.1/§4).
+
+OmpSs-2's defining extension over classic tasking is nesting — "improved
+task nesting and fine-grained dependences across nesting levels". Here a
+task may carry a *body*: a generator taking a :class:`TaskContext` and
+yielding
+
+* ``ctx.compute(seconds)`` — occupy the core for a stretch of work
+  (scaled by the executing node's speed);
+* ``ctx.taskwait()`` — wait for this task's direct children. The core is
+  *released* while waiting (a Nanos6 scheduling point: other tasks run on
+  it) and re-acquired afterwards, with resumption priority over fresh
+  tasks.
+
+Children are submitted through ``ctx.submit`` into a per-parent
+dependency domain (sibling accesses order against each other, not against
+unrelated tasks), are scheduled by the ordinary §5.5 scheduler, and may
+themselves carry bodies. A non-offloadable child is pinned to its
+parent's execution node ("fixed on the same node as the task's parent",
+§3.2). The parent finishes after its body returns *and* all children
+finished (an implicit final taskwait).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Iterable, Optional
+
+from ..errors import RuntimeModelError, TaskError
+from .dependencies import DependencyTracker
+from .task import AccessType, DataAccess, Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .worker import Worker
+
+__all__ = ["TaskContext", "BodyExecution"]
+
+
+class _Compute:
+    """Yield value: occupy the core for ``seconds`` of nominal work."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: float) -> None:
+        if seconds < 0:
+            raise TaskError(f"negative compute chunk {seconds}")
+        self.seconds = seconds
+
+
+class _TaskWait:
+    """Yield value: wait for the task's direct children (core released)."""
+
+    __slots__ = ()
+
+
+class TaskContext:
+    """The body's handle to the runtime (the OmpSs-2 pragma surface)."""
+
+    def __init__(self, execution: "BodyExecution") -> None:
+        self._execution = execution
+
+    @property
+    def task(self) -> Task:
+        return self._execution.task
+
+    @property
+    def node_id(self) -> int:
+        """Node the body is executing on."""
+        return self._execution.worker.node_id
+
+    @property
+    def can_use_mpi(self) -> bool:
+        """§4: MPI calls are valid only when the task and all its ancestors
+        are non-offloadable (the task provably runs on the home node)."""
+        return self._execution.task.all_ancestors_non_offloadable
+
+    def compute(self, seconds: float) -> _Compute:
+        """Yield value: occupy the core for *seconds* of nominal work."""
+        return _Compute(seconds)
+
+    def taskwait(self) -> _TaskWait:
+        """Yield value: wait for direct children (the core is released)."""
+        return _TaskWait()
+
+    def submit(self, work: float, accesses: Iterable[DataAccess] = (),
+               offloadable: bool = True, label: str = "",
+               body=None) -> Task:
+        """Submit a child task into this task's dependency domain."""
+        return self._execution.submit_child(
+            work=work, accesses=tuple(accesses), offloadable=offloadable,
+            label=label, body=body)
+
+    @staticmethod
+    def access(mode: str, start: int, end: int) -> DataAccess:
+        return DataAccess(AccessType(mode), start, end)
+
+
+class BodyExecution:
+    """State machine driving one nested task's body on a worker.
+
+    States: running a compute chunk (holds the core) → waiting for
+    children (core released, parked) → resumed on a granted core →
+    ... → body exhausted → implicit final taskwait → finished.
+    """
+
+    def __init__(self, worker: "Worker", task: Task) -> None:
+        self.worker = worker
+        self.task = task
+        self.sim = worker.sim
+        self.context = TaskContext(self)
+        self.generator: Generator[Any, Any, Any] = task.body(self.context)
+        if not hasattr(self.generator, "send"):
+            raise RuntimeModelError(
+                f"task body {task.body!r} must be a generator function "
+                "(yield ctx.compute(...) / ctx.taskwait())")
+        self.core = None
+        self.compute_seconds = 0.0       # realised work (for TALP/meters)
+        self.children_outstanding = 0
+        self._waiting_for_children = False
+        self._body_done = False
+        self._child_tracker: Optional[DependencyTracker] = None
+
+    # -- child domain ------------------------------------------------------
+
+    def submit_child(self, work: float, accesses: tuple[DataAccess, ...],
+                     offloadable: bool, label: str, body) -> Task:
+        """Create a child in this task's dependency domain (via ctx.submit)."""
+        apprank_rt = self.worker._apprank_runtime()
+        child = Task(work=work, accesses=accesses, offloadable=offloadable,
+                     label=label or f"{self.task.label}.child",
+                     apprank=self.task.apprank, body=body, parent=self.task)
+        if not offloadable:
+            # §3.2: fixed on the same node as the task's parent.
+            child.pinned_node = self.worker.node_id
+        if self._child_tracker is None:
+            self._child_tracker = DependencyTracker(
+                apprank_rt.scheduler.on_ready)
+        self.children_outstanding += 1
+        apprank_rt.register_child(child, self)
+        self._child_tracker.register(child)
+        return child
+
+    def on_child_finished(self, child: Task) -> None:
+        """Apprank callback: one of our children completed."""
+        self._child_tracker.notify_finished(child)
+        self.children_outstanding -= 1
+        if self.children_outstanding < 0:
+            raise RuntimeModelError(f"{self.task!r}: child count underflow")
+        if self.children_outstanding == 0 and self._waiting_for_children:
+            self._waiting_for_children = False
+            self.worker._note_body_unblocked()
+            if self._body_done:
+                self.worker._finish_body(self)
+            else:
+                # Re-acquire a core with resumption priority.
+                self.worker._park_for_resume(self)
+
+    # -- driving the generator ---------------------------------------------
+
+    def start_on(self, core) -> None:
+        """First execution or resumption on a granted core."""
+        self.core = core
+        self._advance(None)
+
+    def _advance(self, value: Any) -> None:
+        try:
+            step = self.generator.send(value)
+        except StopIteration:
+            self._on_body_exhausted()
+            return
+        if isinstance(step, _Compute):
+            duration = self.worker.node.task_duration(step.seconds)
+            self.compute_seconds += step.seconds
+            self.sim.schedule(duration, lambda: self._advance(None),
+                              label=f"body-chunk:{self.task.task_id}")
+        elif isinstance(step, _TaskWait):
+            self._release_core()
+            if self.children_outstanding == 0:
+                self.worker._park_for_resume(self)
+            else:
+                self._waiting_for_children = True
+                self.worker._note_body_blocked()
+        else:
+            raise RuntimeModelError(
+                f"task body yielded {step!r}; expected ctx.compute() or "
+                "ctx.taskwait()")
+
+    def _on_body_exhausted(self) -> None:
+        self._body_done = True
+        self._release_core()
+        if self.children_outstanding == 0:
+            self.worker._finish_body(self)
+        else:
+            self._waiting_for_children = True    # implicit final taskwait
+            self.worker._note_body_blocked()
+
+    def _release_core(self) -> None:
+        if self.core is not None:
+            self.worker._release_body_core(self)
+            self.core = None

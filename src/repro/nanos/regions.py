@@ -1,0 +1,191 @@
+"""Interval (region) algebra shared by dependency and locality tracking.
+
+:class:`IntervalMap` maps half-open integer intervals to values, keeping a
+sorted list of disjoint segments. Overlapping writes split segments at the
+overlap boundaries — exactly the fragmentation behaviour region-based task
+runtimes exhibit. Both the dependency registry and the data-location
+directory are thin layers over this one structure, mirroring the paper's
+"single mechanism of task accesses" principle.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Callable, Generic, Iterator, Optional, TypeVar
+
+from ..errors import RuntimeModelError
+
+__all__ = ["Segment", "IntervalMap"]
+
+V = TypeVar("V")
+
+
+@dataclass
+class Segment(Generic[V]):
+    """A maximal run ``[start, end)`` with one value."""
+
+    start: int
+    end: int
+    value: V
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise RuntimeModelError(f"empty segment [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+class IntervalMap(Generic[V]):
+    """Sorted disjoint segments over the integers.
+
+    Invariants (checked by :meth:`validate`, relied on everywhere):
+    segments are non-empty, non-overlapping, and sorted by start.
+    Adjacent segments with equal values are *not* merged automatically —
+    callers that care call :meth:`coalesce` (dependency tracking must not
+    merge, because per-segment reader lists differ by identity).
+    """
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._segments: list[Segment[V]] = []
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __iter__(self) -> Iterator[Segment[V]]:
+        return iter(self._segments)
+
+    def segments(self) -> list[Segment[V]]:
+        """Snapshot of the segments, in order."""
+        return list(self._segments)
+
+    # -- queries --------------------------------------------------------
+
+    def overlapping(self, start: int, end: int) -> list[Segment[V]]:
+        """Segments intersecting ``[start, end)``, in order."""
+        if end <= start:
+            raise RuntimeModelError(f"empty query [{start}, {end})")
+        i = bisect_right(self._starts, start) - 1
+        if i >= 0 and self._segments[i].end <= start:
+            i += 1
+        i = max(i, 0)
+        out = []
+        while i < len(self._segments) and self._segments[i].start < end:
+            if self._segments[i].end > start:
+                out.append(self._segments[i])
+            i += 1
+        return out
+
+    def gaps(self, start: int, end: int) -> list[tuple[int, int]]:
+        """Sub-ranges of ``[start, end)`` not covered by any segment."""
+        covered = self.overlapping(start, end)
+        out = []
+        cursor = start
+        for seg in covered:
+            if seg.start > cursor:
+                out.append((cursor, min(seg.start, end)))
+            cursor = max(cursor, seg.end)
+        if cursor < end:
+            out.append((cursor, end))
+        return out
+
+    def value_at(self, point: int) -> Optional[V]:
+        """Value covering *point*, or None in a gap."""
+        i = bisect_right(self._starts, point) - 1
+        if i >= 0 and self._segments[i].start <= point < self._segments[i].end:
+            return self._segments[i].value
+        return None
+
+    # -- mutation ---------------------------------------------------------
+
+    def _split_at(self, point: int) -> None:
+        """Ensure *point* is a segment boundary (splitting if interior)."""
+        i = bisect_right(self._starts, point) - 1
+        if i < 0:
+            return
+        seg = self._segments[i]
+        if seg.start < point < seg.end:
+            left = Segment(seg.start, point, seg.value)
+            right = Segment(point, seg.end, self._clone_value(seg.value))
+            self._segments[i] = left
+            self._segments.insert(i + 1, right)
+            self._starts.insert(i + 1, point)
+
+    @staticmethod
+    def _clone_value(value: V) -> V:
+        """Copy a value when a segment splits.
+
+        Values with a ``clone()`` method are cloned (so mutable per-segment
+        state diverges correctly); everything else is shared.
+        """
+        clone = getattr(value, "clone", None)
+        return clone() if callable(clone) else value
+
+    def apply(self, start: int, end: int,
+              update: Callable[[Optional[V]], V]) -> list[Segment[V]]:
+        """Transform the range ``[start, end)`` segment-by-segment.
+
+        *update* receives the existing value (or None for gaps) and returns
+        the new value. Returns the affected segments after the update, in
+        order — the caller reads dependency info off them.
+        """
+        if end <= start:
+            raise RuntimeModelError(f"empty update [{start}, {end})")
+        self._split_at(start)
+        self._split_at(end)
+        existing = self.overlapping(start, end)
+        touched: list[Segment[V]] = []
+        cursor = start
+        new_entries: list[Segment[V]] = []
+        for seg in existing:
+            if seg.start > cursor:
+                new_entries.append(Segment(cursor, seg.start, update(None)))
+            seg.value = update(seg.value)
+            touched.append(seg)
+            cursor = seg.end
+        if cursor < end:
+            new_entries.append(Segment(cursor, end, update(None)))
+        for seg in new_entries:
+            i = bisect_left(self._starts, seg.start)
+            self._starts.insert(i, seg.start)
+            self._segments.insert(i, seg)
+            touched.append(seg)
+        touched.sort(key=lambda s: s.start)
+        return touched
+
+    def set_range(self, start: int, end: int, value: V) -> None:
+        """Assign *value* over ``[start, end)`` (overwrites, keeps splits)."""
+        self.apply(start, end, lambda _old: value)
+
+    def coalesce(self, equal: Callable[[V, V], bool] = lambda a, b: a == b) -> None:
+        """Merge adjacent segments whose values compare equal."""
+        if not self._segments:
+            return
+        merged = [self._segments[0]]
+        for seg in self._segments[1:]:
+            last = merged[-1]
+            if last.end == seg.start and equal(last.value, seg.value):
+                last.end = seg.end
+            else:
+                merged.append(seg)
+        self._segments = merged
+        self._starts = [s.start for s in merged]
+
+    def validate(self) -> None:
+        """Check structural invariants; raises on violation (tests use this)."""
+        prev_end = None
+        for i, seg in enumerate(self._segments):
+            if seg.end <= seg.start:
+                raise RuntimeModelError(f"segment {i} empty")
+            if self._starts[i] != seg.start:
+                raise RuntimeModelError(f"starts index desynced at {i}")
+            if prev_end is not None and seg.start < prev_end:
+                raise RuntimeModelError(f"segments overlap at index {i}")
+            prev_end = seg.end
+
+    def total_covered(self) -> int:
+        """Total length covered by segments."""
+        return sum(seg.length for seg in self._segments)

@@ -1,0 +1,319 @@
+"""ClusterRuntime: the whole MPI+OmpSs-2@Cluster+DLB stack for one run.
+
+Assembles (Figure 2): the simulated cluster, the expander graph and worker
+placement, one DLB arbiter per node with LeWI/DROM facades, one
+:class:`~repro.nanos.apprank.AppRankRuntime` per application rank with its
+workers, the selected core-allocation policy, TALP, optional tracing, and
+the simulated MPI world whose world communicator plays the role of
+``nanos6_app_communicator()``.
+
+The application is an SPMD generator ``main(comm, rt, *args)`` — *comm* is
+the apprank's MPI view, *rt* its runtime (``submit``/``taskwait``) — run to
+completion with :meth:`ClusterRuntime.run_app`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ..balance.dynamic import DynamicSpreader
+from ..balance.global_policy import GlobalLpPolicy
+from ..balance.local_policy import LocalConvergencePolicy
+from ..cluster.topology import Cluster, ClusterSpec
+from ..dlb.drom import DromModule
+from ..dlb.lewi import LewiModule
+from ..dlb.shmem import NodeArbiter
+from ..dlb.talp import TalpModule, TalpReport
+from ..errors import RuntimeModelError, SimulationError
+from ..graph.cache import get_graph
+from ..graph.placement import WorkerKey, build_placement
+from ..metrics.trace import TraceRecorder
+from ..mpisim.world import MpiWorld
+from ..sim.engine import Simulator
+from ..sim.events import Event, EventPriority
+from .apprank import AppRankRuntime
+from .config import RuntimeConfig
+from .worker import Worker
+
+__all__ = ["ClusterRuntime"]
+
+AppMain = Callable[..., Generator[Any, Any, Any]]
+
+
+class ClusterRuntime:
+    """One fully wired simulated execution environment."""
+
+    def __init__(self, spec: ClusterSpec, num_appranks: int,
+                 config: RuntimeConfig) -> None:
+        self.spec = spec
+        self.config = config
+        self.num_appranks = num_appranks
+        self.sim = Simulator()
+        self.cluster = Cluster(spec)
+        self.graph = get_graph(num_appranks, spec.num_nodes,
+                               config.offload_degree,
+                               seed=config.graph_seed,
+                               use_cache=config.use_graph_cache)
+        self.placement = build_placement(self.graph,
+                                         spec.machine.cores_per_node)
+        self.trace: Optional[TraceRecorder] = (
+            TraceRecorder(self.sim) if config.trace else None)
+        self.talp = TalpModule(spec.total_cores)
+
+        self.arbiters: dict[int, NodeArbiter] = {
+            node.node_id: NodeArbiter(node, lewi_enabled=config.lewi,
+                                      on_ownership_change=self._ownership_changed)
+            for node in self.cluster.nodes
+        }
+        self.lewi = LewiModule(self.arbiters, enabled=config.lewi)
+        self.drom = DromModule(self.arbiters, enabled=config.drom)
+
+        self.appranks: list[AppRankRuntime] = []
+        self.workers: dict[WorkerKey, Worker] = {}
+        self._build_appranks()
+        self._initialize_ownership()
+
+        #: MPI world containing only the appranks (the app communicator);
+        #: helper-rank control traffic is modelled directly on the network.
+        self.world = MpiWorld(
+            self.sim, self.cluster,
+            rank_to_node=[self.graph.home_node(a) for a in range(num_appranks)])
+        self.app_comm = self.world.world_comm
+        # TALP intercepts the appranks' MPI calls (§3.3); world rank ==
+        # apprank id in this wiring.
+        self.world.talp_hook = self.talp.add_mpi
+
+        self.policy = self._build_policy()
+        self.spreader: Optional[DynamicSpreader] = (
+            DynamicSpreader(self, period=config.dynamic_period,
+                            patience=config.dynamic_patience,
+                            max_degree=config.dynamic_max_degree,
+                            spawn_latency=config.dynamic_spawn_latency)
+            if config.dynamic_spreading else None)
+        #: node -> appranks with a worker there (kept current as dynamic
+        #: spreading adds helpers; the static graph only knows t=0)
+        self._appranks_on_node: dict[int, set[int]] = {
+            n: set(self.graph.appranks_on(n))
+            for n in range(spec.num_nodes)
+        }
+        self._trace_event: Optional[Event] = None
+        self.elapsed: Optional[float] = None
+
+    # -- construction -------------------------------------------------------
+
+    def _build_appranks(self) -> None:
+        network = self.cluster.network
+        for apprank_id in range(self.num_appranks):
+            home = self.graph.home_node(apprank_id)
+            worker_map: dict[int, Worker] = {}
+            runtime = AppRankRuntime(self.sim, apprank_id, home, worker_map,
+                                     network, self.config)
+            for node_id in self.graph.nodes_of(apprank_id):
+                worker = Worker(self.sim, (apprank_id, node_id),
+                                self.cluster.node(node_id),
+                                self.arbiters[node_id],
+                                on_task_finished=runtime.on_task_finished,
+                                talp=self.talp, trace=self.trace)
+                worker.apprank_runtime = runtime
+                worker_map[node_id] = worker
+                self.workers[worker.key] = worker
+                self.arbiters[node_id].register_worker(worker)
+            self.appranks.append(runtime)
+
+    def _initialize_ownership(self) -> None:
+        for node_id, workers_here in enumerate(self.placement.workers_by_node):
+            counts = {key: self.placement.initial_cores[key]
+                      for key in workers_here}
+            self.arbiters[node_id].initialize_ownership(counts)
+
+    def _build_policy(self):
+        if self.config.policy is None:
+            return None
+        node_cores = {n: self.spec.machine.cores_per_node
+                      for n in range(self.spec.num_nodes)}
+        if self.config.policy == "local":
+            workers_by_node = {
+                node_id: [self.workers[key] for key in keys]
+                for node_id, keys in enumerate(self.placement.workers_by_node)
+            }
+            return LocalConvergencePolicy(
+                self.sim, self.drom, workers_by_node, node_cores,
+                period=self.config.local_period)
+        node_speed = {n: self.spec.node_speed(n)
+                      for n in range(self.spec.num_nodes)}
+        return GlobalLpPolicy(
+            self.sim, self.graph, self.drom, self.workers, node_cores,
+            node_speed, self.cluster.network,
+            period=self.config.global_period,
+            offload_penalty=self.config.offload_penalty,
+            model_solver_cost=self.config.model_solver_cost,
+            partition_nodes=self.config.global_partition_nodes)
+
+    # -- hooks ---------------------------------------------------------------
+
+    def _ownership_changed(self, node_id: int) -> None:
+        """DROM moved cores on *node_id*: re-evaluate spill queues and traces."""
+        for apprank_id in self._appranks_on_node[node_id]:
+            self.appranks[apprank_id].scheduler.drain()
+        if self.trace is not None:
+            self._sample_ownership()
+
+    def _sample_ownership(self) -> None:
+        now = self.sim.now
+        for node_id, arbiter in self.arbiters.items():
+            for key, count in arbiter.ownership_counts().items():
+                apprank_id, _node = key
+                self.trace.set_owned(now, node_id, apprank_id, count)
+
+    def _trace_tick(self) -> None:
+        self._sample_ownership()
+        self._trace_event = self.sim.schedule(
+            self.config.trace_period, self._trace_tick,
+            priority=EventPriority.TRACE, label="trace-sample")
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm policies, TALP and tracing; lend initially idle cores."""
+        self.talp.start(self.sim.now)
+        for key in self.placement.workers:
+            self.arbiters[key[1]].lend_idle_cores(key)
+        if self.policy is not None:
+            self.policy.start()
+        if self.spreader is not None:
+            self.spreader.start()
+        if self.trace is not None:
+            self._sample_ownership()
+            self._trace_event = self.sim.schedule(
+                self.config.trace_period, self._trace_tick,
+                priority=EventPriority.TRACE, label="trace-sample")
+
+    def stop(self) -> None:
+        """Disarm policies, the spreader and tracing (idempotent)."""
+        if self.policy is not None:
+            self.policy.stop()
+        if self.spreader is not None:
+            self.spreader.stop()
+        if self._trace_event is not None:
+            self.sim.cancel(self._trace_event)
+            self._trace_event = None
+
+    def add_helper(self, apprank_id: int, node_id: int) -> Worker:
+        """Grow the spreading graph at runtime (§5.2's dynamic extension).
+
+        Creates a helper worker for *apprank_id* on *node_id*, registers it
+        with the node's DLB arbiter, seeds it with the one-core DROM floor
+        (taken from the node's largest owner), and plugs it into the active
+        allocation policy. The §5.5 scheduler sees the new node on the next
+        placement decision.
+        """
+        apprank_rt = self.apprank(apprank_id)
+        if node_id in apprank_rt.workers:
+            raise RuntimeModelError(
+                f"apprank {apprank_id} already reaches node {node_id}")
+        arbiter = self.arbiters[node_id]
+        cores = self.spec.machine.cores_per_node
+        if len(arbiter.workers) >= cores:
+            raise RuntimeModelError(
+                f"node {node_id} cannot host another one-core floor")
+        worker = Worker(self.sim, (apprank_id, node_id),
+                        self.cluster.node(node_id), arbiter,
+                        on_task_finished=apprank_rt.on_task_finished,
+                        talp=self.talp, trace=self.trace)
+        worker.apprank_runtime = apprank_rt
+        arbiter.register_worker(worker)
+        # Seed the DLB floor: take one core from the node's largest owner
+        # (by effective ownership — in-flight DROM transfers count at their
+        # target, or a floor-owning worker could be picked as donor).
+        counts = arbiter.effective_counts()
+        donor = max(counts, key=lambda key: (counts[key], key))
+        if counts[donor] < 2:
+            raise RuntimeModelError(
+                f"node {node_id} has no spare core for a new helper")
+        counts[donor] -= 1
+        counts[worker.key] = 1
+        apprank_rt.workers[node_id] = worker
+        self.workers[worker.key] = worker
+        self._appranks_on_node[node_id].add(apprank_id)
+        arbiter.set_ownership(counts)
+        if self.policy is not None:
+            self.policy.add_worker(worker)
+        apprank_rt.scheduler.drain()      # new capacity for the spill queue
+        return worker
+
+    def schedule_speed_change(self, at_time: float, node_id: int,
+                              speed: float) -> None:
+        """Inject a DVFS/thermal event: *node_id* runs at *speed* from
+        *at_time* on (tasks started later take ``nominal/speed``).
+
+        Call before :meth:`run_app`. This is the paper's motivating
+        system-level imbalance (§1: "DVFS ... thermal and power
+        management") made injectable; the policies are expected to react.
+        """
+        node = self.cluster.node(node_id)
+        self.sim.schedule_at(at_time, lambda: node.set_speed(speed),
+                             label=f"speed-change:n{node_id}")
+
+    def apprank(self, apprank_id: int) -> AppRankRuntime:
+        """The per-apprank runtime handle (range-checked)."""
+        if not 0 <= apprank_id < self.num_appranks:
+            raise RuntimeModelError(f"apprank {apprank_id} out of range")
+        return self.appranks[apprank_id]
+
+    def run_app(self, main: AppMain, args: tuple = ()) -> list[Any]:
+        """Run ``main(comm, rt, *args)`` SPMD across the appranks.
+
+        Returns each apprank's return value; ``self.elapsed`` holds the
+        simulated time-to-solution.
+        """
+        self.start()
+        remaining = self.num_appranks
+        results: list[Any] = [None] * self.num_appranks
+
+        processes = []
+        for apprank_id in range(self.num_appranks):
+            comm = self.app_comm.view(apprank_id)
+            gen = main(comm, self.appranks[apprank_id], *args)
+            processes.append(self.sim.spawn(gen, name=f"apprank{apprank_id}"))
+
+        def on_done(_value: Any) -> None:
+            nonlocal remaining
+            remaining -= 1
+
+        for process in processes:
+            process._subscribe(self.sim, on_done)
+
+        while remaining > 0:
+            if not self.sim.step():
+                stuck = [p.name for p in processes if not p.done]
+                raise SimulationError(
+                    f"deadlock: appranks never finished: {', '.join(stuck)}")
+        self.stop()
+        self.sim.run()   # drain task completions of fire-and-forget apps
+        self.elapsed = self.sim.now
+        for i, process in enumerate(processes):
+            results[i] = process.result
+        return results
+
+    # -- reporting --------------------------------------------------------
+
+    def talp_report(self) -> TalpReport:
+        """Live TALP efficiency snapshot at the current sim time."""
+        return self.talp.snapshot(self.sim.now)
+
+    def total_offloaded(self) -> int:
+        """Tasks executed away from their apprank's home node, so far."""
+        return sum(rt.scheduler.tasks_offloaded for rt in self.appranks)
+
+    def stats(self) -> dict[str, Any]:
+        """Run-level counters (tasks, offloads, DLB activity, messages)."""
+        return {
+            "elapsed": self.elapsed,
+            "events": self.sim.events_fired,
+            "tasks": sum(rt.tasks_submitted for rt in self.appranks),
+            "offloaded": self.total_offloaded(),
+            "lewi": self.lewi.stats(),
+            "drom_changes": self.drom.total_changes,
+            "drom_cores_moved": self.drom.total_cores_moved,
+            "mpi_messages": self.world.messages_sent,
+        }

@@ -1,0 +1,175 @@
+"""Per-apprank task scheduler implementing the §5.5 policy.
+
+When a task becomes ready the scheduler makes a *tentative* decision
+immediately:
+
+1. the locality-best adjacent node takes it if it holds fewer than
+   ``tasks_per_core`` (default two) unfinished tasks per **owned** core —
+   LeWI-borrowed cores are deliberately not counted, because borrowed cores
+   can be reclaimed at any moment while lent ones can be taken back;
+2. otherwise any adjacent node under the threshold takes it;
+3. otherwise it waits in a queue and is drained ("stolen") as tasks
+   complete or ownership changes.
+
+Offloading is final: once assigned, a task is never migrated.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from ..cluster.network import NetworkModel
+from ..errors import SchedulerError
+from ..sim.engine import Simulator
+from .locality import DataDirectory
+from .task import Task, TaskState
+from .worker import Worker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .config import RuntimeConfig
+
+__all__ = ["AppRankScheduler"]
+
+
+class AppRankScheduler:
+    """Tentative-immediate scheduler for one apprank's ready tasks."""
+
+    def __init__(self, sim: Simulator, apprank: int, home_node: int,
+                 workers: dict[int, Worker], directory: DataDirectory,
+                 network: NetworkModel, config: "RuntimeConfig") -> None:
+        self.sim = sim
+        self.apprank = apprank
+        self.home_node = home_node
+        self.workers = workers            # node_id -> Worker (graph-adjacent)
+        self.directory = directory
+        self.network = network
+        self.config = config
+        self.queue: deque[Task] = deque()
+        self.tasks_offloaded = 0
+        self.tasks_kept_home = 0
+        self._draining = False
+
+    # -- entry points -------------------------------------------------------
+
+    def on_ready(self, task: Task) -> None:
+        """Dependency system callback: *task* is now satisfiable."""
+        if task.pinned_node is not None:
+            # §3.2: non-offloadable children are fixed on the same node as
+            # their parent, wherever the parent happened to execute.
+            self._assign(task, task.pinned_node)
+            return
+        if not task.offloadable:
+            # Non-offloadable tasks are pinned to the home node regardless
+            # of its load (the §4 contract for MPI-calling tasks).
+            self._assign(task, self.home_node)
+            return
+        node = self._pick_node(task)
+        if node is None:
+            self.queue.append(task)
+        else:
+            self._assign(task, node)
+
+    def drain(self) -> None:
+        """Re-run placement for queued tasks (§5.5 "stolen as tasks complete")."""
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            while self.queue:
+                node = self._pick_node(self.queue[0])
+                if node is None:
+                    break
+                self._assign(self.queue.popleft(), node)
+        finally:
+            self._draining = False
+
+    def steal_for(self, worker: Worker) -> bool:
+        """§5.5: queued tasks "will be stolen as tasks complete".
+
+        Called by a worker at a task completion when it has nothing ready:
+        it pulls the next queued task to itself *regardless* of the
+        two-per-owned-core threshold. This is what keeps LeWI-borrowed
+        cores fed — the submission-time threshold deliberately ignores
+        borrowed cores (they may vanish, §5.5), but a core that just
+        finished a task here is demonstrably available right now.
+        """
+        if not self.queue:
+            return False
+        self._assign(self.queue.popleft(), worker.node_id)
+        return True
+
+    @property
+    def queued(self) -> int:
+        """Tasks waiting in the spill queue."""
+        return len(self.queue)
+
+    # -- the §5.5 decision ---------------------------------------------------
+
+    def load_ratio(self, node_id: int) -> float:
+        """Unfinished tasks per owned core at our worker on *node_id*.
+
+        Bodies blocked in taskwait are excluded: they occupy no core while
+        waiting and counting them would starve their own children.
+        """
+        worker = self.workers[node_id]
+        owned = worker.arbiter.owned_count(worker.key)
+        active = worker.assigned - worker.blocked_bodies
+        return active / max(owned, 1)
+
+    def _pick_node(self, task: Task) -> Optional[int]:
+        threshold = self.config.tasks_per_core
+        candidates = self._by_locality(task)
+        for node_id in candidates:
+            if self.load_ratio(node_id) < threshold:
+                return node_id
+        return None
+
+    def _by_locality(self, task: Task) -> list[int]:
+        """Adjacent nodes ordered best-locality-first (home wins ties)."""
+        nodes = list(self.workers.keys())
+        if len(nodes) == 1:
+            return nodes
+        if not task.inputs:
+            # No data: home first, then helpers in node order.
+            nodes.sort(key=lambda n: (n != self.home_node, n))
+            return nodes
+        scores = {n: self.directory.bytes_present_at(task.inputs, n)
+                  for n in nodes}
+        nodes.sort(key=lambda n: (-scores[n], n != self.home_node, n))
+        return nodes
+
+    # -- binding and data movement -------------------------------------------
+
+    def _assign(self, task: Task, node_id: int) -> None:
+        if task.state not in (TaskState.READY, TaskState.CREATED):
+            raise SchedulerError(f"assigning {task!r} in state {task.state}")
+        worker = self.workers[node_id]
+        task.state = TaskState.ASSIGNED
+        task.assigned_node = node_id
+        worker.notify_assigned()
+        if node_id == self.home_node:
+            self.tasks_kept_home += 1
+        else:
+            self.tasks_offloaded += 1
+        delay = self._dispatch_delay(task, node_id)
+        if delay <= 0.0:
+            self._deliver(task, worker)
+        else:
+            task.state = TaskState.TRANSFERRING
+            self.sim.schedule(delay, lambda: self._deliver(task, worker),
+                              label=f"task-dispatch:{task.task_id}")
+
+    def _dispatch_delay(self, task: Task, node_id: int) -> float:
+        """Offload control message plus eager input copies (§3.2)."""
+        delay = 0.0
+        if node_id != self.home_node:
+            delay += self.network.control_message_time()
+        missing = self.directory.bytes_missing_at(task.inputs, node_id)
+        if missing > 0:
+            delay += self.network.transfer_time(missing)
+        return delay
+
+    def _deliver(self, task: Task, worker: Worker) -> None:
+        self.directory.record_copy_in(task.inputs, worker.node_id)
+        worker.enqueue(task)

@@ -1,0 +1,21 @@
+"""Discrete-event simulation engine underlying every simulated subsystem."""
+
+from .engine import Process, Simulator, Timeout
+from .events import Event, EventPriority
+from .primitives import Gate, Resource, Signal, Store
+from .queue import EventQueue
+from .rng import RngRegistry
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Timeout",
+    "Event",
+    "EventPriority",
+    "EventQueue",
+    "Signal",
+    "Gate",
+    "Resource",
+    "Store",
+    "RngRegistry",
+]

@@ -1,0 +1,234 @@
+"""The discrete-event simulator core.
+
+Two styles of simulated activity coexist on one clock:
+
+* **Callback events** — ``sim.schedule(delay, fn)`` — used by the runtime,
+  DLB, and policies, whose logic is naturally a state machine.
+* **Coroutine processes** — ``sim.spawn(gen)`` where *gen* is a generator
+  yielding awaitables (:class:`Timeout`, :class:`repro.sim.primitives.Signal`,
+  another :class:`Process`) — used for application main functions, which read
+  like the SPMD program they model.
+
+All ordering is deterministic: same-time events fire in scheduling order
+within their priority band (see :class:`repro.sim.events.EventPriority`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import ProcessError, SimulationError
+from .events import Event, EventPriority
+from .queue import EventQueue
+
+__all__ = ["Simulator", "Timeout", "Process"]
+
+
+class Timeout:
+    """Awaitable that resumes the yielding process after ``delay`` sim-seconds."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        self.delay = float(delay)
+        self.value = value
+
+    def _subscribe(self, sim: "Simulator", resume: Callable[[Any], None]) -> None:
+        sim.schedule(self.delay, lambda: resume(self.value), label="timeout")
+
+
+class Process:
+    """A coroutine process driven by the simulator.
+
+    The wrapped generator yields awaitables; each yield suspends the process
+    until the awaitable completes, and the awaitable's value is sent back in.
+    A process is itself awaitable (join semantics): waiters receive the
+    generator's return value.
+    """
+
+    __slots__ = ("sim", "name", "_gen", "_done", "_result", "_error", "_waiters")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any], name: str = "") -> None:
+        self.sim = sim
+        self.name = name or getattr(gen, "__name__", "process")
+        self._gen = gen
+        self._done = False
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    @property
+    def done(self) -> bool:
+        """Whether the generator has finished (normally or with an error)."""
+        return self._done
+
+    @property
+    def result(self) -> Any:
+        """Return value of the generator; raises if it failed or is still running."""
+        if not self._done:
+            raise ProcessError(f"process {self.name!r} still running")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _subscribe(self, sim: "Simulator", resume: Callable[[Any], None]) -> None:
+        if self._done:
+            sim.schedule(0.0, lambda: resume(self._result), label="join-done")
+        else:
+            self._waiters.append(resume)
+
+    def _start(self) -> None:
+        self.sim.schedule(0.0, lambda: self._step(None), label=f"start:{self.name}")
+
+    def _step(self, value: Any) -> None:
+        if self._done:
+            raise ProcessError(f"resumed finished process {self.name!r}")
+        try:
+            awaited = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except BaseException as exc:  # propagate after marking done
+            self._finish(None, exc)
+            raise
+        subscribe = getattr(awaited, "_subscribe", None)
+        if subscribe is None:
+            err = ProcessError(
+                f"process {self.name!r} yielded non-awaitable {awaited!r}"
+            )
+            self._finish(None, err)
+            raise err
+        subscribe(self.sim, self._step)
+
+    def _finish(self, result: Any, error: Optional[BaseException]) -> None:
+        self._done = True
+        self._result = result
+        self._error = error
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            self.sim.schedule(0.0, lambda r=resume: r(result), label=f"join:{self.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class Simulator:
+    """Event loop owning the simulated clock.
+
+    A single instance underlies one simulated cluster execution. The clock
+    unit is seconds; it starts at 0 and only moves forward.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._seq = 0
+        self._running = False
+        self.events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        priority: int = EventPriority.NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Run *callback* ``delay`` seconds from now; returns a cancellable handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        return self.schedule_at(self._now + delay, callback, priority, label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        priority: int = EventPriority.NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Run *callback* at absolute simulated *time* (>= now)."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at t={time} < now={self._now}")
+        self._seq += 1
+        event = Event(time=time, priority=int(priority), seq=self._seq,
+                      callback=callback, label=label)
+        self._queue.push(event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (no-op if already fired or cancelled)."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.notify_cancelled()
+
+    def spawn(self, gen: Generator[Any, Any, Any], name: str = "") -> Process:
+        """Register a coroutine process; it first runs at the current time."""
+        process = Process(self, gen, name=name)
+        process._start()
+        return process
+
+    def step(self) -> bool:
+        """Fire the earliest event. Returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        if event.time < self._now:
+            raise SimulationError("event queue returned a past event")
+        self._now = event.time
+        self.events_fired += 1
+        event.callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Drain events until quiescence, ``until`` time, or ``max_events``.
+
+        Returns the clock value when the run stops. When *until* is given,
+        the clock is advanced to exactly *until* even if the last event fires
+        earlier (so periodic samplers see a full window).
+        """
+        if self._running:
+            raise SimulationError("run() re-entered")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_all(self, processes: Iterable[Process], until: Optional[float] = None) -> float:
+        """Run until every process in *processes* is done (or *until*)."""
+        processes = list(processes)
+        while True:
+            pending = [p for p in processes if not p.done]
+            if not pending:
+                return self._now
+            before = self.events_fired
+            self.run(until=until, max_events=100_000_000)
+            if until is not None and self._now >= until:
+                return self._now
+            if self.events_fired == before:
+                names = ", ".join(p.name for p in pending)
+                raise SimulationError(f"deadlock: processes never complete: {names}")
+
+    def pending_events(self) -> int:
+        """Number of live events still queued (diagnostics)."""
+        return len(self._queue)

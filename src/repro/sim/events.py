@@ -1,0 +1,60 @@
+"""Event records for the discrete-event engine.
+
+An :class:`Event` is a callback bound to a simulated timestamp. Ordering is
+fully deterministic: events compare by ``(time, priority, seq)`` where *seq*
+is a monotonically increasing issue number, so two events at the same time
+and priority fire in the order they were scheduled. Priorities let the
+engine express things like "deliver messages before running schedulers at
+the same timestamp" without fragile epsilon offsets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class EventPriority(enum.IntEnum):
+    """Tie-break classes for events that share a timestamp.
+
+    Lower values fire first. The bands are deliberately coarse: most events
+    are ``NORMAL``; ``DELIVERY`` is used for message arrival so that state
+    observed by same-time control logic is up to date; ``POLICY`` runs
+    periodic balancing after ordinary work has settled; ``TRACE`` runs last
+    so that recorded snapshots observe the final state of a timestamp.
+    """
+
+    DELIVERY = 0
+    NORMAL = 1
+    POLICY = 2
+    TRACE = 3
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`repro.sim.engine.Simulator.schedule`;
+    user code normally only keeps them around to :meth:`cancel` them.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.
+
+        Cancelling an already-fired or already-cancelled event is a no-op;
+        the queue lazily discards cancelled entries when they surface.
+        """
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = self.label or getattr(self.callback, "__name__", "<fn>")
+        return f"Event(t={self.time:.6f}, prio={self.priority}, {name}, {state})"

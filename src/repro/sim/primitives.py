@@ -1,0 +1,235 @@
+"""Synchronisation primitives usable from both callbacks and coroutines.
+
+All primitives follow one tiny protocol: an awaitable exposes
+``_subscribe(sim, resume)`` where ``resume(value)`` continues the waiter.
+Callback-style code can use the explicit ``wait(callback)`` methods instead
+of yielding.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from ..errors import SimulationError
+from .engine import Simulator
+
+__all__ = ["Signal", "Gate", "Resource", "Store"]
+
+
+class Signal:
+    """One-shot event: fires once with a value; late waiters resume immediately."""
+
+    __slots__ = ("sim", "name", "_fired", "_value", "_waiters")
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._fired = False
+        self._value: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise SimulationError(f"signal {self.name!r} not fired yet")
+        return self._value
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the signal; waiters resume at the current time. Firing twice errors."""
+        if self._fired:
+            raise SimulationError(f"signal {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            self.sim.schedule(0.0, lambda r=resume: r(value), label=f"signal:{self.name}")
+
+    def wait(self, callback: Callable[[Any], None]) -> None:
+        """Callback-style wait."""
+        if self._fired:
+            self.sim.schedule(0.0, lambda: callback(self._value), label=f"signal:{self.name}")
+        else:
+            self._waiters.append(callback)
+
+    # awaitable protocol
+    def _subscribe(self, sim: Simulator, resume: Callable[[Any], None]) -> None:
+        self.wait(resume)
+
+
+class Gate:
+    """Reusable open/closed barrier.
+
+    While open, waiters pass straight through; while closed they queue until
+    the next :meth:`open`. Used for modelling cores becoming available.
+    """
+
+    __slots__ = ("sim", "name", "_open", "_waiters")
+
+    def __init__(self, sim: Simulator, opened: bool = False, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._open = opened
+        self._waiters: list[Callable[[Any], None]] = []
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def open(self) -> None:
+        """Open the gate and release every queued waiter."""
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            self.sim.schedule(0.0, lambda r=resume: r(None), label=f"gate:{self.name}")
+
+    def close(self) -> None:
+        """Close the gate; subsequent waiters queue until :meth:`open`."""
+        self._open = False
+
+    def wait(self, callback: Callable[[Any], None]) -> None:
+        """Callback-style wait: fires now if open, else queues."""
+        if self._open:
+            self.sim.schedule(0.0, lambda: callback(None), label=f"gate:{self.name}")
+        else:
+            self._waiters.append(callback)
+
+    def _subscribe(self, sim: Simulator, resume: Callable[[Any], None]) -> None:
+        self.wait(resume)
+
+
+class _ResourceTicket:
+    """Awaitable handle for a pending :class:`Resource` acquisition."""
+
+    __slots__ = ("_resource", "_granted", "_resume")
+
+    def __init__(self, resource: "Resource") -> None:
+        self._resource = resource
+        self._granted = False
+        self._resume: Optional[Callable[[Any], None]] = None
+
+    def _grant(self) -> None:
+        self._granted = True
+        if self._resume is not None:
+            resume, self._resume = self._resume, None
+            self._resource.sim.schedule(0.0, lambda: resume(None), label="resource-grant")
+
+    def _subscribe(self, sim: Simulator, resume: Callable[[Any], None]) -> None:
+        if self._granted:
+            sim.schedule(0.0, lambda: resume(None), label="resource-grant")
+        else:
+            self._resume = resume
+
+
+class Resource:
+    """Counting resource with FIFO grant order.
+
+    ``acquire()`` returns an awaitable ticket; ``release()`` hands a unit to
+    the oldest waiter, if any.
+    """
+
+    __slots__ = ("sim", "capacity", "_in_use", "_waiters")
+
+    def __init__(self, sim: Simulator, capacity: int) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"resource capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[_ResourceTicket] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def acquire(self) -> _ResourceTicket:
+        """Awaitable ticket; grants immediately while under capacity."""
+        ticket = _ResourceTicket(self)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ticket._grant()
+        else:
+            self._waiters.append(ticket)
+        return ticket
+
+    def release(self) -> None:
+        """Return one unit; the oldest waiter (if any) is granted."""
+        if self._in_use <= 0:
+            raise SimulationError("release of unacquired resource")
+        if self._waiters:
+            self._waiters.popleft()._grant()
+        else:
+            self._in_use -= 1
+
+
+class _StoreGet:
+    """Awaitable for a pending :class:`Store.get`."""
+
+    __slots__ = ("_value", "_have", "_resume", "_sim")
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._value: Any = None
+        self._have = False
+        self._resume: Optional[Callable[[Any], None]] = None
+
+    def _fulfil(self, value: Any) -> None:
+        self._have = True
+        self._value = value
+        if self._resume is not None:
+            resume, self._resume = self._resume, None
+            self._sim.schedule(0.0, lambda: resume(value), label="store-get")
+
+    def _subscribe(self, sim: Simulator, resume: Callable[[Any], None]) -> None:
+        if self._have:
+            sim.schedule(0.0, lambda: resume(self._value), label="store-get")
+        else:
+            self._resume = resume
+
+
+class Store:
+    """Unbounded FIFO of items with awaitable ``get``.
+
+    The message-matching engine of :mod:`repro.mpisim` layers on top of this
+    for simple in-order queues (e.g. per-(source, tag) channels).
+    """
+
+    __slots__ = ("sim", "_items", "_getters")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[_StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Append an item, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft()._fulfil(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> _StoreGet:
+        """Awaitable returning the oldest item (waits if empty)."""
+        handle = _StoreGet(self.sim)
+        if self._items:
+            handle._fulfil(self._items.popleft())
+        else:
+            self._getters.append(handle)
+        return handle
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None

@@ -1,0 +1,84 @@
+"""Binary-heap event queue with lazy cancellation.
+
+Kept separate from the engine so it can be unit-tested (and property-tested)
+in isolation: the heap invariant plus the deterministic ``(time, priority,
+seq)`` total order is what makes whole-simulation runs reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Optional
+
+from ..errors import SimulationError
+from .events import Event
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` ordered by ``(time, priority, seq)``.
+
+    Cancellation is lazy: cancelled events stay in the heap and are dropped
+    when popped, which keeps ``cancel`` O(1) at the cost of transient heap
+    growth — the right trade for runtimes that cancel timeouts constantly.
+    """
+
+    __slots__ = ("_heap", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> None:
+        """Insert *event*; it must not already be cancelled."""
+        if event.cancelled:
+            raise SimulationError("cannot enqueue a cancelled event")
+        heapq.heappush(self._heap, event)
+        self._live += 1
+
+    def notify_cancelled(self) -> None:
+        """Account for one event cancelled while still enqueued."""
+        self._live -= 1
+        if self._live < 0:
+            raise SimulationError("cancellation accounting underflow")
+        # Compact when the heap is dominated by dead entries, so a runtime
+        # that cancels many timeouts does not grow the heap unboundedly.
+        if len(self._heap) > 64 and self._live * 4 < len(self._heap):
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises :class:`SimulationError` when empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                self._live -= 1
+                return event
+        raise SimulationError("pop from empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest live event, or ``None`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def iter_pending(self) -> Iterator[Event]:
+        """Yield live events in heap (not chronological) order.
+
+        Intended for diagnostics and tests only.
+        """
+        return (e for e in self._heap if not e.cancelled)
+
+    def clear(self) -> None:
+        """Drop every event."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,76 @@
+"""FE² homogenisation over the real micro kernel."""
+
+import numpy as np
+import pytest
+
+from repro.apps.micropp import LinearElastic, SecantNonlinear, StructuredHexMesh
+from repro.apps.micropp.homogenization import (effective_moduli,
+                                               homogenised_stress,
+                                               stress_strain_curve)
+from repro.apps.micropp.microstructure import spherical_inclusions
+from repro.errors import WorkloadError
+
+MESH = StructuredHexMesh(4)
+
+
+class TestHomogenisedStress:
+    def test_homogeneous_linear_matches_hooke(self):
+        material = LinearElastic(youngs=500.0, poisson=0.25)
+        eps = np.array([1e-3, 0, 0, 0, 0, 0])
+        stress = homogenised_stress(MESH, material, eps)
+        expected = material.d_matrix() @ eps
+        np.testing.assert_allclose(stress, expected, rtol=1e-6, atol=1e-10)
+
+
+class TestStressStrainCurve:
+    def test_linear_material_gives_a_line(self):
+        strains, stresses = stress_strain_curve(MESH, LinearElastic(),
+                                                steps=4, max_strain=0.01)
+        secants = stresses[1:] / strains[1:]
+        assert np.allclose(secants, secants[0], rtol=1e-6)
+        assert stresses[0] == 0.0
+
+    def test_nonlinear_composite_softens(self):
+        phase = spherical_inclusions(MESH, 0.25, contrast=10.0, seed=3)
+        strains, stresses = stress_strain_curve(
+            MESH, SecantNonlinear(), steps=5, max_strain=0.02,
+            phase_scale=phase)
+        # positive stress response throughout...
+        assert np.all(stresses[1:] > 0)
+        # ...with a strongly decreasing secant modulus (softening), which
+        # for this strain-softening law includes a post-peak branch
+        secants = stresses[1:] / strains[1:]
+        assert np.all(np.diff(secants) < 0)
+        assert secants[-1] < secants[0] * 0.5
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            stress_strain_curve(MESH, LinearElastic(), direction=6)
+        with pytest.raises(WorkloadError):
+            stress_strain_curve(MESH, LinearElastic(), steps=0)
+
+
+class TestEffectiveModuli:
+    def test_homogeneous_recovers_input_properties(self):
+        material = LinearElastic(youngs=800.0, poisson=0.3)
+        moduli = effective_moduli(MESH, material)
+        assert moduli.youngs == pytest.approx(800.0, rel=1e-4)
+        assert moduli.poisson == pytest.approx(0.3, rel=1e-4)
+
+    def test_composite_between_voigt_and_reuss_bounds(self):
+        """The effective modulus of a two-phase composite must sit between
+        the Reuss (series) and Voigt (parallel) bounds."""
+        contrast = 5.0
+        phase = spherical_inclusions(MESH, 0.3, contrast=contrast, seed=1)
+        base = LinearElastic(youngs=100.0, poisson=0.3)
+        moduli = effective_moduli(MESH, base, phase_scale=phase)
+        fraction = (phase > 1.0).mean()
+        e_matrix, e_inclusion = 100.0, 100.0 * contrast
+        voigt = fraction * e_inclusion + (1 - fraction) * e_matrix
+        reuss = 1.0 / (fraction / e_inclusion + (1 - fraction) / e_matrix)
+        assert reuss * 0.99 <= moduli.youngs <= voigt * 1.01
+        assert moduli.youngs > e_matrix          # inclusions stiffen
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            effective_moduli(MESH, LinearElastic(), probe_strain=0.0)

@@ -1,0 +1,237 @@
+"""The real FE kernel: mesh, materials, assembly, CG, subdomain solves."""
+
+import numpy as np
+import pytest
+
+from repro.apps.micropp import (CgResult, LinearElastic, SecantNonlinear,
+                                StructuredHexMesh, conjugate_gradient,
+                                elasticity_matrix, solve_subdomain,
+                                spherical_inclusions, layered_phases)
+from repro.apps.micropp.assembly import (assemble_global, element_stiffness,
+                                         element_strains, equivalent_strain,
+                                         gauss_points, shape_gradients)
+from repro.apps.micropp.driver import macro_strain_displacement
+from repro.errors import WorkloadError
+
+
+class TestMesh:
+    def test_counts(self):
+        mesh = StructuredHexMesh(3)
+        assert mesh.num_nodes == 64
+        assert mesh.num_elements == 27
+        assert mesh.num_dofs == 192
+
+    def test_coordinates_span_unit_cube(self):
+        mesh = StructuredHexMesh(2)
+        coords = mesh.coordinates
+        assert coords.min() == 0.0 and coords.max() == 1.0
+
+    def test_connectivity_indices_valid(self):
+        mesh = StructuredHexMesh(3)
+        conn = mesh.connectivity
+        assert conn.min() >= 0 and conn.max() < mesh.num_nodes
+        # every element has 8 distinct nodes
+        for element in conn:
+            assert len(set(element)) == 8
+
+    def test_boundary_nodes_on_surface(self):
+        mesh = StructuredHexMesh(3)
+        coords = mesh.coordinates[mesh.boundary_nodes]
+        on_face = np.any((coords == 0.0) | (coords == 1.0), axis=1)
+        assert on_face.all()
+
+    def test_interior_nodes_exist(self):
+        mesh = StructuredHexMesh(3)
+        assert len(mesh.boundary_nodes) < mesh.num_nodes
+        assert len(mesh.free_dofs) + len(mesh.boundary_dofs) == mesh.num_dofs
+
+    def test_invalid_size(self):
+        with pytest.raises(WorkloadError):
+            StructuredHexMesh(0)
+
+
+class TestMaterials:
+    def test_elasticity_matrix_isotropic_structure(self):
+        d = elasticity_matrix(200.0, 0.3)
+        assert d.shape == (6, 6)
+        np.testing.assert_allclose(d, d.T)
+        assert d[0, 0] == pytest.approx(d[1, 1])
+        assert d[3, 3] == pytest.approx(200.0 / (2 * 1.3))   # shear modulus
+
+    def test_poisson_bounds(self):
+        with pytest.raises(WorkloadError):
+            elasticity_matrix(1.0, 0.5)
+        with pytest.raises(WorkloadError):
+            elasticity_matrix(-1.0, 0.3)
+
+    def test_linear_material_never_softens(self):
+        material = LinearElastic()
+        scale = material.stiffness_scale(np.array([0.0, 0.1, 10.0]))
+        np.testing.assert_allclose(scale, 1.0)
+
+    def test_nonlinear_softens_monotonically(self):
+        material = SecantNonlinear()
+        strains = np.array([0.0, 1e-3, 1e-2, 1e-1])
+        scale = material.stiffness_scale(strains)
+        assert scale[0] == pytest.approx(1.0)
+        assert np.all(np.diff(scale) < 0)
+        assert np.all(scale > 0)
+
+
+class TestAssembly:
+    def test_gauss_weights_integrate_unit_cube(self):
+        _pts, weights = gauss_points()
+        assert weights.sum() == pytest.approx(8.0)   # volume of [-1,1]^3
+
+    def test_shape_gradients_partition_of_unity(self):
+        # sum of gradients of all shape functions is zero everywhere
+        for xi in ([0, 0, 0], [0.3, -0.2, 0.7]):
+            grads = shape_gradients(np.array(xi))
+            np.testing.assert_allclose(grads.sum(axis=0), 0.0, atol=1e-14)
+
+    def test_element_stiffness_symmetric_psd(self):
+        ke = element_stiffness(elasticity_matrix(100.0, 0.3), 0.25)
+        np.testing.assert_allclose(ke, ke.T, atol=1e-10)
+        eigenvalues = np.linalg.eigvalsh(ke)
+        assert eigenvalues.min() > -1e-9
+        # exactly 6 rigid-body modes (3 translations + 3 rotations)
+        assert (np.abs(eigenvalues) < 1e-8).sum() == 6
+
+    def test_rigid_translation_produces_no_force(self):
+        ke = element_stiffness(elasticity_matrix(100.0, 0.3), 0.25)
+        translation = np.tile([1.0, 0.0, 0.0], 8)
+        np.testing.assert_allclose(ke @ translation, 0.0, atol=1e-9)
+
+    def test_global_matrix_shape_and_symmetry(self):
+        mesh = StructuredHexMesh(2)
+        ke = element_stiffness(elasticity_matrix(100.0, 0.3),
+                               mesh.element_size)
+        matrix = assemble_global(mesh, ke)
+        assert matrix.shape == (mesh.num_dofs, mesh.num_dofs)
+        assert abs(matrix - matrix.T).max() < 1e-9
+
+    def test_scaled_assembly(self):
+        mesh = StructuredHexMesh(2)
+        ke = element_stiffness(elasticity_matrix(100.0, 0.3),
+                               mesh.element_size)
+        doubled = assemble_global(mesh, ke, np.full(mesh.num_elements, 2.0))
+        single = assemble_global(mesh, ke)
+        assert abs(doubled - 2 * single).max() < 1e-9
+
+    def test_uniform_strain_recovered_exactly(self):
+        """Patch test: trilinear elements reproduce constant strain."""
+        mesh = StructuredHexMesh(3)
+        eps = np.array([0.01, -0.005, 0.002, 0.004, 0.0, -0.003])
+        u = macro_strain_displacement(mesh, eps)
+        strains = element_strains(mesh, u)
+        np.testing.assert_allclose(
+            strains, np.tile(eps, (mesh.num_elements, 1)), atol=1e-12)
+
+    def test_equivalent_strain_positive(self):
+        strains = np.random.default_rng(0).normal(0, 0.01, (5, 6))
+        eq = equivalent_strain(strains)
+        assert (eq >= 0).all()
+
+
+class TestCg:
+    def test_solves_spd_system(self):
+        import scipy.sparse as sp
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(30, 30))
+        matrix = sp.csr_matrix(a @ a.T + 30 * np.eye(30))
+        x_true = rng.normal(size=30)
+        result = conjugate_gradient(matrix, matrix @ x_true, tol=1e-12)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, atol=1e-8)
+
+    def test_zero_rhs_immediate(self):
+        import scipy.sparse as sp
+        result = conjugate_gradient(sp.eye(5, format="csr"), np.zeros(5))
+        assert result.iterations == 0 and result.converged
+
+    def test_shape_mismatch_rejected(self):
+        import scipy.sparse as sp
+        with pytest.raises(WorkloadError):
+            conjugate_gradient(sp.eye(5, format="csr"), np.zeros(4))
+
+    def test_warm_start_reduces_iterations(self):
+        import scipy.sparse as sp
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(40, 40))
+        matrix = sp.csr_matrix(a @ a.T + 40 * np.eye(40))
+        rhs = rng.normal(size=40)
+        cold = conjugate_gradient(matrix, rhs, tol=1e-10)
+        warm = conjugate_gradient(matrix, rhs, tol=1e-10,
+                                  x0=cold.x + 1e-8 * rng.normal(size=40))
+        assert warm.iterations < cold.iterations
+
+
+class TestSubdomainSolve:
+    def test_homogeneous_linear_matches_hooke(self):
+        """Uniform strain on a homogeneous linear RVE: sigma = D eps."""
+        mesh = StructuredHexMesh(3)
+        material = LinearElastic()
+        eps = np.array([0.01, 0.0, 0.0, 0.0, 0.0, 0.005])
+        result = solve_subdomain(mesh, material, eps)
+        expected = material.d_matrix() @ eps
+        np.testing.assert_allclose(result.average_stress, expected,
+                                   rtol=1e-6, atol=1e-9)
+        assert result.picard_iterations == 1
+        assert result.converged
+
+    def test_stiff_inclusions_raise_average_stress(self):
+        mesh = StructuredHexMesh(4)
+        eps = np.array([0.01, 0, 0, 0, 0, 0])
+        phase = spherical_inclusions(mesh, 0.3, contrast=10.0, seed=1)
+        soft = solve_subdomain(mesh, LinearElastic(), eps)
+        hard = solve_subdomain(mesh, LinearElastic(), eps, phase_scale=phase)
+        assert hard.average_stress[0] > soft.average_stress[0]
+
+    def test_nonlinear_iterates_and_softens(self):
+        mesh = StructuredHexMesh(4)
+        eps = np.array([0.02, 0, 0, 0, 0, 0.01])
+        phase = spherical_inclusions(mesh, 0.25, contrast=10.0, seed=3)
+        linear = solve_subdomain(mesh, LinearElastic(), eps,
+                                 phase_scale=phase)
+        nonlinear = solve_subdomain(mesh, SecantNonlinear(), eps,
+                                    phase_scale=phase)
+        assert nonlinear.converged
+        assert nonlinear.picard_iterations > 3
+        assert nonlinear.cg_iterations_total > linear.cg_iterations_total
+        assert nonlinear.average_stress[0] < linear.average_stress[0]
+
+    def test_zero_strain_gives_zero_stress(self):
+        mesh = StructuredHexMesh(2)
+        result = solve_subdomain(mesh, LinearElastic(), np.zeros(6))
+        np.testing.assert_allclose(result.average_stress, 0.0, atol=1e-12)
+
+    def test_bad_macro_strain_rejected(self):
+        with pytest.raises(WorkloadError):
+            solve_subdomain(StructuredHexMesh(2), LinearElastic(),
+                            np.zeros(5))
+
+    def test_bad_phase_shape_rejected(self):
+        mesh = StructuredHexMesh(2)
+        with pytest.raises(WorkloadError):
+            solve_subdomain(mesh, LinearElastic(), np.zeros(6),
+                            phase_scale=np.ones(3))
+
+
+class TestMicrostructure:
+    def test_inclusion_fraction_roughly_respected(self):
+        mesh = StructuredHexMesh(8)
+        phase = spherical_inclusions(mesh, 0.2, contrast=5.0, seed=0)
+        fraction = (phase > 1.0).mean()
+        assert 0.05 < fraction < 0.5
+
+    def test_layered_alternates(self):
+        mesh = StructuredHexMesh(4)
+        phase = layered_phases(mesh, contrast=3.0, layers=2)
+        assert set(np.unique(phase)) == {1.0, 3.0}
+
+    def test_validation(self):
+        mesh = StructuredHexMesh(2)
+        with pytest.raises(WorkloadError):
+            spherical_inclusions(mesh, 1.5, 2.0)
+        with pytest.raises(WorkloadError):
+            layered_phases(mesh, contrast=0.0)

@@ -1,0 +1,224 @@
+"""Real n-body: octree invariants, force accuracy, ORB balance, dynamics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.nbody import (BodySet, NBodySimulation,
+                              accelerations_barnes_hut, accelerations_direct,
+                              build_octree, orb_partition, partition_weights,
+                              plummer_sphere, total_energy, uniform_cube)
+from repro.errors import WorkloadError
+
+
+class TestBodies:
+    def test_plummer_properties(self):
+        bodies = plummer_sphere(500, seed=1)
+        assert len(bodies) == 500
+        assert bodies.total_mass == pytest.approx(1.0)
+        # centre of mass near origin
+        assert np.linalg.norm(bodies.center_of_mass()) < 0.5
+
+    def test_uniform_cube_bounds(self):
+        bodies = uniform_cube(100, seed=0, side=2.0)
+        assert np.abs(bodies.positions).max() <= 1.0
+        assert np.allclose(bodies.velocities, 0.0)
+
+    def test_determinism(self):
+        a = plummer_sphere(50, seed=3)
+        b = plummer_sphere(50, seed=3)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_copy_is_independent(self):
+        bodies = uniform_cube(10, seed=0)
+        clone = bodies.copy()
+        clone.positions += 1.0
+        assert not np.allclose(bodies.positions, clone.positions)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            BodySet(np.zeros((3, 3)), np.zeros((2, 3)), np.ones(3))
+        with pytest.raises(WorkloadError):
+            BodySet(np.zeros((2, 3)), np.zeros((2, 3)), np.zeros(2))
+
+
+class TestOctree:
+    def test_root_aggregates_everything(self):
+        bodies = uniform_cube(200, seed=1)
+        tree = build_octree(bodies.positions, bodies.masses)
+        assert tree.total_mass() == pytest.approx(bodies.total_mass)
+        com = (bodies.masses[:, None] * bodies.positions).sum(axis=0)
+        np.testing.assert_allclose(tree.coms[0], com / bodies.total_mass)
+
+    def test_every_body_in_exactly_one_leaf(self):
+        bodies = uniform_cube(300, seed=2)
+        tree = build_octree(bodies.positions, bodies.masses, leaf_size=4)
+        seen = np.concatenate([ids for ids in tree.leaf_bodies if ids.size])
+        assert sorted(seen.tolist()) == list(range(300))
+
+    def test_leaf_size_respected(self):
+        bodies = uniform_cube(300, seed=2)
+        tree = build_octree(bodies.positions, bodies.masses, leaf_size=4)
+        for node in range(tree.num_nodes):
+            if tree.is_leaf(node) and tree.leaf_bodies[node].size:
+                assert tree.leaf_bodies[node].size <= 4
+
+    def test_children_masses_sum_to_parent(self):
+        bodies = uniform_cube(200, seed=3)
+        tree = build_octree(bodies.positions, bodies.masses)
+        for node in range(tree.num_nodes):
+            children = [int(c) for c in tree.children[node] if c >= 0]
+            if children:
+                child_mass = sum(tree.masses[c] for c in children)
+                assert child_mass == pytest.approx(tree.masses[node])
+
+    def test_coincident_points_handled(self):
+        positions = np.zeros((20, 3))
+        masses = np.ones(20)
+        tree = build_octree(positions, masses, leaf_size=2, max_depth=6)
+        assert tree.total_mass() == 20.0
+
+    def test_single_body(self):
+        tree = build_octree(np.array([[0.5, 0.5, 0.5]]), np.array([2.0]))
+        assert tree.num_nodes == 1
+        assert tree.is_leaf(0)
+
+
+class TestForces:
+    def test_direct_newton_third_law(self):
+        bodies = uniform_cube(50, seed=4)
+        acc = accelerations_direct(bodies.positions, bodies.masses)
+        total_force = (bodies.masses[:, None] * acc).sum(axis=0)
+        np.testing.assert_allclose(total_force, 0.0, atol=1e-12)
+
+    def test_two_body_analytic(self):
+        positions = np.array([[0.0, 0, 0], [1.0, 0, 0]])
+        masses = np.array([1.0, 2.0])
+        acc = accelerations_direct(positions, masses, gravity=1.0,
+                                   softening=0.0)
+        assert acc[0, 0] == pytest.approx(2.0)     # G m2 / r^2
+        assert acc[1, 0] == pytest.approx(-1.0)
+
+    def test_barnes_hut_close_to_direct(self):
+        bodies = plummer_sphere(400, seed=5)
+        direct = accelerations_direct(bodies.positions, bodies.masses)
+        bh = accelerations_barnes_hut(bodies.positions, bodies.masses,
+                                      theta=0.4).accelerations
+        err = np.linalg.norm(bh - direct, axis=1)
+        scale = np.linalg.norm(direct, axis=1)
+        assert np.median(err / scale) < 0.02
+
+    def test_theta_zero_limit_is_exact(self):
+        """theta -> 0 opens every cell: BH degenerates to direct sum."""
+        bodies = uniform_cube(60, seed=6)
+        direct = accelerations_direct(bodies.positions, bodies.masses)
+        bh = accelerations_barnes_hut(bodies.positions, bodies.masses,
+                                      theta=1e-9).accelerations
+        np.testing.assert_allclose(bh, direct, rtol=1e-9, atol=1e-12)
+
+    def test_larger_theta_fewer_interactions(self):
+        bodies = plummer_sphere(300, seed=7)
+        tight = accelerations_barnes_hut(bodies.positions, bodies.masses,
+                                         theta=0.3)
+        loose = accelerations_barnes_hut(bodies.positions, bodies.masses,
+                                         theta=0.9)
+        assert loose.interactions.sum() < tight.interactions.sum()
+
+    def test_targets_subset(self):
+        bodies = uniform_cube(100, seed=8)
+        full = accelerations_barnes_hut(bodies.positions, bodies.masses)
+        subset = accelerations_barnes_hut(bodies.positions, bodies.masses,
+                                          targets=np.array([3, 7]))
+        np.testing.assert_allclose(subset.accelerations,
+                                   full.accelerations[[3, 7]])
+
+    def test_invalid_theta(self):
+        bodies = uniform_cube(10, seed=0)
+        with pytest.raises(WorkloadError):
+            accelerations_barnes_hut(bodies.positions, bodies.masses,
+                                     theta=0.0)
+
+
+class TestOrb:
+    def test_partition_counts(self):
+        bodies = uniform_cube(128, seed=9)
+        weights = np.ones(128)
+        for parts in (1, 2, 3, 4, 7, 8):
+            assignment = orb_partition(bodies.positions, weights, parts)
+            assert set(assignment) == set(range(parts))
+
+    def test_equal_weights_equal_counts(self):
+        bodies = uniform_cube(128, seed=10)
+        assignment = orb_partition(bodies.positions, np.ones(128), 4)
+        counts = np.bincount(assignment)
+        assert counts.max() - counts.min() <= 2
+
+    def test_weighted_split_balances_work(self):
+        rng = np.random.default_rng(11)
+        positions = rng.uniform(0, 1, (400, 3))
+        weights = rng.uniform(0.1, 10.0, 400)
+        assignment = orb_partition(positions, weights, 8)
+        work = partition_weights(assignment, weights, 8)
+        assert work.max() / work.mean() < 1.35
+
+    def test_partitions_spatially_contiguous_first_cut(self):
+        """After the first bisection, the two halves separate along an axis."""
+        rng = np.random.default_rng(12)
+        positions = rng.uniform(0, 1, (200, 3))
+        assignment = orb_partition(positions, np.ones(200), 2)
+        left = positions[assignment == 0]
+        right = positions[assignment == 1]
+        # find the axis where they separate
+        separated = any(left[:, k].max() <= right[:, k].min() + 1e-12
+                        or right[:, k].max() <= left[:, k].min() + 1e-12
+                        for k in range(3))
+        assert separated
+
+    def test_more_parts_than_bodies_rejected(self):
+        with pytest.raises(WorkloadError):
+            orb_partition(np.zeros((2, 3)), np.ones(2), 3)
+
+    @given(st.integers(1, 16), st.integers(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_is_total_and_balanced(self, parts, seed):
+        rng = np.random.default_rng(seed)
+        n = parts * 20
+        positions = rng.uniform(0, 1, (n, 3))
+        weights = rng.uniform(0.5, 2.0, n)
+        assignment = orb_partition(positions, weights, parts)
+        assert assignment.shape == (n,)
+        assert assignment.min() >= 0 and assignment.max() < parts
+        work = partition_weights(assignment, weights, parts)
+        assert (work > 0).all()
+        assert work.max() / work.mean() < 2.0
+
+
+class TestSimulation:
+    def test_energy_conserved_over_short_run(self):
+        bodies = plummer_sphere(150, seed=13)
+        sim = NBodySimulation(bodies, num_ranks=2, dt=1e-3)
+        e0 = total_energy(sim.bodies)
+        sim.run(10)
+        e1 = total_energy(sim.bodies)
+        assert abs((e1 - e0) / e0) < 1e-3
+
+    def test_orb_imbalance_decreases_after_first_step(self):
+        bodies = plummer_sphere(200, seed=14)
+        sim = NBodySimulation(bodies, num_ranks=4)
+        stats = sim.run(3)
+        # step 1 uses uniform weights; later steps use measured counts
+        assert stats[-1].orb_imbalance <= stats[0].orb_imbalance + 0.05
+        assert stats[-1].orb_imbalance < 1.3
+
+    def test_validate_against_direct(self):
+        bodies = plummer_sphere(200, seed=15)
+        sim = NBodySimulation(bodies, num_ranks=2)
+        assert sim.validate_against_direct(tolerance=0.05) < 0.05
+
+    def test_step_stats_shape(self):
+        sim = NBodySimulation(uniform_cube(64, seed=16), num_ranks=4)
+        stats = sim.step()
+        assert stats.step == 1
+        assert stats.work_per_rank.shape == (4,)
+        assert stats.interactions_total == stats.work_per_rank.sum()

@@ -1,0 +1,162 @@
+"""The §5.4.2 LP: optimality, constraints, home preference, slow nodes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.balance import solve_core_allocation
+from repro.graph import BipartiteGraph, random_biregular
+
+
+def full_graph(n):
+    return BipartiteGraph.full(n, n)
+
+
+def uniform(n, cores=8, speed=1.0):
+    return {i: cores for i in range(n)}, {i: speed for i in range(n)}
+
+
+class TestConstraints:
+    def test_every_worker_keeps_one_core(self):
+        graph = full_graph(2)
+        cores, speed = uniform(2)
+        allocation = solve_core_allocation(graph, {0: 100.0, 1: 0.0},
+                                           cores, speed)
+        for node in range(2):
+            for count in allocation[node].values():
+                assert count >= 1
+
+    def test_node_totals_exactly_cores(self):
+        graph = random_biregular(8, 4, 2, np.random.default_rng(0))
+        cores = {n: 16 for n in range(4)}
+        speed = {n: 1.0 for n in range(4)}
+        work = {a: float(a + 1) for a in range(8)}
+        allocation = solve_core_allocation(graph, work, cores, speed)
+        for node in range(4):
+            assert sum(allocation[node].values()) == 16
+
+    def test_only_graph_edges_receive_cores(self):
+        graph = random_biregular(4, 4, 2, np.random.default_rng(1))
+        cores, speed = uniform(4)
+        allocation = solve_core_allocation(graph, {a: 1.0 for a in range(4)},
+                                           cores, speed)
+        for node, counts in allocation.items():
+            for (apprank, n) in counts:
+                assert n == node
+                assert node in graph.nodes_of(apprank)
+
+
+class TestOptimality:
+    def test_balanced_work_prefers_home_cores(self):
+        """With equal works the epsilon incentive keeps cores home
+        (Figure 5(b): no unnecessary offloading)."""
+        graph = full_graph(2)
+        cores, speed = uniform(2, cores=8)
+        allocation = solve_core_allocation(graph, {0: 4.0, 1: 4.0},
+                                           cores, speed)
+        # apprank 0's home is node 0: it gets all but the helper floor
+        assert allocation[0][(0, 0)] == 7
+        assert allocation[1][(1, 1)] == 7
+
+    def test_skewed_work_shifts_cores(self):
+        graph = full_graph(2)
+        cores, speed = uniform(2, cores=8)
+        allocation = solve_core_allocation(graph, {0: 12.0, 1: 4.0},
+                                           cores, speed)
+        apprank0_total = allocation[0][(0, 0)] + allocation[1][(0, 1)]
+        assert apprank0_total == 12      # 3/4 of 16 cores
+
+    def test_all_work_on_one_apprank(self):
+        graph = full_graph(4)
+        cores, speed = uniform(4, cores=8)
+        allocation = solve_core_allocation(
+            graph, {0: 5.0, 1: 0.0, 2: 0.0, 3: 0.0}, cores, speed)
+        total0 = sum(allocation[n][(0, n)] for n in range(4))
+        # apprank 0 gets everything except the other workers' floors
+        assert total0 == 4 * 8 - 4 * 3
+
+    def test_slow_node_capacity_discounted(self):
+        """A core on a half-speed node contributes half the capacity; the
+        LP equalises *capacity* per unit work, not core counts. With equal
+        works, both appranks end within one fast-core of equal capacity
+        (the apprank homed on the slow node holds more, cheaper, cores)."""
+        graph = full_graph(2)
+        cores = {0: 8, 1: 8}
+        speed = {0: 1.0, 1: 0.5}
+        allocation = solve_core_allocation(graph, {0: 6.0, 1: 6.0},
+                                           cores, speed)
+
+        def capacity(apprank):
+            return sum(speed[n] * allocation[n][(apprank, n)]
+                       for n in range(2))
+
+        assert abs(capacity(0) - capacity(1)) <= 1.0
+        # and the slow-homed apprank holds at least as many raw cores
+        cores1 = sum(allocation[n][(1, n)] for n in range(2))
+        cores0 = sum(allocation[n][(0, n)] for n in range(2))
+        assert cores1 >= cores0
+
+    def test_degree_one_graph_keeps_everything_home(self):
+        graph = BipartiteGraph.trivial(2, 2)
+        cores, speed = uniform(2, cores=8)
+        allocation = solve_core_allocation(graph, {0: 9.0, 1: 1.0},
+                                           cores, speed)
+        assert allocation[0] == {(0, 0): 8}
+        assert allocation[1] == {(1, 1): 8}
+
+    def test_zero_work_all_round(self):
+        graph = full_graph(2)
+        cores, speed = uniform(2, cores=8)
+        allocation = solve_core_allocation(graph, {0: 0.0, 1: 0.0},
+                                           cores, speed)
+        for node in range(2):
+            assert sum(allocation[node].values()) == 8
+
+
+class TestLpProperties:
+    @given(st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_feasibility_for_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        num_nodes = int(rng.integers(2, 6))
+        per_node = int(rng.integers(1, 3))
+        num_appranks = num_nodes * per_node
+        degree = int(rng.integers(1, num_nodes + 1))
+        graph = random_biregular(num_appranks, num_nodes, degree, rng)
+        cores = {n: int(rng.integers(degree * per_node + 1, 32))
+                 for n in range(num_nodes)}
+        speed = {n: float(rng.uniform(0.5, 1.5)) for n in range(num_nodes)}
+        work = {a: float(rng.uniform(0, 20)) for a in range(num_appranks)}
+        allocation = solve_core_allocation(graph, work, cores, speed)
+        for node in range(num_nodes):
+            counts = allocation[node]
+            assert sum(counts.values()) == cores[node]
+            assert all(c >= 1 for c in counts.values())
+            assert set(counts) == {(a, node) for a in graph.appranks_on(node)}
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_balances_better_than_static_split(self, seed):
+        """The LP's bottleneck (max work/capacity) is never worse than the
+        static equal split's bottleneck."""
+        rng = np.random.default_rng(seed)
+        num_nodes = int(rng.integers(2, 5))
+        graph = BipartiteGraph.full(num_nodes, num_nodes)
+        cores = {n: 16 for n in range(num_nodes)}
+        speed = {n: 1.0 for n in range(num_nodes)}
+        work = {a: float(rng.uniform(0.5, 20)) for a in range(num_nodes)}
+        allocation = solve_core_allocation(graph, work, cores, speed)
+
+        def bottleneck(assignments):
+            worst = 0.0
+            for a in range(num_nodes):
+                capacity = sum(assignments[n].get((a, n), 0)
+                               for n in range(num_nodes))
+                worst = max(worst, work[a] / max(capacity, 1e-12))
+            return worst
+
+        static = {n: {(a, n): (16 if a == n else 0)
+                      for a in range(num_nodes)} for n in range(num_nodes)}
+        # +1 core of slack: integer rounding may cost one core vs continuous
+        assert bottleneck(allocation) <= bottleneck(static) * (1 + 1 / 8)

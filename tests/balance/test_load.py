@@ -1,0 +1,100 @@
+"""LoadMeter / MeterReader exactness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.balance import LoadMeter, MeterReader
+from repro.errors import AllocationError
+
+
+class TestLoadMeter:
+    def test_integral_of_constant_level(self):
+        meter = LoadMeter()
+        meter.increment(0.0)
+        meter.increment(0.0)
+        assert meter.integral_at(5.0) == pytest.approx(10.0)
+
+    def test_piecewise_integral(self):
+        meter = LoadMeter()
+        meter.increment(0.0)      # level 1 on [0, 2)
+        meter.increment(2.0)      # level 2 on [2, 3)
+        meter.decrement(3.0)      # level 1 on [3, 5)
+        assert meter.integral_at(5.0) == pytest.approx(2 + 2 + 2)
+
+    def test_level_tracking(self):
+        meter = LoadMeter()
+        meter.increment(1.0)
+        assert meter.level == 1
+        meter.decrement(2.0)
+        assert meter.level == 0
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(AllocationError):
+            LoadMeter().decrement(0.0)
+
+    def test_time_going_backwards_rejected(self):
+        meter = LoadMeter()
+        meter.increment(5.0)
+        with pytest.raises(AllocationError):
+            meter.increment(4.0)
+
+    @given(st.lists(st.tuples(st.floats(0.001, 1.0), st.booleans()),
+                    min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_integral_matches_manual_sum(self, steps):
+        """Random up/down walks: the meter's integral equals the hand
+        computed piecewise sum."""
+        meter = LoadMeter()
+        now = 0.0
+        level = 0
+        expected = 0.0
+        for dt, up in steps:
+            expected += level * dt
+            now += dt
+            if up or level == 0:
+                meter.increment(now)
+                level += 1
+            else:
+                meter.decrement(now)
+                level -= 1
+        assert meter.integral_at(now) == pytest.approx(expected)
+
+
+class TestMeterReader:
+    def test_average_over_window(self):
+        meter = LoadMeter()
+        reader = MeterReader(meter)
+        meter.increment(0.0)
+        meter.increment(0.0)
+        assert reader.read(4.0) == pytest.approx(2.0)
+
+    def test_read_advances_checkpoint(self):
+        meter = LoadMeter()
+        reader = MeterReader(meter)
+        meter.increment(0.0)
+        reader.read(2.0)
+        meter.increment(2.0)
+        assert reader.read(4.0) == pytest.approx(2.0)
+
+    def test_peek_does_not_advance(self):
+        meter = LoadMeter()
+        reader = MeterReader(meter)
+        meter.increment(0.0)
+        assert reader.peek(2.0) == pytest.approx(1.0)
+        assert reader.read(2.0) == pytest.approx(1.0)
+
+    def test_independent_readers(self):
+        meter = LoadMeter()
+        r1 = MeterReader(meter)
+        r2 = MeterReader(meter)
+        meter.increment(0.0)
+        r1.read(1.0)
+        # r2 unaffected by r1's checkpoint
+        assert r2.read(2.0) == pytest.approx(1.0)
+
+    def test_zero_window_returns_current_level(self):
+        meter = LoadMeter()
+        reader = MeterReader(meter)
+        meter.increment(0.0)
+        assert reader.read(0.0) == 1.0

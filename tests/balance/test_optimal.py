@@ -1,0 +1,83 @@
+"""Reference-time calculators used for the figures' optimal lines."""
+
+import pytest
+
+from repro.balance import (baseline_iteration_time, perfect_iteration_time,
+                           single_node_dlb_time)
+from repro.cluster import ClusterSpec, GENERIC_SMALL
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def spec():
+    return ClusterSpec.homogeneous(GENERIC_SMALL, 2)   # 2 nodes x 8 cores
+
+
+class TestPerfect:
+    def test_uniform_load(self, spec):
+        # 16 core·s of work over 16 cores -> 1 s
+        assert perfect_iteration_time([8.0, 8.0], spec) == pytest.approx(1.0)
+
+    def test_skewed_load_same_total(self, spec):
+        assert perfect_iteration_time([16.0, 0.0], spec) == pytest.approx(1.0)
+
+    def test_slow_node_reduces_capacity(self, spec):
+        slow = spec.with_slow_nodes({0: 0.5})
+        assert perfect_iteration_time([12.0, 0.0], slow) == pytest.approx(1.0)
+
+    def test_empty_rejected(self, spec):
+        with pytest.raises(ReproError):
+            perfect_iteration_time([], spec)
+
+
+class TestBaseline:
+    def test_max_rank_dominates(self, spec):
+        # each apprank has the full node (1/node): worst is 16/8 = 2 s
+        assert baseline_iteration_time([16.0, 4.0], spec, 1) == pytest.approx(2.0)
+
+    def test_two_per_node_halves_cores(self, spec):
+        four = ClusterSpec.homogeneous(GENERIC_SMALL, 2)
+        # 4 appranks, 2/node: each has 4 cores
+        assert baseline_iteration_time([4.0, 1.0, 1.0, 1.0], four, 2) \
+            == pytest.approx(1.0)
+
+    def test_slow_node_stretches_its_ranks(self, spec):
+        slow = spec.with_slow_nodes({0: 0.5})
+        assert baseline_iteration_time([4.0, 4.0], slow, 1) == pytest.approx(1.0)
+
+    def test_invalid_per_node(self, spec):
+        with pytest.raises(ReproError):
+            baseline_iteration_time([1.0], spec, 0)
+
+
+class TestSingleNodeDlb:
+    def test_pools_co_located_ranks(self, spec):
+        # 2/node: loads (6, 2) pool to 8 over 8 cores = 1 s; baseline
+        # would be 6/4 = 1.5 s
+        assert single_node_dlb_time([6.0, 2.0, 4.0, 4.0], spec, 2) \
+            == pytest.approx(1.0)
+
+    def test_cannot_cross_nodes(self, spec):
+        # node imbalance is confined (§5.2): node0 carries 12, node1 4
+        assert single_node_dlb_time([6.0, 6.0, 2.0, 2.0], spec, 2) \
+            == pytest.approx(1.5)
+
+    def test_ordering_baseline_ge_dlb_ge_perfect(self, spec):
+        loads = [7.0, 1.0, 3.0, 5.0]
+        baseline = baseline_iteration_time(loads, spec, 2)
+        dlb = single_node_dlb_time(loads, spec, 2)
+        perfect = perfect_iteration_time(loads, spec)
+        assert baseline >= dlb >= perfect
+
+
+class TestGranularityBound:
+    def test_adds_one_task(self, spec):
+        from repro.balance import granularity_bound, perfect_iteration_time
+        loads = [8.0, 8.0]
+        assert granularity_bound(loads, spec, 0.25) == pytest.approx(
+            perfect_iteration_time(loads, spec) + 0.25)
+
+    def test_negative_task_rejected(self, spec):
+        from repro.balance import granularity_bound
+        with pytest.raises(ReproError):
+            granularity_bound([1.0], spec, -0.1)

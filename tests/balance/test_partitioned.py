@@ -1,0 +1,104 @@
+"""Partitioned global solves (§5.4.2's scaling recommendation)."""
+
+import numpy as np
+import pytest
+
+from repro.balance import solve_core_allocation, solve_partitioned_allocation
+from repro.errors import AllocationError
+from repro.graph import BipartiteGraph, random_biregular
+
+
+def bottleneck(graph, work, allocation, node_speed):
+    worst = 0.0
+    for a in range(graph.num_appranks):
+        capacity = sum(node_speed[n] * allocation[n].get((a, n), 0)
+                       for n in graph.nodes_of(a))
+        if work.get(a, 0.0) > 0:
+            worst = max(worst, work[a] / max(capacity, 1e-12))
+    return worst
+
+
+class TestPartitionedSolve:
+    def setup_instance(self, num_nodes=8, per_node=1, degree=3, seed=0,
+                       cores=16):
+        rng = np.random.default_rng(seed)
+        graph = random_biregular(num_nodes * per_node, num_nodes, degree, rng)
+        node_cores = {n: cores for n in range(num_nodes)}
+        node_speed = {n: 1.0 for n in range(num_nodes)}
+        work = {a: float(rng.uniform(0.5, 20))
+                for a in range(graph.num_appranks)}
+        return graph, work, node_cores, node_speed
+
+    def test_structural_invariants_hold_per_group(self):
+        graph, work, cores, speed = self.setup_instance()
+        allocation = solve_partitioned_allocation(graph, work, cores, speed,
+                                                  group_nodes=4)
+        for n in range(graph.num_nodes):
+            counts = allocation[n]
+            assert sum(counts.values()) == cores[n]
+            assert all(c >= 1 for c in counts.values())
+            assert set(counts) == {(a, n) for a in graph.appranks_on(n)}
+
+    def test_cross_group_helpers_keep_exactly_the_floor(self):
+        graph, work, cores, speed = self.setup_instance()
+        allocation = solve_partitioned_allocation(graph, work, cores, speed,
+                                                  group_nodes=4)
+        crossings = 0
+        for n in range(graph.num_nodes):
+            group_start = (n // 4) * 4
+            group = set(range(group_start, group_start + 4))
+            for (a, _n), count in allocation[n].items():
+                if graph.home_node(a) not in group:
+                    crossings += 1
+                    assert count == 1
+        assert crossings > 0, "instance should have cross-group edges"
+
+    def test_matches_full_solve_when_group_covers_cluster(self):
+        graph, work, cores, speed = self.setup_instance(num_nodes=4)
+        full = solve_core_allocation(graph, work, cores, speed)
+        partitioned = solve_partitioned_allocation(graph, work, cores, speed,
+                                                   group_nodes=8)
+        assert bottleneck(graph, work, partitioned, speed) == pytest.approx(
+            bottleneck(graph, work, full, speed), rel=0.2)
+
+    def test_partitioned_close_to_full_quality(self):
+        """'These 32-node groups ... allow almost complete load balancing':
+        the per-group bottleneck should be within a modest factor of the
+        whole-cluster optimum."""
+        graph, work, cores, speed = self.setup_instance(num_nodes=16,
+                                                        degree=3, seed=5)
+        full = solve_core_allocation(graph, work, cores, speed)
+        partitioned = solve_partitioned_allocation(graph, work, cores, speed,
+                                                   group_nodes=8)
+        full_b = bottleneck(graph, work, full, speed)
+        part_b = bottleneck(graph, work, partitioned, speed)
+        assert part_b >= full_b * 0.999          # full solve is optimal
+        assert part_b <= full_b * 2.0            # groups stay effective
+
+    def test_invalid_group_size(self):
+        graph, work, cores, speed = self.setup_instance()
+        with pytest.raises(AllocationError):
+            solve_partitioned_allocation(graph, work, cores, speed,
+                                         group_nodes=0)
+
+    def test_live_policy_uses_partitioning(self):
+        from repro.apps.synthetic import SyntheticSpec, make_synthetic_app
+        from repro.cluster import MARENOSTRUM4, ClusterSpec
+        from repro.nanos import ClusterRuntime, RuntimeConfig
+
+        machine = MARENOSTRUM4.scaled(8)
+        spec = SyntheticSpec(num_appranks=8, imbalance=2.0,
+                             cores_per_apprank=8, tasks_per_core=8,
+                             iterations=3, seed=4)
+        config = RuntimeConfig.offloading(
+            3, "global", global_period=0.2, global_partition_nodes=4)
+        runtime = ClusterRuntime(ClusterSpec.homogeneous(machine, 8), 8,
+                                 config)
+        runtime.run_app(make_synthetic_app(spec))
+        assert runtime.policy.partition_nodes == 4
+        assert runtime.policy.solves > 0
+        # partitioned solver latency is cheaper than the full one
+        full_cfg = RuntimeConfig.offloading(3, "global")
+        full_rt = ClusterRuntime(ClusterSpec.homogeneous(machine, 8), 8,
+                                 full_cfg)
+        assert runtime.policy.solver_delay() < full_rt.policy.solver_delay()

@@ -1,0 +1,79 @@
+"""Policies exercised inside live simulations (local + global)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import SyntheticSpec, make_synthetic_app
+from repro.cluster import MARENOSTRUM4, ClusterSpec
+from repro.nanos import ClusterRuntime, RuntimeConfig
+
+
+def run(config, num_nodes=2, imbalance=2.0, cores=8, iterations=4):
+    machine = MARENOSTRUM4.scaled(cores)
+    spec = SyntheticSpec(num_appranks=num_nodes, imbalance=imbalance,
+                         cores_per_apprank=cores, tasks_per_core=10,
+                         iterations=iterations, seed=99)
+    runtime = ClusterRuntime(ClusterSpec.homogeneous(machine, num_nodes),
+                             num_nodes, config)
+    runtime.run_app(make_synthetic_app(spec))
+    return runtime
+
+
+class TestLocalPolicyLive:
+    def test_converges_ownership_toward_load(self):
+        config = RuntimeConfig.offloading(2, "local", local_period=0.02)
+        runtime = run(config)
+        # apprank 0 has twice the average load: it should own more cores
+        # than apprank 1 by the end of the run on at least one node
+        snapshot = runtime.drom.ownership_snapshot()
+        total0 = sum(counts.get((0, n), 0)
+                     for n, counts in snapshot.items())
+        total1 = sum(counts.get((1, n), 0)
+                     for n, counts in snapshot.items())
+        assert total0 > total1
+
+    def test_reallocation_counter_advances(self):
+        config = RuntimeConfig.offloading(2, "local", local_period=0.02)
+        runtime = run(config)
+        assert runtime.policy.ticks > 10
+        assert runtime.policy.reallocations > 0
+
+    def test_stop_cancels_tick(self):
+        config = RuntimeConfig.offloading(2, "local", local_period=0.02)
+        runtime = run(config)
+        ticks = runtime.policy.ticks
+        runtime.sim.run()           # drain: no further ticks scheduled
+        assert runtime.policy.ticks == ticks
+
+
+class TestGlobalPolicyLive:
+    def test_solver_runs_periodically(self):
+        config = RuntimeConfig.offloading(2, "global", global_period=0.3)
+        runtime = run(config, iterations=6)
+        assert runtime.policy.solves >= 3
+
+    def test_solver_delay_modelled(self):
+        config = RuntimeConfig.offloading(2, "global")
+        runtime = run(config)
+        delay = runtime.policy.solver_delay()
+        assert delay > 0
+        no_cost = RuntimeConfig.offloading(2, "global",
+                                           model_solver_cost=False)
+        runtime2 = run(no_cost)
+        assert runtime2.policy.solver_delay() == 0.0
+
+    def test_solver_delay_grows_with_nodes(self):
+        """§5.4.2: solve time grows ~quadratically; 57 ms at 32 nodes."""
+        config = RuntimeConfig.offloading(2, "global")
+        small = run(config, num_nodes=2)
+        big = run(config, num_nodes=4)
+        assert big.policy.solver_delay() > small.policy.solver_delay()
+
+    def test_32_node_delay_near_paper_value(self):
+        from repro.balance.global_policy import _SOLVE_SECONDS_AT_32_NODES
+        assert _SOLVE_SECONDS_AT_32_NODES == pytest.approx(57e-3)
+
+    def test_offloading_beats_baseline_on_imbalanced_load(self):
+        base = run(RuntimeConfig.baseline())
+        off = run(RuntimeConfig.offloading(2, "global", global_period=0.2))
+        assert off.elapsed < base.elapsed

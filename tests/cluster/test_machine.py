@@ -1,0 +1,56 @@
+"""MachineSpec validation and presets."""
+
+import pytest
+
+from repro.cluster import GENERIC_SMALL, MARENOSTRUM4, NORD3, MachineSpec
+from repro.errors import ClusterConfigError
+
+
+class TestPresets:
+    def test_marenostrum4_matches_paper(self):
+        assert MARENOSTRUM4.cores_per_node == 48          # 2x 24-core sockets
+        assert MARENOSTRUM4.memory_per_node_gb == 96.0
+
+    def test_nord3_matches_paper(self):
+        assert NORD3.cores_per_node == 16                 # 2x 8-core sockets
+        assert NORD3.base_freq_ghz == 3.0                 # paper's normal clock
+
+    def test_nord3_slow_ratio(self):
+        # the experiments clock the slow node at 1.8 GHz
+        assert 1.8 / NORD3.base_freq_ghz == pytest.approx(0.6)
+
+
+class TestValidation:
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            MachineSpec("bad", 0, 2.0, 16, 1e-6, 1e9)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            MachineSpec("bad", 8, 0.0, 16, 1e-6, 1e9)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            MachineSpec("bad", 8, 2.0, 16, -1e-6, 1e9)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            MachineSpec("bad", 8, 2.0, 16, 1e-6, 0)
+
+    def test_zero_memory_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            MachineSpec("bad", 8, 2.0, 0, 1e-6, 1e9)
+
+
+class TestScaled:
+    def test_scaled_changes_core_count_only(self):
+        scaled = MARENOSTRUM4.scaled(8)
+        assert scaled.cores_per_node == 8
+        assert scaled.base_freq_ghz == MARENOSTRUM4.base_freq_ghz
+        assert scaled.network_latency_s == MARENOSTRUM4.network_latency_s
+
+    def test_scaled_to_same_count_is_identity(self):
+        assert GENERIC_SMALL.scaled(GENERIC_SMALL.cores_per_node) is GENERIC_SMALL
+
+    def test_scaled_name_is_distinct(self):
+        assert MARENOSTRUM4.scaled(8).name != MARENOSTRUM4.name

@@ -1,0 +1,62 @@
+"""LogGP-style network timing model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import NetworkModel
+from repro.errors import ClusterConfigError
+
+
+@pytest.fixture
+def net():
+    return NetworkModel(latency_s=1e-6, bandwidth_bps=1e9, overhead_s=1e-7,
+                        eager_threshold_bytes=1024)
+
+
+class TestTransferTime:
+    def test_zero_bytes_costs_latency_plus_overhead(self, net):
+        assert net.transfer_time(0) == pytest.approx(1e-6 + 1e-7)
+
+    def test_bandwidth_term(self, net):
+        small = net.transfer_time(0)
+        assert net.transfer_time(1000) == pytest.approx(small + 1000 / 1e9)
+
+    def test_rendezvous_adds_round_trip(self, net):
+        eager = net.transfer_time(1024)
+        rendezvous = net.transfer_time(1025)
+        extra = rendezvous - eager
+        assert extra == pytest.approx(2 * 1e-6 + 1 / 1e9)
+
+    def test_negative_size_rejected(self, net):
+        with pytest.raises(ClusterConfigError):
+            net.transfer_time(-1)
+
+    def test_is_eager_threshold(self, net):
+        assert net.is_eager(1024)
+        assert not net.is_eager(1025)
+
+    def test_local_copy_cheaper_than_network(self, net):
+        assert net.local_copy_time(10_000) < net.transfer_time(10_000)
+
+    def test_control_message_is_small_transfer(self, net):
+        assert net.control_message_time() == net.transfer_time(128)
+
+
+class TestValidation:
+    def test_negative_latency(self):
+        with pytest.raises(ClusterConfigError):
+            NetworkModel(latency_s=-1.0, bandwidth_bps=1e9)
+
+    def test_zero_bandwidth(self):
+        with pytest.raises(ClusterConfigError):
+            NetworkModel(latency_s=1e-6, bandwidth_bps=0)
+
+
+class TestMonotonicity:
+    @given(st.integers(0, 10**9), st.integers(0, 10**9))
+    @settings(max_examples=200, deadline=None)
+    def test_transfer_time_monotone_in_size(self, a, b):
+        net = NetworkModel(latency_s=1e-6, bandwidth_bps=1e9)
+        small, large = min(a, b), max(a, b)
+        assert net.transfer_time(small) <= net.transfer_time(large)

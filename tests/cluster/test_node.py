@@ -1,0 +1,100 @@
+"""Core and Node state machines."""
+
+import pytest
+
+from repro.cluster import Node
+from repro.errors import ClusterConfigError, DlbError
+
+
+class TestCoreLifecycle:
+    def test_initial_state(self):
+        core = Node(0, 4).cores[0]
+        assert core.owner is None
+        assert core.occupant is None
+        assert not core.busy
+        assert not core.lent
+
+    def test_start_stop(self):
+        core = Node(0, 4).cores[0]
+        core.start(("a", 0))
+        assert core.busy
+        assert core.occupant == ("a", 0)
+        core.stop(("a", 0))
+        assert not core.busy
+
+    def test_double_start_raises(self):
+        core = Node(0, 4).cores[0]
+        core.start("w1")
+        with pytest.raises(DlbError):
+            core.start("w2")
+
+    def test_stop_by_wrong_worker_raises(self):
+        core = Node(0, 4).cores[0]
+        core.start("w1")
+        with pytest.raises(DlbError):
+            core.stop("w2")
+
+    def test_borrowed_detection(self):
+        core = Node(0, 4).cores[0]
+        core.set_owner("owner")
+        core.start("borrower")
+        assert core.borrowed
+        core.stop("borrower")
+        core.start("owner")
+        assert not core.borrowed
+
+    def test_set_owner_clears_lend_and_pending(self):
+        core = Node(0, 4).cores[0]
+        core.lent = True
+        core.pending_owner = "x"
+        core.set_owner("y")
+        assert core.owner == "y"
+        assert not core.lent
+        assert core.pending_owner is None
+
+    def test_apply_pending_owner(self):
+        core = Node(0, 4).cores[0]
+        core.set_owner("a")
+        core.pending_owner = "b"
+        assert core.apply_pending_owner() is True
+        assert core.owner == "b"
+        assert core.pending_owner is None
+
+    def test_apply_pending_owner_noop(self):
+        core = Node(0, 4).cores[0]
+        core.set_owner("a")
+        assert core.apply_pending_owner() is False
+        assert core.owner == "a"
+
+
+class TestNode:
+    def test_validation(self):
+        with pytest.raises(ClusterConfigError):
+            Node(0, 0)
+        with pytest.raises(ClusterConfigError):
+            Node(0, 4, speed=0.0)
+
+    def test_ownership_queries(self):
+        node = Node(0, 4)
+        node.cores[0].set_owner("a")
+        node.cores[1].set_owner("a")
+        node.cores[2].set_owner("b")
+        assert node.count_owned("a") == 2
+        assert node.count_owned("b") == 1
+        assert len(node.cores_owned_by("a")) == 2
+        assert node.owners() == {"a", "b"}
+
+    def test_busy_queries(self):
+        node = Node(0, 4)
+        node.cores[0].start("a")
+        node.cores[1].start("b")
+        assert node.busy_cores() == 2
+        assert node.busy_cores_of("a") == 1
+        assert len(list(node.iter_idle())) == 2
+
+    def test_slow_node_stretches_tasks(self):
+        node = Node(0, 4, speed=0.6)
+        assert node.task_duration(0.6) == pytest.approx(1.0)
+
+    def test_full_speed_task_duration(self):
+        assert Node(0, 4).task_duration(0.5) == pytest.approx(0.5)

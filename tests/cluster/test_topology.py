@@ -1,0 +1,73 @@
+"""ClusterSpec / Cluster: slow nodes, capacity, validation."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, GENERIC_SMALL, NORD3
+from repro.errors import ClusterConfigError
+
+
+class TestClusterSpec:
+    def test_homogeneous(self):
+        spec = ClusterSpec.homogeneous(GENERIC_SMALL, 4)
+        assert spec.num_nodes == 4
+        assert all(spec.node_speed(n) == 1.0 for n in range(4))
+        assert spec.total_cores == 32
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            ClusterSpec.homogeneous(GENERIC_SMALL, 0)
+
+    def test_with_slow_nodes(self):
+        spec = ClusterSpec.homogeneous(GENERIC_SMALL, 4).with_slow_nodes({1: 0.5})
+        assert spec.node_speed(1) == 0.5
+        assert spec.node_speed(0) == 1.0
+
+    def test_with_slow_node_freq_uses_base_clock(self):
+        spec = ClusterSpec.homogeneous(NORD3, 2).with_slow_node_freq(0, 1.8)
+        assert spec.node_speed(0) == pytest.approx(0.6)
+
+    def test_slow_node_out_of_range_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            ClusterSpec.homogeneous(GENERIC_SMALL, 2).with_slow_nodes({5: 0.5})
+
+    def test_slow_node_zero_speed_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            ClusterSpec.homogeneous(GENERIC_SMALL, 2).with_slow_nodes({0: 0.0})
+
+    def test_override_merging(self):
+        spec = (ClusterSpec.homogeneous(GENERIC_SMALL, 4)
+                .with_slow_nodes({0: 0.5})
+                .with_slow_nodes({1: 0.7, 0: 0.6}))
+        assert spec.node_speed(0) == 0.6
+        assert spec.node_speed(1) == 0.7
+
+    def test_total_capacity_counts_speed(self):
+        spec = ClusterSpec.homogeneous(GENERIC_SMALL, 2).with_slow_nodes({0: 0.5})
+        assert spec.total_capacity() == pytest.approx(8 * 0.5 + 8 * 1.0)
+
+    def test_spec_is_hashable(self):
+        spec = ClusterSpec.homogeneous(GENERIC_SMALL, 2).with_slow_nodes({0: 0.5})
+        assert hash(spec) == hash(spec)
+
+
+class TestCluster:
+    def test_nodes_instantiated_with_speeds(self):
+        spec = ClusterSpec.homogeneous(GENERIC_SMALL, 3).with_slow_nodes({2: 0.6})
+        cluster = Cluster(spec)
+        assert cluster.num_nodes == 3
+        assert cluster.node(2).speed == 0.6
+        assert cluster.node(0).num_cores == GENERIC_SMALL.cores_per_node
+
+    def test_node_out_of_range(self):
+        cluster = Cluster(ClusterSpec.homogeneous(GENERIC_SMALL, 2))
+        with pytest.raises(ClusterConfigError):
+            cluster.node(2)
+
+    def test_busy_cores_by_node(self):
+        cluster = Cluster(ClusterSpec.homogeneous(GENERIC_SMALL, 2))
+        cluster.node(0).cores[0].start("w")
+        assert cluster.busy_cores_by_node() == [1, 0]
+
+    def test_network_built_from_machine(self):
+        cluster = Cluster(ClusterSpec.homogeneous(GENERIC_SMALL, 2))
+        assert cluster.network.latency_s == GENERIC_SMALL.network_latency_s

@@ -1,0 +1,49 @@
+"""Shared fixtures: isolated graph cache, machines, and quick runtimes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import GENERIC_SMALL, MARENOSTRUM4, NORD3, Cluster, ClusterSpec
+from repro.nanos import ClusterRuntime, RuntimeConfig
+from repro.sim import Simulator
+
+
+@pytest.fixture(autouse=True)
+def _isolated_graph_cache(tmp_path_factory, monkeypatch):
+    """Every test uses a session-local expander graph cache directory."""
+    cache_dir = tmp_path_factory.getbasetemp() / "graph-cache"
+    monkeypatch.setenv("REPRO_GRAPH_CACHE", str(cache_dir))
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def small_machine():
+    return GENERIC_SMALL
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    return Cluster(ClusterSpec.homogeneous(GENERIC_SMALL, 4))
+
+
+def build_runtime(num_nodes: int = 2, num_appranks: int = 2,
+                  cores_per_node: int = 8,
+                  config: RuntimeConfig | None = None,
+                  slow_nodes: dict[int, float] | None = None) -> ClusterRuntime:
+    """Helper used across runtime/integration tests."""
+    machine = MARENOSTRUM4.scaled(cores_per_node)
+    spec = ClusterSpec.homogeneous(machine, num_nodes)
+    if slow_nodes:
+        spec = spec.with_slow_nodes(slow_nodes)
+    return ClusterRuntime(spec, num_appranks,
+                          config or RuntimeConfig.baseline())
+
+
+@pytest.fixture
+def runtime_factory():
+    return build_runtime

@@ -1,0 +1,139 @@
+"""LeWI / DROM facades and TALP accounting."""
+
+import pytest
+
+from repro.cluster import Node
+from repro.dlb import DromModule, LewiModule, NodeArbiter, TalpModule
+from repro.errors import DlbError
+
+from .test_shmem import FakeWorker
+
+
+def make_cluster_arbiters(num_nodes=2, cores=4):
+    arbiters = {}
+    ports = {}
+    for n in range(num_nodes):
+        arbiter = NodeArbiter(Node(n, cores))
+        a, b = FakeWorker(("a", n)), FakeWorker(("b", n))
+        arbiter.register_worker(a)
+        arbiter.register_worker(b)
+        arbiter.initialize_ownership({("a", n): cores - 1, ("b", n): 1})
+        arbiters[n] = arbiter
+        ports[n] = {"a": a, "b": b}
+    return arbiters, ports
+
+
+class TestLewiModule:
+    def test_lend_when_idle(self):
+        arbiters, _ = make_cluster_arbiters()
+        lewi = LewiModule(arbiters)
+        assert lewi.lend(("a", 0)) == 3
+        assert lewi.borrowable_cores(0) == 3
+        assert lewi.borrowable_cores(1) == 0
+
+    def test_disabled_module_lends_nothing(self):
+        arbiters, _ = make_cluster_arbiters()
+        lewi = LewiModule(arbiters, enabled=False)
+        assert lewi.lend(("a", 0)) == 0
+        assert lewi.borrowable_cores(0) == 0
+        assert all(not a.lewi_enabled for a in arbiters.values())
+
+    def test_unknown_node_rejected(self):
+        arbiters, _ = make_cluster_arbiters()
+        lewi = LewiModule(arbiters)
+        with pytest.raises(DlbError):
+            lewi.lend(("a", 9))
+
+    def test_stats_aggregation(self):
+        arbiters, _ = make_cluster_arbiters()
+        lewi = LewiModule(arbiters)
+        lewi.lend(("a", 0))
+        lewi.lend(("a", 1))
+        stats = lewi.stats()
+        assert stats["lends"] == 6
+        assert stats["borrows"] == 0
+
+
+class TestDromModule:
+    def test_apply_allocation(self):
+        arbiters, _ = make_cluster_arbiters()
+        drom = DromModule(arbiters)
+        moved = drom.apply_allocation({
+            0: {("a", 0): 2, ("b", 0): 2},
+            1: {("a", 1): 1, ("b", 1): 3},
+        })
+        assert moved == 3
+        snapshot = drom.ownership_snapshot()
+        assert snapshot[0] == {("a", 0): 2, ("b", 0): 2}
+        assert snapshot[1] == {("a", 1): 1, ("b", 1): 3}
+
+    def test_disabled_drom_rejects_changes(self):
+        arbiters, _ = make_cluster_arbiters()
+        drom = DromModule(arbiters, enabled=False)
+        with pytest.raises(DlbError):
+            drom.set_node_ownership(0, {("a", 0): 2, ("b", 0): 2})
+
+    def test_unknown_node_rejected(self):
+        arbiters, _ = make_cluster_arbiters()
+        with pytest.raises(DlbError):
+            DromModule(arbiters).set_node_ownership(7, {})
+
+    def test_counters(self):
+        arbiters, _ = make_cluster_arbiters()
+        drom = DromModule(arbiters)
+        drom.set_node_ownership(0, {("a", 0): 2, ("b", 0): 2})
+        assert drom.total_changes == 1
+        assert drom.total_cores_moved == 1
+
+
+class TestTalp:
+    def test_parallel_efficiency(self):
+        talp = TalpModule(cores_total=8)
+        talp.start(0.0)
+        talp.add_useful(0, 4.0)
+        talp.add_useful(1, 4.0)
+        report = talp.snapshot(2.0)      # 8 core·s useful of 16 available
+        assert report.parallel_efficiency == pytest.approx(0.5)
+        assert report.load_balance == pytest.approx(1.0)
+        assert report.communication_fraction == pytest.approx(0.5)
+
+    def test_load_balance_metric(self):
+        talp = TalpModule(cores_total=4)
+        talp.start(0.0)
+        talp.add_useful(0, 3.0)
+        talp.add_useful(1, 1.0)
+        report = talp.snapshot(1.0)
+        assert report.load_balance == pytest.approx(2.0 / 3.0)
+
+    def test_empty_report(self):
+        talp = TalpModule(cores_total=4)
+        talp.start(0.0)
+        report = talp.snapshot(1.0)
+        assert report.parallel_efficiency == 0.0
+        assert report.load_balance == 1.0
+
+    def test_negative_useful_rejected(self):
+        talp = TalpModule(cores_total=4)
+        with pytest.raises(DlbError):
+            talp.add_useful(0, -1.0)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(DlbError):
+            TalpModule(cores_total=0)
+
+    def test_format_contains_metrics(self):
+        talp = TalpModule(cores_total=2)
+        talp.start(0.0)
+        talp.add_useful(0, 1.0)
+        text = talp.snapshot(1.0).format()
+        assert "parallel efficiency" in text
+        assert "apprank 0" in text
+
+    def test_start_resets(self):
+        talp = TalpModule(cores_total=2)
+        talp.start(0.0)
+        talp.add_useful(0, 1.0)
+        talp.start(5.0)
+        report = talp.snapshot(6.0)
+        assert report.useful_total == 0.0
+        assert report.elapsed == pytest.approx(1.0)

@@ -1,0 +1,116 @@
+"""TALP MPI interception (§3.3: 'measures parallel efficiency by
+intercepting MPI calls')."""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticSpec, make_synthetic_app
+from repro.cluster import Cluster, ClusterSpec, GENERIC_SMALL, MARENOSTRUM4
+from repro.dlb import TalpModule
+from repro.mpisim import MpiWorld
+from repro.nanos import ClusterRuntime, RuntimeConfig
+from repro.sim import Simulator, Timeout
+
+
+class TestHook:
+    def test_blocking_recv_time_counted(self):
+        sim = Simulator()
+        cluster = Cluster(ClusterSpec.homogeneous(GENERIC_SMALL, 2))
+        world = MpiWorld(sim, cluster, [0, 1])
+        talp = TalpModule(cores_total=16)
+        world.talp_hook = talp.add_mpi
+
+        def main(comm):
+            if comm.rank == 0:
+                yield Timeout(1.0)              # not MPI time
+                yield from comm.send("x", 1)
+            else:
+                _ = yield from comm.recv(0)     # blocks ~1 s
+            return None
+
+        world.run_spmd(main)
+        report = talp.snapshot(sim.now)
+        assert report.mpi_by_apprank[1] == pytest.approx(1.0, rel=0.05)
+        assert report.mpi_by_apprank.get(0, 0.0) < 0.01
+
+    def test_barrier_wait_counted(self):
+        sim = Simulator()
+        cluster = Cluster(ClusterSpec.homogeneous(GENERIC_SMALL, 2))
+        world = MpiWorld(sim, cluster, [0, 1])
+        talp = TalpModule(cores_total=16)
+        world.talp_hook = talp.add_mpi
+
+        def main(comm):
+            if comm.rank == 0:
+                yield Timeout(0.5)
+            yield from comm.barrier()
+            return None
+
+        world.run_spmd(main)
+        report = talp.snapshot(sim.now)
+        # rank 1 waits ~0.5 s at the barrier; rank 0 almost none
+        assert report.mpi_by_apprank[1] == pytest.approx(0.5, rel=0.05)
+        assert report.mpi_by_apprank[0] < 0.05
+
+    def test_no_hook_no_accounting(self):
+        sim = Simulator()
+        cluster = Cluster(ClusterSpec.homogeneous(GENERIC_SMALL, 2))
+        world = MpiWorld(sim, cluster, [0, 1])
+
+        def main(comm):
+            yield from comm.barrier()
+            return None
+
+        world.run_spmd(main)   # must simply not crash
+
+    def test_nested_collectives_not_double_counted(self):
+        """comm.split calls allgather internally; only the outer blocking
+        call's duration may be charged."""
+        sim = Simulator()
+        cluster = Cluster(ClusterSpec.homogeneous(GENERIC_SMALL, 2))
+        world = MpiWorld(sim, cluster, [0, 1])
+        talp = TalpModule(cores_total=16)
+        world.talp_hook = talp.add_mpi
+
+        def main(comm):
+            if comm.rank == 0:
+                yield Timeout(0.2)
+            sub = yield from comm.split(0)
+            return sub.size
+
+        world.run_spmd(main)
+        report = talp.snapshot(sim.now)
+        # rank 1 waited ~0.2 s exactly once
+        assert report.mpi_by_apprank[1] == pytest.approx(0.2, rel=0.1)
+
+
+class TestEndToEnd:
+    def test_imbalanced_run_shows_mpi_wait_on_light_ranks(self):
+        machine = MARENOSTRUM4.scaled(8)
+        spec = SyntheticSpec(num_appranks=2, imbalance=2.0,
+                             cores_per_apprank=8, tasks_per_core=10,
+                             iterations=3, seed=9)
+        runtime = ClusterRuntime(ClusterSpec.homogeneous(machine, 2), 2,
+                                 RuntimeConfig.baseline())
+        runtime.run_app(make_synthetic_app(spec))
+        report = runtime.talp_report()
+        # the light apprank (1) spends most of its time at the barrier
+        assert report.mpi_by_apprank[1] > report.mpi_by_apprank.get(0, 0.0)
+        assert 0.0 < report.communication_efficiency < 1.0
+        assert "comm. efficiency" in report.format()
+
+    def test_balancing_raises_communication_efficiency(self):
+        machine = MARENOSTRUM4.scaled(8)
+        spec = SyntheticSpec(num_appranks=2, imbalance=2.0,
+                             cores_per_apprank=8, tasks_per_core=10,
+                             iterations=4, seed=9)
+
+        def run(config):
+            runtime = ClusterRuntime(ClusterSpec.homogeneous(machine, 2), 2,
+                                     config)
+            runtime.run_app(make_synthetic_app(spec))
+            return runtime.talp_report().communication_efficiency
+
+        baseline = run(RuntimeConfig.baseline())
+        balanced = run(RuntimeConfig.offloading(2, "global",
+                                                global_period=0.2))
+        assert balanced > baseline

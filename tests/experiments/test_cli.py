@@ -1,0 +1,49 @@
+"""The repro-experiments command-line interface."""
+
+import pytest
+
+from repro import cli
+from repro.experiments import Scale
+
+# monkeypatch the scale registry so CLI tests stay fast
+TINY = Scale(name="tiny", cores_per_node=8, tasks_per_core=5, iterations=2,
+             micropp_subdomains_per_core=3, local_period=0.02,
+             global_period=0.2)
+
+
+@pytest.fixture(autouse=True)
+def fast_scales(monkeypatch):
+    monkeypatch.setitem(cli._SCALES, "small", TINY)
+
+
+class TestCli:
+    def test_single_figure(self, capsys):
+        assert cli.main(["fig05", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "wall time" in out
+
+    def test_headline(self, capsys):
+        assert cli.main(["headline", "--scale", "small"]) == 0
+        assert "MicroPP" in capsys.readouterr().out
+
+    def test_csv_output(self, tmp_path, capsys):
+        assert cli.main(["fig05", "--scale", "small",
+                         "--csv", str(tmp_path)]) == 0
+        files = list(tmp_path.glob("fig05_*.csv"))
+        assert len(files) == 1
+        header = files[0].read_text().splitlines()[0]
+        assert header.startswith("policy,")
+
+    def test_two_table_target_writes_two_csvs(self, tmp_path):
+        assert cli.main(["fig06", "--scale", "small",
+                         "--csv", str(tmp_path)]) == 0
+        assert len(list(tmp_path.glob("fig06_*.csv"))) == 2
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig05", "--scale", "galactic"])

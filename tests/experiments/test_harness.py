@@ -1,0 +1,109 @@
+"""Experiment harness: Scale, run_workload, ResultTable."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import MARENOSTRUM4
+from repro.errors import ExperimentError
+from repro.experiments import MEDIUM, PAPER, SMALL, ResultTable, Scale, run_workload
+from repro.nanos import RuntimeConfig
+
+
+class TestScale:
+    def test_paper_scale_matches_published_parameters(self):
+        assert PAPER.cores_per_node == 48
+        assert PAPER.tasks_per_core == 100
+        assert PAPER.global_period == 2.0
+
+    def test_machine_scaling(self):
+        assert SMALL.machine(MARENOSTRUM4).cores_per_node == 8
+        assert PAPER.machine(MARENOSTRUM4) is MARENOSTRUM4
+
+    def test_tune_applies_periods(self):
+        config = SMALL.tune(RuntimeConfig.offloading(2, "global"))
+        assert config.global_period == SMALL.global_period
+        assert config.local_period == SMALL.local_period
+
+    def test_feasible_matches_floor_headroom(self):
+        assert SMALL.feasible(4, 1)           # 8 workers' floors on 8 cores? 2*4*1=8 <= 8
+        assert not SMALL.feasible(3, 2)       # 2*3*2=12 > 8
+        assert PAPER.feasible(8, 2)           # the paper's largest case
+
+
+class TestRunWorkload:
+    def app(self, iterations=2):
+        def factory():
+            def main(comm, rt):
+                times = []
+                for _ in range(iterations):
+                    t0 = comm.sim.now
+                    rt.submit(work=0.1 * (1 + comm.rank))
+                    yield from rt.taskwait()
+                    yield from comm.barrier()
+                    times.append(comm.sim.now - t0)
+                return {"iteration_times": times}
+            return main
+        return factory
+
+    def test_returns_iteration_maxima(self):
+        result = run_workload(MARENOSTRUM4.scaled(4), 2, 1,
+                              RuntimeConfig.baseline(), self.app())
+        assert result.iteration_maxima.shape == (2,)
+        # rank 1's 0.2 s task dominates each iteration
+        assert result.iteration_maxima[0] == pytest.approx(0.2, rel=0.05)
+
+    def test_steady_excludes_first_iteration(self):
+        result = run_workload(MARENOSTRUM4.scaled(4), 2, 1,
+                              RuntimeConfig.baseline(), self.app(3))
+        assert result.steady_time_per_iteration == pytest.approx(
+            result.iteration_maxima[1:].mean())
+
+    def test_missing_iteration_times_rejected(self):
+        def factory():
+            def main(comm, rt):
+                yield from rt.taskwait()
+                return {}
+            return main
+
+        with pytest.raises(ExperimentError):
+            run_workload(MARENOSTRUM4.scaled(4), 1, 1,
+                         RuntimeConfig.baseline(), factory)
+
+    def test_slow_nodes_forwarded(self):
+        result = run_workload(MARENOSTRUM4.scaled(4), 2, 1,
+                              RuntimeConfig.baseline(), self.app(),
+                              slow_nodes={1: 0.5})
+        # rank 1 homed on node 1: its 0.2s task takes 0.4s
+        assert result.iteration_maxima[0] == pytest.approx(0.4, rel=0.05)
+
+
+class TestResultTable:
+    def table(self):
+        table = ResultTable("t", ["a", "b"])
+        table.add(a=1, b=2.5)
+        table.add(a=2, b=3.5)
+        return table
+
+    def test_columns_enforced(self):
+        with pytest.raises(ExperimentError):
+            self.table().add(a=1)
+
+    def test_column_extraction(self):
+        assert self.table().column("a") == [1, 2]
+        with pytest.raises(ExperimentError):
+            self.table().column("zzz")
+
+    def test_find(self):
+        rows = self.table().find(a=2)
+        assert len(rows) == 1 and rows[0]["b"] == 3.5
+
+    def test_format_contains_everything(self):
+        table = self.table()
+        table.note("a note")
+        text = table.format()
+        assert "2.5000" in text and "# a note" in text and text.startswith("t")
+
+    def test_csv(self):
+        csv = self.table().to_csv()
+        assert csv.splitlines()[0] == "a,b"
+        assert csv.splitlines()[1] == "1,2.5"

@@ -1,0 +1,115 @@
+"""BipartiteGraph structure, validation, serialisation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import BipartiteGraph, appranks_per_node_of, home_node_of
+
+
+class TestHomePlacement:
+    def test_block_layout(self):
+        # 4 appranks on 2 nodes: 0,1 -> node0; 2,3 -> node1 (Figure 4a)
+        assert [home_node_of(a, 4, 2) for a in range(4)] == [0, 0, 1, 1]
+
+    def test_one_per_node(self):
+        assert [home_node_of(a, 3, 3) for a in range(3)] == [0, 1, 2]
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(GraphError):
+            appranks_per_node_of(5, 2)
+
+    def test_out_of_range_apprank(self):
+        with pytest.raises(GraphError):
+            home_node_of(4, 4, 2)
+
+
+class TestConstructors:
+    def test_trivial_graph(self):
+        graph = BipartiteGraph.trivial(4, 2)
+        assert graph.degree == 1
+        assert graph.num_helper_ranks() == 0
+        for a in range(4):
+            assert graph.nodes_of(a) == (graph.home_node(a),)
+
+    def test_full_graph(self):
+        graph = BipartiteGraph.full(4, 4)
+        assert graph.degree == 4
+        for a in range(4):
+            assert graph.nodes_of(a) == (0, 1, 2, 3)
+
+    def test_from_adjacency_sorts(self):
+        graph = BipartiteGraph.from_adjacency([[1, 0], [0, 1]], num_nodes=2)
+        assert graph.adjacency == ((0, 1), (0, 1))
+
+
+class TestValidation:
+    def test_missing_home_rejected(self):
+        with pytest.raises(GraphError, match="home"):
+            BipartiteGraph.from_adjacency([[1], [1]], num_nodes=2)
+
+    def test_irregular_apprank_degree_rejected(self):
+        with pytest.raises(GraphError):
+            BipartiteGraph(num_appranks=2, num_nodes=2, degree=2,
+                           adjacency=((0, 1), (1,)))
+
+    def test_non_biregular_nodes_rejected(self):
+        # Every apprank has degree 2 and includes its home, but the helper
+        # edges all pile onto node 1 (degree 4) leaving nodes 0/3 at 1.
+        with pytest.raises(GraphError, match="biregular"):
+            BipartiteGraph.from_adjacency(
+                [[0, 1], [1, 2], [2, 1], [3, 1]], num_nodes=4)
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphError):
+            BipartiteGraph(num_appranks=2, num_nodes=2, degree=2,
+                           adjacency=((0, 0), (1, 1)))
+
+    def test_degree_bounds(self):
+        with pytest.raises(GraphError):
+            BipartiteGraph(num_appranks=2, num_nodes=2, degree=3,
+                           adjacency=((0, 1), (0, 1)))
+
+
+class TestQueries:
+    def graph(self):
+        # 4 appranks, 4 nodes, degree 2 ring
+        return BipartiteGraph.from_adjacency(
+            [[0, 1], [1, 2], [2, 3], [3, 0]], num_nodes=4)
+
+    def test_helper_nodes_exclude_home(self):
+        graph = self.graph()
+        assert graph.helper_nodes_of(0) == (1,)
+        assert graph.helper_nodes_of(3) == (0,)
+
+    def test_appranks_on_node(self):
+        graph = self.graph()
+        assert graph.appranks_on(0) == (0, 3)
+        assert graph.appranks_on(2) == (1, 2)
+
+    def test_home_appranks(self):
+        graph = self.graph()
+        assert graph.home_appranks_of(2) == (2,)
+
+    def test_edges_count(self):
+        graph = self.graph()
+        assert len(list(graph.edges())) == 8
+        assert graph.num_helper_ranks() == 4
+
+    def test_neighbourhood(self):
+        graph = self.graph()
+        assert graph.neighbourhood({0}) == {0, 1}
+        assert graph.neighbourhood({0, 2}) == {0, 1, 2, 3}
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        graph = BipartiteGraph.from_adjacency(
+            [[0, 1], [1, 2], [2, 3], [3, 0]], num_nodes=4)
+        clone = BipartiteGraph.from_dict(graph.to_dict())
+        assert clone == graph
+
+    def test_from_dict_validates(self):
+        data = {"num_appranks": 2, "num_nodes": 2, "degree": 1,
+                "adjacency": [[1], [0]]}     # homes swapped: invalid
+        with pytest.raises(GraphError):
+            BipartiteGraph.from_dict(data)

@@ -1,0 +1,65 @@
+"""Random biregular generation: feasibility, validity, determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InfeasibleGraphError
+from repro.graph import check_feasible, random_biregular
+
+
+class TestFeasibility:
+    def test_degree_above_nodes_infeasible(self):
+        with pytest.raises(InfeasibleGraphError):
+            check_feasible(4, 4, 5)
+
+    def test_degree_zero_infeasible(self):
+        with pytest.raises(InfeasibleGraphError):
+            check_feasible(4, 4, 0)
+
+    def test_indivisible_appranks_infeasible(self):
+        with pytest.raises(Exception):
+            check_feasible(5, 2, 2)
+
+    def test_valid_combination_passes(self):
+        check_feasible(32, 16, 4)
+
+
+class TestGeneration:
+    def test_degree_one_is_trivial(self):
+        graph = random_biregular(4, 4, 1, np.random.default_rng(0))
+        assert graph.num_helper_ranks() == 0
+
+    def test_full_degree_is_complete(self):
+        graph = random_biregular(4, 4, 4, np.random.default_rng(0))
+        assert all(graph.nodes_of(a) == (0, 1, 2, 3) for a in range(4))
+
+    def test_deterministic_given_rng_state(self):
+        a = random_biregular(16, 8, 3, np.random.default_rng(5))
+        b = random_biregular(16, 8, 3, np.random.default_rng(5))
+        assert a.adjacency == b.adjacency
+
+    def test_different_seeds_usually_differ(self):
+        a = random_biregular(16, 8, 3, np.random.default_rng(1))
+        b = random_biregular(16, 8, 3, np.random.default_rng(2))
+        assert a.adjacency != b.adjacency
+
+    @given(st.sampled_from([
+        (4, 4, 2), (4, 4, 3), (8, 4, 2), (8, 4, 3), (8, 8, 3),
+        (16, 8, 2), (16, 8, 4), (16, 16, 4), (32, 16, 3), (32, 16, 4),
+        (64, 32, 4), (128, 64, 4),
+    ]), st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_generated_graphs_are_valid_biregular(self, shape, seed):
+        """BipartiteGraph.__post_init__ enforces degree regularity, home
+        inclusion, no duplicates — generation must always satisfy it."""
+        num_appranks, num_nodes, degree = shape
+        graph = random_biregular(num_appranks, num_nodes, degree,
+                                 np.random.default_rng(seed))
+        assert graph.degree == degree
+        assert graph.num_appranks == num_appranks
+        # node degree regularity re-checked explicitly
+        per_node = num_appranks // num_nodes
+        for node in range(num_nodes):
+            assert len(graph.appranks_on(node)) == degree * per_node

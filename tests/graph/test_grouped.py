@@ -1,0 +1,48 @@
+"""Group-local biregular graphs (the §5.4.2 partitioned-deployment shape)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InfeasibleGraphError
+from repro.graph import grouped_biregular
+
+
+class TestGroupedBiregular:
+    def test_edges_never_cross_groups(self):
+        graph = grouped_biregular(32, 16, 3, 4, np.random.default_rng(0))
+        for apprank, node in graph.edges():
+            assert graph.home_node(apprank) // 4 == node // 4
+
+    def test_graph_is_valid_biregular(self):
+        graph = grouped_biregular(32, 16, 3, 4, np.random.default_rng(0))
+        assert graph.degree == 3
+        for node in range(16):
+            assert len(graph.appranks_on(node)) == 6    # 3 * 2 per node
+
+    def test_degree_beyond_group_rejected(self):
+        with pytest.raises(InfeasibleGraphError):
+            grouped_biregular(16, 16, 5, 4, np.random.default_rng(0))
+
+    def test_indivisible_groups_rejected(self):
+        with pytest.raises(InfeasibleGraphError):
+            grouped_biregular(12, 12, 2, 5, np.random.default_rng(0))
+
+    def test_single_group_equals_whole_cluster(self):
+        graph = grouped_biregular(8, 8, 3, 8, np.random.default_rng(1))
+        assert graph.num_nodes == 8          # plain biregular, validated
+
+    @given(st.sampled_from([(16, 8, 2, 4), (32, 16, 3, 4), (64, 32, 4, 8),
+                            (64, 64, 4, 32)]),
+           st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_grouped_invariants(self, shape, seed):
+        num_appranks, num_nodes, degree, group = shape
+        graph = grouped_biregular(num_appranks, num_nodes, degree, group,
+                                  np.random.default_rng(seed))
+        per_node = num_appranks // num_nodes
+        for apprank, node in graph.edges():
+            assert graph.home_node(apprank) // group == node // group
+        for node in range(num_nodes):
+            assert len(graph.appranks_on(node)) == degree * per_node

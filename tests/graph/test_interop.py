@@ -1,0 +1,72 @@
+"""NetworkX interop: export shape and cross-validation of our metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (BipartiteGraph, random_biregular, spectral_gap,
+                        vertex_isoperimetric_number)
+from repro.graph.interop import (algebraic_connectivity, diameter,
+                                 is_connected, to_networkx)
+
+
+def disconnected_graph():
+    return BipartiteGraph.from_adjacency(
+        [[0, 1], [0, 1], [2, 3], [2, 3]], num_nodes=4)
+
+
+class TestExport:
+    def test_vertex_and_edge_counts(self):
+        graph = random_biregular(8, 4, 3, np.random.default_rng(0))
+        g = to_networkx(graph)
+        assert g.number_of_nodes() == 8 + 4
+        assert g.number_of_edges() == 8 * 3
+
+    def test_bipartite_attributes(self):
+        graph = random_biregular(4, 4, 2, np.random.default_rng(0))
+        g = to_networkx(graph)
+        assert g.nodes[("apprank", 0)]["bipartite"] == 0
+        assert g.nodes[("node", 0)]["bipartite"] == 1
+
+    def test_home_edges_marked(self):
+        graph = random_biregular(4, 4, 2, np.random.default_rng(0))
+        g = to_networkx(graph)
+        homes = sum(1 for _u, _v, data in g.edges(data=True) if data["home"])
+        assert homes == 4
+
+
+class TestMetricsCrossValidation:
+    def test_connectivity_matches_expansion_verdict(self):
+        good = random_biregular(8, 8, 3, np.random.default_rng(1))
+        assert is_connected(good)
+        assert not is_connected(disconnected_graph())
+
+    def test_disconnected_graph_has_no_diameter(self):
+        with pytest.raises(GraphError):
+            diameter(disconnected_graph())
+
+    def test_expander_diameter_is_small(self):
+        """A degree-4 expander over 32+32 vertices has hop-diameter O(log)."""
+        graph = random_biregular(32, 32, 4, np.random.default_rng(2))
+        assert diameter(graph) <= 8
+
+    def test_fiedler_value_agrees_with_spectral_gap(self):
+        """Both are connectivity spectra: zero together, positive together."""
+        good = random_biregular(16, 16, 3, np.random.default_rng(3))
+        assert algebraic_connectivity(good) > 0.05
+        assert spectral_gap(good) > 0.05
+        bad = disconnected_graph()
+        assert algebraic_connectivity(bad) == pytest.approx(0.0, abs=1e-6)
+        assert spectral_gap(bad) == pytest.approx(0.0, abs=1e-6)
+
+    def test_higher_degree_more_connected(self):
+        rng = np.random.default_rng(4)
+        low = random_biregular(16, 16, 2, rng)
+        high = random_biregular(16, 16, 6, rng)
+        assert algebraic_connectivity(high) > algebraic_connectivity(low)
+
+    def test_isoperimetric_consistent_with_connectivity(self):
+        """iso > 1 requires a connected graph (subsets must expand)."""
+        graph = random_biregular(8, 8, 3, np.random.default_rng(5))
+        if vertex_isoperimetric_number(graph) > 1.0:
+            assert is_connected(graph)

@@ -1,0 +1,81 @@
+"""Worker placement and §5.4 initial ownership."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import (BipartiteGraph, build_placement, random_biregular)
+
+
+class TestPaperExample:
+    def test_marenostrum_example_from_section_5_4(self):
+        """48 cores, 2 appranks/node, degree 3 -> apprank starts with 22
+        owned cores and each helper rank with one (paper §5.4)."""
+        graph = random_biregular(32, 16, 3, np.random.default_rng(0))
+        placement = build_placement(graph, cores_per_node=48)
+        for node in range(16):
+            workers = placement.workers_by_node[node]
+            homes = [w for w in workers if placement.is_home(w)]
+            helpers = [w for w in workers if not placement.is_home(w)]
+            assert len(homes) == 2
+            assert len(helpers) == 4        # node degree 6, minus 2 homes
+            for home in homes:
+                assert placement.initial_cores[home] == 22
+            for helper in helpers:
+                assert placement.initial_cores[helper] == 1
+
+
+class TestInvariants:
+    @given(st.sampled_from([(4, 4, 2), (8, 4, 2), (8, 8, 3), (16, 8, 4),
+                            (32, 16, 3)]),
+           st.integers(0, 50),
+           st.sampled_from([16, 48]))
+    @settings(max_examples=40, deadline=None)
+    def test_ownership_covers_every_core_exactly(self, shape, seed, cores):
+        num_appranks, num_nodes, degree = shape
+        graph = random_biregular(num_appranks, num_nodes, degree,
+                                 np.random.default_rng(seed))
+        placement = build_placement(graph, cores_per_node=cores)
+        for node in range(num_nodes):
+            workers = placement.workers_by_node[node]
+            total = sum(placement.initial_cores[w] for w in workers)
+            assert total == cores
+            assert all(placement.initial_cores[w] >= 1 for w in workers)
+
+    def test_workers_match_graph_edges(self):
+        graph = random_biregular(8, 4, 3, np.random.default_rng(1))
+        placement = build_placement(graph, cores_per_node=16)
+        assert set(placement.workers) == set(graph.edges())
+
+    def test_workers_of_apprank_home_first(self):
+        graph = random_biregular(8, 4, 3, np.random.default_rng(1))
+        placement = build_placement(graph, cores_per_node=16)
+        for a in range(8):
+            workers = placement.workers_of_apprank(a)
+            assert workers[0] == (a, graph.home_node(a))
+            assert len(workers) == 3
+
+    def test_num_helpers(self):
+        graph = random_biregular(8, 4, 3, np.random.default_rng(1))
+        placement = build_placement(graph, cores_per_node=16)
+        assert placement.num_helpers == 8 * 2
+
+
+class TestErrors:
+    def test_too_many_workers_for_cores(self):
+        graph = BipartiteGraph.full(8, 4)   # node degree 8 on every node
+        with pytest.raises(GraphError, match="offloading degree"):
+            build_placement(graph, cores_per_node=4)
+
+    def test_zero_cores(self):
+        graph = BipartiteGraph.trivial(2, 2)
+        with pytest.raises(GraphError):
+            build_placement(graph, cores_per_node=0)
+
+    def test_uneven_home_split_distributes_remainder(self):
+        graph = BipartiteGraph.trivial(6, 2)   # 3 appranks per node
+        placement = build_placement(graph, cores_per_node=8)
+        counts = sorted(placement.initial_cores[(a, 0)] for a in range(3))
+        assert counts == [2, 3, 3]

@@ -1,0 +1,125 @@
+"""End-to-end runs of the two application workloads on the full stack."""
+
+import numpy as np
+import pytest
+
+from repro.apps.micropp import MicroppSpec, make_micropp_app
+from repro.apps.micropp.workload import apprank_loads as micropp_loads
+from repro.apps.nbody import NBodySpec, make_nbody_app
+from repro.balance import perfect_iteration_time
+from repro.cluster import MARENOSTRUM4, NORD3, ClusterSpec
+from repro.nanos import ClusterRuntime, RuntimeConfig
+
+
+class TestMicroppEndToEnd:
+    def make(self, config, num_nodes=4):
+        machine = MARENOSTRUM4.scaled(8)
+        spec = MicroppSpec(num_appranks=num_nodes, cores_per_apprank=8,
+                           subdomains_per_core=4, iterations=3, seed=7)
+        runtime = ClusterRuntime(ClusterSpec.homogeneous(machine, num_nodes),
+                                 num_nodes, config)
+        results = runtime.run_app(make_micropp_app(spec))
+        return runtime, results, spec
+
+    def test_heavy_apprank_drives_baseline(self):
+        """Makespan bounds: the fluid bound from the heaviest apprank, plus
+        at most one straggler task per iteration (list scheduling)."""
+        from repro.apps.micropp.workload import subdomain_durations
+        runtime, results, spec = self.make(RuntimeConfig.baseline())
+        loads = micropp_loads(spec)
+        fluid = loads.max() / 8 * spec.iterations
+        worst_task = max(subdomain_durations(spec, a).max()
+                         for a in range(spec.num_appranks))
+        assert runtime.elapsed >= fluid * 0.999
+        assert runtime.elapsed <= fluid + spec.iterations * worst_task + 0.01
+
+    def test_offloading_executes_on_helper_nodes(self):
+        config = RuntimeConfig.offloading(2, "global", global_period=0.2)
+        runtime, _, _ = self.make(config)
+        heavy = runtime.appranks[0]
+        remote = sum(w.tasks_executed for node, w in heavy.workers.items()
+                     if node != heavy.home_node)
+        assert remote > 0
+
+    def test_dependency_structure_respected(self):
+        """Subdomain i's task in iteration k+1 must start after its
+        iteration-k task finished (inout on the same region)."""
+        config = RuntimeConfig.offloading(2, "global", global_period=0.2)
+        machine = MARENOSTRUM4.scaled(8)
+        spec = MicroppSpec(num_appranks=2, cores_per_apprank=8,
+                           subdomains_per_core=2, iterations=2, seed=7)
+        runtime = ClusterRuntime(ClusterSpec.homogeneous(machine, 2), 2,
+                                 config)
+        tasks = []
+        from repro.apps.micropp.workload import subdomain_durations
+        from repro.nanos.task import AccessType, DataAccess
+
+        def main(comm, rt):
+            durations = subdomain_durations(spec, comm.rank)
+            bytes_each = spec.subdomain_bytes
+            for _iteration in range(2):
+                for i, duration in enumerate(durations):
+                    base = i * bytes_each
+                    task = rt.submit(work=float(duration), accesses=(
+                        DataAccess(AccessType.INOUT, base, base + bytes_each),))
+                    if comm.rank == 0:
+                        tasks.append((i, task))
+                yield from rt.taskwait()
+                yield from comm.barrier()
+            return {"iteration_times": [0.0, 0.0]}
+
+        runtime.run_app(main)
+        per_subdomain: dict[int, list] = {}
+        for i, task in tasks:
+            per_subdomain.setdefault(i, []).append(task)
+        for i, (first, second) in per_subdomain.items():
+            assert second.start_time >= first.finish_time
+
+
+class TestNbodyEndToEnd:
+    def test_uniform_cluster_near_optimal_even_without_dlb(self):
+        """ORB already balances on homogeneous hardware: baseline sits
+        within jitter of the perfect bound."""
+        machine = NORD3.scaled(8)
+        spec = NBodySpec(num_appranks=4, cores_per_apprank=4,
+                         bodies_per_apprank=640, bodies_per_task=64,
+                         timesteps=3)
+        cluster = ClusterSpec.homogeneous(machine, 2)
+        runtime = ClusterRuntime(cluster, 4, RuntimeConfig.baseline())
+        results = runtime.run_app(make_nbody_app(spec))
+        iters = np.array([r["iteration_times"] for r in results]).max(axis=0)
+        optimal = perfect_iteration_time(
+            [640 * spec.cost_per_body] * 4, cluster)
+        # within the ORB residual band of optimal
+        assert iters.mean() < optimal * (1 + spec.rank_jitter + 0.25)
+
+    def test_slow_node_offloading_shifts_work_off_the_slow_node(self):
+        machine = NORD3.scaled(8)
+        spec = NBodySpec(num_appranks=4, cores_per_apprank=4,
+                         bodies_per_apprank=1280, bodies_per_task=64,
+                         timesteps=4)
+        slow_cluster = ClusterSpec.homogeneous(machine, 2).with_slow_nodes(
+            {0: 0.6})
+        config = RuntimeConfig.offloading(2, "global", global_period=0.1)
+        runtime = ClusterRuntime(slow_cluster, 4, config)
+        runtime.run_app(make_nbody_app(spec))
+        # appranks homed on the slow node executed some tasks remotely
+        slow_appranks = (0, 1)
+        remote = sum(
+            w.tasks_executed
+            for a in slow_appranks
+            for node, w in runtime.appranks[a].workers.items()
+            if node != runtime.appranks[a].home_node)
+        assert remote > 0
+
+    def test_exchange_traffic_modelled(self):
+        machine = NORD3.scaled(8)
+        spec = NBodySpec(num_appranks=4, cores_per_apprank=4,
+                         bodies_per_apprank=640, bodies_per_task=64,
+                         timesteps=2)
+        runtime = ClusterRuntime(ClusterSpec.homogeneous(machine, 2), 4,
+                                 RuntimeConfig.baseline())
+        runtime.run_app(make_nbody_app(spec))
+        # the per-step ring exchange moves bodies_per_apprank * 56 bytes
+        assert runtime.world.bytes_inter_node > 0
+        assert runtime.world.messages_sent > 0

@@ -1,0 +1,60 @@
+"""Bit-exact reproducibility of whole simulations."""
+
+import numpy as np
+
+from repro.apps.micropp import MicroppSpec, make_micropp_app
+from repro.apps.synthetic import SyntheticSpec, make_synthetic_app
+from repro.cluster import MARENOSTRUM4, ClusterSpec
+from repro.nanos import ClusterRuntime, RuntimeConfig
+
+MACHINE = MARENOSTRUM4.scaled(8)
+
+
+def run_synthetic(seed=3, config=None):
+    spec = SyntheticSpec(num_appranks=4, imbalance=2.0, cores_per_apprank=8,
+                         tasks_per_core=8, iterations=3, seed=seed)
+    config = config or RuntimeConfig.offloading(2, "global",
+                                                global_period=0.2)
+    runtime = ClusterRuntime(ClusterSpec.homogeneous(MACHINE, 4), 4, config)
+    results = runtime.run_app(make_synthetic_app(spec))
+    return runtime, results
+
+
+class TestDeterminism:
+    def test_identical_runs_are_bit_exact(self):
+        r1, res1 = run_synthetic()
+        r2, res2 = run_synthetic()
+        assert r1.elapsed == r2.elapsed
+        assert r1.sim.events_fired == r2.sim.events_fired
+        assert r1.stats() == r2.stats()
+        for a, b in zip(res1, res2):
+            assert a["iteration_times"] == b["iteration_times"]
+
+    def test_different_workload_seed_changes_outcome(self):
+        r1, _ = run_synthetic(seed=3)
+        r2, _ = run_synthetic(seed=4)
+        assert r1.elapsed != r2.elapsed
+
+    def test_policy_choice_changes_trajectory_deterministically(self):
+        local_cfg = RuntimeConfig.offloading(2, "local", local_period=0.05)
+        l1, _ = run_synthetic(config=local_cfg)
+        l2, _ = run_synthetic(config=local_cfg)
+        assert l1.elapsed == l2.elapsed
+
+    def test_micropp_run_deterministic(self):
+        def once():
+            spec = MicroppSpec(num_appranks=2, cores_per_apprank=8,
+                               subdomains_per_core=4, iterations=2, seed=7)
+            runtime = ClusterRuntime(
+                ClusterSpec.homogeneous(MACHINE, 2), 2,
+                RuntimeConfig.offloading(2, "global", global_period=0.2))
+            runtime.run_app(make_micropp_app(spec))
+            return runtime.elapsed
+
+        assert once() == once()
+
+    def test_graph_cache_does_not_change_results(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GRAPH_CACHE", str(tmp_path / "dc"))
+        r1, _ = run_synthetic()       # generates + stores the graph
+        r2, _ = run_synthetic()       # loads it from cache
+        assert r1.elapsed == r2.elapsed

@@ -1,0 +1,138 @@
+"""Dynamic work spreading (§5.2's proposed extension, implemented)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import SyntheticSpec, make_synthetic_app
+from repro.cluster import MARENOSTRUM4, ClusterSpec
+from repro.errors import RuntimeModelError
+from repro.nanos import ClusterRuntime, RuntimeConfig
+
+MACHINE = MARENOSTRUM4.scaled(8)
+
+
+def run(config, num_nodes=4, imbalance=3.0, iterations=6, seed=31):
+    spec = SyntheticSpec(num_appranks=num_nodes, imbalance=imbalance,
+                         cores_per_apprank=8, tasks_per_core=10,
+                         iterations=iterations, seed=seed)
+    runtime = ClusterRuntime(ClusterSpec.homogeneous(MACHINE, num_nodes),
+                             num_nodes, config)
+    runtime.run_app(make_synthetic_app(spec))
+    return runtime
+
+
+def dynamic_config(**overrides):
+    base = dict(offload_degree=1, lewi=True, drom=True,
+                policy="global", global_period=0.2,
+                local_period=0.05, dynamic_spreading=True,
+                dynamic_period=0.1, dynamic_patience=2,
+                dynamic_spawn_latency=0.05)
+    base.update(overrides)
+    return RuntimeConfig(**base)
+
+
+class TestAddHelper:
+    def test_add_helper_wires_everything(self):
+        runtime = ClusterRuntime(ClusterSpec.homogeneous(MACHINE, 2), 2,
+                                 RuntimeConfig.offloading(1, "global"))
+        worker = runtime.add_helper(0, 1)
+        assert worker.key == (0, 1)
+        assert runtime.workers[(0, 1)] is worker
+        assert runtime.apprank(0).workers[1] is worker
+        assert 0 in runtime._appranks_on_node[1]
+        counts = runtime.arbiters[1].ownership_counts()
+        assert counts[(0, 1)] == 1
+        assert sum(counts.values()) == MACHINE.cores_per_node
+        assert (0, 1) in runtime.policy.workers
+
+    def test_duplicate_helper_rejected(self):
+        runtime = ClusterRuntime(ClusterSpec.homogeneous(MACHINE, 2), 2,
+                                 RuntimeConfig.offloading(2, "global"))
+        with pytest.raises(RuntimeModelError):
+            runtime.add_helper(0, 1)     # degree-2 graph already covers it
+
+    def test_full_node_rejected(self):
+        machine = MARENOSTRUM4.scaled(4)
+        runtime = ClusterRuntime(ClusterSpec.homogeneous(machine, 4), 8,
+                                 RuntimeConfig.offloading(2, "global"))
+        # each node hosts 2 homes + 2 helpers = 4 workers on 4 cores
+        victim = next(a for a in range(8)
+                      if 3 not in runtime.graph.nodes_of(a))
+        with pytest.raises(RuntimeModelError):
+            runtime.add_helper(victim, 3)
+
+
+class TestConfigValidation:
+    def test_requires_drom(self):
+        with pytest.raises(RuntimeModelError):
+            RuntimeConfig(dynamic_spreading=True, drom=False, policy=None)
+
+    def test_incompatible_with_partitioning(self):
+        with pytest.raises(RuntimeModelError):
+            RuntimeConfig(dynamic_spreading=True,
+                          global_partition_nodes=32)
+
+    def test_timing_validation(self):
+        with pytest.raises(RuntimeModelError):
+            RuntimeConfig(dynamic_period=0.0)
+        with pytest.raises(RuntimeModelError):
+            RuntimeConfig(dynamic_patience=0)
+
+
+class TestDynamicSpreadingEndToEnd:
+    def test_grows_helpers_under_imbalance(self):
+        runtime = run(dynamic_config())
+        assert runtime.spreader.helpers_spawned > 0
+        # the heavy apprank (0) reaches more nodes than it started with
+        assert len(runtime.apprank(0).workers) > 1
+
+    def test_spawns_nothing_when_balanced(self):
+        runtime = run(dynamic_config(), imbalance=1.0)
+        assert runtime.spreader.helpers_spawned == 0
+
+    def test_beats_static_degree_one(self):
+        static = run(RuntimeConfig.offloading(1, "global",
+                                              global_period=0.2))
+        dynamic = run(dynamic_config())
+        assert dynamic.elapsed < static.elapsed * 0.75
+
+    def test_approaches_well_tuned_static_degree(self):
+        """§7.3's open question: dynamic from degree 1 should get close to
+        the tuned static degree (within 35% here, paying spawn latency and
+        discovery time)."""
+        static = run(RuntimeConfig.offloading(3, "global",
+                                              global_period=0.2))
+        dynamic = run(dynamic_config())
+        assert dynamic.elapsed < static.elapsed * 1.35
+
+    def test_respects_max_degree(self):
+        runtime = run(dynamic_config(dynamic_max_degree=2), imbalance=4.0)
+        for apprank_rt in runtime.appranks:
+            assert len(apprank_rt.workers) <= 2
+
+    def test_spawn_latency_delays_first_helper(self):
+        slow_spawn = run(dynamic_config(dynamic_spawn_latency=2.0),
+                         iterations=3)
+        fast_spawn = run(dynamic_config(dynamic_spawn_latency=0.01),
+                         iterations=3)
+        assert fast_spawn.elapsed <= slow_spawn.elapsed + 1e-9
+
+    def test_invariants_hold_after_growth(self):
+        runtime = run(dynamic_config())
+        for apprank_rt in runtime.appranks:
+            assert apprank_rt.outstanding == 0
+            assert apprank_rt.scheduler.queued == 0
+        for node_id, counts in runtime.drom.ownership_snapshot().items():
+            assert sum(counts.values()) == MACHINE.cores_per_node
+            assert all(c >= 1 for c in counts.values())
+
+    def test_works_with_local_policy_too(self):
+        config = RuntimeConfig(offload_degree=1, lewi=True, drom=True,
+                               policy="local", local_period=0.05,
+                               dynamic_spreading=True, dynamic_period=0.1,
+                               dynamic_patience=2,
+                               dynamic_spawn_latency=0.05)
+        runtime = run(config)
+        assert runtime.spreader.helpers_spawned > 0
+        static = run(RuntimeConfig.baseline())
+        assert runtime.elapsed < static.elapsed

@@ -1,0 +1,168 @@
+"""End-to-end behaviour of the full stack on small clusters."""
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import SyntheticSpec, apprank_loads, make_synthetic_app
+from repro.balance import perfect_iteration_time
+from repro.cluster import MARENOSTRUM4, ClusterSpec
+from repro.nanos import ClusterRuntime, RuntimeConfig
+
+CORES = 8
+MACHINE = MARENOSTRUM4.scaled(CORES)
+
+
+def run(config, num_nodes=2, appranks_per_node=1, imbalance=2.0,
+        iterations=4, tasks_per_core=10, seed=5, slow=None):
+    num_appranks = num_nodes * appranks_per_node
+    spec = SyntheticSpec(num_appranks=num_appranks, imbalance=imbalance,
+                         cores_per_apprank=CORES // appranks_per_node,
+                         tasks_per_core=tasks_per_core,
+                         iterations=iterations, seed=seed)
+    cluster = ClusterSpec.homogeneous(MACHINE, num_nodes)
+    if slow:
+        cluster = cluster.with_slow_nodes(slow)
+    runtime = ClusterRuntime(cluster, num_appranks, config)
+    results = runtime.run_app(make_synthetic_app(spec))
+    return runtime, results, spec
+
+
+class TestCorrectnessInvariants:
+    def test_every_task_finishes_exactly_once(self):
+        config = RuntimeConfig.offloading(2, "global", global_period=0.2)
+        runtime, results, spec = run(config)
+        for apprank_rt in runtime.appranks:
+            assert apprank_rt.outstanding == 0
+            assert apprank_rt.scheduler.queued == 0
+        executed = sum(w.tasks_executed for w in runtime.workers.values())
+        assert executed == spec.tasks_per_apprank * 2 * spec.iterations
+
+    def test_work_conservation(self):
+        """Total executed work equals total submitted work."""
+        config = RuntimeConfig.offloading(2, "local", local_period=0.05)
+        runtime, results, spec = run(config)
+        executed = sum(w.work_executed for w in runtime.workers.values())
+        expected = apprank_loads(spec).sum() * spec.iterations
+        assert executed == pytest.approx(expected)
+
+    def test_no_cores_left_occupied(self):
+        config = RuntimeConfig.offloading(2, "global")
+        runtime, _, _ = run(config)
+        for node in runtime.cluster.nodes:
+            assert node.busy_cores() == 0
+
+    def test_ownership_complete_at_end(self):
+        config = RuntimeConfig.offloading(2, "local", local_period=0.05)
+        runtime, _, _ = run(config)
+        for node_id, counts in runtime.drom.ownership_snapshot().items():
+            assert sum(counts.values()) == CORES
+            assert all(c >= 1 for c in counts.values())
+
+    def test_iteration_times_consistent_across_ranks(self):
+        """Barrier-synced iterations end together on every rank."""
+        config = RuntimeConfig.offloading(2, "global")
+        _, results, _ = run(config, num_nodes=4)
+        matrix = np.array([r["iteration_times"] for r in results])
+        # each iteration's barrier aligns within communication time
+        spread = matrix.max(axis=0) - matrix.min(axis=0)
+        assert (spread < 1e-3).all()
+
+
+class TestPaperOrderings:
+    def test_offloading_beats_dlb_beats_nothing_on_imbalance(self):
+        baseline, _, _ = run(RuntimeConfig.baseline())
+        offload, _, _ = run(RuntimeConfig.offloading(2, "global",
+                                                     global_period=0.2))
+        assert offload.elapsed < baseline.elapsed * 0.85
+
+    def test_balanced_load_gains_nothing_from_offloading(self):
+        baseline, _, _ = run(RuntimeConfig.baseline(), imbalance=1.0)
+        offload, _, _ = run(RuntimeConfig.offloading(2, "global",
+                                                     global_period=0.2),
+                            imbalance=1.0)
+        # no imbalance to fix: offloading must not *hurt* much (floors)
+        assert offload.elapsed <= baseline.elapsed * 1.15
+
+    def test_single_node_dlb_useless_with_one_apprank_per_node(self):
+        """Paper §7.1: 'When there is just one apprank per node,
+        single-node DLB makes no difference, as expected.'"""
+        baseline, _, _ = run(RuntimeConfig.baseline())
+        dlb, _, _ = run(RuntimeConfig.dlb_single_node(local_period=0.05))
+        assert dlb.elapsed == pytest.approx(baseline.elapsed, rel=0.05)
+
+    def test_single_node_dlb_helps_co_located_imbalance(self):
+        """Two appranks of different load on one node: DLB pools cores."""
+        baseline, _, _ = run(RuntimeConfig.baseline(), num_nodes=1,
+                             appranks_per_node=2, imbalance=2.0)
+        dlb, _, _ = run(RuntimeConfig.dlb_single_node(local_period=0.02),
+                        num_nodes=1, appranks_per_node=2, imbalance=2.0)
+        assert dlb.elapsed < baseline.elapsed * 0.85
+
+    def test_degree_two_insufficient_for_high_imbalance(self):
+        """§7.3: degree must be at least the imbalance on small clusters."""
+        low, _, _ = run(RuntimeConfig.offloading(2, "global",
+                                                 global_period=0.2),
+                        num_nodes=4, imbalance=4.0, iterations=5)
+        high, _, _ = run(RuntimeConfig.offloading(4, "global",
+                                                  global_period=0.2),
+                         num_nodes=4, imbalance=4.0, iterations=5)
+        assert high.elapsed < low.elapsed
+
+    def test_approaches_perfect_balance(self):
+        config = RuntimeConfig.offloading(4, "global", global_period=0.2)
+        runtime, results, spec = run(config, num_nodes=4, imbalance=2.0,
+                                     iterations=5)
+        optimal = perfect_iteration_time(
+            apprank_loads(spec), ClusterSpec.homogeneous(MACHINE, 4))
+        steady = np.array([r["iteration_times"] for r in results]
+                          ).max(axis=0)[1:].mean()
+        assert steady < optimal * 1.30
+
+    def test_slow_node_hurts_baseline_more_than_offloading(self):
+        slow = {0: 0.5}
+        base_uniform, _, _ = run(RuntimeConfig.baseline(), num_nodes=2,
+                                 imbalance=1.0)
+        base_slow, _, _ = run(RuntimeConfig.baseline(), num_nodes=2,
+                              imbalance=1.0, slow=slow)
+        off_slow, _, _ = run(RuntimeConfig.offloading(2, "global",
+                                                      global_period=0.2),
+                             num_nodes=2, imbalance=1.0, slow=slow,
+                             iterations=5)
+        assert base_slow.elapsed > base_uniform.elapsed * 1.5
+        assert off_slow.elapsed < base_slow.elapsed * 0.92
+
+
+class TestMechanisms:
+    def test_lewi_only_borrows_but_never_changes_ownership(self):
+        config = RuntimeConfig(offload_degree=2, lewi=True, drom=False,
+                               policy=None)
+        runtime, _, _ = run(config)
+        stats = runtime.stats()
+        assert stats["lewi"]["borrows"] > 0
+        assert stats["drom_cores_moved"] == 0
+        # ownership still the initial §5.4 split
+        snapshot = runtime.drom.ownership_snapshot()
+        assert snapshot[0][(0, 0)] == CORES - 1
+
+    def test_drom_only_changes_ownership_without_borrowing(self):
+        config = RuntimeConfig(offload_degree=2, lewi=False, drom=True,
+                               policy="global", global_period=0.2)
+        runtime, _, _ = run(config, iterations=5)
+        stats = runtime.stats()
+        assert stats["lewi"]["borrows"] == 0
+        assert stats["drom_cores_moved"] > 0
+
+    def test_talp_reports_sane_efficiency(self):
+        config = RuntimeConfig.offloading(2, "global", global_period=0.2)
+        runtime, _, _ = run(config)
+        report = runtime.talp_report()
+        assert 0.0 < report.parallel_efficiency <= 1.0
+        assert 0.0 < report.load_balance <= 1.0
+
+    def test_offload_volume_counted(self):
+        config = RuntimeConfig.offloading(2, "global", global_period=0.2)
+        runtime, _, _ = run(config)
+        assert runtime.total_offloaded() > 0
+        bytes_moved = sum(rt.directory.bytes_transferred
+                          for rt in runtime.appranks)
+        assert bytes_moved > 0

@@ -1,0 +1,14 @@
+"""Smoke test for the custom-kernel example."""
+
+import runpy
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def test_custom_kernel_example(capsys):
+    runpy.run_path(str(EXAMPLES / "custom_kernel.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "calibrating the kernel" in out
+    assert "offloading(d=3)" in out
+    assert "tasks offloaded" in out

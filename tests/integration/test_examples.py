@@ -1,0 +1,29 @@
+"""The example scripts run and print what they promise (fast ones only)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "perfect-balance bound" in out
+        assert "baseline" in out and "offloading" in out
+        assert "TALP report" in out
+
+    def test_expander_graphs(self, capsys):
+        out = run_example("expander_graphs.py", capsys)
+        assert "degree" in out
+        assert "helper" in out
+        # §5.4 example: 48-core node with 2 appranks and degree-4 helpers
+        assert "21 cores" in out or "22 cores" in out

@@ -1,0 +1,84 @@
+"""Failure injection: mid-run DVFS/thermal slowdowns (§1's motivation)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import SyntheticSpec, make_synthetic_app
+from repro.cluster import MARENOSTRUM4, ClusterSpec
+from repro.errors import ClusterConfigError
+from repro.nanos import ClusterRuntime, RuntimeConfig
+
+MACHINE = MARENOSTRUM4.scaled(8)
+
+
+def run_with_slowdown(config, at_time=1.0, speed=0.4, num_nodes=4,
+                      iterations=8):
+    spec = SyntheticSpec(num_appranks=num_nodes, imbalance=1.0,
+                         cores_per_apprank=8, tasks_per_core=10,
+                         iterations=iterations, seed=13)
+    runtime = ClusterRuntime(ClusterSpec.homogeneous(MACHINE, num_nodes),
+                             num_nodes, config)
+    runtime.schedule_speed_change(at_time, 0, speed)
+    results = runtime.run_app(make_synthetic_app(spec))
+    return runtime, results
+
+
+class TestSpeedChange:
+    def test_set_speed_validation(self):
+        from repro.cluster import Node
+        with pytest.raises(ClusterConfigError):
+            Node(0, 4).set_speed(0.0)
+
+    def test_slowdown_stretches_later_tasks_only(self):
+        from tests.conftest import build_runtime
+        from tests.nanos.test_runtime_core import drive
+        runtime = build_runtime(num_nodes=1, num_appranks=1)
+        rt = runtime.apprank(0)
+        runtime.schedule_speed_change(0.05, 0, 0.5)
+        tasks = []
+
+        def main():
+            tasks.append(rt.submit(work=0.1))    # starts at speed 1.0
+            yield from rt.taskwait()
+            tasks.append(rt.submit(work=0.1))    # starts at speed 0.5
+            yield from rt.taskwait()
+
+        drive(runtime, main())
+        first = tasks[0].finish_time - tasks[0].start_time
+        second = tasks[1].finish_time - tasks[1].start_time
+        assert first == pytest.approx(0.1)
+        assert second == pytest.approx(0.2)
+
+    def test_policies_react_to_mid_run_slowdown(self):
+        """A balanced app hit by a mid-run slowdown: offloading with DROM
+        recovers a large part of the loss vs no balancing at all."""
+        baseline, _, = run_with_slowdown(RuntimeConfig.baseline())[0], None
+        balanced, _ = run_with_slowdown(
+            RuntimeConfig.offloading(3, "global", global_period=0.2))[0], None
+        # perfect adaptation bound: before t=1 all 32 cores; after, 8 cores
+        # run at 0.4 -> capacity 27.2/32 of nominal
+        assert balanced.elapsed < baseline.elapsed * 0.92
+
+    def test_offloading_moves_work_off_the_throttled_node(self):
+        runtime, _ = run_with_slowdown(
+            RuntimeConfig.offloading(3, "global", global_period=0.2))
+        throttled_apprank = runtime.appranks[0]
+        remote = sum(w.tasks_executed
+                     for node, w in throttled_apprank.workers.items()
+                     if node != throttled_apprank.home_node)
+        assert remote > 0
+
+    def test_slowdown_before_start_equals_static_slow_node(self):
+        config = RuntimeConfig.baseline()
+        spec = SyntheticSpec(num_appranks=2, imbalance=1.0,
+                             cores_per_apprank=8, tasks_per_core=10,
+                             iterations=3, seed=13)
+        dynamic = ClusterRuntime(ClusterSpec.homogeneous(MACHINE, 2), 2,
+                                 config)
+        dynamic.schedule_speed_change(0.0, 0, 0.5)
+        dynamic.run_app(make_synthetic_app(spec))
+        static = ClusterRuntime(
+            ClusterSpec.homogeneous(MACHINE, 2).with_slow_nodes({0: 0.5}),
+            2, config)
+        static.run_app(make_synthetic_app(spec))
+        assert dynamic.elapsed == pytest.approx(static.elapsed)

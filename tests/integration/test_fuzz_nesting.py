@@ -1,0 +1,97 @@
+"""Randomised nested-task trees: termination and conservation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import MARENOSTRUM4, ClusterSpec
+from repro.nanos import ClusterRuntime, RuntimeConfig
+
+MACHINE = MARENOSTRUM4.scaled(4)
+
+
+@st.composite
+def tree_spec(draw):
+    """A random task tree: each node has compute chunks and children."""
+    def node(depth):
+        chunks = draw(st.lists(st.floats(0.0, 0.02, allow_nan=False),
+                               min_size=0, max_size=3))
+        children = []
+        if depth < 2:
+            for _ in range(draw(st.integers(0, 3))):
+                children.append(node(depth + 1))
+        explicit_wait = draw(st.booleans())
+        offloadable = draw(st.booleans())
+        return {"chunks": chunks, "children": children,
+                "wait": explicit_wait, "offloadable": offloadable}
+
+    roots = [node(0) for _ in range(draw(st.integers(1, 4)))]
+    num_nodes = draw(st.sampled_from([1, 2]))
+    degree = draw(st.integers(1, num_nodes))
+    return {"roots": roots, "num_nodes": num_nodes, "degree": degree}
+
+
+def count_tasks(node):
+    return 1 + sum(count_tasks(child) for child in node["children"])
+
+
+def total_work(node):
+    return sum(node["chunks"]) + sum(total_work(c) for c in node["children"])
+
+
+def make_body(spec_node):
+    def body(ctx):
+        mid = len(spec_node["chunks"]) // 2
+        for chunk in spec_node["chunks"][:mid]:
+            yield ctx.compute(chunk)
+        for child in spec_node["children"]:
+            ctx.submit(work=0.0, body=make_body(child),
+                       offloadable=child["offloadable"])
+        if spec_node["wait"]:
+            yield ctx.taskwait()
+        for chunk in spec_node["chunks"][mid:]:
+            yield ctx.compute(chunk)
+    return body
+
+
+class TestNestedFuzz:
+    @given(tree_spec())
+    @settings(max_examples=30, deadline=None)
+    def test_random_trees_terminate_and_conserve(self, spec):
+        config = RuntimeConfig(offload_degree=spec["degree"],
+                               lewi=True, drom=True,
+                               policy="local", local_period=0.05,
+                               graph_seed=1)
+        runtime = ClusterRuntime(
+            ClusterSpec.homogeneous(MACHINE, spec["num_nodes"]),
+            spec["num_nodes"], config)     # one apprank per node
+        rt = runtime.apprank(0)            # only apprank 0 submits work
+
+        def main():
+            for root in spec["roots"]:
+                rt.submit(work=0.0, body=make_body(root),
+                          offloadable=root["offloadable"])
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        process = runtime.sim.spawn(main())
+        runtime.start()
+        steps = 0
+        while not process.done:
+            assert runtime.sim.step(), "nested-task deadlock"
+            steps += 1
+            assert steps < 2_000_000, "runaway simulation"
+        runtime.stop()
+        runtime.sim.run()
+
+        executed = sum(w.tasks_executed for w in runtime.workers.values())
+        expected_tasks = sum(count_tasks(r) for r in spec["roots"])
+        assert executed == expected_tasks
+        work = sum(w.work_executed for w in runtime.workers.values())
+        assert work == pytest.approx(sum(total_work(r)
+                                         for r in spec["roots"]))
+        # elapsed at least the critical path of any single chain of chunks
+        assert process.result >= max(
+            (sum(r["chunks"]) for r in spec["roots"]), default=0.0) - 1e-9
+        for node in runtime.cluster.nodes:
+            assert node.busy_cores() == 0

@@ -1,0 +1,101 @@
+"""Randomised whole-stack fuzzing: any generated app terminates cleanly.
+
+Hypothesis drives random application structures (task counts, durations,
+dependency patterns, taskwait placement, mechanism configs) through the
+full runtime and checks the global invariants: termination, task
+conservation, clean core state, ownership completeness.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import MARENOSTRUM4, ClusterSpec
+from repro.nanos import AccessType, ClusterRuntime, DataAccess, RuntimeConfig
+
+MACHINE = MARENOSTRUM4.scaled(4)
+
+
+@st.composite
+def app_spec(draw):
+    num_nodes = draw(st.sampled_from([1, 2, 4]))
+    per_node = draw(st.sampled_from([1, 2]))
+    # each node must host per_node homes + (degree-1)*per_node helpers,
+    # all with a one-core floor on the 4-core test machine
+    max_degree = min(num_nodes, MACHINE.cores_per_node // per_node)
+    degree = draw(st.integers(1, max_degree))
+    lewi = draw(st.booleans())
+    drom = draw(st.booleans())
+    policy = draw(st.sampled_from(["local", "global", None])) if drom else None
+    iterations = draw(st.integers(1, 3))
+    tasks = draw(st.integers(1, 25))
+    # dependency pattern: block index per task (same block => chained)
+    blocks = draw(st.lists(st.integers(0, 5), min_size=tasks, max_size=tasks))
+    durations = draw(st.lists(
+        st.floats(0.0, 0.05, allow_nan=False), min_size=tasks, max_size=tasks))
+    offloadable = draw(st.lists(st.booleans(), min_size=tasks, max_size=tasks))
+    modes = draw(st.lists(st.sampled_from(["in", "out", "inout"]),
+                          min_size=tasks, max_size=tasks))
+    return dict(num_nodes=num_nodes, per_node=per_node, degree=degree,
+                lewi=lewi, drom=drom, policy=policy, iterations=iterations,
+                blocks=blocks, durations=durations, offloadable=offloadable,
+                modes=modes)
+
+
+class TestRuntimeFuzz:
+    @given(app_spec())
+    @settings(max_examples=40, deadline=None)
+    def test_any_app_terminates_with_invariants(self, spec):
+        config = RuntimeConfig(
+            offload_degree=spec["degree"], lewi=spec["lewi"],
+            drom=spec["drom"], policy=spec["policy"],
+            local_period=0.02, global_period=0.1, graph_seed=1)
+        num_appranks = spec["num_nodes"] * spec["per_node"]
+        runtime = ClusterRuntime(
+            ClusterSpec.homogeneous(MACHINE, spec["num_nodes"]),
+            num_appranks, config)
+
+        block_bytes = 4096
+
+        def main(comm, rt):
+            for _it in range(spec["iterations"]):
+                for i, duration in enumerate(spec["durations"]):
+                    base = spec["blocks"][i] * block_bytes
+                    rt.submit(work=duration,
+                              accesses=(DataAccess(AccessType(spec["modes"][i]),
+                                                   base, base + block_bytes),),
+                              offloadable=spec["offloadable"][i])
+                yield from rt.taskwait()
+                yield from comm.barrier()
+            return {"iteration_times": [0.0] * spec["iterations"]}
+
+        runtime.run_app(main)
+
+        # -- invariants ------------------------------------------------
+        total_tasks = (len(spec["durations"]) * spec["iterations"]
+                       * num_appranks)
+        executed = sum(w.tasks_executed for w in runtime.workers.values())
+        assert executed == total_tasks
+        for apprank_rt in runtime.appranks:
+            assert apprank_rt.outstanding == 0
+            assert apprank_rt.scheduler.queued == 0
+        for node in runtime.cluster.nodes:
+            assert node.busy_cores() == 0
+        for node_id, counts in runtime.drom.ownership_snapshot().items():
+            assert sum(counts.values()) == MACHINE.cores_per_node
+        # non-offloadable tasks stayed home
+        for apprank_rt in runtime.appranks:
+            home_worker = apprank_rt.workers[apprank_rt.home_node]
+            non_offloadable = sum(
+                1 for flag in spec["offloadable"] if not flag
+            ) * spec["iterations"]
+            if non_offloadable and spec["degree"] > 1:
+                # they must have executed at home; remote workers executed
+                # at most the offloadable count
+                remote = sum(w.tasks_executed
+                             for n, w in apprank_rt.workers.items()
+                             if n != apprank_rt.home_node)
+                offloadable_total = (len(spec["durations"])
+                                     * spec["iterations"]) - non_offloadable
+                assert remote <= offloadable_total

@@ -1,0 +1,110 @@
+"""Interplay of the extensions: nesting × dynamic spreading × calibration."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import MARENOSTRUM4, ClusterSpec
+from repro.nanos import CalibratedTask, ClusterRuntime, RuntimeConfig
+
+MACHINE = MARENOSTRUM4.scaled(8)
+
+
+def drive(runtime, main):
+    process = runtime.sim.spawn(main)
+    runtime.start()
+    steps = 0
+    while not process.done:
+        assert runtime.sim.step(), "deadlock"
+        steps += 1
+        assert steps < 5_000_000
+    runtime.stop()
+    runtime.sim.run()
+    return process.result
+
+
+class TestNestingWithDynamicSpreading:
+    def test_nested_imbalance_triggers_spreading(self):
+        """Parents whose children overload the home node should cause
+        helper spawning, and the run must stay consistent."""
+        config = RuntimeConfig(
+            offload_degree=1, lewi=True, drom=True, policy="global",
+            global_period=0.2, dynamic_spreading=True, dynamic_period=0.1,
+            dynamic_patience=2, dynamic_spawn_latency=0.05)
+        runtime = ClusterRuntime(ClusterSpec.homogeneous(MACHINE, 4), 4,
+                                 config)
+        rt = runtime.apprank(0)          # only apprank 0 is loaded
+
+        def region(ctx):
+            for _ in range(10):
+                ctx.submit(work=0.05)
+            yield ctx.taskwait()
+
+        def main():
+            for _it in range(5):
+                for _ in range(8):
+                    rt.submit(work=0.0, body=region)
+                yield from rt.taskwait()
+            return runtime.sim.now
+
+        drive(runtime, main())
+        assert runtime.spreader.helpers_spawned > 0
+        executed = sum(w.tasks_executed for w in runtime.workers.values())
+        assert executed == 5 * 8 * (1 + 10)
+        for node in runtime.cluster.nodes:
+            assert node.busy_cores() == 0
+
+    def test_children_can_run_on_dynamically_added_helpers(self):
+        config = RuntimeConfig(
+            offload_degree=1, lewi=True, drom=True, policy="global",
+            global_period=0.2, dynamic_spreading=True, dynamic_period=0.1,
+            dynamic_patience=1, dynamic_spawn_latency=0.01)
+        runtime = ClusterRuntime(ClusterSpec.homogeneous(MACHINE, 2), 2,
+                                 config)
+        rt = runtime.apprank(0)
+
+        def region(ctx):
+            for _ in range(20):
+                ctx.submit(work=0.05)
+            yield ctx.taskwait()
+
+        def main():
+            for _it in range(4):
+                for _ in range(6):
+                    rt.submit(work=0.0, body=region)
+                yield from rt.taskwait()
+            return runtime.sim.now
+
+        drive(runtime, main())
+        if runtime.spreader.helpers_spawned:
+            remote = sum(w.tasks_executed
+                         for node, w in rt.workers.items()
+                         if node != rt.home_node)
+            assert remote > 0
+
+
+class TestCalibratedNestedTasks:
+    def test_calibrated_kernel_inside_a_body(self):
+        """A body can submit children carrying measured kernel costs."""
+        runtime = ClusterRuntime(ClusterSpec.homogeneous(MACHINE, 1), 1,
+                                 RuntimeConfig.baseline())
+        rt = runtime.apprank(0)
+        kernel = CalibratedTask(lambda a: float((a * a).sum()),
+                                calibration_runs=1)
+        sample = np.ones((100, 100))
+        cost = kernel.measure(sample)
+        children = []
+
+        def body(ctx):
+            yield ctx.compute(0.01)
+            for _ in range(4):
+                children.append(ctx.submit(work=kernel.measure(sample)))
+            yield ctx.taskwait()
+
+        def main():
+            rt.submit(work=0.0, body=body)
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        drive(runtime, main())
+        assert all(c.work == pytest.approx(cost) for c in children)
+        assert all(c.finish_time is not None for c in children)

@@ -1,0 +1,150 @@
+"""StepSeries: values, integration, resampling, windowing; property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.metrics import StepSeries
+
+
+class TestBasics:
+    def test_initial_value(self):
+        series = StepSeries(initial_value=3.0)
+        assert series.current == 3.0
+        assert series.value_at(100.0) == 3.0
+
+    def test_set_changes_value(self):
+        series = StepSeries()
+        series.set(1.0, 5.0)
+        assert series.value_at(0.5) == 0.0
+        assert series.value_at(1.0) == 5.0
+        assert series.value_at(2.0) == 5.0
+
+    def test_add_accumulates(self):
+        series = StepSeries()
+        series.add(1.0, 2.0)
+        series.add(2.0, 3.0)
+        assert series.current == 5.0
+
+    def test_time_backwards_rejected(self):
+        series = StepSeries()
+        series.set(2.0, 1.0)
+        with pytest.raises(ReproError):
+            series.set(1.0, 2.0)
+
+    def test_same_time_overwrite_collapses(self):
+        series = StepSeries()
+        series.set(1.0, 5.0)
+        series.set(1.0, 0.0)        # back to the initial value
+        assert len(series) == 1     # point was collapsed away
+        assert series.value_at(2.0) == 0.0
+
+    def test_redundant_set_ignored(self):
+        series = StepSeries()
+        series.set(1.0, 0.0)
+        assert len(series) == 1
+
+
+class TestIntegration:
+    def test_constant_integral(self):
+        series = StepSeries(initial_value=2.0)
+        assert series.integrate(0.0, 5.0) == pytest.approx(10.0)
+
+    def test_piecewise_integral(self):
+        series = StepSeries()
+        series.set(1.0, 4.0)
+        series.set(3.0, 1.0)
+        # 0*1 + 4*2 + 1*2 over [0, 5]
+        assert series.integrate(0.0, 5.0) == pytest.approx(10.0)
+
+    def test_partial_ranges(self):
+        series = StepSeries()
+        series.set(1.0, 4.0)
+        assert series.integrate(0.5, 1.5) == pytest.approx(2.0)
+
+    def test_empty_range(self):
+        assert StepSeries(initial_value=9.0).integrate(2.0, 2.0) == 0.0
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ReproError):
+            StepSeries().integrate(3.0, 2.0)
+
+    def test_mean(self):
+        series = StepSeries()
+        series.set(0.0, 2.0)
+        series.set(1.0, 4.0)
+        assert series.mean(0.0, 2.0) == pytest.approx(3.0)
+
+
+class TestResample:
+    def test_resample_values(self):
+        series = StepSeries()
+        series.set(1.0, 1.0)
+        series.set(2.0, 2.0)
+        values = series.resample([0.5, 1.0, 1.5, 2.5])
+        np.testing.assert_allclose(values, [0.0, 1.0, 1.0, 2.0])
+
+    def test_windowed_mean(self):
+        series = StepSeries()
+        series.set(0.0, 0.0)
+        series.set(1.0, 2.0)
+        means = series.windowed_mean([2.0], window=2.0)
+        assert means[0] == pytest.approx(1.0)
+
+    def test_windowed_mean_validates(self):
+        with pytest.raises(ReproError):
+            StepSeries().windowed_mean([1.0], window=0.0)
+
+
+class TestSum:
+    def test_sum_of_series(self):
+        a = StepSeries()
+        a.set(1.0, 1.0)
+        b = StepSeries()
+        b.set(2.0, 2.0)
+        total = StepSeries.sum_of([a, b])
+        assert total.value_at(0.5) == 0.0
+        assert total.value_at(1.5) == 1.0
+        assert total.value_at(2.5) == 3.0
+
+    def test_sum_of_empty_rejected(self):
+        with pytest.raises(ReproError):
+            StepSeries.sum_of([])
+
+
+@st.composite
+def change_points(draw):
+    n = draw(st.integers(1, 30))
+    times = sorted(draw(st.lists(st.floats(0.01, 100, allow_nan=False),
+                                 min_size=n, max_size=n, unique=True)))
+    values = draw(st.lists(st.integers(0, 20), min_size=n, max_size=n))
+    return list(zip(times, [float(v) for v in values]))
+
+
+class TestProperties:
+    @given(change_points())
+    @settings(max_examples=100, deadline=None)
+    def test_integral_additivity(self, points):
+        series = StepSeries()
+        for t, v in points:
+            series.set(t, v)
+        end = points[-1][0] + 10
+        mid = end / 2
+        whole = series.integrate(0.0, end)
+        split = series.integrate(0.0, mid) + series.integrate(mid, end)
+        assert whole == pytest.approx(split)
+
+    @given(change_points())
+    @settings(max_examples=100, deadline=None)
+    def test_integral_matches_riemann_sum(self, points):
+        series = StepSeries()
+        for t, v in points:
+            series.set(t, v)
+        end = points[-1][0] + 1
+        grid = np.linspace(0, end, 20001)
+        values = series.resample(grid[:-1])
+        riemann = float(values.sum() * (grid[1] - grid[0]))
+        assert series.integrate(0.0, end) == pytest.approx(riemann, rel=0.01,
+                                                           abs=0.05)

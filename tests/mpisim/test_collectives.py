@@ -1,0 +1,178 @@
+"""Collective algorithms across rank counts, including non-powers-of-two."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, ClusterSpec, GENERIC_SMALL
+from repro.errors import MpiError
+from repro.mpisim import MpiWorld
+from repro.mpisim.collectives import resolve_op
+from repro.sim import Simulator
+
+SIZES = [1, 2, 3, 4, 5, 7, 8]
+
+
+def run_collective(size, main):
+    sim = Simulator()
+    nodes = max(1, (size + 1) // 2)
+    cluster = Cluster(ClusterSpec.homogeneous(GENERIC_SMALL, nodes))
+    world = MpiWorld(sim, cluster, [r % nodes for r in range(size)])
+    return world.run_spmd(main)
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestPerSize:
+    def test_barrier_synchronises(self, size):
+        def main(comm):
+            from repro.sim import Timeout
+            yield Timeout(0.1 * comm.rank)      # stagger arrival
+            yield from comm.barrier()
+            return comm.sim.now
+
+        times = run_collective(size, main)
+        latest_arrival = 0.1 * (size - 1)
+        assert all(t >= latest_arrival for t in times)
+
+    def test_bcast_from_each_root(self, size):
+        for root in range(size):
+            def main(comm, root=root):
+                payload = f"from{root}" if comm.rank == root else None
+                value = yield from comm.bcast(payload, root=root)
+                return value
+
+            assert run_collective(size, main) == [f"from{root}"] * size
+
+    def test_reduce_sum(self, size):
+        def main(comm):
+            value = yield from comm.reduce(comm.rank + 1, op="sum", root=0)
+            return value
+
+        results = run_collective(size, main)
+        assert results[0] == size * (size + 1) // 2
+        assert all(r is None for r in results[1:])
+
+    def test_allreduce_max(self, size):
+        def main(comm):
+            value = yield from comm.allreduce(comm.rank * 10, op="max")
+            return value
+
+        assert run_collective(size, main) == [(size - 1) * 10] * size
+
+    def test_allreduce_arrays(self, size):
+        def main(comm):
+            value = yield from comm.allreduce(np.full(4, comm.rank), op="sum")
+            return value
+
+        expected = np.full(4, sum(range(size)))
+        for result in run_collective(size, main):
+            np.testing.assert_array_equal(result, expected)
+
+    def test_gather(self, size):
+        def main(comm):
+            values = yield from comm.gather(comm.rank ** 2, root=0)
+            return values
+
+        results = run_collective(size, main)
+        assert results[0] == [r ** 2 for r in range(size)]
+        assert all(r is None for r in results[1:])
+
+    def test_allgather(self, size):
+        def main(comm):
+            values = yield from comm.allgather(chr(ord("a") + comm.rank))
+            return values
+
+        expected = [chr(ord("a") + r) for r in range(size)]
+        assert run_collective(size, main) == [expected] * size
+
+    def test_scatter(self, size):
+        def main(comm):
+            payloads = ([f"item{i}" for i in range(comm.size)]
+                        if comm.rank == 0 else None)
+            value = yield from comm.scatter(payloads, root=0)
+            return value
+
+        assert run_collective(size, main) == [f"item{r}" for r in range(size)]
+
+    def test_alltoall(self, size):
+        def main(comm):
+            payloads = [(comm.rank, dst) for dst in range(comm.size)]
+            values = yield from comm.alltoall(payloads)
+            return values
+
+        results = run_collective(size, main)
+        for rank, values in enumerate(results):
+            assert values == [(src, rank) for src in range(size)]
+
+
+class TestSequencesOfCollectives:
+    def test_back_to_back_collectives_do_not_cross(self):
+        def main(comm):
+            a = yield from comm.allreduce(comm.rank, op="sum")
+            b = yield from comm.allreduce(comm.rank, op="max")
+            c = yield from comm.allgather(comm.rank)
+            return (a, b, c)
+
+        for a, b, c in run_collective(5, main):
+            assert a == 10
+            assert b == 4
+            assert c == list(range(5))
+
+    def test_interleaved_p2p_and_collectives(self):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send("x", 1, tag=3)
+            total = yield from comm.allreduce(1, op="sum")
+            if comm.rank == 1:
+                msg = yield from comm.recv(0, tag=3)
+                return (total, msg)
+            return (total, None)
+
+        results = run_collective(4, main)
+        assert results[1] == (4, "x")
+        assert results[0] == (4, None)
+
+
+class TestOps:
+    def test_named_ops(self):
+        assert resolve_op("sum")(2, 3) == 5
+        assert resolve_op("prod")(2, 3) == 6
+        assert resolve_op("max")(2, 3) == 3
+        assert resolve_op("min")(2, 3) == 2
+
+    def test_callable_passthrough(self):
+        op = lambda a, b: a - b
+        assert resolve_op(op) is op
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(MpiError):
+            resolve_op("median")
+
+    def test_scatter_requires_size_payloads(self):
+        def main(comm):
+            value = yield from comm.scatter([1], root=0)
+            return value
+
+        with pytest.raises(MpiError):
+            run_collective(3, main)
+
+    def test_alltoall_requires_size_payloads(self):
+        def main(comm):
+            values = yield from comm.alltoall([1])
+            return values
+
+        with pytest.raises(MpiError):
+            run_collective(3, main)
+
+
+class TestReduceProperty:
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_allreduce_sum_equals_python_sum(self, values):
+        def main(comm):
+            result = yield from comm.allreduce(values[comm.rank], op="sum")
+            return result
+
+        results = run_collective(len(values), main)
+        assert results == [sum(values)] * len(values)

@@ -1,0 +1,73 @@
+"""Envelope validation, size estimation, matching rules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiError
+from repro.mpisim import ANY_SOURCE, ANY_TAG, Envelope, payload_nbytes
+from repro.mpisim.message import matches
+
+
+class TestPayloadNbytes:
+    def test_numpy_array_exact(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_bytes_exact(self):
+        assert payload_nbytes(b"12345") == 5
+
+    def test_scalars_are_word_sized(self):
+        assert payload_nbytes(3) == 8
+        assert payload_nbytes(3.5) == 8
+        assert payload_nbytes(None) == 8
+        assert payload_nbytes(True) == 8
+
+    def test_string_utf8_length(self):
+        assert payload_nbytes("abc") == 3
+
+    def test_containers_recurse(self):
+        assert payload_nbytes([1, 2]) == 16 + 16
+        assert payload_nbytes({"a": 1}) == 16 + 1 + 8
+
+    def test_unknown_object_flat_estimate(self):
+        class Thing:
+            pass
+        assert payload_nbytes(Thing()) == 256
+
+
+class TestEnvelopeValidation:
+    def test_negative_tag_rejected(self):
+        with pytest.raises(MpiError):
+            Envelope(src=0, dst=1, tag=-1, comm_id=0, payload=None, nbytes=1)
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(MpiError):
+            Envelope(src=-1, dst=1, tag=0, comm_id=0, payload=None, nbytes=1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(MpiError):
+            Envelope(src=0, dst=1, tag=0, comm_id=0, payload=None, nbytes=-1)
+
+
+class TestMatching:
+    def env(self, src=2, tag=5, comm_id=1):
+        return Envelope(src=src, dst=0, tag=tag, comm_id=comm_id,
+                        payload=None, nbytes=1)
+
+    def test_exact_match(self):
+        assert matches(self.env(), source=2, tag=5, comm_id=1)
+
+    def test_any_source(self):
+        assert matches(self.env(src=7), source=ANY_SOURCE, tag=5, comm_id=1)
+
+    def test_any_tag(self):
+        assert matches(self.env(tag=9), source=2, tag=ANY_TAG, comm_id=1)
+
+    def test_wrong_comm_never_matches(self):
+        assert not matches(self.env(comm_id=1), source=ANY_SOURCE,
+                           tag=ANY_TAG, comm_id=2)
+
+    def test_wrong_source_rejected(self):
+        assert not matches(self.env(src=2), source=3, tag=5, comm_id=1)
+
+    def test_wrong_tag_rejected(self):
+        assert not matches(self.env(tag=5), source=2, tag=6, comm_id=1)

@@ -1,0 +1,247 @@
+"""Point-to-point: blocking/nonblocking, matching order, rendezvous timing."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, GENERIC_SMALL
+from repro.errors import CommunicatorError, MpiError
+from repro.mpisim import ANY_SOURCE, ANY_TAG, MpiWorld
+from repro.sim import Simulator, Timeout
+
+
+def make_world(num_nodes=2, ranks_per_node=1):
+    sim = Simulator()
+    cluster = Cluster(ClusterSpec.homogeneous(GENERIC_SMALL, num_nodes))
+    mapping = [n for n in range(num_nodes) for _ in range(ranks_per_node)]
+    return sim, MpiWorld(sim, cluster, mapping)
+
+
+class TestBlocking:
+    def test_send_recv_roundtrip(self):
+        sim, world = make_world()
+
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send({"k": 1}, 1, tag=3)
+                return None
+            value = yield from comm.recv(0, tag=3)
+            return value
+
+        results = world.run_spmd(main)
+        assert results[1] == {"k": 1}
+
+    def test_recv_any_source_any_tag(self):
+        sim, world = make_world()
+
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send("hello", 1, tag=9)
+                return None
+            value = yield from comm.recv(ANY_SOURCE, ANY_TAG)
+            return value
+
+        assert world.run_spmd(main)[1] == "hello"
+
+    def test_messages_from_one_sender_arrive_in_order(self):
+        sim, world = make_world()
+
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    yield from comm.send(i, 1, tag=1)
+                return None
+            got = []
+            for _ in range(5):
+                got.append((yield from comm.recv(0, tag=1)))
+            return got
+
+        assert world.run_spmd(main)[1] == [0, 1, 2, 3, 4]
+
+    def test_tag_selective_reception(self):
+        sim, world = make_world()
+
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send("a", 1, tag=1)
+                yield from comm.send("b", 1, tag=2)
+                return None
+            second = yield from comm.recv(0, tag=2)
+            first = yield from comm.recv(0, tag=1)
+            return (first, second)
+
+        assert world.run_spmd(main)[1] == ("a", "b")
+
+    def test_sendrecv_exchange(self):
+        sim, world = make_world()
+
+        def main(comm):
+            other = 1 - comm.rank
+            value = yield from comm.sendrecv(comm.rank, other, other)
+            return value
+
+        assert world.run_spmd(main) == [1, 0]
+
+
+class TestNonblocking:
+    def test_irecv_before_send(self):
+        sim, world = make_world()
+
+        def main(comm):
+            if comm.rank == 1:
+                req = comm.irecv(0, tag=4)
+                value = yield from req.wait()
+                return value
+            yield Timeout(0.1)
+            yield from comm.send(42, 1, tag=4)
+            return None
+
+        assert world.run_spmd(main)[1] == 42
+
+    def test_test_polls_completion(self):
+        sim, world = make_world()
+
+        def main(comm):
+            if comm.rank == 1:
+                req = comm.irecv(0, tag=1)
+                done_before, _ = req.test()
+                yield Timeout(1.0)
+                done_after, value = req.test()
+                return done_before, done_after, value
+            yield from comm.send("x", 1, tag=1)
+            return None
+
+        before, after, value = world.run_spmd(main)[1]
+        assert (before, after, value) == (False, True, "x")
+
+    def test_waitall(self):
+        sim, world = make_world()
+
+        def main(comm):
+            if comm.rank == 0:
+                reqs = [comm.isend(i, 1, tag=i) for i in range(3)]
+                yield from comm.waitall(reqs)
+                return None
+            reqs = [comm.irecv(0, tag=i) for i in range(3)]
+            values = yield from comm.waitall(reqs)
+            return values
+
+        assert world.run_spmd(main)[1] == [0, 1, 2]
+
+    def test_iprobe(self):
+        sim, world = make_world()
+
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 1, tag=7)
+                return None
+            yield Timeout(1.0)
+            seen = comm.iprobe(0, 7)
+            missing = comm.iprobe(0, 8)
+            _ = yield from comm.recv(0, 7)
+            drained = comm.iprobe(0, 7)
+            return seen, missing, drained
+
+        assert world.run_spmd(main)[1] == (True, False, False)
+
+
+class TestTiming:
+    def test_rendezvous_waits_for_receiver(self):
+        sim, world = make_world()
+        big = np.zeros(1_000_000)        # way past the eager threshold
+
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send(big, 1)
+                return sim.now
+            yield Timeout(0.5)
+            _ = yield from comm.recv(0)
+            return sim.now
+
+        send_done, recv_done = world.run_spmd(main)
+        assert recv_done > 0.5
+        assert send_done == pytest.approx(recv_done)
+
+    def test_eager_send_completes_locally(self):
+        sim, world = make_world()
+
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send(b"x" * 64, 1)
+                return sim.now
+            yield Timeout(0.5)
+            _ = yield from comm.recv(0)
+            return sim.now
+
+        send_done, recv_done = world.run_spmd(main)
+        assert send_done < 0.01          # buffered, does not wait for recv
+        assert recv_done >= 0.5
+
+    def test_intra_node_faster_than_inter_node(self):
+        def run(ranks_per_node, num_nodes):
+            sim, world = make_world(num_nodes, ranks_per_node)
+
+            def main(comm):
+                if comm.rank == 0:
+                    yield from comm.send(np.zeros(4096), 1)
+                    return None
+                value = yield from comm.recv(0)
+                return sim.now
+
+            return world.run_spmd(main)[1]
+
+        same_node = run(2, 1)
+        cross_node = run(1, 2)
+        assert same_node < cross_node
+
+    def test_traffic_accounting(self):
+        sim, world = make_world()
+
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send(b"x" * 100, 1)
+                return None
+            _ = yield from comm.recv(0)
+            return None
+
+        world.run_spmd(main)
+        assert world.bytes_inter_node == 100
+        assert world.bytes_intra_node == 0
+        assert world.messages_sent == 1
+
+
+class TestValidation:
+    def test_user_tag_cannot_enter_collective_space(self):
+        sim, world = make_world()
+        comm = world.world_comm.view(0)
+        with pytest.raises(MpiError):
+            comm.isend(None, 1, tag=1 << 20)
+
+    def test_rank_out_of_range(self):
+        sim, world = make_world()
+        comm = world.world_comm.view(0)
+        with pytest.raises(CommunicatorError):
+            comm.isend(None, 5)
+
+    def test_subcommunicator_isolation(self):
+        """Messages on one communicator never match receives on another."""
+        sim, world = make_world(2, 2)    # 4 ranks
+        sub = world.create_comm([0, 1], name="sub")
+        results = {}
+
+        def on_world(comm):
+            if comm.rank == 0:
+                yield from comm.send("world-msg", 1, tag=5)
+            elif comm.rank == 1:
+                results["world"] = yield from comm.recv(0, tag=5)
+            return None
+
+        def on_sub(comm):
+            if comm.rank == 0:
+                yield from comm.send("sub-msg", 1, tag=5)
+            else:
+                results["sub"] = yield from comm.recv(0, tag=5)
+            return None
+
+        procs = world.launch(on_world) + world.launch(on_sub, comm=sub)
+        sim.run_all(procs)
+        assert results == {"world": "world-msg", "sub": "sub-msg"}

@@ -1,0 +1,103 @@
+"""scan / exscan / reduce_scatter collectives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, ClusterSpec, GENERIC_SMALL
+from repro.errors import MpiError
+from repro.mpisim import MpiWorld
+from repro.sim import Simulator
+
+SIZES = [1, 2, 3, 4, 5, 7, 8]
+
+
+def run(size, main):
+    sim = Simulator()
+    nodes = max(1, (size + 1) // 2)
+    cluster = Cluster(ClusterSpec.homogeneous(GENERIC_SMALL, nodes))
+    world = MpiWorld(sim, cluster, [r % nodes for r in range(size)])
+    return world.run_spmd(main)
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestScan:
+    def test_inclusive_prefix_sum(self, size):
+        def main(comm):
+            value = yield from comm.scan(comm.rank + 1, op="sum")
+            return value
+
+        results = run(size, main)
+        assert results == [sum(range(1, i + 2)) for i in range(size)]
+
+    def test_prefix_max(self, size):
+        values = [3, 1, 4, 1, 5, 9, 2, 6][:size]
+
+        def main(comm):
+            value = yield from comm.scan(values[comm.rank], op="max")
+            return value
+
+        results = run(size, main)
+        assert results == [max(values[:i + 1]) for i in range(size)]
+
+    def test_exclusive_prefix_sum(self, size):
+        def main(comm):
+            value = yield from comm.exscan(comm.rank + 1, op="sum")
+            return value
+
+        results = run(size, main)
+        assert results[0] is None
+        assert results[1:] == [sum(range(1, i + 1))
+                               for i in range(1, size)]
+
+    def test_reduce_scatter_sum(self, size):
+        def main(comm):
+            payloads = [rank * 100 + comm.rank for rank in range(comm.size)]
+            value = yield from comm.reduce_scatter(payloads, op="sum")
+            return value
+
+        results = run(size, main)
+        for i, value in enumerate(results):
+            assert value == sum(i * 100 + r for r in range(size))
+
+
+class TestEdgeCases:
+    def test_reduce_scatter_wrong_length(self):
+        def main(comm):
+            value = yield from comm.reduce_scatter([0], op="sum")
+            return value
+
+        with pytest.raises(MpiError):
+            run(3, main)
+
+    def test_scan_with_arrays(self):
+        def main(comm):
+            value = yield from comm.scan(np.full(3, comm.rank + 1.0),
+                                         op="sum")
+            return value
+
+        results = run(4, main)
+        for i, value in enumerate(results):
+            np.testing.assert_allclose(value,
+                                       np.full(3, sum(range(1, i + 2))))
+
+    def test_scan_then_allreduce_do_not_cross(self):
+        def main(comm):
+            prefix = yield from comm.scan(1, op="sum")
+            total = yield from comm.allreduce(1, op="sum")
+            return prefix, total
+
+        results = run(5, main)
+        assert results == [(i + 1, 5) for i in range(5)]
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_scan_matches_itertools_accumulate(self, values):
+        from itertools import accumulate
+
+        def main(comm):
+            value = yield from comm.scan(values[comm.rank], op="sum")
+            return value
+
+        assert run(len(values), main) == list(accumulate(values))

@@ -1,0 +1,82 @@
+"""MPI_Comm_split semantics."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, GENERIC_SMALL
+from repro.mpisim import MpiWorld
+from repro.sim import Simulator
+
+
+def make_world(size=6):
+    sim = Simulator()
+    nodes = max(1, size // 2)
+    cluster = Cluster(ClusterSpec.homogeneous(GENERIC_SMALL, nodes))
+    return MpiWorld(sim, cluster, [r % nodes for r in range(size)])
+
+
+class TestSplit:
+    def test_split_by_parity(self):
+        world = make_world(6)
+
+        def main(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            members = yield from sub.allgather(comm.rank)
+            return (sub.rank, sub.size, members)
+
+        results = world.run_spmd(main)
+        for old_rank, (new_rank, size, members) in enumerate(results):
+            assert size == 3
+            assert members == [r for r in range(6) if r % 2 == old_rank % 2]
+            assert members[new_rank] == old_rank
+
+    def test_negative_color_gets_none(self):
+        world = make_world(4)
+
+        def main(comm):
+            sub = yield from comm.split(-1 if comm.rank == 0 else 0)
+            if sub is None:
+                return None
+            return sub.size
+
+        results = world.run_spmd(main)
+        assert results[0] is None
+        assert results[1:] == [3, 3, 3]
+
+    def test_key_reorders_ranks(self):
+        world = make_world(4)
+
+        def main(comm):
+            # reversed key ordering
+            sub = yield from comm.split(0, key=-comm.rank)
+            return sub.rank
+
+        results = world.run_spmd(main)
+        assert results == [3, 2, 1, 0]
+
+    def test_split_communicators_isolated(self):
+        world = make_world(4)
+
+        def main(comm):
+            sub = yield from comm.split(comm.rank % 2)
+            # same tag, same sub-rank pattern on both halves: must not cross
+            if sub.rank == 0:
+                yield from sub.send(f"color{comm.rank % 2}", 1, tag=5)
+                return None
+            value = yield from sub.recv(0, tag=5)
+            return value
+
+        results = world.run_spmd(main)
+        assert results[2] == "color0"
+        assert results[3] == "color1"
+
+    def test_consecutive_splits_independent(self):
+        world = make_world(4)
+
+        def main(comm):
+            first = yield from comm.split(comm.rank % 2)
+            second = yield from comm.split(comm.rank // 2)
+            return (first.size, second.size, first.comm.comm_id
+                    != second.comm.comm_id)
+
+        for first_size, second_size, distinct in world.run_spmd(main):
+            assert (first_size, second_size, distinct) == (2, 2, True)

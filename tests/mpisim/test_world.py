@@ -1,0 +1,91 @@
+"""MpiWorld: rank placement, communicator management, SPMD launching."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, GENERIC_SMALL
+from repro.errors import CommunicatorError, MpiError
+from repro.mpisim import MpiWorld
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    cluster = Cluster(ClusterSpec.homogeneous(GENERIC_SMALL, 2))
+    return MpiWorld(sim, cluster, [0, 0, 1, 1])
+
+
+class TestPlacement:
+    def test_size_and_node_of(self, world):
+        assert world.size == 4
+        assert world.node_of(0) == 0
+        assert world.node_of(3) == 1
+
+    def test_node_of_out_of_range(self, world):
+        with pytest.raises(MpiError):
+            world.node_of(4)
+
+    def test_invalid_node_in_mapping(self):
+        sim = Simulator()
+        cluster = Cluster(ClusterSpec.homogeneous(GENERIC_SMALL, 2))
+        with pytest.raises(Exception):
+            MpiWorld(sim, cluster, [0, 5])
+
+
+class TestCommunicators:
+    def test_world_comm_covers_all_ranks(self, world):
+        assert world.world_comm.size == 4
+        assert world.world_comm.world_ranks == [0, 1, 2, 3]
+
+    def test_create_comm_renumbers(self, world):
+        sub = world.create_comm([2, 0])
+        assert sub.size == 2
+        assert sub.world_rank(0) == 2
+        assert sub.world_rank(1) == 0
+        assert sub.rank_from_world(0) == 1
+
+    def test_duplicate_ranks_rejected(self, world):
+        with pytest.raises(CommunicatorError):
+            world.create_comm([0, 0])
+
+    def test_out_of_range_rank_rejected(self, world):
+        with pytest.raises(CommunicatorError):
+            world.create_comm([0, 9])
+
+    def test_view_range_checked(self, world):
+        with pytest.raises(CommunicatorError):
+            world.world_comm.view(7)
+
+    def test_comm_ids_are_unique(self, world):
+        a = world.create_comm([0, 1])
+        b = world.create_comm([0, 1])
+        assert a.comm_id != b.comm_id
+
+
+class TestLaunch:
+    def test_run_spmd_returns_per_rank_results(self, world):
+        def main(comm):
+            total = yield from comm.allreduce(comm.rank, op="sum")
+            return (comm.rank, total)
+
+        results = world.run_spmd(main)
+        assert results == [(r, 6) for r in range(4)]
+
+    def test_launch_on_subcommunicator(self, world):
+        sub = world.create_comm([1, 3])
+
+        def main(comm):
+            values = yield from comm.allgather(comm.rank)
+            return values
+
+        processes = world.launch(main, comm=sub)
+        world.sim.run_all(processes)
+        assert [p.result for p in processes] == [[0, 1], [0, 1]]
+
+    def test_extra_args_forwarded(self, world):
+        def main(comm, factor):
+            yield from comm.barrier()
+            return comm.rank * factor
+
+        results = world.run_spmd(main, args=(10,))
+        assert results == [0, 10, 20, 30]

@@ -1,0 +1,150 @@
+"""concurrent / commutative access semantics."""
+
+import pytest
+
+from repro.nanos import AccessType, DataAccess, Task, TaskState
+from repro.nanos.dependencies import DependencyTracker
+
+
+def make_tracker():
+    ready: list[Task] = []
+    tracker = DependencyTracker(ready.append)
+    return tracker, ready
+
+
+def task(mode, start=0, end=10):
+    return Task(work=1.0, accesses=(DataAccess(AccessType(mode), start, end),))
+
+
+def finish(tracker, t):
+    t.state = TaskState.FINISHED
+    tracker.notify_finished(t)
+
+
+class TestConcurrent:
+    def test_concurrent_group_runs_together(self):
+        tracker, ready = make_tracker()
+        group = [task("concurrent") for _ in range(3)]
+        for t in group:
+            tracker.register(t)
+        assert ready == group          # no mutual dependencies
+
+    def test_concurrent_waits_for_prior_writer(self):
+        tracker, ready = make_tracker()
+        writer = task("out")
+        conc = task("concurrent")
+        tracker.register(writer)
+        tracker.register(conc)
+        assert ready == [writer]
+        finish(tracker, writer)
+        assert conc in ready
+
+    def test_reader_waits_for_whole_group(self):
+        tracker, ready = make_tracker()
+        group = [task("concurrent") for _ in range(3)]
+        reader = task("in")
+        for t in group:
+            tracker.register(t)
+        tracker.register(reader)
+        assert reader not in ready
+        for t in group[:-1]:
+            finish(tracker, t)
+            assert reader not in ready
+        finish(tracker, group[-1])
+        assert reader in ready
+
+    def test_writer_closes_the_group(self):
+        tracker, ready = make_tracker()
+        first = task("concurrent")
+        writer = task("inout")
+        second = task("concurrent")
+        tracker.register(first)
+        tracker.register(writer)
+        tracker.register(second)
+        assert ready == [first]
+        finish(tracker, first)
+        assert writer in ready
+        assert second not in ready      # new group, after the writer
+        finish(tracker, writer)
+        assert second in ready
+
+    def test_concurrent_waits_for_readers(self):
+        tracker, ready = make_tracker()
+        writer = task("out")
+        reader = task("in")
+        conc = task("concurrent")
+        for t in (writer, reader, conc):
+            tracker.register(t)
+        finish(tracker, writer)
+        assert conc not in ready        # reader still outstanding
+        finish(tracker, reader)
+        assert conc in ready
+
+
+class TestCommutative:
+    def test_commutative_tasks_serialise(self):
+        tracker, ready = make_tracker()
+        group = [task("commutative") for _ in range(3)]
+        for t in group:
+            tracker.register(t)
+        assert ready == group[:1]       # one at a time
+        finish(tracker, group[0])
+        assert ready == group[:2]
+        finish(tracker, group[1])
+        assert ready == group
+
+    def test_commutative_is_read_write(self):
+        access = DataAccess(AccessType.COMMUTATIVE, 0, 10)
+        assert access.mode.reads and access.mode.writes
+
+    def test_commutative_vs_reader(self):
+        tracker, ready = make_tracker()
+        comm = task("commutative")
+        reader = task("in")
+        tracker.register(comm)
+        tracker.register(reader)
+        assert reader not in ready
+        finish(tracker, comm)
+        assert reader in ready
+
+
+class TestEndToEnd:
+    def test_concurrent_tasks_overlap_in_time(self, runtime_factory):
+        from repro.nanos import RuntimeConfig
+        from tests.nanos.test_runtime_core import drive
+        runtime = runtime_factory(num_nodes=1, num_appranks=1,
+                                  cores_per_node=8)
+        rt = runtime.apprank(0)
+        tasks = []
+
+        def main():
+            for _ in range(4):
+                tasks.append(rt.submit(
+                    work=0.1,
+                    accesses=[rt.access("concurrent", 0, 100)]))
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        elapsed = drive(runtime, main())
+        assert elapsed == pytest.approx(0.1)    # all four in parallel
+
+    def test_commutative_tasks_never_overlap(self, runtime_factory):
+        from tests.nanos.test_runtime_core import drive
+        runtime = runtime_factory(num_nodes=1, num_appranks=1,
+                                  cores_per_node=8)
+        rt = runtime.apprank(0)
+        tasks = []
+
+        def main():
+            for _ in range(4):
+                tasks.append(rt.submit(
+                    work=0.1,
+                    accesses=[rt.access("commutative", 0, 100)]))
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        elapsed = drive(runtime, main())
+        assert elapsed == pytest.approx(0.4)
+        intervals = sorted((t.start_time, t.finish_time) for t in tasks)
+        for (s1, f1), (s2, _f2) in zip(intervals, intervals[1:]):
+            assert s2 >= f1 - 1e-12

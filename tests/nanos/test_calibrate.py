@@ -1,0 +1,88 @@
+"""CalibratedTask: measure once per cost class, drive the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.nanos.calibrate import CalibratedTask
+
+from tests.conftest import build_runtime
+from tests.nanos.test_runtime_core import drive
+
+
+def busy_kernel(array):
+    return float((array @ array).sum())
+
+
+class TestMeasurement:
+    def test_measures_positive_cost(self):
+        task = CalibratedTask(busy_kernel, calibration_runs=2)
+        cost = task.measure(np.ones((50, 50)))
+        assert cost > 0
+
+    def test_same_shape_cached(self):
+        calls = []
+
+        def kernel(a):
+            calls.append(1)
+            return a.sum()
+
+        task = CalibratedTask(kernel, calibration_runs=2)
+        task.measure(np.ones(10))
+        task.measure(np.ones(10))
+        assert len(calls) == 2          # calibrated once (2 runs), then cached
+
+    def test_different_shapes_measured_separately(self):
+        task = CalibratedTask(busy_kernel, calibration_runs=1)
+        task.measure(np.ones((10, 10)))
+        task.measure(np.ones((80, 80)))
+        assert len(task.known_costs()) == 2
+
+    def test_larger_input_costs_more(self):
+        task = CalibratedTask(busy_kernel, calibration_runs=3)
+        small = task.measure(np.ones((20, 20)))
+        large = task.measure(np.ones((300, 300)))
+        assert large > small
+
+    def test_custom_key_groups_cost_classes(self):
+        task = CalibratedTask(busy_kernel, calibration_runs=1,
+                              key_fn=lambda a, k: "all-the-same")
+        task.measure(np.ones((10, 10)))
+        task.measure(np.ones((90, 90)))
+        assert len(task.known_costs()) == 1
+
+    def test_result_captured(self):
+        task = CalibratedTask(busy_kernel, calibration_runs=1)
+        task.measure(np.ones((4, 4)))
+        assert task.last_result == pytest.approx(busy_kernel(np.ones((4, 4))))
+
+
+class TestSubmission:
+    def test_submit_creates_simulated_task_with_measured_duration(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1)
+        rt = runtime.apprank(0)
+        kernel = CalibratedTask(busy_kernel, calibration_runs=1)
+        tasks = []
+
+        def main():
+            for _ in range(4):
+                tasks.append(kernel.submit(rt, np.ones((60, 60))))
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        elapsed = drive(runtime, main())
+        duration = kernel.known_costs()[next(iter(kernel.known_costs()))]
+        assert all(t.work == duration for t in tasks)
+        # 4 identical tasks on >=4 cores: one wave
+        assert elapsed == pytest.approx(duration, rel=0.01)
+
+    def test_submit_label_defaults_to_kernel_name(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1)
+        rt = runtime.apprank(0)
+        kernel = CalibratedTask(busy_kernel, calibration_runs=1)
+
+        def main():
+            task = kernel.submit(rt, np.ones((8, 8)))
+            yield from rt.taskwait()
+            return task.label
+
+        assert drive(runtime, main()) == "busy_kernel"

@@ -1,0 +1,90 @@
+"""§5.5 completion stealing: queued tasks flow to demonstrably idle cores."""
+
+import pytest
+
+from repro.nanos import ClusterRuntime, RuntimeConfig
+
+from tests.conftest import build_runtime
+from tests.nanos.test_runtime_core import drive
+
+
+class TestStealSemantics:
+    def test_queue_drains_through_borrowed_cores(self):
+        """Two appranks, one idle: the busy apprank's helper must ramp onto
+        the idle apprank's lent cores well beyond its one-core floor."""
+        config = RuntimeConfig(offload_degree=2, lewi=True, drom=False,
+                               policy=None)
+        runtime = build_runtime(num_nodes=2, num_appranks=2, cores_per_node=8,
+                                config=config)
+        rt = runtime.apprank(0)          # apprank 1 stays idle
+
+        def main():
+            for _ in range(160):
+                rt.submit(work=0.05)
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        elapsed = drive(runtime, main())
+        # 8 core·s of work; home node alone would take ~1.0s (7 cores
+        # + floors); with the idle node's 7 lent cores it must go well
+        # below; without completion stealing the helper is capped at ~2
+        # in-flight and this reads ~0.95s.
+        assert elapsed < 0.75
+        helper = rt.workers[1]
+        assert helper.tasks_executed > 20
+
+    def test_no_steal_without_lewi_beyond_ownership(self):
+        """Without LeWI there is nothing borrowable: stealing is limited to
+        the helper's owned core, keeping remote execution minimal."""
+        config = RuntimeConfig(offload_degree=2, lewi=False, drom=False,
+                               policy=None)
+        runtime = build_runtime(num_nodes=2, num_appranks=2, cores_per_node=8,
+                                config=config)
+        rt = runtime.apprank(0)
+
+        def main():
+            for _ in range(160):
+                rt.submit(work=0.05)
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        drive(runtime, main())
+        helper = rt.workers[1]
+        home = rt.workers[0]
+        # the one owned core can only process a small share
+        assert helper.tasks_executed < home.tasks_executed / 3
+
+    def test_steal_respects_empty_queue(self):
+        config = RuntimeConfig.offloading(2, "global", global_period=10.0)
+        runtime = build_runtime(num_nodes=2, num_appranks=2, cores_per_node=8,
+                                config=config)
+        rt = runtime.apprank(0)
+
+        def main():
+            rt.submit(work=0.05)         # single task: nothing to steal
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        elapsed = drive(runtime, main())
+        assert elapsed == pytest.approx(0.05)
+        assert rt.scheduler.tasks_offloaded == 0
+
+    def test_stolen_tasks_still_counted_and_conserved(self):
+        config = RuntimeConfig(offload_degree=2, lewi=True, drom=False,
+                               policy=None)
+        runtime = build_runtime(num_nodes=2, num_appranks=2, cores_per_node=8,
+                                config=config)
+        rt = runtime.apprank(0)
+        total = 100
+
+        def main():
+            for _ in range(total):
+                rt.submit(work=0.02)
+            yield from rt.taskwait()
+
+        drive(runtime, main())
+        executed = sum(w.tasks_executed for w in rt.workers.values())
+        assert executed == total
+        assert rt.scheduler.queued == 0
+        for worker in rt.workers.values():
+            assert worker.assigned == 0

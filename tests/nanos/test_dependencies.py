@@ -1,0 +1,195 @@
+"""Region-based dependency tracking: RAW/WAR/WAW, release order."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DependencyError
+from repro.nanos import AccessType, DataAccess, Task, TaskState
+from repro.nanos.dependencies import DependencyTracker
+
+
+def make_tracker():
+    ready: list[Task] = []
+    tracker = DependencyTracker(ready.append)
+    return tracker, ready
+
+
+def task(*accesses, work=1.0):
+    return Task(work=work, accesses=tuple(
+        DataAccess(AccessType(mode), start, end) for mode, start, end in accesses))
+
+
+def finish(tracker, t):
+    t.state = TaskState.FINISHED
+    return tracker.notify_finished(t)
+
+
+class TestBasicDependencies:
+    def test_independent_tasks_ready_immediately(self):
+        tracker, ready = make_tracker()
+        a = task(("inout", 0, 10))
+        b = task(("inout", 10, 20))
+        tracker.register(a)
+        tracker.register(b)
+        assert ready == [a, b]
+
+    def test_read_after_write(self):
+        tracker, ready = make_tracker()
+        writer = task(("out", 0, 10))
+        reader = task(("in", 0, 10))
+        tracker.register(writer)
+        tracker.register(reader)
+        assert ready == [writer]
+        released = finish(tracker, writer)
+        assert released == [reader]
+        assert ready == [writer, reader]
+
+    def test_two_readers_run_concurrently(self):
+        tracker, ready = make_tracker()
+        writer = task(("out", 0, 10))
+        r1 = task(("in", 0, 10))
+        r2 = task(("in", 0, 10))
+        for t in (writer, r1, r2):
+            tracker.register(t)
+        finish(tracker, writer)
+        assert ready == [writer, r1, r2]
+
+    def test_write_after_read_waits_for_all_readers(self):
+        tracker, ready = make_tracker()
+        writer = task(("out", 0, 10))
+        r1 = task(("in", 0, 10))
+        r2 = task(("in", 0, 10))
+        w2 = task(("out", 0, 10))
+        for t in (writer, r1, r2, w2):
+            tracker.register(t)
+        finish(tracker, writer)
+        assert w2 not in ready
+        finish(tracker, r1)
+        assert w2 not in ready
+        finish(tracker, r2)
+        assert w2 in ready
+
+    def test_write_after_write_serialises(self):
+        tracker, ready = make_tracker()
+        w1 = task(("out", 0, 10))
+        w2 = task(("out", 0, 10))
+        tracker.register(w1)
+        tracker.register(w2)
+        assert ready == [w1]
+        finish(tracker, w1)
+        assert ready == [w1, w2]
+
+    def test_partial_overlap_creates_dependency(self):
+        tracker, ready = make_tracker()
+        w1 = task(("out", 0, 10))
+        w2 = task(("inout", 5, 15))
+        tracker.register(w1)
+        tracker.register(w2)
+        assert ready == [w1]
+
+    def test_inout_chain(self):
+        tracker, ready = make_tracker()
+        chain = [task(("inout", 0, 10)) for _ in range(4)]
+        for t in chain:
+            tracker.register(t)
+        assert ready == chain[:1]
+        for i in range(3):
+            finish(tracker, chain[i])
+            assert ready == chain[:i + 2]
+
+    def test_dependency_on_finished_task_ignored(self):
+        tracker, ready = make_tracker()
+        w = task(("out", 0, 10))
+        tracker.register(w)
+        finish(tracker, w)
+        r = task(("in", 0, 10))
+        tracker.register(r)
+        assert r in ready
+
+    def test_self_dependency_excluded(self):
+        tracker, ready = make_tracker()
+        t = task(("in", 0, 10), ("out", 0, 10))
+        tracker.register(t)
+        assert ready == [t]
+
+    def test_multi_region_task_joins_dependencies(self):
+        tracker, ready = make_tracker()
+        w1 = task(("out", 0, 10))
+        w2 = task(("out", 20, 30))
+        join = task(("in", 0, 10), ("in", 20, 30))
+        for t in (w1, w2, join):
+            tracker.register(t)
+        finish(tracker, w1)
+        assert join not in ready
+        finish(tracker, w2)
+        assert join in ready
+
+
+class TestErrors:
+    def test_double_registration_rejected(self):
+        tracker, _ = make_tracker()
+        t = task(("out", 0, 10))
+        tracker.register(t)
+        with pytest.raises(DependencyError):
+            tracker.register(t)
+
+    def test_notify_unfinished_rejected(self):
+        tracker, _ = make_tracker()
+        t = task(("out", 0, 10))
+        tracker.register(t)
+        with pytest.raises(DependencyError):
+            tracker.notify_finished(t)
+
+    def test_edge_counters(self):
+        tracker, _ = make_tracker()
+        w = task(("out", 0, 10))
+        r = task(("in", 0, 10))
+        tracker.register(w)
+        tracker.register(r)
+        assert tracker.tasks_registered == 2
+        assert tracker.edges_created == 1
+
+
+class TestSequentialSemanticsProperty:
+    @given(st.lists(
+        st.tuples(st.sampled_from(["in", "out", "inout"]),
+                  st.integers(0, 8)),     # block index, 10-byte blocks
+        min_size=1, max_size=25))
+    @settings(max_examples=100, deadline=None)
+    def test_release_in_registration_order_is_always_possible(self, specs):
+        """Executing ready tasks in registration order must release every
+        task exactly once: the graph inherited from sequential order can
+        never deadlock or double-release."""
+        tracker, ready = make_tracker()
+        tasks = [task((mode, b * 10, b * 10 + 10)) for mode, b in specs]
+        for t in tasks:
+            tracker.register(t)
+        executed = []
+        while len(executed) < len(tasks):
+            runnable = [t for t in ready if t not in executed]
+            assert runnable, "dependency deadlock"
+            current = runnable[0]
+            executed.append(current)
+            finish(tracker, current)
+        # every task became ready exactly once
+        assert len(ready) == len(tasks)
+        assert set(ready) == set(tasks)
+
+    @given(st.lists(
+        st.tuples(st.sampled_from(["in", "out", "inout"]),
+                  st.integers(0, 60), st.integers(1, 40)),
+        min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_conflicting_accesses_respect_program_order(self, specs):
+        """Whenever two tasks conflict (overlap with a write), the earlier
+        one must not depend on the later one."""
+        tracker, ready = make_tracker()
+        tasks = [task((mode, start, start + length))
+                 for mode, start, length in specs]
+        for t in tasks:
+            tracker.register(t)
+        index = {t: i for i, t in enumerate(tasks)}
+        for t in tasks:
+            for succ in t.successors:
+                assert index[succ] > index[t]

@@ -1,0 +1,98 @@
+"""DataDirectory: locations, eager copies, invalidation, write-back."""
+
+import pytest
+
+from repro.nanos import AccessType, DataAccess
+from repro.nanos.locality import DataDirectory
+
+
+def acc(mode, start, end):
+    return DataAccess(AccessType(mode), start, end)
+
+
+class TestDefaults:
+    def test_untouched_data_lives_at_home(self):
+        directory = DataDirectory(home_node=2)
+        pieces = directory.locations_of(0, 100)
+        assert pieces == [(0, 100, frozenset({2}))]
+
+    def test_bytes_missing_at_home_initially_zero(self):
+        directory = DataDirectory(home_node=0)
+        assert directory.bytes_missing_at([acc("in", 0, 50)], 0) == 0
+
+    def test_bytes_missing_remote_initially_full(self):
+        directory = DataDirectory(home_node=0)
+        assert directory.bytes_missing_at([acc("in", 0, 50)], 3) == 50
+
+
+class TestCopies:
+    def test_copy_in_adds_location(self):
+        directory = DataDirectory(home_node=0)
+        copied = directory.record_copy_in([acc("in", 0, 50)], 3)
+        assert copied == 50
+        assert directory.bytes_missing_at([acc("in", 0, 50)], 3) == 0
+        # home still valid too
+        assert directory.bytes_missing_at([acc("in", 0, 50)], 0) == 0
+
+    def test_second_copy_is_free(self):
+        directory = DataDirectory(home_node=0)
+        directory.record_copy_in([acc("in", 0, 50)], 3)
+        assert directory.record_copy_in([acc("in", 0, 50)], 3) == 0
+
+    def test_write_invalidates_other_copies(self):
+        directory = DataDirectory(home_node=0)
+        directory.record_copy_in([acc("in", 0, 50)], 3)
+        directory.record_write([acc("out", 0, 50)], 3)
+        assert directory.bytes_missing_at([acc("in", 0, 50)], 0) == 50
+        assert directory.bytes_missing_at([acc("in", 0, 50)], 3) == 0
+
+    def test_partial_write_invalidates_partially(self):
+        directory = DataDirectory(home_node=0)
+        directory.record_write([acc("out", 10, 20)], 3)
+        assert directory.bytes_missing_at([acc("in", 0, 30)], 0) == 10
+        assert directory.bytes_missing_at([acc("in", 0, 30)], 3) == 20
+
+    def test_out_access_does_not_count_as_input(self):
+        directory = DataDirectory(home_node=0)
+        assert directory.bytes_missing_at([acc("out", 0, 50)], 3) == 0
+
+    def test_bytes_present_is_complement_of_missing(self):
+        directory = DataDirectory(home_node=0)
+        directory.record_write([acc("out", 0, 25)], 3)
+        accesses = [acc("in", 0, 50)]
+        present = directory.bytes_present_at(accesses, 3)
+        missing = directory.bytes_missing_at(accesses, 3)
+        assert present + missing == 50
+
+
+class TestWriteBack:
+    def test_pull_home_restores_home_copy(self):
+        directory = DataDirectory(home_node=0)
+        directory.record_write([acc("out", 0, 40)], 2)
+        directory.record_write([acc("out", 100, 110)], 3)
+        assert directory.bytes_missing_home() == 50
+        pulled = directory.record_pull_home()
+        assert pulled == 50
+        assert directory.bytes_missing_home() == 0
+        # remote copies stay valid (no invalidation on read-back)
+        assert directory.bytes_missing_at([acc("in", 0, 40)], 2) == 0
+
+    def test_pull_home_idempotent(self):
+        directory = DataDirectory(home_node=0)
+        directory.record_write([acc("out", 0, 40)], 2)
+        directory.record_pull_home()
+        assert directory.record_pull_home() == 0
+
+    def test_transfer_accounting(self):
+        directory = DataDirectory(home_node=0)
+        directory.record_copy_in([acc("in", 0, 30)], 1)
+        directory.record_write([acc("out", 0, 30)], 1)
+        directory.record_pull_home()
+        assert directory.bytes_transferred == 60
+        assert directory.transfers == 2
+
+    def test_nodes_with_any_copy(self):
+        directory = DataDirectory(home_node=0)
+        directory.record_copy_in([acc("in", 0, 30)], 1)
+        directory.record_write([acc("out", 50, 60)], 2)
+        assert directory.nodes_with_any_copy(0, 100) == {0, 1, 2}

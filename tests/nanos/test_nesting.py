@@ -1,0 +1,272 @@
+"""Nested tasks: bodies, child domains, core release at taskwait."""
+
+import pytest
+
+from repro.errors import RuntimeModelError, TaskError
+from repro.nanos import RuntimeConfig, Task, TaskState
+
+from tests.conftest import build_runtime
+from tests.nanos.test_runtime_core import drive
+
+
+class TestBodyBasics:
+    def test_compute_chunks_take_time(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1)
+        rt = runtime.apprank(0)
+
+        def body(ctx):
+            yield ctx.compute(0.1)
+            yield ctx.compute(0.2)
+
+        def main():
+            rt.submit(work=0.0, body=body)
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        assert drive(runtime, main()) == pytest.approx(0.3)
+
+    def test_slow_node_stretches_chunks(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1,
+                                slow_nodes={0: 0.5})
+        rt = runtime.apprank(0)
+
+        def body(ctx):
+            yield ctx.compute(0.1)
+
+        def main():
+            rt.submit(work=0.0, body=body)
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        assert drive(runtime, main()) == pytest.approx(0.2)
+
+    def test_empty_body_finishes_immediately(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1)
+        rt = runtime.apprank(0)
+
+        def body(ctx):
+            return
+            yield  # pragma: no cover - makes it a generator
+
+        def main():
+            rt.submit(work=0.0, body=body)
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        assert drive(runtime, main()) == pytest.approx(0.0)
+
+    def test_negative_chunk_rejected(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1)
+        rt = runtime.apprank(0)
+        failures = []
+
+        def body(ctx):
+            try:
+                ctx.compute(-1.0)
+            except TaskError:
+                failures.append(True)
+            yield ctx.compute(0.0)
+
+        def main():
+            rt.submit(work=0.0, body=body)
+            yield from rt.taskwait()
+
+        drive(runtime, main())
+        assert failures == [True]
+
+    def test_bad_yield_raises(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1)
+        rt = runtime.apprank(0)
+
+        def body(ctx):
+            yield "garbage"
+
+        def main():
+            rt.submit(work=0.0, body=body)
+            yield from rt.taskwait()
+
+        with pytest.raises(RuntimeModelError):
+            drive(runtime, main())
+
+
+class TestChildren:
+    def test_children_run_in_parallel(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1, cores_per_node=8)
+        rt = runtime.apprank(0)
+
+        def body(ctx):
+            for _ in range(6):
+                ctx.submit(work=0.1)
+            yield ctx.taskwait()
+
+        def main():
+            rt.submit(work=0.0, body=body)
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        # 6 children on 8 cores: one wave (parent released its core)
+        assert drive(runtime, main()) == pytest.approx(0.1)
+
+    def test_core_released_during_taskwait(self):
+        """With one core, a waiting parent must not starve its child."""
+        runtime = build_runtime(num_nodes=1, num_appranks=1, cores_per_node=1)
+        rt = runtime.apprank(0)
+
+        def body(ctx):
+            yield ctx.compute(0.1)
+            ctx.submit(work=0.1)
+            yield ctx.taskwait()
+            yield ctx.compute(0.1)
+
+        def main():
+            rt.submit(work=0.0, body=body)
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        assert drive(runtime, main()) == pytest.approx(0.3)
+
+    def test_implicit_final_taskwait(self):
+        """A body that never taskwaits still waits for its children."""
+        runtime = build_runtime(num_nodes=1, num_appranks=1, cores_per_node=4)
+        rt = runtime.apprank(0)
+        tasks = []
+
+        def body(ctx):
+            tasks.append(ctx.submit(work=0.2))
+            yield ctx.compute(0.05)
+
+        def main():
+            parent = rt.submit(work=0.0, body=body)
+            tasks.append(parent)
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        elapsed = drive(runtime, main())
+        assert elapsed == pytest.approx(0.2)
+        child, parent = tasks
+        assert parent.finish_time >= child.finish_time
+
+    def test_sibling_dependencies_within_child_domain(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1, cores_per_node=8)
+        rt = runtime.apprank(0)
+
+        def body(ctx):
+            ctx.submit(work=0.1, accesses=[ctx.access("out", 0, 100)])
+            ctx.submit(work=0.1, accesses=[ctx.access("in", 0, 100)])
+            yield ctx.taskwait()
+
+        def main():
+            rt.submit(work=0.0, body=body)
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        # RAW chain: 0.2, not one 0.1 wave
+        assert drive(runtime, main()) == pytest.approx(0.2)
+
+    def test_grandchildren(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1, cores_per_node=8)
+        rt = runtime.apprank(0)
+        depths = []
+
+        def grandchild(ctx):
+            depths.append(ctx.task.depth)
+            yield ctx.compute(0.05)
+
+        def child(ctx):
+            depths.append(ctx.task.depth)
+            ctx.submit(work=0.0, body=grandchild)
+            yield ctx.taskwait()
+
+        def main():
+            rt.submit(work=0.0, body=child)
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        assert drive(runtime, main()) == pytest.approx(0.05)
+        assert depths == [0, 1]
+
+    def test_non_offloadable_child_pinned_to_parent_node(self):
+        """§3.2: non-offloadable tasks are 'fixed on the same node as the
+        task's parent' — even when the parent was offloaded."""
+        config = RuntimeConfig.offloading(2, "global", global_period=10.0)
+        runtime = build_runtime(num_nodes=2, num_appranks=2, cores_per_node=4,
+                                config=config)
+        rt = runtime.apprank(0)
+        placements = []
+
+        def body(ctx):
+            child = ctx.submit(work=0.05, offloadable=False)
+            yield ctx.taskwait()
+            placements.append((ctx.node_id, child.assigned_node))
+
+        def main():
+            # saturate home so some parents offload to the helper node
+            for _ in range(12):
+                rt.submit(work=0.0, body=body)
+            yield from rt.taskwait()
+
+        drive(runtime, main())
+        assert placements
+        for parent_node, child_node in placements:
+            assert child_node == parent_node
+        assert any(parent != 0 for parent, _child in placements), \
+            "expected at least one offloaded parent"
+
+    def test_mpi_safety_predicate(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1)
+        rt = runtime.apprank(0)
+        flags = []
+
+        def body(ctx):
+            flags.append(ctx.can_use_mpi)
+            yield ctx.compute(0.0)
+
+        def main():
+            rt.submit(work=0.0, body=body, offloadable=False, label="safe")
+            rt.submit(work=0.0, body=body, offloadable=True, label="unsafe")
+            yield from rt.taskwait()
+
+        drive(runtime, main())
+        assert sorted(flags) == [False, True]
+
+
+class TestAccounting:
+    def test_work_executed_counts_chunks(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1)
+        rt = runtime.apprank(0)
+
+        def body(ctx):
+            yield ctx.compute(0.1)
+            yield ctx.compute(0.15)
+
+        def main():
+            rt.submit(work=0.0, body=body)
+            yield from rt.taskwait()
+
+        drive(runtime, main())
+        home = runtime.apprank(0).workers[0]
+        assert home.work_executed == pytest.approx(0.25)
+        assert home.tasks_executed == 1
+
+    def test_no_cores_leak_after_nested_run(self):
+        runtime = build_runtime(num_nodes=2, num_appranks=2, cores_per_node=4,
+                                config=RuntimeConfig.offloading(
+                                    2, "global", global_period=0.2))
+        rt = runtime.apprank(0)
+
+        def body(ctx):
+            for _ in range(3):
+                ctx.submit(work=0.05)
+            yield ctx.taskwait()
+            yield ctx.compute(0.02)
+
+        def main():
+            for _ in range(8):
+                rt.submit(work=0.0, body=body)
+            yield from rt.taskwait()
+
+        drive(runtime, main())
+        for node in runtime.cluster.nodes:
+            assert node.busy_cores() == 0
+        for apprank_rt in runtime.appranks:
+            assert apprank_rt.outstanding == 0

@@ -1,0 +1,155 @@
+"""IntervalMap: splitting, gaps, coalescing; model-based property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RuntimeModelError
+from repro.nanos.regions import IntervalMap, Segment
+
+
+class TestBasics:
+    def test_empty_map(self):
+        m = IntervalMap()
+        assert len(m) == 0
+        assert m.value_at(5) is None
+        assert m.overlapping(0, 10) == []
+        assert m.gaps(0, 10) == [(0, 10)]
+
+    def test_set_and_query(self):
+        m = IntervalMap()
+        m.set_range(10, 20, "a")
+        assert m.value_at(10) == "a"
+        assert m.value_at(19) == "a"
+        assert m.value_at(20) is None
+        assert m.value_at(9) is None
+
+    def test_disjoint_ranges(self):
+        m = IntervalMap()
+        m.set_range(0, 10, "a")
+        m.set_range(20, 30, "b")
+        assert m.gaps(0, 30) == [(10, 20)]
+        assert [s.value for s in m.overlapping(5, 25)] == ["a", "b"]
+
+    def test_overwrite_splits_segments(self):
+        m = IntervalMap()
+        m.set_range(0, 30, "a")
+        m.set_range(10, 20, "b")
+        values = [(s.start, s.end, s.value) for s in m.segments()]
+        assert values == [(0, 10, "a"), (10, 20, "b"), (20, 30, "a")]
+        m.validate()
+
+    def test_partial_overlap_left(self):
+        m = IntervalMap()
+        m.set_range(10, 30, "a")
+        m.set_range(0, 20, "b")
+        assert m.value_at(15) == "b"
+        assert m.value_at(25) == "a"
+        m.validate()
+
+    def test_empty_query_raises(self):
+        with pytest.raises(RuntimeModelError):
+            IntervalMap().overlapping(5, 5)
+
+    def test_empty_update_raises(self):
+        with pytest.raises(RuntimeModelError):
+            IntervalMap().set_range(5, 5, "x")
+
+    def test_apply_returns_touched_segments_in_order(self):
+        m = IntervalMap()
+        m.set_range(0, 10, 1)
+        m.set_range(20, 30, 2)
+        touched = m.apply(5, 25, lambda old: (old or 0) + 10)
+        spans = [(s.start, s.end, s.value) for s in touched]
+        assert spans == [(5, 10, 11), (10, 20, 10), (20, 25, 12)]
+        m.validate()
+
+    def test_coalesce_merges_equal_neighbours(self):
+        m = IntervalMap()
+        m.set_range(0, 10, "a")
+        m.set_range(10, 20, "a")
+        m.set_range(20, 30, "b")
+        m.coalesce()
+        spans = [(s.start, s.end, s.value) for s in m.segments()]
+        assert spans == [(0, 20, "a"), (20, 30, "b")]
+        m.validate()
+
+    def test_total_covered(self):
+        m = IntervalMap()
+        m.set_range(0, 10, "a")
+        m.set_range(20, 25, "b")
+        assert m.total_covered() == 15
+
+    def test_clone_hook_called_on_split(self):
+        class Value:
+            def __init__(self, n):
+                self.n = n
+                self.clones = 0
+
+            def clone(self):
+                clone = Value(self.n)
+                clone.clones = self.clones + 1
+                return clone
+
+        m = IntervalMap()
+        original = Value(1)
+        m.set_range(0, 10, original)
+        m.apply(5, 7, lambda old: old)  # forces splits at 5 and 7
+        values = [s.value for s in m.segments()]
+        assert values[0] is original
+        assert all(v.n == 1 for v in values)
+        assert any(v is not original for v in values)
+
+
+class TestSegment:
+    def test_empty_segment_rejected(self):
+        with pytest.raises(RuntimeModelError):
+            Segment(5, 5, "x")
+
+    def test_length(self):
+        assert Segment(2, 7, None).length == 5
+
+
+# -- model-based property test ------------------------------------------
+
+@st.composite
+def operations(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 30))):
+        start = draw(st.integers(0, 200))
+        end = draw(st.integers(start + 1, start + 50))
+        value = draw(st.integers(0, 5))
+        ops.append((start, end, value))
+    return ops
+
+
+class TestAgainstDictModel:
+    @given(operations())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_pointwise_dict_model(self, ops):
+        """Every set_range is mirrored into a point-indexed dict; lookups,
+        gaps and coverage must agree exactly."""
+        m = IntervalMap()
+        model: dict[int, int] = {}
+        for start, end, value in ops:
+            m.set_range(start, end, value)
+            for p in range(start, end):
+                model[p] = value
+            m.validate()
+        for p in range(0, 260):
+            assert m.value_at(p) == model.get(p)
+        assert m.total_covered() == len(model)
+        gaps = m.gaps(0, 260)
+        gap_points = {p for s, e in gaps for p in range(s, e)}
+        assert gap_points == {p for p in range(260) if p not in model}
+
+    @given(operations())
+    @settings(max_examples=50, deadline=None)
+    def test_coalesce_preserves_pointwise_values(self, ops):
+        m = IntervalMap()
+        for start, end, value in ops:
+            m.set_range(start, end, value)
+        before = {p: m.value_at(p) for p in range(260)}
+        m.coalesce()
+        m.validate()
+        assert {p: m.value_at(p) for p in range(260)} == before

@@ -1,0 +1,247 @@
+"""Worker execution, scheduler policy (§5.5), taskwait — via ClusterRuntime."""
+
+import pytest
+
+from repro.errors import RuntimeModelError, SchedulerError
+from repro.nanos import ClusterRuntime, RuntimeConfig, TaskState
+from repro.sim import Timeout
+
+from tests.conftest import build_runtime
+
+
+def drive(runtime, main, max_events=5_000_000):
+    """Run a single coroutine against apprank 0 and drain the sim.
+
+    Mirrors run_app: step until the process completes (periodic policies
+    keep the event queue non-empty forever), then stop policies and drain.
+    """
+    process = runtime.sim.spawn(main)
+    runtime.start()
+    fired = 0
+    while not process.done:
+        if not runtime.sim.step():
+            raise AssertionError("simulation deadlocked")
+        fired += 1
+        if fired > max_events:
+            raise AssertionError("simulation runaway")
+    runtime.stop()
+    runtime.sim.run()
+    return process.result
+
+
+class TestExecutionBasics:
+    def test_single_task_executes_for_its_duration(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1)
+        rt = runtime.apprank(0)
+
+        def main():
+            rt.submit(work=0.5)
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        assert drive(runtime, main()) == pytest.approx(0.5)
+
+    def test_parallel_tasks_use_all_cores(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1, cores_per_node=8)
+        rt = runtime.apprank(0)
+
+        def main():
+            for _ in range(16):
+                rt.submit(work=0.1)
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        # 16 tasks on 8 cores = exactly 2 waves
+        assert drive(runtime, main()) == pytest.approx(0.2)
+
+    def test_dependent_tasks_serialise(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1)
+        rt = runtime.apprank(0)
+
+        def main():
+            rt.submit(work=0.1, accesses=[rt.access("out", 0, 100)])
+            rt.submit(work=0.1, accesses=[rt.access("in", 0, 100)])
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        assert drive(runtime, main()) == pytest.approx(0.2)
+
+    def test_slow_node_stretches_execution(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1,
+                                slow_nodes={0: 0.5})
+        rt = runtime.apprank(0)
+
+        def main():
+            rt.submit(work=0.5)
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        assert drive(runtime, main()) == pytest.approx(1.0)
+
+    def test_task_states_progress_to_finished(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1)
+        rt = runtime.apprank(0)
+        tasks = []
+
+        def main():
+            tasks.append(rt.submit(work=0.1))
+            yield from rt.taskwait()
+
+        drive(runtime, main())
+        assert tasks[0].state == TaskState.FINISHED
+        assert tasks[0].finish_time == pytest.approx(0.1)
+
+    def test_taskwait_without_tasks_returns_immediately(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1)
+        rt = runtime.apprank(0)
+
+        def main():
+            yield from rt.taskwait()
+            return runtime.sim.now
+
+        assert drive(runtime, main()) == 0.0
+
+    def test_double_submit_rejected(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1)
+        rt = runtime.apprank(0)
+        task = rt.submit(work=10.0)
+        with pytest.raises(RuntimeModelError):
+            rt.submit_task(task)
+
+    def test_concurrent_taskwaits_rejected(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1)
+        rt = runtime.apprank(0)
+
+        def main():
+            rt.submit(work=1.0)
+            gen1 = rt.taskwait()
+            next(gen1)            # parks the first taskwait
+            with pytest.raises(RuntimeModelError):
+                next(rt.taskwait())
+            yield Timeout(2.0)
+
+        drive(runtime, main())
+
+
+class TestSchedulerPolicy:
+    def test_no_offload_when_home_below_threshold(self):
+        runtime = build_runtime(num_nodes=2, num_appranks=2, cores_per_node=8,
+                                config=RuntimeConfig.offloading(2, "global"))
+        rt = runtime.apprank(0)
+
+        def main():
+            for _ in range(8):            # < 2 tasks/core at home
+                rt.submit(work=0.1)
+            yield from rt.taskwait()
+
+        drive(runtime, main())
+        assert rt.scheduler.tasks_offloaded == 0
+        assert rt.scheduler.tasks_kept_home == 8
+
+    def test_overflow_spills_to_helper(self):
+        runtime = build_runtime(num_nodes=2, num_appranks=2, cores_per_node=8,
+                                config=RuntimeConfig.offloading(2, "global"))
+        rt = runtime.apprank(0)
+
+        def main():
+            for _ in range(64):
+                rt.submit(work=0.1)
+            yield from rt.taskwait()
+
+        drive(runtime, main())
+        assert rt.scheduler.tasks_offloaded > 0
+        assert rt.scheduler.tasks_kept_home > rt.scheduler.tasks_offloaded
+
+    def test_non_offloadable_tasks_stay_home(self):
+        runtime = build_runtime(num_nodes=2, num_appranks=2, cores_per_node=4,
+                                config=RuntimeConfig.offloading(2, "global"))
+        rt = runtime.apprank(0)
+
+        def main():
+            for _ in range(40):
+                rt.submit(work=0.05, offloadable=False)
+            yield from rt.taskwait()
+
+        drive(runtime, main())
+        assert rt.scheduler.tasks_offloaded == 0
+
+    def test_offload_is_final_no_migration(self):
+        """Once assigned, a task's node never changes (§5.5)."""
+        runtime = build_runtime(num_nodes=2, num_appranks=2, cores_per_node=4,
+                                config=RuntimeConfig.offloading(2, "global"))
+        rt = runtime.apprank(0)
+        tasks = []
+
+        def main():
+            for _ in range(30):
+                tasks.append(rt.submit(work=0.05))
+            yield from rt.taskwait()
+
+        drive(runtime, main())
+        for task in tasks:
+            assert task.assigned_node in runtime.graph.nodes_of(0)
+
+    def test_queue_drains_as_tasks_complete(self):
+        runtime = build_runtime(num_nodes=1, num_appranks=1, cores_per_node=2,
+                                config=RuntimeConfig.baseline())
+        rt = runtime.apprank(0)
+
+        def main():
+            for _ in range(20):   # far beyond 2 tasks/core on 2 cores
+                rt.submit(work=0.05)
+            queued_initially = rt.scheduler.queued
+            yield from rt.taskwait()
+            return queued_initially
+
+        queued = drive(runtime, main())
+        assert queued == 20 - 4   # 2 cores x threshold 2 accepted immediately
+        assert rt.scheduler.queued == 0
+
+    def test_offloaded_task_pays_transfer_time(self):
+        """A task with remote inputs takes strictly longer than a local one."""
+        config = RuntimeConfig.offloading(2, "global")
+        runtime = build_runtime(num_nodes=2, num_appranks=2, cores_per_node=2,
+                                config=config)
+        rt = runtime.apprank(0)
+        tasks = []
+
+        def main():
+            for i in range(12):
+                base = i * 1_000_000
+                tasks.append(rt.submit(
+                    work=0.05,
+                    accesses=[rt.access("inout", base, base + 1_000_000)]))
+            yield from rt.taskwait()
+
+        drive(runtime, main())
+        remote = [t for t in tasks if t.assigned_node != 0]
+        assert remote, "expected some offloading"
+        for task in remote:
+            # started strictly after t=0: control message + 1 MB transfer
+            # (~80 us at MareNostrum4's modelled 12.5 GB/s)
+            assert task.start_time > 5e-5
+
+
+class TestStats:
+    def test_runtime_stats_shape(self):
+        runtime = build_runtime(num_nodes=2, num_appranks=2,
+                                config=RuntimeConfig.offloading(2, "global"))
+        rt = runtime.apprank(0)
+
+        def main():
+            for _ in range(10):
+                rt.submit(work=0.01)
+            yield from rt.taskwait()
+
+        drive(runtime, main())
+        stats = runtime.stats()
+        assert stats["tasks"] == 10
+        assert stats["events"] > 0
+        apprank_stats = rt.stats()
+        assert apprank_stats["submitted"] == 10
+        assert apprank_stats["kept_home"] + apprank_stats["offloaded"] == 10
+
+    def test_apprank_out_of_range(self):
+        runtime = build_runtime()
+        with pytest.raises(RuntimeModelError):
+            runtime.apprank(5)

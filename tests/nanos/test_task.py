@@ -1,0 +1,64 @@
+"""Task and DataAccess semantics."""
+
+import pytest
+
+from repro.errors import TaskError
+from repro.nanos import AccessType, DataAccess, Task, TaskState
+
+
+class TestAccessType:
+    def test_read_write_flags(self):
+        assert AccessType.IN.reads and not AccessType.IN.writes
+        assert AccessType.OUT.writes and not AccessType.OUT.reads
+        assert AccessType.INOUT.reads and AccessType.INOUT.writes
+
+
+class TestDataAccess:
+    def test_nbytes(self):
+        assert DataAccess(AccessType.IN, 100, 356).nbytes == 256
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(TaskError):
+            DataAccess(AccessType.IN, 10, 10)
+
+    def test_inverted_region_rejected(self):
+        with pytest.raises(TaskError):
+            DataAccess(AccessType.IN, 10, 5)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(TaskError):
+            DataAccess(AccessType.IN, -1, 5)
+
+
+class TestTask:
+    def test_defaults(self):
+        task = Task(work=0.5)
+        assert task.state == TaskState.CREATED
+        assert task.offloadable
+        assert task.accesses == ()
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(TaskError):
+            Task(work=-1.0)
+
+    def test_zero_work_allowed(self):
+        # imbalance == apprank count puts zero work on some ranks (§6.1)
+        assert Task(work=0.0).work == 0.0
+
+    def test_input_output_partition(self):
+        task = Task(work=1.0, accesses=(
+            DataAccess(AccessType.IN, 0, 10),
+            DataAccess(AccessType.OUT, 10, 30),
+            DataAccess(AccessType.INOUT, 30, 70),
+        ))
+        assert [a.start for a in task.inputs] == [0, 30]
+        assert [a.start for a in task.outputs] == [10, 30]
+        assert task.input_bytes == 10 + 40
+
+    def test_task_ids_unique(self):
+        assert Task(work=1.0).task_id != Task(work=1.0).task_id
+
+    def test_identity_equality(self):
+        a, b = Task(work=1.0), Task(work=1.0)
+        assert a == a and a != b
+        assert len({a, b}) == 2

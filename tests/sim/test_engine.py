@@ -1,0 +1,178 @@
+"""Simulator: clock semantics, scheduling, coroutine processes."""
+
+import pytest
+
+from repro.errors import ProcessError, SimulationError
+from repro.sim import EventPriority, Simulator, Timeout
+
+
+class TestClockAndScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_schedule_and_run(self, sim):
+        fired = []
+        sim.schedule(1.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.5]
+        assert sim.now == 1.5
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_same_time_events_fire_in_scheduling_order(self, sim):
+        order = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_overrides_scheduling_order(self, sim):
+        order = []
+        sim.schedule(1.0, lambda: order.append("normal"),
+                     priority=EventPriority.NORMAL)
+        sim.schedule(1.0, lambda: order.append("delivery"),
+                     priority=EventPriority.DELIVERY)
+        sim.run()
+        assert order == ["delivery", "normal"]
+
+    def test_run_until_advances_clock_exactly(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_run_until_does_not_fire_later_events(self, sim):
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(True))
+        sim.run(until=5.0)
+        assert fired == []
+        sim.run()
+        assert fired == [True]
+
+    def test_cancel_prevents_firing(self, sim):
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(True))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_events_scheduled_during_run_fire(self, sim):
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, lambda: order.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_events_fired_counter(self, sim):
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_fired == 3
+
+
+class TestProcesses:
+    def test_process_runs_to_completion(self, sim):
+        def main():
+            yield Timeout(1.0)
+            yield Timeout(2.0)
+            return "done"
+
+        process = sim.spawn(main())
+        sim.run()
+        assert process.done
+        assert process.result == "done"
+        assert sim.now == 3.0
+
+    def test_timeout_returns_value(self, sim):
+        def main():
+            value = yield Timeout(1.0, value=42)
+            return value
+
+        process = sim.spawn(main())
+        sim.run()
+        assert process.result == 42
+
+    def test_result_before_done_raises(self, sim):
+        def main():
+            yield Timeout(1.0)
+
+        process = sim.spawn(main())
+        with pytest.raises(ProcessError):
+            _ = process.result
+
+    def test_join_another_process(self, sim):
+        def child():
+            yield Timeout(2.0)
+            return "child-result"
+
+        def parent(child_process):
+            value = yield child_process
+            return ("got", value)
+
+        child_p = sim.spawn(child())
+        parent_p = sim.spawn(parent(child_p))
+        sim.run()
+        assert parent_p.result == ("got", "child-result")
+
+    def test_join_finished_process_resumes_immediately(self, sim):
+        def child():
+            yield Timeout(1.0)
+            return 7
+
+        child_p = sim.spawn(child())
+        sim.run()
+
+        def parent():
+            value = yield child_p
+            return value
+
+        parent_p = sim.spawn(parent())
+        sim.run()
+        assert parent_p.result == 7
+
+    def test_yielding_garbage_raises(self, sim):
+        def main():
+            yield "not-awaitable"
+
+        sim.spawn(main())
+        with pytest.raises(ProcessError):
+            sim.run()
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_run_all_detects_deadlock(self, sim):
+        from repro.sim.primitives import Signal
+        never = Signal(sim, "never")
+
+        def main():
+            yield never
+
+        process = sim.spawn(main())
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_all([process])
+
+    def test_run_all_completes_processes(self, sim):
+        def main(delay):
+            yield Timeout(delay)
+            return delay
+
+        processes = [sim.spawn(main(d)) for d in (3.0, 1.0, 2.0)]
+        sim.run_all(processes)
+        assert [p.result for p in processes] == [3.0, 1.0, 2.0]

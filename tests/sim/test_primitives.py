@@ -1,0 +1,181 @@
+"""Signal, Gate, Resource, Store semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Resource, Signal, Store, Gate, Simulator, Timeout
+
+
+class TestSignal:
+    def test_waiters_resume_with_value(self, sim):
+        signal = Signal(sim, "s")
+        got = []
+        signal.wait(got.append)
+        signal.fire("payload")
+        sim.run()
+        assert got == ["payload"]
+
+    def test_late_waiter_resumes_immediately(self, sim):
+        signal = Signal(sim, "s")
+        signal.fire(1)
+        got = []
+        signal.wait(got.append)
+        sim.run()
+        assert got == [1]
+
+    def test_double_fire_raises(self, sim):
+        signal = Signal(sim, "s")
+        signal.fire(None)
+        with pytest.raises(SimulationError):
+            signal.fire(None)
+
+    def test_value_before_fire_raises(self, sim):
+        with pytest.raises(SimulationError):
+            _ = Signal(sim, "s").value
+
+    def test_awaitable_from_process(self, sim):
+        signal = Signal(sim, "s")
+
+        def main():
+            value = yield signal
+            return value
+
+        process = sim.spawn(main())
+        sim.schedule(2.0, lambda: signal.fire("late"))
+        sim.run()
+        assert process.result == "late"
+        assert sim.now == 2.0
+
+
+class TestGate:
+    def test_closed_gate_blocks(self, sim):
+        gate = Gate(sim)
+        got = []
+        gate.wait(lambda _: got.append("through"))
+        sim.run()
+        assert got == []
+        gate.open()
+        sim.run()
+        assert got == ["through"]
+
+    def test_open_gate_passes_immediately(self, sim):
+        gate = Gate(sim, opened=True)
+        got = []
+        gate.wait(lambda _: got.append(1))
+        sim.run()
+        assert got == [1]
+
+    def test_gate_reusable(self, sim):
+        gate = Gate(sim)
+        gate.open()
+        gate.close()
+        got = []
+        gate.wait(lambda _: got.append(1))
+        sim.run()
+        assert got == []
+        gate.open()
+        sim.run()
+        assert got == [1]
+
+
+class TestResource:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, 0)
+
+    def test_acquire_within_capacity_grants(self, sim):
+        resource = Resource(sim, 2)
+
+        def main():
+            yield resource.acquire()
+            yield resource.acquire()
+            return sim.now
+
+        process = sim.spawn(main())
+        sim.run()
+        assert process.result == 0.0
+        assert resource.in_use == 2
+        assert resource.available == 0
+
+    def test_acquire_beyond_capacity_waits_for_release(self, sim):
+        resource = Resource(sim, 1)
+
+        def holder():
+            yield resource.acquire()
+            yield Timeout(3.0)
+            resource.release()
+
+        def waiter():
+            yield Timeout(0.1)
+            yield resource.acquire()
+            return sim.now
+
+        sim.spawn(holder())
+        process = sim.spawn(waiter())
+        sim.run()
+        assert process.result == 3.0
+
+    def test_release_unacquired_raises(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, 1).release()
+
+    def test_fifo_grant_order(self, sim):
+        resource = Resource(sim, 1)
+        order = []
+
+        def holder():
+            yield resource.acquire()
+            yield Timeout(1.0)
+            resource.release()
+
+        def waiter(name, delay):
+            yield Timeout(delay)
+            yield resource.acquire()
+            order.append(name)
+            yield Timeout(0.5)
+            resource.release()
+
+        sim.spawn(holder())
+        sim.spawn(waiter("a", 0.1))
+        sim.spawn(waiter("b", 0.2))
+        sim.run()
+        assert order == ["a", "b"]
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("x")
+
+        def main():
+            value = yield store.get()
+            return value
+
+        process = sim.spawn(main())
+        sim.run()
+        assert process.result == "x"
+
+    def test_get_waits_for_put(self, sim):
+        store = Store(sim)
+
+        def main():
+            value = yield store.get()
+            return (value, sim.now)
+
+        process = sim.spawn(main())
+        sim.schedule(2.5, lambda: store.put("late"))
+        sim.run()
+        assert process.result == ("late", 2.5)
+
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        for i in range(3):
+            store.put(i)
+        ok1, a = store.try_get()
+        ok2, b = store.try_get()
+        assert (ok1, a, ok2, b) == (True, 0, True, 1)
+        assert len(store) == 1
+
+    def test_try_get_empty(self, sim):
+        ok, value = Store(sim).try_get()
+        assert not ok and value is None

@@ -1,0 +1,139 @@
+"""EventQueue: heap order, lazy cancellation, compaction; property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.sim.queue import EventQueue
+
+
+def make(time, seq, priority=1):
+    return Event(time=time, priority=priority, seq=seq, callback=lambda: None)
+
+
+class TestBasics:
+    def test_empty_queue_is_falsy(self):
+        queue = EventQueue()
+        assert not queue
+        assert len(queue) == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_push_pop_single(self):
+        queue = EventQueue()
+        event = make(1.0, 1)
+        queue.push(event)
+        assert queue.pop() is event
+
+    def test_pop_returns_chronological_order(self):
+        queue = EventQueue()
+        events = [make(t, i) for i, t in enumerate([3.0, 1.0, 2.0])]
+        for e in events:
+            queue.push(e)
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_push_cancelled_event_raises(self):
+        queue = EventQueue()
+        event = make(1.0, 1)
+        event.cancel()
+        with pytest.raises(SimulationError):
+            queue.push(event)
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(make(5.0, 1))
+        queue.push(make(2.0, 2))
+        assert queue.peek_time() == 2.0
+
+    def test_peek_skips_cancelled_head(self):
+        queue = EventQueue()
+        head = make(1.0, 1)
+        queue.push(head)
+        queue.push(make(2.0, 2))
+        head.cancel()
+        queue.notify_cancelled()
+        assert queue.peek_time() == 2.0
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.push(make(1.0, 1))
+        queue.clear()
+        assert len(queue) == 0
+
+
+class TestCancellation:
+    def test_cancelled_events_not_popped(self):
+        queue = EventQueue()
+        keep = make(2.0, 2)
+        drop = make(1.0, 1)
+        queue.push(drop)
+        queue.push(keep)
+        drop.cancel()
+        queue.notify_cancelled()
+        assert len(queue) == 1
+        assert queue.pop() is keep
+
+    def test_compaction_preserves_live_events(self):
+        queue = EventQueue()
+        live = []
+        for i in range(300):
+            event = make(float(i), i)
+            queue.push(event)
+            if i % 10 == 0:
+                live.append(event)
+            else:
+                event.cancel()
+                queue.notify_cancelled()
+        assert len(queue) == len(live)
+        popped = [queue.pop() for _ in range(len(live))]
+        assert popped == live
+
+    def test_cancellation_underflow_detected(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.notify_cancelled()
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=1e6,
+                                        allow_nan=False),
+                              st.integers(0, 3)),
+                    min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_pop_order_is_total_order(self, items):
+        """Pops come out sorted by (time, priority, seq) regardless of
+        insertion order."""
+        queue = EventQueue()
+        events = [Event(time=t, priority=p, seq=i, callback=lambda: None)
+                  for i, (t, p) in enumerate(items)]
+        for e in events:
+            queue.push(e)
+        popped = [queue.pop() for _ in range(len(events))]
+        keys = [(e.time, e.priority, e.seq) for e in popped]
+        assert keys == sorted(keys)
+
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=100,
+                                        allow_nan=False),
+                              st.booleans()),
+                    min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_cancelled_never_surface(self, items):
+        queue = EventQueue()
+        expected = 0
+        for i, (t, cancel) in enumerate(items):
+            event = Event(time=t, priority=1, seq=i, callback=lambda: None)
+            queue.push(event)
+            if cancel:
+                event.cancel()
+                queue.notify_cancelled()
+            else:
+                expected += 1
+        assert len(queue) == expected
+        for _ in range(expected):
+            assert not queue.pop().cancelled
