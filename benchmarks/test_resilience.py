@@ -1,0 +1,37 @@
+"""Bench: resilience sweep — makespan and recovery under injected faults."""
+
+from repro.experiments import resilience
+
+from .conftest import BENCH, run_once
+
+
+def test_resilience_sweep(benchmark):
+    table = run_once(benchmark, resilience.run, BENCH, num_nodes=4, degree=2)
+    print()
+    print(table.format())
+
+    # resilience never loses or duplicates work: every scenario executes
+    # every task exactly once (run() also raises on violation)
+    for row in table.rows:
+        assert row["executed"] == row["tasks"]
+
+    # the helper crash actually lost in-flight work and re-ran it, at a
+    # makespan cost over the baseline
+    crash = table.find(scenario="helper-crash")[0]
+    assert crash["recovered"] > 0
+    baseline = table.find(scenario="baseline")[0]
+    assert crash["makespan"] > baseline["makespan"]
+
+    # the node crash (spare-node deployment) completed and re-ran the
+    # tasks that were on the dead node
+    node = table.find(scenario="node-crash")[0]
+    assert node["recovered"] > 0
+
+    # lossy control plane: the ack/timeout/backoff protocol re-sent
+    # offloads instead of losing them
+    msg = table.find(scenario="msg-faults")[0]
+    assert msg["resends"] > 0
+
+    # failed LP solves fell back to the last feasible allocation
+    solver = table.find(scenario="solver-fallback")[0]
+    assert solver["fallbacks"] == 2

@@ -15,6 +15,13 @@ See README.md for a guided tour and DESIGN.md for the system inventory.
 """
 
 from .cluster import GENERIC_SMALL, MARENOSTRUM4, NORD3, Cluster, ClusterSpec
+from .errors import (AllocationError, ClusterConfigError, DlbError,
+                     FaultError, GraphError, MpiError, NodeFailedError,
+                     ReproError, RuntimeModelError, SchedulerError,
+                     SimulationError, SolverFallbackWarning, TaskError,
+                     TaskLostError, WorkloadError)
+from .faults import (FaultPlan, MessageFaultSpec, NodeCrash, NodeDegradation,
+                     SolverFaultSpec, WorkerCrash)
 from .nanos import (AccessType, AppRankRuntime, ClusterRuntime, DataAccess,
                     RuntimeConfig, Task)
 
@@ -32,5 +39,26 @@ __all__ = [
     "MARENOSTRUM4",
     "NORD3",
     "GENERIC_SMALL",
+    "FaultPlan",
+    "NodeCrash",
+    "WorkerCrash",
+    "NodeDegradation",
+    "MessageFaultSpec",
+    "SolverFaultSpec",
+    "ReproError",
+    "SimulationError",
+    "ClusterConfigError",
+    "MpiError",
+    "GraphError",
+    "RuntimeModelError",
+    "TaskError",
+    "SchedulerError",
+    "DlbError",
+    "AllocationError",
+    "WorkloadError",
+    "FaultError",
+    "NodeFailedError",
+    "TaskLostError",
+    "SolverFallbackWarning",
     "__version__",
 ]

@@ -118,8 +118,9 @@ class DynamicSpreader:
         cluster = self.runtime.cluster
         cores = cluster.spec.machine.cores_per_node
         best, best_busy = None, None
+        dead = self.runtime.dead_nodes
         for node in cluster.nodes:
-            if node.node_id in reachable:
+            if node.node_id in reachable or node.node_id in dead:
                 continue
             # placement feasibility: the new worker needs a one-core floor
             if len(self.runtime.arbiters[node.node_id].workers) >= cores:

@@ -23,14 +23,15 @@ gather+solve delay) with scipy's HiGHS as the backend.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Optional
+import warnings
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 from scipy.optimize import linprog
 
 from ..cluster.network import NetworkModel
 from ..dlb.drom import DromModule
-from ..errors import AllocationError
+from ..errors import AllocationError, SolverFallbackWarning
 from ..graph.bipartite import BipartiteGraph
 from ..graph.placement import WorkerKey
 from ..sim.engine import Simulator
@@ -265,6 +266,14 @@ class GlobalLpPolicy:
         self._event: Optional[Event] = None
         self.ticks = 0
         self.solves = 0
+        #: fault injection: called before each solve; True = this solve
+        #: fails (models a crashed/timed-out solver process)
+        self.fault_hook: Optional[Callable[[], bool]] = None
+        #: nodes that failed mid-run; they are excluded from applies and
+        #: force the edge-based solve (the static graph still names them)
+        self.dead_nodes: set[int] = set()
+        self._last_good: Optional[dict[int, dict[WorkerKey, int]]] = None
+        self.fallbacks = 0
 
     def start(self) -> None:
         """Arm the periodic solver tick."""
@@ -307,34 +316,61 @@ class GlobalLpPolicy:
                               for a in raw}
         work = self._work_ema
         if sum(work.values()) > 1e-9:
+            allocation = self._solve(work)
+            if allocation is not None:
+                delay = self.solver_delay()
+                if delay > 0:
+                    self.sim.schedule(delay, lambda: self._apply(allocation),
+                                      priority=EventPriority.POLICY,
+                                      label="global-policy-apply")
+                else:
+                    self._apply(allocation)
+        self._event = self.sim.schedule(self.period, self._tick,
+                                        priority=EventPriority.POLICY,
+                                        label="global-policy-tick")
+
+    def _solve(self, work: dict[int, float]
+               ) -> Optional[dict[int, dict[WorkerKey, int]]]:
+        """One Eq. 1 solve, degrading gracefully on failure.
+
+        A failed or infeasible solve (possible once nodes vanish, or
+        injected through :attr:`fault_hook`) falls back to the last
+        feasible allocation — a logged degradation, not a crash. Returns
+        None when there is nothing to fall back to yet.
+        """
+        try:
+            if self.fault_hook is not None and self.fault_hook():
+                raise AllocationError("injected solver failure")
             if (self.partition_nodes is not None
-                    and self.graph.num_nodes > self.partition_nodes):
+                    and self.graph.num_nodes > self.partition_nodes
+                    and not self.dead_nodes):
                 allocation = solve_partitioned_allocation(
                     self.graph, work, self.node_cores, self.node_speed,
                     self.offload_penalty, group_nodes=self.partition_nodes)
             else:
                 # Solve over the *live* worker set, so helpers added by
-                # dynamic spreading join the problem immediately.
+                # dynamic spreading join the problem immediately — and
+                # dead workers drop out of it just as immediately.
                 edges = sorted(self.workers.keys())
                 home_of = {a: self.graph.home_node(a)
                            for a in range(self.graph.num_appranks)}
                 allocation = solve_edge_allocation(
                     edges, home_of, work, self.node_cores, self.node_speed,
                     self.offload_penalty)
-            self.solves += 1
-            delay = self.solver_delay()
-            if delay > 0:
-                self.sim.schedule(delay, lambda: self._apply(allocation),
-                                  priority=EventPriority.POLICY,
-                                  label="global-policy-apply")
-            else:
-                self._apply(allocation)
-        self._event = self.sim.schedule(self.period, self._tick,
-                                        priority=EventPriority.POLICY,
-                                        label="global-policy-tick")
+        except AllocationError as exc:
+            self.fallbacks += 1
+            warnings.warn(
+                f"global LP solve failed ({exc}); reusing last feasible "
+                "allocation", SolverFallbackWarning, stacklevel=2)
+            return self._last_good
+        self.solves += 1
+        self._last_good = allocation
+        return allocation
 
     def _apply(self, allocation: dict[int, dict[WorkerKey, int]]) -> None:
         for node_id, counts in allocation.items():
+            if node_id in self.dead_nodes:
+                continue
             arbiter = self.drom.arbiters[node_id]
             if set(counts) != set(arbiter.workers):
                 # Dynamic spreading added a worker between the solve and
@@ -349,3 +385,12 @@ class GlobalLpPolicy:
         self.workers[worker.key] = worker
         self._readers[worker.key] = MeterReader(worker.meter,
                                                 start_time=self.sim.now)
+
+    def remove_worker(self, worker: "Worker") -> None:
+        """Fault hook: a worker crashed; drop it from the problem."""
+        self.workers.pop(worker.key, None)
+        self._readers.pop(worker.key, None)
+
+    def remove_node(self, node_id: int) -> None:
+        """Fault hook: a whole node failed (its workers go separately)."""
+        self.dead_nodes.add(node_id)

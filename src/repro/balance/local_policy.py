@@ -82,6 +82,19 @@ class LocalConvergencePolicy:
                                                 start_time=self.sim.now)
         self._ema.pop(worker.key, None)
 
+    def remove_worker(self, worker: "Worker") -> None:
+        """Fault hook: a worker crashed; stop balancing around it."""
+        here = self.workers_by_node.get(worker.node_id)
+        if here is not None:
+            self.workers_by_node[worker.node_id] = [
+                w for w in here if w.key != worker.key]
+        self._readers.pop(worker.key, None)
+        self._ema.pop(worker.key, None)
+
+    def remove_node(self, node_id: int) -> None:
+        """Fault hook: a whole node failed; never balance it again."""
+        self.workers_by_node.pop(node_id, None)
+
     def _tick(self) -> None:
         now = self.sim.now
         self.ticks += 1

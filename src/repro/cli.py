@@ -5,8 +5,13 @@ Usage::
     repro-experiments <target> [--scale small|medium|paper] [--csv DIR]
 
 where *target* is one of ``fig05``, ``fig06``, ``fig07``, ``fig08``,
-``fig09``, ``fig10``, ``fig11``, ``headline`` or ``all``. Every run prints
-the paper-style series; ``--csv`` additionally writes one CSV per table.
+``fig09``, ``fig10``, ``fig11``, ``headline``, ``resilience`` or ``all``.
+Every run prints the paper-style series; ``--csv`` additionally writes one
+CSV per table. The ``resilience`` target accepts ``--faults`` (the
+:meth:`repro.faults.FaultPlan.parse` syntax) and ``--seed`` to replace the
+built-in fault sweep with a custom plan::
+
+    python -m repro resilience --faults "crash:apprank=0,node=1,t=0.5" --seed 7
 """
 
 from __future__ import annotations
@@ -17,17 +22,20 @@ import time
 from pathlib import Path
 from typing import Iterable
 
+from .errors import FaultError
 from .experiments import (MEDIUM, PAPER, SMALL, ResultTable, Scale,
                           fig05_policies, fig06_applications, fig07_local,
                           fig08_sweep, fig09_traces, fig10_slownode,
-                          fig11_convergence, headline)
+                          fig11_convergence, headline, resilience)
+from .faults import FaultPlan
 
 __all__ = ["main"]
 
 _SCALES = {"small": SMALL, "medium": MEDIUM, "paper": PAPER}
 
 
-def _run_target(target: str, scale: Scale) -> list[ResultTable]:
+def _run_target(target: str, scale: Scale, faults: str | None = None,
+                fault_seed: int = 0) -> list[ResultTable]:
     if target == "fig05":
         return [fig05_policies.run(scale)]
     if target == "fig06":
@@ -46,11 +54,13 @@ def _run_target(target: str, scale: Scale) -> list[ResultTable]:
         return [fig11_convergence.run(scale)]
     if target == "headline":
         return [headline.run(scale)]
+    if target == "resilience":
+        return [resilience.run(scale, faults=faults, fault_seed=fault_seed)]
     raise ValueError(f"unknown target {target!r}")
 
 
 TARGETS = ("fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
-           "headline")
+           "headline", "resilience")
 
 
 def main(argv: Iterable[str] | None = None) -> int:
@@ -67,13 +77,28 @@ def main(argv: Iterable[str] | None = None) -> int:
                              "and is slow")
     parser.add_argument("--csv", type=Path, default=None, metavar="DIR",
                         help="also write each table as CSV into DIR")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="resilience only: custom fault plan in the "
+                             "FaultPlan.parse syntax, e.g. "
+                             "'crash:apprank=0,node=1,t=0.5;msg:loss=0.01'")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="resilience only: seed for the fault plan's "
+                             "stochastic draws")
     args = parser.parse_args(list(argv) if argv is not None else None)
 
+    if args.faults is not None and args.target != "resilience":
+        parser.error("--faults only applies to the 'resilience' target")
+    if args.faults:
+        try:    # reject a malformed spec before any experiment runs
+            FaultPlan.parse(args.faults, seed=args.seed)
+        except FaultError as exc:
+            parser.error(f"bad --faults spec: {exc}")
     scale = _SCALES[args.scale]
     targets = TARGETS if args.target == "all" else (args.target,)
     for target in targets:
         started = time.perf_counter()
-        tables = _run_target(target, scale)
+        tables = _run_target(target, scale, faults=args.faults,
+                             fault_seed=args.seed)
         elapsed = time.perf_counter() - started
         for i, table in enumerate(tables):
             print(table.format())

@@ -68,8 +68,8 @@ class Core:
         """Mark the core busy on behalf of *worker*."""
         if self.occupant is not None:
             raise DlbError(
-                f"core {self.node_id}.{self.index} already occupied by {self.occupant!r}"
-            )
+                f"core {self.node_id}.{self.index} already occupied "
+                f"by {self.occupant!r}")
         self.occupant = worker
 
     def stop(self, worker: WorkerKey) -> None:

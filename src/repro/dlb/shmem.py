@@ -48,6 +48,8 @@ class NodeArbiter:
         self.lewi_enabled = lewi_enabled
         self.on_ownership_change = on_ownership_change
         self.workers: dict[WorkerKey, WorkerPort] = {}
+        #: set by :meth:`fail_node` — a failed node's cores never run again
+        self.dead = False
         # LeWI statistics (used by tests and by the DLB facade objects)
         self.lends = 0
         self.borrows = 0
@@ -55,11 +57,16 @@ class NodeArbiter:
         # DROM statistics
         self.ownership_changes = 0
         self.cores_moved = 0
+        # Fault statistics
+        self.retires = 0
 
     # -- registration / initialisation ------------------------------------
 
     def register_worker(self, worker: WorkerPort) -> None:
         """Attach a worker process to this node's DLB shared state."""
+        if self.dead:
+            raise DlbError(f"node {self.node.node_id} has failed; cannot "
+                           "register new workers")
         if worker.key in self.workers:
             raise DlbError(f"worker {worker.key!r} registered twice on node "
                            f"{self.node.node_id}")
@@ -133,6 +140,56 @@ class NodeArbiter:
                 count += 1
         return count
 
+    # -- fault handling ----------------------------------------------------
+
+    def retire_worker(self, worker_key: WorkerKey) -> int:
+        """Remove a dead worker and reclaim everything it owned.
+
+        Pending DROM transfers targeting the dead worker are dropped, and
+        its owned cores are reassigned round-robin over the surviving
+        workers (sorted for determinism) — this is the "reclaim from a dead
+        borrower" path that keeps LeWI/DROM from deadlocking on a crash.
+        The caller must have stopped the worker's tasks first (the cores
+        must not be occupied by it). Returns the number of cores moved.
+        """
+        if worker_key not in self.workers:
+            raise DlbError(f"retire of unknown worker {worker_key!r} on node "
+                           f"{self.node.node_id}")
+        del self.workers[worker_key]
+        self.retires += 1
+        survivors = sorted(self.workers)
+        moved = 0
+        cursor = 0
+        for core in self.node.cores:
+            if core.pending_owner == worker_key:
+                core.pending_owner = None
+            if core.owner != worker_key:
+                continue
+            if core.occupant == worker_key:
+                raise DlbError(
+                    f"retire_worker({worker_key!r}): core {core.index} still "
+                    "running its task; kill the worker first")
+            if survivors:
+                core.set_owner(survivors[cursor % len(survivors)])
+                cursor += 1
+            else:
+                core.owner = None
+            core.lent = False
+            moved += 1
+        if moved:
+            self.cores_moved += moved
+            self._dispatch_idle_cores()
+            if self.on_ownership_change is not None:
+                self.on_ownership_change(self.node.node_id)
+        return moved
+
+    def fail_node(self) -> None:
+        """Mark the whole node failed: no lends, grants, or DROM moves."""
+        self.dead = True
+        for core in self.node.cores:
+            core.lent = False
+            core.pending_owner = None
+
     # -- LeWI: acquire / lend / release ---------------------------------------
 
     def acquire_core(self, worker: WorkerPort) -> Optional[Core]:
@@ -141,6 +198,8 @@ class NodeArbiter:
         Preference order: an idle core it owns (taking back ones it lent),
         then — with LeWI — an idle core another worker has lent.
         """
+        if self.dead:
+            return None
         for core in self.node.cores:
             if core.occupant is None and core.owner == worker.key:
                 core.lent = False
@@ -158,7 +217,7 @@ class NodeArbiter:
         Called by a worker that has run out of ready tasks. No-op unless
         LeWI is enabled. Returns the number of cores newly lent.
         """
-        if not self.lewi_enabled:
+        if not self.lewi_enabled or self.dead:
             return 0
         lent = 0
         for core in self.node.cores:
@@ -180,6 +239,8 @@ class NodeArbiter:
         """
         if core.busy:
             raise DlbError("release_core on a busy core (stop the task first)")
+        if self.dead:
+            return
         moved = core.apply_pending_owner()
         if moved:
             self.cores_moved += 1
@@ -226,6 +287,9 @@ class NodeArbiter:
         applied at their current task's completion. Returns the number of
         cores whose (current or pending) owner changed.
         """
+        if self.dead:
+            raise DlbError(f"node {self.node.node_id} has failed; DROM "
+                           "ownership is frozen")
         self._check_counts(counts)
         current: dict[WorkerKey, list[Core]] = {key: [] for key in self.workers}
         for core in self.node.cores:

@@ -21,6 +21,16 @@ class ProcessError(SimulationError):
     """A simulated process misbehaved (yielded a non-awaitable, resumed dead)."""
 
 
+class WaitCancelledError(SimulationError):
+    """The event a process was waiting on was cancelled under it.
+
+    Raised *inside* the waiting coroutine (via ``generator.throw``) so the
+    process can catch it and recover — the timeout/retry machinery in
+    :mod:`repro.faults` relies on this instead of leaving the process
+    suspended forever.
+    """
+
+
 class ClusterConfigError(ReproError):
     """Inconsistent hardware description (zero cores, bad frequency, ...)."""
 
@@ -71,3 +81,39 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Experiment harness misconfiguration."""
+
+
+class FaultError(ReproError):
+    """Invalid fault plan, or a fault the runtime cannot absorb.
+
+    Base class of the fault-injection hierarchy (:mod:`repro.faults`);
+    subclasses carry the two unrecoverable outcomes a resilient run can
+    still surface.
+    """
+
+
+class NodeFailedError(FaultError):
+    """A node (or worker process) failure the runtime cannot survive.
+
+    Raised when a fault plan crashes a node hosting an apprank's *home*
+    (the dependency graph and application process live there — there is no
+    checkpoint to restart from), or when recovery meets state that cannot
+    be replayed (a nested task body lost mid-execution).
+    """
+
+
+class TaskLostError(FaultError):
+    """A task was lost more times than the retry budget allows.
+
+    Carries the task in ``.task`` when raised by the runtime. The bound is
+    :attr:`repro.nanos.config.RuntimeConfig.max_retries`.
+    """
+
+    def __init__(self, message: str, task=None) -> None:
+        super().__init__(message)
+        self.task = task
+
+
+class SolverFallbackWarning(UserWarning):
+    """The global LP solve failed; the policy fell back to the last
+    feasible allocation (a logged degradation, not an error)."""

@@ -1,7 +1,8 @@
 """Per-figure experiment harnesses (see DESIGN.md's experiment index)."""
 
 from . import (fig05_policies, fig06_applications, fig07_local, fig08_sweep,
-               fig09_traces, fig10_slownode, fig11_convergence, headline)
+               fig09_traces, fig10_slownode, fig11_convergence, headline,
+               resilience)
 from .base import MEDIUM, PAPER, SMALL, ResultTable, RunResult, Scale, run_workload
 
 __all__ = [
@@ -20,4 +21,5 @@ __all__ = [
     "fig10_slownode",
     "fig11_convergence",
     "headline",
+    "resilience",
 ]

@@ -23,6 +23,7 @@ import numpy as np
 from ..cluster.machine import MachineSpec
 from ..cluster.topology import ClusterSpec
 from ..errors import ExperimentError
+from ..faults.plan import FaultPlan
 from ..nanos.config import RuntimeConfig
 from ..nanos.runtime import ClusterRuntime
 
@@ -115,13 +116,29 @@ class RunResult:
 def run_workload(machine: MachineSpec, num_nodes: int, appranks_per_node: int,
                  config: RuntimeConfig,
                  app_factory: Callable[[], Any],
-                 slow_nodes: Optional[dict[int, float]] = None) -> RunResult:
-    """Build the stack, run the app, and collect per-iteration times."""
+                 slow_nodes: Optional[dict[int, float]] = None,
+                 faults: Optional[FaultPlan] = None,
+                 home_nodes: Optional[int] = None,
+                 setup: Optional[Callable[[ClusterRuntime], None]] = None
+                 ) -> RunResult:
+    """Build the stack, run the app, and collect per-iteration times.
+
+    *faults* injects a :class:`~repro.faults.FaultPlan` (``None`` or an
+    empty plan leaves the run untouched). *home_nodes* keeps the apprank
+    graph on the first N nodes, leaving the rest as crash-tolerant spares;
+    appranks are then counted per *home* node. *setup* runs against the
+    wired :class:`ClusterRuntime` before the app starts (e.g. to
+    ``add_helper`` onto a spare node).
+    """
     spec = ClusterSpec.homogeneous(machine, num_nodes)
     if slow_nodes:
         spec = spec.with_slow_nodes(slow_nodes)
-    num_appranks = num_nodes * appranks_per_node
-    runtime = ClusterRuntime(spec, num_appranks, config)
+    graph_nodes = num_nodes if home_nodes is None else home_nodes
+    num_appranks = graph_nodes * appranks_per_node
+    runtime = ClusterRuntime(spec, num_appranks, config, faults=faults,
+                             home_nodes=home_nodes)
+    if setup is not None:
+        setup(runtime)
     results = runtime.run_app(app_factory())
     iteration_maxima = _iteration_maxima(results)
     return RunResult(elapsed=runtime.elapsed, iteration_maxima=iteration_maxima,

@@ -104,7 +104,8 @@ def run(scale: Scale = MEDIUM,
                       config=label, plateau=metrics.plateau,
                       time_to_near_1=metrics.time_to_near_one,
                       elapsed=result.elapsed)
-            table.series[(num_nodes, label)] = (times, series)  # type: ignore[attr-defined]
+            key = (num_nodes, label)
+            table.series[key] = (times, series)  # type: ignore[attr-defined]
     table.note("plateau = mean node imbalance over the final 30% of the run")
     table.note("paper: DROM configs converge to ~1.0, LeWI-only plateaus ~1.2")
     return table

@@ -1,0 +1,153 @@
+"""Resilience sweep: makespan and recovery under injected faults.
+
+Not a paper figure — the paper assumes a fault-free cluster. This harness
+measures how the reproduced stack *degrades* when that assumption breaks:
+each scenario runs the §6.2 synthetic benchmark under one fault class from
+:mod:`repro.faults` and reports the makespan next to the fault-free
+baseline, plus the recovery counters (tasks re-executed, offloads re-sent,
+solver fallbacks). Every scenario must still execute every task exactly
+once — the sweep raises if resilience ever loses or duplicates work.
+
+Scenarios (``--faults`` on the CLI replaces them with a custom plan):
+
+* ``baseline`` — no faults; the reference makespan.
+* ``helper-crash`` — the heavy apprank's helper worker dies mid-run; its
+  queued/running/in-flight tasks are re-executed elsewhere.
+* ``node-crash`` — a spare node (grown onto via ``add_helper``) dies
+  entirely; DLB retires its cores and the tasks come home.
+* ``degrade`` — a node throttles to half speed for part of the run (the
+  policies are expected to shift work off it).
+* ``msg-faults`` — the interconnect loses, delays and duplicates
+  messages; offload control traffic rides the ack/timeout/backoff
+  protocol.
+* ``solver-fallback`` — early LP solves fail; the global policy keeps
+  the last feasible allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..apps.synthetic import SyntheticSpec, make_synthetic_app
+from ..cluster.machine import MARENOSTRUM4
+from ..errors import ExperimentError
+from ..faults.plan import (FaultPlan, MessageFaultSpec, NodeCrash,
+                           NodeDegradation, SolverFaultSpec, WorkerCrash)
+from ..nanos.config import RuntimeConfig
+from ..nanos.runtime import ClusterRuntime
+from .base import MEDIUM, ResultTable, RunResult, Scale, run_workload
+
+__all__ = ["run"]
+
+#: fraction of the baseline makespan at which deterministic faults strike
+CRASH_AT = 0.25
+
+
+def run(scale: Scale = MEDIUM, num_nodes: int = 4, degree: int = 2,
+        policy: str = "global", seed: int = 1234, fault_seed: int = 0,
+        faults: Optional[str] = None) -> ResultTable:
+    """Run the resilience sweep (or one custom ``--faults`` plan).
+
+    *faults*, when given, is the CLI fault syntax of
+    :meth:`repro.faults.FaultPlan.parse`; it replaces the built-in
+    scenarios with a single ``custom`` run against the same baseline.
+    """
+    if degree < 2:
+        raise ExperimentError("the resilience sweep needs offloading "
+                              "(degree >= 2) so there are helpers to lose")
+    machine = scale.machine(MARENOSTRUM4)
+    config = scale.tune(RuntimeConfig.offloading(degree, policy))
+    spec = SyntheticSpec(num_appranks=num_nodes, imbalance=2.0,
+                         cores_per_apprank=machine.cores_per_node,
+                         tasks_per_core=scale.tasks_per_core,
+                         iterations=scale.iterations, seed=seed)
+
+    def app():
+        return make_synthetic_app(spec)
+
+    table = ResultTable(
+        title=f"Resilience sweep (scale={scale.name}, nodes={num_nodes}, "
+              f"degree={degree}, policy={policy}, fault_seed={fault_seed})",
+        columns=["scenario", "makespan", "vs_baseline_pct", "tasks",
+                 "executed", "recovered", "resends", "fallbacks"])
+
+    baseline = run_workload(machine, num_nodes, 1, config, app)
+    _add_row(table, "baseline", baseline, baseline.elapsed)
+    t_fault = CRASH_AT * baseline.elapsed
+    graph = baseline.runtime.graph
+    # the synthetic benchmark's heavy rank is apprank 0: its helpers carry
+    # the offloaded work, so losing one actually loses tasks
+    heavy_helpers = [n for n in graph.nodes_of(0) if n != graph.home_node(0)]
+
+    if faults is not None:
+        scenarios = [("custom", FaultPlan.parse(faults, seed=fault_seed), {})]
+    else:
+        scenarios = _default_scenarios(num_nodes, heavy_helpers[0],
+                                       t_fault, baseline.elapsed, fault_seed)
+    for name, plan, extra in scenarios:
+        result = run_workload(machine, extra.pop("num_nodes", num_nodes), 1,
+                              config, app, faults=plan, **extra)
+        _add_row(table, name, result, baseline.elapsed)
+    table.note(f"deterministic faults strike at t={t_fault:.4f} "
+               f"({100 * CRASH_AT:.0f}% of the baseline makespan)")
+    table.note("every row satisfies executed == tasks (exactly-once)")
+    return table
+
+
+def _default_scenarios(num_nodes: int, helper_node: int, t_fault: float,
+                       baseline_elapsed: float, fault_seed: int):
+    """The built-in (name, plan, run_workload extras) sweep."""
+    spare = num_nodes        # one extra node beyond the home graph
+
+    def grow_onto_spare(runtime: ClusterRuntime) -> None:
+        runtime.add_helper(0, spare)
+
+    return [
+        ("helper-crash",
+         FaultPlan(crashes=(WorkerCrash(apprank=0, node=helper_node,
+                                        time=t_fault),), seed=fault_seed),
+         {}),
+        ("node-crash",
+         FaultPlan(crashes=(NodeCrash(node=spare, time=t_fault),),
+                   seed=fault_seed),
+         {"num_nodes": num_nodes + 1, "home_nodes": num_nodes,
+          "setup": grow_onto_spare}),
+        ("degrade",
+         FaultPlan(degradations=(NodeDegradation(
+             node=helper_node, time=t_fault, speed=0.5,
+             duration=0.4 * baseline_elapsed),), seed=fault_seed),
+         {}),
+        ("msg-faults",
+         FaultPlan(messages=MessageFaultSpec(p_loss=0.02, p_delay=0.05,
+                                             p_duplicate=0.02),
+                   seed=fault_seed),
+         {}),
+        ("solver-fallback",
+         FaultPlan(solver=SolverFaultSpec(fail_ticks=(1, 2)),
+                   seed=fault_seed),
+         {}),
+    ]
+
+
+def _add_row(table: ResultTable, name: str, result: RunResult,
+             baseline_elapsed: float) -> None:
+    stats = result.runtime.stats()
+    fault_stats = stats.get("faults", {})
+    if stats["executed"] != stats["tasks"]:
+        raise ExperimentError(
+            f"scenario {name!r} violated exactly-once execution: "
+            f"{stats['executed']} executions of {stats['tasks']} tasks")
+    table.add(scenario=name, makespan=result.elapsed,
+              vs_baseline_pct=100.0 * (result.elapsed / baseline_elapsed - 1.0),
+              tasks=stats["tasks"], executed=stats["executed"],
+              recovered=stats.get("tasks_recovered", 0),
+              resends=stats.get("offload_resends", 0),
+              fallbacks=fault_stats.get("solver_fallbacks", 0))
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().format())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

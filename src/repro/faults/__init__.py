@@ -1,0 +1,24 @@
+"""Deterministic fault injection and the resilience it exercises.
+
+Build a :class:`FaultPlan` (or parse one from the CLI syntax), hand it to
+:class:`repro.nanos.runtime.ClusterRuntime`, and the runtime absorbs the
+faults: crashed workers' tasks are re-executed, lost offload messages are
+re-sent with timeout + exponential backoff, dead nodes are masked from
+scheduling and DLB, and a failed LP solve falls back to the last feasible
+allocation. An empty plan injects nothing and leaves runs byte-identical.
+"""
+
+from .injector import FaultInjector, MessageFaultModel
+from .plan import (FaultPlan, MessageFaultSpec, NodeCrash, NodeDegradation,
+                   SolverFaultSpec, WorkerCrash)
+
+__all__ = [
+    "FaultPlan",
+    "NodeCrash",
+    "WorkerCrash",
+    "NodeDegradation",
+    "MessageFaultSpec",
+    "SolverFaultSpec",
+    "FaultInjector",
+    "MessageFaultModel",
+]

@@ -1,0 +1,251 @@
+"""Declarative fault plans (what goes wrong, and when).
+
+A :class:`FaultPlan` is a frozen description of every fault a run will
+experience: fail-stop crashes of workers or whole nodes at fixed simulated
+times, transient frequency degradations (generalising the static slow-node
+multiplier of §6.3), stochastic message faults on the interconnect, and
+solver failures in the global policy. Stochastic faults draw from named
+RNG streams derived from ``seed`` — the same plan and seed always produce
+the same run, and an **empty plan changes nothing at all** (no events, no
+draws, byte-identical traces).
+
+Plans are built programmatically or parsed from the compact CLI syntax::
+
+    crash:apprank=1,node=2,t=1.5   # kill apprank 1's worker on node 2
+    crash:node=3,t=1.5             # kill node 3 entirely
+    degrade:node=1,t=0.5,speed=0.5,dur=2.0
+    msg:loss=0.01,delay=0.05,dup=0.01
+    solver:p=0.3                   # or solver:ticks=2|4
+
+joined with ``;`` — see :meth:`FaultPlan.parse`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..errors import FaultError
+
+__all__ = ["FaultPlan", "NodeCrash", "WorkerCrash", "NodeDegradation",
+           "MessageFaultSpec", "SolverFaultSpec"]
+
+
+def _check_prob(name: str, p: float) -> None:
+    if not 0.0 <= p < 1.0:
+        raise FaultError(f"{name} must be in [0, 1), got {p}")
+
+
+def _check_time(name: str, t: float) -> None:
+    if t < 0:
+        raise FaultError(f"{name} must be >= 0, got {t}")
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Fail-stop crash of a whole node at *time* (simulated seconds).
+
+    Only survivable for nodes hosting no apprank home — see
+    :meth:`repro.nanos.runtime.ClusterRuntime.crash_node`.
+    """
+
+    node: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise FaultError(f"negative node id {self.node}")
+        _check_time("crash time", self.time)
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Fail-stop crash of one worker process (a graph edge) at *time*."""
+
+    apprank: int
+    node: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.apprank < 0 or self.node < 0:
+            raise FaultError(
+                f"negative apprank/node in worker crash "
+                f"({self.apprank}, {self.node})")
+        _check_time("crash time", self.time)
+
+
+@dataclass(frozen=True)
+class NodeDegradation:
+    """Transient degradation: the node runs at *speed* from *time* on.
+
+    With *duration* set, the speed in force when the degradation hits is
+    restored ``duration`` seconds later — a thermal-throttling episode.
+    ``duration=None`` makes the change permanent (the static slow-node
+    experiment expressed as a fault).
+    """
+
+    node: int
+    time: float
+    speed: float
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise FaultError(f"negative node id {self.node}")
+        _check_time("degradation time", self.time)
+        if self.speed <= 0:
+            raise FaultError(f"degraded speed must be > 0, got {self.speed}")
+        if self.duration is not None and self.duration <= 0:
+            raise FaultError(f"degradation duration must be > 0, "
+                             f"got {self.duration}")
+
+
+@dataclass(frozen=True)
+class MessageFaultSpec:
+    """Stochastic faults on inter-node messages.
+
+    Loss is modelled as a lossy link *under a reliable transport*: each
+    drop costs one retransmit round trip instead of hanging MPI matching
+    (drops repeat geometrically, so a message may pay several). ``p_delay``
+    adds exponential jitter with mean ``mean_delay``; ``p_duplicate``
+    delivers an eager message twice (the receiver deduplicates).
+    ``p_offload_loss`` governs the offload control plane — the scheduler's
+    ack/timeout/backoff protocol, not the MPI transport — and defaults to
+    ``p_loss``.
+    """
+
+    p_loss: float = 0.0
+    p_delay: float = 0.0
+    p_duplicate: float = 0.0
+    mean_delay: float = 1e-3
+    p_offload_loss: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_prob("p_loss", self.p_loss)
+        _check_prob("p_delay", self.p_delay)
+        _check_prob("p_duplicate", self.p_duplicate)
+        if self.p_offload_loss is not None:
+            _check_prob("p_offload_loss", self.p_offload_loss)
+        if self.mean_delay <= 0:
+            raise FaultError(f"mean_delay must be > 0, got {self.mean_delay}")
+
+    @property
+    def offload_loss(self) -> float:
+        """Effective loss probability for offload control messages."""
+        return self.p_loss if self.p_offload_loss is None else self.p_offload_loss
+
+
+@dataclass(frozen=True)
+class SolverFaultSpec:
+    """Failures of the global LP solver process.
+
+    ``fail_ticks`` (1-based solve indices) fails deterministically chosen
+    solves; otherwise each solve fails independently with ``p_fail``.
+    """
+
+    p_fail: float = 0.0
+    fail_ticks: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        _check_prob("p_fail", self.p_fail)
+        if any(t < 1 for t in self.fail_ticks):
+            raise FaultError("fail_ticks are 1-based solve indices")
+
+
+Crash = Union[NodeCrash, WorkerCrash]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that will go wrong in one run."""
+
+    crashes: tuple[Crash, ...] = ()
+    degradations: tuple[NodeDegradation, ...] = ()
+    messages: Optional[MessageFaultSpec] = None
+    solver: Optional[SolverFaultSpec] = None
+    seed: int = 0
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing (the run must be unchanged)."""
+        no_messages = self.messages is None or (
+            self.messages.p_loss == 0 and self.messages.p_delay == 0
+            and self.messages.p_duplicate == 0
+            and self.messages.offload_loss == 0)
+        no_solver = self.solver is None or (
+            self.solver.p_fail == 0 and not self.solver.fail_ticks)
+        return (not self.crashes and not self.degradations
+                and no_messages and no_solver)
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse the ``;``-separated CLI fault syntax (see module doc)."""
+        crashes: list[Crash] = []
+        degradations: list[NodeDegradation] = []
+        messages: Optional[MessageFaultSpec] = None
+        solver: Optional[SolverFaultSpec] = None
+        for part in spec.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            kind, _, body = part.partition(":")
+            fields = _parse_fields(part, body)
+            try:
+                if kind == "crash":
+                    if "apprank" in fields:
+                        crashes.append(WorkerCrash(
+                            apprank=int(fields.pop("apprank")),
+                            node=int(fields.pop("node")),
+                            time=float(fields.pop("t"))))
+                    else:
+                        crashes.append(NodeCrash(
+                            node=int(fields.pop("node")),
+                            time=float(fields.pop("t"))))
+                elif kind == "degrade":
+                    degradations.append(NodeDegradation(
+                        node=int(fields.pop("node")),
+                        time=float(fields.pop("t")),
+                        speed=float(fields.pop("speed")),
+                        duration=(float(fields.pop("dur"))
+                                  if "dur" in fields else None)))
+                elif kind == "msg":
+                    messages = MessageFaultSpec(
+                        p_loss=float(fields.pop("loss", 0.0)),
+                        p_delay=float(fields.pop("delay", 0.0)),
+                        p_duplicate=float(fields.pop("dup", 0.0)),
+                        mean_delay=float(fields.pop("mean_delay", 1e-3)),
+                        p_offload_loss=(float(fields.pop("offload_loss"))
+                                        if "offload_loss" in fields else None))
+                elif kind == "solver":
+                    ticks = fields.pop("ticks", "")
+                    solver = SolverFaultSpec(
+                        p_fail=float(fields.pop("p", 0.0)),
+                        fail_ticks=tuple(int(t)
+                                         for t in ticks.split("|") if t))
+                else:
+                    raise FaultError(
+                        f"unknown fault kind {kind!r} in {part!r}")
+            except KeyError as exc:
+                raise FaultError(f"fault {part!r} is missing required "
+                                 f"field {exc.args[0]!r}") from None
+            except ValueError as exc:
+                raise FaultError(
+                    f"bad value in fault {part!r}: {exc}") from None
+            if fields:
+                raise FaultError(
+                    f"unknown fields {sorted(fields)} in fault {part!r}")
+        return cls(crashes=tuple(crashes), degradations=tuple(degradations),
+                   messages=messages, solver=solver, seed=seed)
+
+
+def _parse_fields(part: str, body: str) -> dict[str, str]:
+    fields: dict[str, str] = {}
+    for item in body.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise FaultError(f"malformed field {item!r} in fault {part!r}")
+        fields[key.strip()] = value.strip()
+    return fields

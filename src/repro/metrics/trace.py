@@ -25,6 +25,9 @@ class TraceRecorder:
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._series: dict[tuple[str, int, int], StepSeries] = {}
+        #: point events (faults, recoveries, fallbacks): (time, kind,
+        #: node, apprank, detail) tuples in occurrence order
+        self.events: list[tuple[float, str, int, int, dict]] = []
 
     def _get(self, metric: str, node: int, apprank: int) -> StepSeries:
         key = (metric, node, apprank)
@@ -48,6 +51,15 @@ class TraceRecorder:
                       node: int = -1, apprank: int = -1) -> None:
         """Free-form extra signals (queue depths, imbalance, ...)."""
         self._get(metric, node, apprank).set(now, value)
+
+    def add_event(self, now: float, kind: str, node: int = -1,
+                  apprank: int = -1, **detail) -> None:
+        """Record a point event (fault injected, task recovered, ...)."""
+        self.events.append((now, kind, node, apprank, detail))
+
+    def events_of(self, kind: str) -> list[tuple[float, str, int, int, dict]]:
+        """All recorded point events of one kind, in occurrence order."""
+        return [e for e in self.events if e[1] == kind]
 
     # -- queries -----------------------------------------------------------
 

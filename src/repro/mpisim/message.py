@@ -45,7 +45,8 @@ def payload_nbytes(payload: Any) -> int:
     if isinstance(payload, (list, tuple)):
         return 16 + sum(payload_nbytes(p) for p in payload)
     if isinstance(payload, dict):
-        return 16 + sum(payload_nbytes(k) + payload_nbytes(v) for k, v in payload.items())
+        return 16 + sum(payload_nbytes(k) + payload_nbytes(v)
+                        for k, v in payload.items())
     return _DEFAULT_OBJECT_NBYTES
 
 

@@ -41,6 +41,9 @@ class MpiWorld:
         #: TALP interception hook: called as hook(world_rank, seconds) with
         #: the time a blocking MPI call spent on the simulated clock
         self.talp_hook = None
+        #: fault injection: a :class:`repro.faults.MessageFaultModel` (or
+        #: None); consulted for inter-node messages only
+        self.fault_model = None
         #: cumulative bytes injected, by (src_node == dst_node)
         self.bytes_intra_node = 0
         self.bytes_inter_node = 0
@@ -104,24 +107,31 @@ class MpiWorld:
         """Start a send; returns the sender-side request."""
         request = Request(self.sim, "send")
         self._account(env.src, env.dst, env.nbytes)
-        eager = (self.node_of(env.src) == self.node_of(env.dst)
-                 or self.cluster.network.is_eager(env.nbytes))
+        inter_node = self.node_of(env.src) != self.node_of(env.dst)
+        eager = not inter_node or self.cluster.network.is_eager(env.nbytes)
+        extra, copies = 0.0, 1
+        if self.fault_model is not None and inter_node:
+            extra, copies = self.fault_model.on_send(env, allow_duplicate=eager)
         if eager:
             # Buffered at the sender: local completion after injection overhead.
             self.sim.schedule(self.cluster.network.overhead_s,
                               lambda: request._complete(None),
                               label="send-local-complete")
-            arrival = self._transfer_time(env.src, env.dst, env.nbytes)
-            self.sim.schedule(arrival, lambda: self._arrive_eager(env),
-                              priority=EventPriority.DELIVERY, label="msg-arrival")
+            arrival = self._transfer_time(env.src, env.dst, env.nbytes) + extra
+            for _copy in range(copies):
+                self.sim.schedule(arrival, lambda: self._arrive_eager(env),
+                                  priority=EventPriority.DELIVERY,
+                                  label="msg-arrival")
         else:
             pending = _PendingSend(env, request)
-            rts_delay = self._latency(env.src, env.dst)
+            rts_delay = self._latency(env.src, env.dst) + extra
             self.sim.schedule(rts_delay, lambda: self._arrive_rendezvous(pending),
                               priority=EventPriority.DELIVERY, label="rts-arrival")
         return request
 
     def _arrive_eager(self, env: Envelope) -> None:
+        if self.fault_model is not None and not self.fault_model.accept(env):
+            return      # duplicate of a message already delivered
         endpoint = self._endpoint(env.dst)
         recv = endpoint.match_arrival(env)
         if recv is None:

@@ -64,6 +64,14 @@ class RuntimeConfig:
     trace: bool = False
     #: ownership sampling period for traces, seconds
     trace_period: float = 0.05
+    #: resilience: time to wait for an offload acknowledgement before
+    #: re-sending (only armed when a fault plan is active)
+    offload_ack_timeout: float = 0.05
+    #: resilience: multiplier applied to the ack timeout per re-send
+    offload_backoff: float = 2.0
+    #: resilience: how many times a lost task may be re-submitted before
+    #: the runtime surfaces :class:`repro.errors.TaskLostError`
+    max_retries: int = 3
 
     def __post_init__(self) -> None:
         if self.offload_degree < 1:
@@ -96,6 +104,12 @@ class RuntimeConfig:
             raise RuntimeModelError("invalid dynamic-spreading timing")
         if self.dynamic_patience < 1 or self.dynamic_max_degree < 1:
             raise RuntimeModelError("invalid dynamic-spreading limits")
+        if self.offload_ack_timeout <= 0:
+            raise RuntimeModelError("offload_ack_timeout must be positive")
+        if self.offload_backoff < 1.0:
+            raise RuntimeModelError("offload_backoff must be >= 1")
+        if self.max_retries < 0:
+            raise RuntimeModelError("max_retries must be >= 0")
 
     # -- the configurations the paper evaluates ---------------------------
 

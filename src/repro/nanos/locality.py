@@ -42,8 +42,11 @@ class DataDirectory:
         self._map: IntervalMap[_Locations] = IntervalMap()
         self.bytes_transferred = 0
         self.transfers = 0
+        #: bytes whose only valid copy sat on a crashed node (see drop_node)
+        self.bytes_lost = 0
 
-    def locations_of(self, start: int, end: int) -> list[tuple[int, int, frozenset[int]]]:
+    def locations_of(self, start: int,
+                     end: int) -> list[tuple[int, int, frozenset[int]]]:
         """(start, end, nodes) pieces covering ``[start, end)``."""
         if end <= start:
             raise RuntimeModelError(f"empty region [{start}, {end})")
@@ -130,6 +133,25 @@ class DataDirectory:
         if pulled:
             self.transfers += 1
         return pulled
+
+    def drop_node(self, node: int) -> int:
+        """A node crashed: every copy it held is gone.
+
+        Regions whose *only* valid copy lived there fall back to the home
+        node — modelling the home-node checkpoint the data was initialised
+        from (the re-executed producer task regenerates the real value).
+        Returns the bytes recovered that way (also counted in
+        :attr:`bytes_lost`).
+        """
+        lost = 0
+        for seg in self._map:
+            if node in seg.value.nodes:
+                seg.value.nodes.discard(node)
+                if not seg.value.nodes:
+                    lost += seg.length
+                    seg.value.nodes.add(self.home_node)
+        self.bytes_lost += lost
+        return lost
 
     def nodes_with_any_copy(self, start: int, end: int) -> set[int]:
         """Every node holding a valid copy of any part of the region."""

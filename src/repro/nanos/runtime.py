@@ -24,7 +24,10 @@ from ..dlb.drom import DromModule
 from ..dlb.lewi import LewiModule
 from ..dlb.shmem import NodeArbiter
 from ..dlb.talp import TalpModule, TalpReport
-from ..errors import RuntimeModelError, SimulationError
+from ..errors import (FaultError, NodeFailedError, RuntimeModelError,
+                      SimulationError, TaskLostError)
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 from ..graph.cache import get_graph
 from ..graph.placement import WorkerKey, build_placement
 from ..metrics.trace import TraceRecorder
@@ -33,6 +36,7 @@ from ..sim.engine import Simulator
 from ..sim.events import Event, EventPriority
 from .apprank import AppRankRuntime
 from .config import RuntimeConfig
+from .task import Task, TaskState
 from .worker import Worker
 
 __all__ = ["ClusterRuntime"]
@@ -44,13 +48,22 @@ class ClusterRuntime:
     """One fully wired simulated execution environment."""
 
     def __init__(self, spec: ClusterSpec, num_appranks: int,
-                 config: RuntimeConfig) -> None:
+                 config: RuntimeConfig,
+                 faults: Optional[FaultPlan] = None,
+                 home_nodes: Optional[int] = None) -> None:
         self.spec = spec
         self.config = config
         self.num_appranks = num_appranks
         self.sim = Simulator()
         self.cluster = Cluster(spec)
-        self.graph = get_graph(num_appranks, spec.num_nodes,
+        #: nodes participating in the static graph (homes + helpers);
+        #: nodes beyond this are *spares*, reachable only by add_helper —
+        #: the substrate for surviving a whole-node crash
+        self.home_nodes = spec.num_nodes if home_nodes is None else home_nodes
+        if not 1 <= self.home_nodes <= spec.num_nodes:
+            raise RuntimeModelError(
+                f"home_nodes={home_nodes} outside 1..{spec.num_nodes}")
+        self.graph = get_graph(num_appranks, self.home_nodes,
                                config.offload_degree,
                                seed=config.graph_seed,
                                use_cache=config.use_graph_cache)
@@ -93,11 +106,21 @@ class ClusterRuntime:
         #: node -> appranks with a worker there (kept current as dynamic
         #: spreading adds helpers; the static graph only knows t=0)
         self._appranks_on_node: dict[int, set[int]] = {
-            n: set(self.graph.appranks_on(n))
+            n: (set(self.graph.appranks_on(n))
+                if n < self.graph.num_nodes else set())
             for n in range(spec.num_nodes)
         }
         self._trace_event: Optional[Event] = None
         self.elapsed: Optional[float] = None
+
+        #: nodes that crashed mid-run (their cores never run again)
+        self.dead_nodes: set[int] = set()
+        #: crashed workers, kept for their execution counters
+        self.dead_workers: list[Worker] = []
+        self.tasks_recovered = 0
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(self, faults)
+            if faults is not None and not faults.empty else None)
 
     # -- construction -------------------------------------------------------
 
@@ -174,7 +197,9 @@ class ClusterRuntime:
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> None:
-        """Arm policies, TALP and tracing; lend initially idle cores."""
+        """Arm policies, TALP, tracing and faults; lend initially idle cores."""
+        if self.faults is not None:
+            self.faults.arm()
         self.talp.start(self.sim.now)
         for key in self.placement.workers:
             self.arbiters[key[1]].lend_idle_cores(key)
@@ -211,6 +236,8 @@ class ClusterRuntime:
         if node_id in apprank_rt.workers:
             raise RuntimeModelError(
                 f"apprank {apprank_id} already reaches node {node_id}")
+        if node_id in self.dead_nodes:
+            raise RuntimeModelError(f"node {node_id} has failed")
         arbiter = self.arbiters[node_id]
         cores = self.spec.machine.cores_per_node
         if len(arbiter.workers) >= cores:
@@ -222,6 +249,18 @@ class ClusterRuntime:
                         talp=self.talp, trace=self.trace)
         worker.apprank_runtime = apprank_rt
         arbiter.register_worker(worker)
+        if len(arbiter.workers) == 1:
+            # Virgin node (a spare outside the home graph, or one whose
+            # workers all crashed and retired): the first helper owns it.
+            apprank_rt.workers[node_id] = worker
+            self.workers[worker.key] = worker
+            self._appranks_on_node[node_id].add(apprank_id)
+            arbiter.initialize_ownership({worker.key: cores})
+            arbiter.lend_idle_cores(worker.key)
+            if self.policy is not None:
+                self.policy.add_worker(worker)
+            apprank_rt.scheduler.drain()
+            return worker
         # Seed the DLB floor: take one core from the node's largest owner
         # (by effective ownership — in-flight DROM transfers count at their
         # target, or a floor-owning worker could be picked as donor).
@@ -253,6 +292,100 @@ class ClusterRuntime:
         node = self.cluster.node(node_id)
         self.sim.schedule_at(at_time, lambda: node.set_speed(speed),
                              label=f"speed-change:n{node_id}")
+
+    # -- fault handling ----------------------------------------------------
+
+    def crash_worker(self, apprank_id: int, node_id: int) -> None:
+        """A helper worker process dies at the current simulated time.
+
+        The §5.5 contract says offloading is final — except here: tasks
+        lost with the worker (running, queued, or still in flight to it)
+        are re-submitted to the apprank's scheduler, bounded per task by
+        ``config.max_retries``. The crash of an apprank's *main* worker
+        (home node) is not survivable: the dependency graph and the
+        application process live there.
+        """
+        apprank_rt = self.apprank(apprank_id)
+        worker = apprank_rt.workers.get(node_id)
+        if worker is None:
+            raise FaultError(
+                f"apprank {apprank_id} has no worker on node {node_id}")
+        if node_id == apprank_rt.home_node:
+            raise NodeFailedError(
+                f"apprank {apprank_id}'s main worker (home node {node_id}) "
+                "crashed; its dependency graph and application process are "
+                "not recoverable")
+        lost = self._take_down(worker)
+        self.arbiters[node_id].retire_worker(worker.key)
+        apprank_rt.directory.drop_node(node_id)
+        if self.trace is not None:
+            self.trace.add_event(self.sim.now, "worker-crash", node=node_id,
+                                 apprank=apprank_id, tasks_lost=len(lost))
+        self._recover_tasks(lost)
+
+    def crash_node(self, node_id: int) -> None:
+        """A whole node dies: kill its workers, freeze its cores, recover.
+
+        Only survivable for nodes hosting no apprank home — run with
+        ``home_nodes < spec.num_nodes`` and grow onto the spares via
+        :meth:`add_helper` to model crash-tolerant deployments.
+        """
+        if node_id in self.dead_nodes:
+            raise FaultError(f"node {node_id} crashed twice")
+        victims = [self.appranks[a].workers[node_id]
+                   for a in sorted(self._appranks_on_node[node_id])]
+        for worker in victims:
+            if self.appranks[worker.apprank].home_node == node_id:
+                raise NodeFailedError(
+                    f"node {node_id} hosts apprank {worker.apprank}'s home; "
+                    "a home-node crash is not recoverable (use spare nodes "
+                    "via home_nodes= for survivable node crashes)")
+        lost: list[Task] = []
+        for worker in victims:
+            lost.extend(self._take_down(worker))
+        self.arbiters[node_id].fail_node()
+        self.dead_nodes.add(node_id)
+        for worker in victims:
+            self.appranks[worker.apprank].directory.drop_node(node_id)
+        if self.policy is not None and hasattr(self.policy, "remove_node"):
+            self.policy.remove_node(node_id)
+        if self.trace is not None:
+            self.trace.add_event(self.sim.now, "node-crash", node=node_id,
+                                 tasks_lost=len(lost))
+        self._recover_tasks(lost)
+
+    def _take_down(self, worker: Worker) -> list[Task]:
+        """Common crash bookkeeping for one worker; returns its lost tasks."""
+        apprank_rt = self.appranks[worker.apprank]
+        lost = worker.kill()
+        apprank_rt.workers.pop(worker.node_id, None)
+        self.workers.pop(worker.key, None)
+        self._appranks_on_node[worker.node_id].discard(worker.apprank)
+        lost.extend(apprank_rt.scheduler.recover_dispatches(worker.node_id))
+        if self.policy is not None:
+            self.policy.remove_worker(worker)
+        self.dead_workers.append(worker)
+        return lost
+
+    def _recover_tasks(self, tasks: list[Task]) -> None:
+        """Re-submit lost tasks to their appranks' schedulers."""
+        for task in sorted(tasks, key=lambda t: t.task_id):
+            task.retries += 1
+            if task.retries > self.config.max_retries:
+                raise TaskLostError(
+                    f"{task!r} lost {task.retries} times "
+                    f"(max_retries={self.config.max_retries})", task=task)
+            task.state = TaskState.READY
+            task.assigned_node = None
+            task.start_time = None
+            self.tasks_recovered += 1
+            if self.faults is not None:
+                self.faults.note_recovered(task)
+            if self.trace is not None:
+                self.trace.add_event(self.sim.now, "task-recovered",
+                                     apprank=task.apprank,
+                                     task_id=task.task_id, retry=task.retries)
+            self.appranks[task.apprank].scheduler.on_ready(task)
 
     def apprank(self, apprank_id: int) -> AppRankRuntime:
         """The per-apprank runtime handle (range-checked)."""
@@ -307,13 +440,21 @@ class ClusterRuntime:
 
     def stats(self) -> dict[str, Any]:
         """Run-level counters (tasks, offloads, DLB activity, messages)."""
-        return {
+        stats = {
             "elapsed": self.elapsed,
             "events": self.sim.events_fired,
             "tasks": sum(rt.tasks_submitted for rt in self.appranks),
+            "executed": (sum(w.tasks_executed for w in self.workers.values())
+                         + sum(w.tasks_executed for w in self.dead_workers)),
             "offloaded": self.total_offloaded(),
             "lewi": self.lewi.stats(),
             "drom_changes": self.drom.total_changes,
             "drom_cores_moved": self.drom.total_cores_moved,
             "mpi_messages": self.world.messages_sent,
         }
+        if self.faults is not None:
+            stats["faults"] = self.faults.stats()
+            stats["tasks_recovered"] = self.tasks_recovered
+            stats["offload_resends"] = sum(
+                rt.scheduler.offload_resends for rt in self.appranks)
+        return stats

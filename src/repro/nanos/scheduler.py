@@ -20,16 +20,33 @@ from collections import deque
 from typing import TYPE_CHECKING, Optional
 
 from ..cluster.network import NetworkModel
-from ..errors import SchedulerError
+from ..errors import SchedulerError, TaskLostError
 from ..sim.engine import Simulator
 from .locality import DataDirectory
 from .task import Task, TaskState
 from .worker import Worker
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import FaultInjector
+    from ..sim.events import Event
     from .config import RuntimeConfig
 
 __all__ = ["AppRankScheduler"]
+
+
+class _OffloadDispatch:
+    """One in-flight offload awaiting acknowledgement (fault runs only)."""
+
+    __slots__ = ("task", "worker", "attempt", "acked", "timer", "delivery", "ack")
+
+    def __init__(self, task: Task, worker: Worker) -> None:
+        self.task = task
+        self.worker = worker
+        self.attempt = 0
+        self.acked = False
+        self.timer: Optional["Event"] = None
+        self.delivery: Optional["Event"] = None
+        self.ack: Optional["Event"] = None
 
 
 class AppRankScheduler:
@@ -49,6 +66,11 @@ class AppRankScheduler:
         self.tasks_offloaded = 0
         self.tasks_kept_home = 0
         self._draining = False
+        #: set by :class:`repro.faults.FaultInjector`; when present, remote
+        #: dispatches use the acknowledged (timeout + backoff) protocol
+        self.faults: Optional["FaultInjector"] = None
+        self._dispatches: dict[Task, _OffloadDispatch] = {}
+        self.offload_resends = 0
 
     # -- entry points -------------------------------------------------------
 
@@ -121,6 +143,8 @@ class AppRankScheduler:
         threshold = self.config.tasks_per_core
         candidates = self._by_locality(task)
         for node_id in candidates:
+            if not self.workers[node_id].alive:
+                continue        # crashed worker not yet unregistered
             if self.load_ratio(node_id) < threshold:
                 return node_id
         return None
@@ -152,6 +176,14 @@ class AppRankScheduler:
             self.tasks_kept_home += 1
         else:
             self.tasks_offloaded += 1
+        if self.faults is not None and node_id != self.home_node:
+            # Resilient path: the offload control message may be lost, so
+            # the dispatch is acknowledged and re-sent on timeout.
+            task.state = TaskState.TRANSFERRING
+            dispatch = _OffloadDispatch(task, worker)
+            self._dispatches[task] = dispatch
+            self._send(dispatch)
+            return
         delay = self._dispatch_delay(task, node_id)
         if delay <= 0.0:
             self._deliver(task, worker)
@@ -173,3 +205,94 @@ class AppRankScheduler:
     def _deliver(self, task: Task, worker: Worker) -> None:
         self.directory.record_copy_in(task.inputs, worker.node_id)
         worker.enqueue(task)
+
+    # -- resilient offload (fault runs only) -------------------------------
+
+    def _send(self, dispatch: _OffloadDispatch) -> None:
+        """(Re-)send one offload; arm the acknowledgement timer.
+
+        Each attempt draws send/ack loss from the fault model's dedicated
+        RNG stream. The timer backs off exponentially; past
+        ``max_retries`` re-sends the task is declared lost.
+        """
+        task = dispatch.task
+        dispatch.attempt += 1
+        if dispatch.attempt > self.config.max_retries + 1:
+            del self._dispatches[task]
+            raise TaskLostError(
+                f"offload of {task!r} to node {task.assigned_node} went "
+                f"unacknowledged {self.config.max_retries + 1} times",
+                task=task)
+        if dispatch.attempt > 1:
+            self.offload_resends += 1
+        send_lost = self.faults.offload_send_lost()
+        ack_lost = self.faults.offload_ack_lost()
+        delay = self._dispatch_delay(task, task.assigned_node)
+        ack_rtt = delay + self.network.control_message_time()
+        if not send_lost:
+            dispatch.delivery = self.sim.schedule(
+                delay, lambda: self._offload_deliver(dispatch),
+                label=f"offload-send:{task.task_id}")
+            if not ack_lost:
+                dispatch.ack = self.sim.schedule(
+                    ack_rtt, lambda: self._offload_acked(dispatch),
+                    label=f"offload-ack:{task.task_id}")
+        # Never time out before a healthy round trip could complete: the
+        # ack (scheduled first) wins a same-time tie against the timer.
+        timeout = (max(self.config.offload_ack_timeout, ack_rtt)
+                   * self.config.offload_backoff ** (dispatch.attempt - 1))
+        dispatch.timer = self.sim.schedule(
+            timeout, lambda: self._offload_timeout(dispatch),
+            label=f"offload-timer:{task.task_id}")
+
+    def _offload_deliver(self, dispatch: _OffloadDispatch) -> None:
+        dispatch.delivery = None
+        task = dispatch.task
+        if task.state is not TaskState.TRANSFERRING:
+            return      # duplicate: an earlier attempt already arrived
+        if not dispatch.worker.alive:
+            return      # worker crashed; crash recovery re-places the task
+        self._deliver(task, dispatch.worker)
+
+    def _offload_acked(self, dispatch: _OffloadDispatch) -> None:
+        dispatch.ack = None
+        if self._dispatches.get(dispatch.task) is not dispatch:
+            return      # superseded (task recovered and re-dispatched)
+        dispatch.acked = True
+        if dispatch.timer is not None:
+            self.sim.cancel(dispatch.timer)
+            dispatch.timer = None
+        del self._dispatches[dispatch.task]
+
+    def _offload_timeout(self, dispatch: _OffloadDispatch) -> None:
+        dispatch.timer = None
+        if dispatch.acked or self._dispatches.get(dispatch.task) is not dispatch:
+            return
+        if dispatch.task.state is not TaskState.TRANSFERRING:
+            # The worker demonstrably received the dispatch (the task
+            # started or even finished there): its later protocol traffic
+            # implicitly acks the offload, so only the explicit ack was
+            # lost — stop re-sending instead of counting down to a bogus
+            # TaskLostError for a task that is executing.
+            del self._dispatches[dispatch.task]
+            return
+        self._send(dispatch)
+
+    def recover_dispatches(self, node_id: int) -> list[Task]:
+        """Crash recovery: cancel in-flight offloads to a dead node.
+
+        Returns the tasks still in flight (state ``TRANSFERRING``) so the
+        runtime can re-place them; tasks that already arrived are returned
+        by ``Worker.kill`` instead, never by both paths.
+        """
+        lost: list[Task] = []
+        for task, dispatch in list(self._dispatches.items()):
+            if task.assigned_node != node_id:
+                continue
+            for event in (dispatch.timer, dispatch.delivery, dispatch.ack):
+                if event is not None:
+                    self.sim.cancel(event)
+            del self._dispatches[task]
+            if task.state is TaskState.TRANSFERRING:
+                lost.append(task)
+        return lost

@@ -124,6 +124,9 @@ class Task:
     assigned_node: Optional[int] = None
     start_time: Optional[float] = None
     finish_time: Optional[float] = None
+    #: times this task was lost (crashed worker, dropped offload) and
+    #: re-submitted; bounded by :attr:`RuntimeConfig.max_retries`
+    retries: int = 0
 
     @property
     def depth(self) -> int:
@@ -164,4 +167,5 @@ class Task:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = self.label or f"task{self.task_id}"
-        return f"Task({name}, apprank={self.apprank}, {self.state.value}, work={self.work:.4f})"
+        return (f"Task({name}, apprank={self.apprank}, "
+                f"{self.state.value}, work={self.work:.4f})")

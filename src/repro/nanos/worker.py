@@ -15,8 +15,9 @@ from typing import TYPE_CHECKING, Callable, Optional
 from ..balance.load import LoadMeter
 from ..cluster.node import Core, Node, WorkerKey
 from ..dlb.shmem import NodeArbiter
-from ..errors import SchedulerError
+from ..errors import NodeFailedError, SchedulerError
 from ..sim.engine import Simulator
+from ..sim.events import Event
 from .nesting import BodyExecution
 from .task import Task, TaskState
 
@@ -61,6 +62,12 @@ class Worker:
         self.meter = LoadMeter(start_time=sim.now)
         self.tasks_executed = 0
         self.work_executed = 0.0
+        #: False once :meth:`kill` ran (the process crashed); a dead worker
+        #: never accepts or starts work again
+        self.alive = True
+        #: completion events for running tasks, so :meth:`kill` can cancel
+        #: the in-flight completions of a crashed process
+        self._completion_events: dict[Task, Event] = {}
 
     @property
     def apprank(self) -> int:
@@ -74,7 +81,7 @@ class Worker:
 
     def has_ready(self) -> bool:
         """Arbiter port: runnable task or parked body awaiting a core?"""
-        return bool(self.ready) or bool(self.resume)
+        return self.alive and (bool(self.ready) or bool(self.resume))
 
     def ready_count(self) -> int:
         """Arbiter port: backlog size used for borrow prioritisation."""
@@ -82,6 +89,8 @@ class Worker:
 
     def start_next_on(self, core: Core) -> bool:
         """Arbiter grant: resume a parked body or start a ready task."""
+        if not self.alive:
+            return False
         if self.resume:
             self._grant_body(self.resume.popleft(), core)
             return True
@@ -98,6 +107,9 @@ class Worker:
 
     def enqueue(self, task: Task) -> None:
         """A task (inputs present) becomes runnable here."""
+        if not self.alive:
+            raise SchedulerError(
+                f"{task!r} delivered to dead worker {self.key!r}")
         if task.assigned_node != self.node_id:
             raise SchedulerError(
                 f"{task!r} delivered to node {self.node_id}, assigned to "
@@ -137,8 +149,9 @@ class Worker:
         if self.trace is not None:
             self.trace.busy_delta(self.sim.now, self.node_id, self.apprank, +1)
         duration = self.node.task_duration(task.work)
-        self.sim.schedule(duration, lambda: self._complete(task),
-                          label=f"task-complete:{task.task_id}")
+        self._completion_events[task] = self.sim.schedule(
+            duration, lambda: self._complete(task),
+            label=f"task-complete:{task.task_id}")
 
     # -- nested-task bodies (see nanos.nesting) ----------------------------
 
@@ -223,8 +236,45 @@ class Worker:
             if not scheduler.steal_for(self):
                 break
 
+    # -- fault handling ----------------------------------------------------
+
+    def kill(self) -> list[Task]:
+        """The worker process crashes: stop everything, return lost tasks.
+
+        Running tasks have their completion events cancelled and their
+        cores stopped (the arbiter reassigns them via ``retire_worker``,
+        which the caller invokes next); ready tasks are simply dropped.
+        Both sets are returned so :class:`ClusterRuntime` can re-submit
+        them elsewhere. A worker with a nested task body in flight cannot
+        be replayed (its partial body progress is not checkpointable) and
+        raises :class:`NodeFailedError`.
+        """
+        if not self.alive:
+            raise NodeFailedError(f"worker {self.key!r} killed twice")
+        if self._body_cores or self.resume or self.blocked_bodies:
+            raise NodeFailedError(
+                f"worker {self.key!r} crashed with nested task bodies in "
+                "flight; their partial progress cannot be replayed")
+        self.alive = False
+        now = self.sim.now
+        lost: list[Task] = []
+        for task, core in sorted(self.running.items(),
+                                 key=lambda item: item[0].task_id):
+            self.sim.cancel(self._completion_events.pop(task))
+            core.stop(self.key)
+            self.meter.decrement(now)
+            if self.trace is not None:
+                self.trace.busy_delta(now, self.node_id, self.apprank, -1)
+            lost.append(task)
+        self.running.clear()
+        lost.extend(self.ready)
+        self.ready.clear()
+        self.assigned = 0
+        return lost
+
     def _complete(self, task: Task) -> None:
         core = self.running.pop(task)
+        self._completion_events.pop(task, None)
         core.stop(self.key)
         now = self.sim.now
         task.state = TaskState.FINISHED

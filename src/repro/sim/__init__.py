@@ -1,6 +1,6 @@
 """Discrete-event simulation engine underlying every simulated subsystem."""
 
-from .engine import Process, Simulator, Timeout
+from .engine import Interrupt, Process, Simulator, Timeout
 from .events import Event, EventPriority
 from .primitives import Gate, Resource, Signal, Store
 from .queue import EventQueue
@@ -10,6 +10,7 @@ __all__ = [
     "Simulator",
     "Process",
     "Timeout",
+    "Interrupt",
     "Event",
     "EventPriority",
     "EventQueue",

@@ -17,26 +17,56 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Iterable, Optional
 
-from ..errors import ProcessError, SimulationError
+from ..errors import ProcessError, SimulationError, WaitCancelledError
 from .events import Event, EventPriority
 from .queue import EventQueue
 
-__all__ = ["Simulator", "Timeout", "Process"]
+__all__ = ["Simulator", "Timeout", "Process", "Interrupt"]
+
+
+class Interrupt:
+    """Resume-with-error marker for process waits.
+
+    When an awaitable resumes a waiting :class:`Process` with an
+    ``Interrupt(error)`` instead of a plain value, the error is *thrown*
+    into the coroutine at the ``yield`` — the process can catch it (e.g. a
+    timeout/retry loop) or let it terminate the process.
+    """
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
 
 
 class Timeout:
-    """Awaitable that resumes the yielding process after ``delay`` sim-seconds."""
+    """Awaitable that resumes the yielding process after ``delay`` sim-seconds.
 
-    __slots__ = ("delay", "value")
+    The scheduled event is exposed as :attr:`event` once a process waits on
+    the timeout; cancelling it through :meth:`Simulator.cancel` resumes the
+    waiter with :class:`repro.errors.WaitCancelledError` instead of leaving
+    it suspended forever.
+    """
+
+    __slots__ = ("delay", "value", "event")
 
     def __init__(self, delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         self.delay = float(delay)
         self.value = value
+        self.event: Optional[Event] = None
 
     def _subscribe(self, sim: "Simulator", resume: Callable[[Any], None]) -> None:
-        sim.schedule(self.delay, lambda: resume(self.value), label="timeout")
+        def fire() -> None:
+            self.event.on_cancel = None    # a later cancel() is a plain no-op
+            resume(self.value)
+
+        self.event = sim.schedule(self.delay, fire, label="timeout")
+        self.event.on_cancel = lambda: sim.schedule(
+            0.0,
+            lambda: resume(Interrupt(WaitCancelledError("timeout cancelled"))),
+            label="timeout-cancelled")
 
 
 class Process:
@@ -48,9 +78,11 @@ class Process:
     generator's return value.
     """
 
-    __slots__ = ("sim", "name", "_gen", "_done", "_result", "_error", "_waiters")
+    __slots__ = ("sim", "name", "_gen", "_done", "_result", "_error",
+                 "_waiters", "_wait_epoch")
 
-    def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any], name: str = "") -> None:
+    def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any],
+                 name: str = "") -> None:
         self.sim = sim
         self.name = name or getattr(gen, "__name__", "process")
         self._gen = gen
@@ -58,6 +90,9 @@ class Process:
         self._result: Any = None
         self._error: Optional[BaseException] = None
         self._waiters: list[Callable[[Any], None]] = []
+        #: incremented on every suspension; resumes from a superseded wait
+        #: (e.g. after :meth:`interrupt` detached it) are ignored
+        self._wait_epoch = 0
 
     @property
     def done(self) -> bool:
@@ -82,11 +117,30 @@ class Process:
     def _start(self) -> None:
         self.sim.schedule(0.0, lambda: self._step(None), label=f"start:{self.name}")
 
+    def interrupt(self, error: Optional[BaseException] = None) -> None:
+        """Throw *error* into the process at its current ``yield``.
+
+        Detaches the process from whatever it is waiting on (a later fire
+        of that awaitable is ignored) and resumes it with the error at the
+        current simulated time. Interrupting a finished process raises
+        :class:`ProcessError`.
+        """
+        if self._done:
+            raise ProcessError(f"interrupt of finished process {self.name!r}")
+        if error is None:
+            error = WaitCancelledError(f"process {self.name!r} interrupted")
+        self._wait_epoch += 1     # detach the pending wait, if any
+        self.sim.schedule(0.0, lambda: self._step(Interrupt(error)),
+                          label=f"interrupt:{self.name}")
+
     def _step(self, value: Any) -> None:
         if self._done:
             raise ProcessError(f"resumed finished process {self.name!r}")
         try:
-            awaited = self._gen.send(value)
+            if isinstance(value, Interrupt):
+                awaited = self._gen.throw(value.error)
+            else:
+                awaited = self._gen.send(value)
         except StopIteration as stop:
             self._finish(stop.value, None)
             return
@@ -100,7 +154,18 @@ class Process:
             )
             self._finish(None, err)
             raise err
-        subscribe(self.sim, self._step)
+        self._wait_epoch += 1
+        epoch = self._wait_epoch
+
+        def resume(resumed_value: Any, _epoch: int = epoch) -> None:
+            # A stale resume (the wait was detached by interrupt()) or a
+            # resume after the process already finished is dropped: the
+            # generator has moved on and must not be stepped twice.
+            if self._done or self._wait_epoch != _epoch:
+                return
+            self._step(resumed_value)
+
+        subscribe(self.sim, resume)
 
     def _finish(self, result: Any, error: Optional[BaseException]) -> None:
         self._done = True
@@ -108,7 +173,8 @@ class Process:
         self._error = error
         waiters, self._waiters = self._waiters, []
         for resume in waiters:
-            self.sim.schedule(0.0, lambda r=resume: r(result), label=f"join:{self.name}")
+            self.sim.schedule(0.0, lambda r=resume: r(result),
+                              label=f"join:{self.name}")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self._done else "running"
@@ -163,10 +229,19 @@ class Simulator:
         return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event (no-op if already fired or cancelled)."""
-        if not event.cancelled:
+        """Cancel a pending event (no-op if already fired or cancelled).
+
+        If the event backs an awaitable that registered an ``on_cancel``
+        hook (e.g. a :class:`Timeout` a process is waiting on), the hook
+        runs so the waiter is resumed with an error rather than suspended
+        forever.
+        """
+        if not event.cancelled and not event.fired:
             event.cancel()
             self._queue.notify_cancelled()
+            if event.on_cancel is not None:
+                hook, event.on_cancel = event.on_cancel, None
+                hook()
 
     def spawn(self, gen: Generator[Any, Any, Any], name: str = "") -> Process:
         """Register a coroutine process; it first runs at the current time."""
@@ -186,7 +261,8 @@ class Simulator:
         event.callback()
         return True
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
         """Drain events until quiescence, ``until`` time, or ``max_events``.
 
         Returns the clock value when the run stops. When *until* is given,
@@ -214,7 +290,8 @@ class Simulator:
             self._now = until
         return self._now
 
-    def run_all(self, processes: Iterable[Process], until: Optional[float] = None) -> float:
+    def run_all(self, processes: Iterable[Process],
+                until: Optional[float] = None) -> float:
         """Run until every process in *processes* is done (or *until*)."""
         processes = list(processes)
         while True:

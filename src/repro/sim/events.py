@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 
 class EventPriority(enum.IntEnum):
@@ -44,7 +44,14 @@ class Event:
     seq: int
     callback: Callable[[], Any] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: set by the queue when the event is popped to run; a later cancel()
+    #: must be a no-op (and must not disturb live-event accounting)
+    fired: bool = field(default=False, compare=False)
     label: str = field(default="", compare=False)
+    #: invoked (once) by :meth:`repro.sim.engine.Simulator.cancel` so an
+    #: awaitable backed by this event can resume its waiter with an error
+    #: instead of leaving it suspended forever
+    on_cancel: Optional[Callable[[], Any]] = field(default=None, compare=False)
 
     def cancel(self) -> None:
         """Prevent the callback from running.

@@ -47,12 +47,14 @@ class Signal:
         self._value = value
         waiters, self._waiters = self._waiters, []
         for resume in waiters:
-            self.sim.schedule(0.0, lambda r=resume: r(value), label=f"signal:{self.name}")
+            self.sim.schedule(0.0, lambda r=resume: r(value),
+                              label=f"signal:{self.name}")
 
     def wait(self, callback: Callable[[Any], None]) -> None:
         """Callback-style wait."""
         if self._fired:
-            self.sim.schedule(0.0, lambda: callback(self._value), label=f"signal:{self.name}")
+            self.sim.schedule(0.0, lambda: callback(self._value),
+                              label=f"signal:{self.name}")
         else:
             self._waiters.append(callback)
 
@@ -116,7 +118,8 @@ class _ResourceTicket:
         self._granted = True
         if self._resume is not None:
             resume, self._resume = self._resume, None
-            self._resource.sim.schedule(0.0, lambda: resume(None), label="resource-grant")
+            self._resource.sim.schedule(0.0, lambda: resume(None),
+                                        label="resource-grant")
 
     def _subscribe(self, sim: Simulator, resume: Callable[[Any], None]) -> None:
         if self._granted:

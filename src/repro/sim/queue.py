@@ -62,6 +62,7 @@ class EventQueue:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
                 self._live -= 1
+                event.fired = True
                 return event
         raise SimulationError("pop from empty event queue")
 

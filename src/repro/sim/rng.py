@@ -55,4 +55,5 @@ class RngRegistry:
 
     def spawn(self, name: str) -> "RngRegistry":
         """Derive a child registry whose streams are independent of this one."""
-        return RngRegistry(root_seed=(self.root_seed * 1_000_003 + _name_key(name)) % (2**63))
+        seed = (self.root_seed * 1_000_003 + _name_key(name)) % (2**63)
+        return RngRegistry(root_seed=seed)

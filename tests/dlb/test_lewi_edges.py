@@ -1,0 +1,199 @@
+"""LeWI/DROM edge cases around reclaim, retirement and dead nodes.
+
+The crash paths (``retire_worker``/``fail_node``) interleave with the
+ordinary lend/borrow/reclaim machinery; these tests pin the edges: a
+reclaim that lands while the borrower is mid-task, double retirement,
+lending from or to a dead node, and a property-style sweep asserting the
+ownership invariants survive any interleaving of the operations.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Node
+from repro.dlb import NodeArbiter
+from repro.errors import DlbError
+
+from .test_shmem import FakeWorker, make_arbiter
+
+
+class TestReclaimMidTask:
+    def test_borrowed_core_reclaimed_only_on_release(self):
+        _, arbiter, ports = make_arbiter(num_cores=2)
+        arbiter.initialize_ownership({("a", 0): 1, ("b", 0): 1})
+        arbiter.lend_idle_cores(("b", 0))
+        core = arbiter.acquire_core(ports["a"])
+        assert core is not None and core.owner == ("a", 0)
+        core.start(("a", 0))
+        borrowed = arbiter.acquire_core(ports["a"])
+        assert borrowed is not None and borrowed.owner == ("b", 0)
+        borrowed.start(("a", 0))
+        # the owner now has ready work: the reclaim must wait for release
+        ports["b"].ready = 1
+        assert arbiter.acquire_core(ports["b"]) is None
+        assert borrowed.occupant == ("a", 0)
+        borrowed.stop(("a", 0))
+        reclaims_before = arbiter.reclaims
+        arbiter.release_core(borrowed, ("a", 0))
+        assert arbiter.reclaims == reclaims_before + 1
+        assert borrowed.occupant == ("b", 0)      # owner got it back
+
+    def test_pending_drom_transfer_waits_for_busy_core(self):
+        node, arbiter, ports = make_arbiter(num_cores=4)
+        arbiter.initialize_ownership({("a", 0): 2, ("b", 0): 2})
+        first = arbiter.acquire_core(ports["a"])
+        first.start(("a", 0))
+        second = arbiter.acquire_core(ports["a"])
+        second.start(("a", 0))
+        arbiter.set_ownership({("a", 0): 1, ("b", 0): 3})
+        moved = [c for c in (first, second) if c.pending_owner == ("b", 0)]
+        assert len(moved) == 1                    # one busy core is in flight
+        core = moved[0]
+        assert core.owner == ("a", 0)             # still mid-task
+        core.stop(("a", 0))
+        arbiter.release_core(core, ("a", 0))
+        assert core.owner == ("b", 0)
+        assert core.pending_owner is None
+
+
+class TestRetireWorker:
+    def test_retire_reassigns_owned_cores_to_survivors(self):
+        node, arbiter, _ = make_arbiter(num_cores=6, workers=("a", "b", "c"))
+        arbiter.initialize_ownership({("a", 0): 2, ("b", 0): 2, ("c", 0): 2})
+        moved = arbiter.retire_worker(("b", 0))
+        assert moved == 2
+        counts = arbiter.ownership_counts()
+        assert ("b", 0) not in counts
+        assert sum(counts.values()) == 6
+        assert counts[("a", 0)] == 3 and counts[("c", 0)] == 3
+
+    def test_double_retire_raises(self):
+        _, arbiter, _ = make_arbiter(num_cores=4)
+        arbiter.initialize_ownership({("a", 0): 2, ("b", 0): 2})
+        arbiter.retire_worker(("a", 0))
+        with pytest.raises(DlbError):
+            arbiter.retire_worker(("a", 0))
+
+    def test_retire_with_running_task_raises(self):
+        _, arbiter, ports = make_arbiter(num_cores=4)
+        arbiter.initialize_ownership({("a", 0): 2, ("b", 0): 2})
+        core = arbiter.acquire_core(ports["a"])
+        core.start(("a", 0))
+        with pytest.raises(DlbError):
+            arbiter.retire_worker(("a", 0))
+
+    def test_retire_last_worker_orphans_its_cores(self):
+        node = Node(0, 2)
+        arbiter = NodeArbiter(node)
+        port = FakeWorker(("a", 0))
+        arbiter.register_worker(port)
+        arbiter.initialize_ownership({("a", 0): 2})
+        arbiter.retire_worker(("a", 0))
+        assert all(core.owner is None for core in node.cores)
+        assert arbiter.ownership_counts() == {}
+
+    def test_retire_drops_pending_transfer_to_the_dead(self):
+        _, arbiter, ports = make_arbiter(num_cores=3)
+        arbiter.initialize_ownership({("a", 0): 2, ("b", 0): 1})
+        first = arbiter.acquire_core(ports["a"])
+        first.start(("a", 0))
+        second = arbiter.acquire_core(ports["a"])
+        second.start(("a", 0))
+        arbiter.set_ownership({("a", 0): 1, ("b", 0): 2})
+        moved = [c for c in (first, second) if c.pending_owner == ("b", 0)]
+        assert len(moved) == 1
+        core = moved[0]
+        arbiter.retire_worker(("b", 0))
+        assert core.pending_owner is None
+        core.stop(("a", 0))
+        arbiter.release_core(core, ("a", 0))
+        assert core.owner == ("a", 0)             # transfer never applied
+
+    def test_retire_reclaims_cores_lent_by_the_dead(self):
+        # lend-to-dead-worker: a lent core whose owner dies must come back
+        _, arbiter, ports = make_arbiter(num_cores=2)
+        arbiter.initialize_ownership({("a", 0): 1, ("b", 0): 1})
+        arbiter.lend_idle_cores(("b", 0))
+        lent = [c for c in arbiter.node.cores if c.lent]
+        assert len(lent) == 1
+        arbiter.retire_worker(("b", 0))
+        assert not lent[0].lent
+        assert lent[0].owner == ("a", 0)
+
+
+class TestDeadNode:
+    def make_dead(self):
+        node, arbiter, ports = make_arbiter(num_cores=4)
+        arbiter.initialize_ownership({("a", 0): 2, ("b", 0): 2})
+        arbiter.fail_node()
+        return node, arbiter, ports
+
+    def test_dead_node_refuses_lend_and_acquire(self):
+        _, arbiter, ports = self.make_dead()
+        assert arbiter.lend_idle_cores(("a", 0)) == 0
+        ports["a"].ready = 1
+        assert arbiter.acquire_core(ports["a"]) is None
+
+    def test_dead_node_refuses_drom_and_registration(self):
+        _, arbiter, _ = self.make_dead()
+        with pytest.raises(DlbError):
+            arbiter.set_ownership({("a", 0): 1, ("b", 0): 3})
+        with pytest.raises(DlbError):
+            arbiter.register_worker(FakeWorker(("c", 0)))
+
+    def test_dead_node_release_is_inert(self):
+        node, arbiter, _ = self.make_dead()
+        core = node.cores[0]
+        arbiter.release_core(core, ("a", 0))      # must not dispatch/lend
+        assert not core.lent and not core.busy
+
+
+NAMES = ("a", "b", "c")
+
+
+@given(ops=st.lists(
+    st.tuples(st.sampled_from(["lend", "run", "stop", "retire"]),
+              st.integers(min_value=0, max_value=len(NAMES) - 1)),
+    max_size=40))
+@settings(deadline=None, max_examples=60)
+def test_lend_retire_interleavings_keep_ownership_sound(ops):
+    """Any interleaving of lend/run/stop/retire keeps the core map sound:
+    every owner is live (or None), counts cover exactly the owned cores,
+    and only cores we started are busy."""
+    node, arbiter, ports = make_arbiter(num_cores=6, workers=NAMES)
+    keys = {name: (name, 0) for name in NAMES}
+    arbiter.initialize_ownership({keys["a"]: 2, keys["b"]: 2, keys["c"]: 2})
+    live = set(NAMES)
+    running: list[tuple] = []          # (core, key) pairs we started
+
+    for op, i in ops:
+        name = NAMES[i]
+        key = keys[name]
+        if op == "lend" and name in live:
+            arbiter.lend_idle_cores(key)
+        elif op == "run" and name in live:
+            core = arbiter.acquire_core(ports[name])
+            if core is not None:
+                core.start(key)
+                running.append((core, key))
+        elif op == "stop" and running:
+            core, owner_key = running.pop(0)
+            core.stop(owner_key)
+            if owner_key[0] in live:
+                arbiter.release_core(core, owner_key)
+        elif op == "retire" and name in live:
+            for core, owner_key in [r for r in running if r[1] == key]:
+                core.stop(owner_key)          # mirrors Worker.kill()
+                running.remove((core, owner_key))
+            arbiter.retire_worker(key)
+            live.discard(name)
+
+        counts = arbiter.ownership_counts()
+        assert set(arbiter.workers) == {keys[n] for n in live}
+        assert set(counts) <= {keys[n] for n in live}
+        owned = [c for c in node.cores if c.owner is not None]
+        assert all(c.owner in {keys[n] for n in live} for c in owned)
+        assert sum(counts.values()) == len(owned)
+        busy = {c.index for c, _ in running}
+        assert {c.index for c in node.cores if c.busy} == busy

@@ -25,7 +25,7 @@ class TestScale:
         assert config.local_period == SMALL.local_period
 
     def test_feasible_matches_floor_headroom(self):
-        assert SMALL.feasible(4, 1)           # 8 workers' floors on 8 cores? 2*4*1=8 <= 8
+        assert SMALL.feasible(4, 1)           # 2*4*1=8 floor cores <= 8
         assert not SMALL.feasible(3, 2)       # 2*3*2=12 > 8
         assert PAPER.feasible(8, 2)           # the paper's largest case
 

@@ -1,0 +1,110 @@
+"""Unit tests of the injector's draw machinery (no cluster needed)."""
+
+from types import SimpleNamespace
+
+from repro.faults import FaultPlan, MessageFaultSpec, SolverFaultSpec
+from repro.faults.injector import FaultInjector, MessageFaultModel
+from repro.sim.rng import RngRegistry
+
+
+def make_model(**spec_kwargs):
+    spec = MessageFaultSpec(**spec_kwargs)
+    rng = RngRegistry(42).stream("faults.msg")
+    return MessageFaultModel(spec, rng, retransmit_time=0.01)
+
+
+def envelope(seq):
+    return SimpleNamespace(seq=seq)
+
+
+class TestMessageFaultModel:
+    def test_draws_are_deterministic(self):
+        def draws(n):
+            model = make_model(p_loss=0.3, p_delay=0.3, p_duplicate=0.3)
+            return [model.on_send(envelope(i), allow_duplicate=True)
+                    for i in range(n)]
+
+        assert draws(200) == draws(200)
+
+    def test_zero_spec_never_perturbs(self):
+        model = make_model()
+        for i in range(50):
+            assert model.on_send(envelope(i), allow_duplicate=True) == (0.0, 1)
+        assert model.stats() == {"drops": 0, "delays": 0, "duplicates": 0,
+                                 "suppressed": 0}
+
+    def test_loss_adds_retransmit_multiples(self):
+        model = make_model(p_loss=0.5)
+        extras = [model.on_send(envelope(i), allow_duplicate=True)[0]
+                  for i in range(300)]
+        assert model.drops > 0
+        for extra in extras:
+            assert abs(extra / 0.01 - round(extra / 0.01)) < 1e-9
+        assert any(extra >= 0.02 for extra in extras)   # geometric repeats
+
+    def test_duplicates_only_on_eager_path(self):
+        model = make_model(p_duplicate=0.5)
+        copies = [model.on_send(envelope(i), allow_duplicate=False)[1]
+                  for i in range(100)]
+        assert set(copies) == {1}
+        assert model.duplicates == 0
+        copies = [model.on_send(envelope(100 + i), allow_duplicate=True)[1]
+                  for i in range(100)]
+        assert 2 in copies
+        assert model.duplicates > 0
+
+    def test_receiver_dedupes_duplicate_deliveries(self):
+        model = make_model(p_duplicate=0.5)
+        for i in range(100):
+            _, copies = model.on_send(envelope(i), allow_duplicate=True)
+            assert model.accept(envelope(i))            # first copy delivered
+            if copies == 2:
+                assert not model.accept(envelope(i))    # second suppressed
+        assert model.suppressed == model.duplicates
+        assert not model._dup_copies                    # bookkeeping drained
+
+    def test_non_duplicated_messages_always_accepted(self):
+        model = make_model()
+        assert all(model.accept(envelope(i)) for i in range(10))
+
+
+class TestInjectorDraws:
+    def test_solver_fail_ticks_are_exact(self):
+        plan = FaultPlan(solver=SolverFaultSpec(fail_ticks=(2, 4)))
+        injector = FaultInjector(None, plan)
+        assert [injector.solver_fails() for _ in range(6)] == \
+            [False, True, False, True, False, False]
+
+    def test_solver_probability_draws_deterministic(self):
+        def fails(n):
+            plan = FaultPlan(solver=SolverFaultSpec(p_fail=0.5), seed=9)
+            injector = FaultInjector(None, plan)
+            return [injector.solver_fails() for _ in range(n)]
+
+        first = fails(100)
+        assert first == fails(100)
+        assert any(first) and not all(first)
+
+    def test_offload_loss_draws_deterministic(self):
+        def losses(n):
+            plan = FaultPlan(
+                messages=MessageFaultSpec(p_offload_loss=0.5), seed=9)
+            injector = FaultInjector(None, plan)
+            return [injector.offload_send_lost() for _ in range(n)]
+
+        first = losses(100)
+        assert first == losses(100)
+        assert any(first) and not all(first)
+
+    def test_streams_are_independent(self):
+        # consuming solver draws must not shift the offload stream
+        plan = FaultPlan(messages=MessageFaultSpec(p_offload_loss=0.5),
+                         solver=SolverFaultSpec(p_fail=0.5), seed=9)
+        a = FaultInjector(None, plan)
+        pure = [a.offload_send_lost() for _ in range(50)]
+        b = FaultInjector(None, plan)
+        interleaved = []
+        for _ in range(50):
+            b.solver_fails()
+            interleaved.append(b.offload_send_lost())
+        assert pure == interleaved

@@ -1,0 +1,111 @@
+"""FaultPlan construction, validation, and the CLI parse syntax."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (FaultPlan, MessageFaultSpec, NodeCrash,
+                          NodeDegradation, SolverFaultSpec, WorkerCrash)
+
+
+class TestValidation:
+    def test_probabilities_must_be_sub_one(self):
+        with pytest.raises(FaultError):
+            MessageFaultSpec(p_loss=1.0)
+        with pytest.raises(FaultError):
+            MessageFaultSpec(p_offload_loss=-0.1)
+        with pytest.raises(FaultError):
+            SolverFaultSpec(p_fail=1.5)
+
+    def test_times_and_ids_checked(self):
+        with pytest.raises(FaultError):
+            NodeCrash(node=-1, time=1.0)
+        with pytest.raises(FaultError):
+            NodeCrash(node=0, time=-1.0)
+        with pytest.raises(FaultError):
+            WorkerCrash(apprank=-1, node=0, time=1.0)
+
+    def test_degradation_checks(self):
+        with pytest.raises(FaultError):
+            NodeDegradation(node=0, time=0.0, speed=0.0)
+        with pytest.raises(FaultError):
+            NodeDegradation(node=0, time=0.0, speed=0.5, duration=0.0)
+
+    def test_fail_ticks_are_one_based(self):
+        with pytest.raises(FaultError):
+            SolverFaultSpec(fail_ticks=(0,))
+
+    def test_offload_loss_defaults_to_p_loss(self):
+        assert MessageFaultSpec(p_loss=0.3).offload_loss == 0.3
+        assert MessageFaultSpec(p_loss=0.3,
+                                p_offload_loss=0.1).offload_loss == 0.1
+
+
+class TestEmpty:
+    def test_default_plan_is_empty(self):
+        assert FaultPlan().empty
+        assert FaultPlan(seed=99).empty
+
+    def test_all_zero_specs_are_empty(self):
+        assert FaultPlan(messages=MessageFaultSpec(),
+                         solver=SolverFaultSpec()).empty
+
+    def test_any_fault_makes_it_non_empty(self):
+        assert not FaultPlan(crashes=(NodeCrash(0, 1.0),)).empty
+        assert not FaultPlan(
+            degradations=(NodeDegradation(0, 1.0, 0.5),)).empty
+        assert not FaultPlan(messages=MessageFaultSpec(p_loss=0.1)).empty
+        assert not FaultPlan(messages=MessageFaultSpec(
+            p_offload_loss=0.1)).empty
+        assert not FaultPlan(solver=SolverFaultSpec(fail_ticks=(1,))).empty
+
+
+class TestParse:
+    def test_parse_worker_and_node_crashes(self):
+        plan = FaultPlan.parse("crash:apprank=1,node=2,t=1.5;crash:node=3,t=2")
+        assert plan.crashes == (WorkerCrash(apprank=1, node=2, time=1.5),
+                                NodeCrash(node=3, time=2.0))
+
+    def test_parse_degrade(self):
+        plan = FaultPlan.parse("degrade:node=1,t=0.5,speed=0.5,dur=2.0")
+        assert plan.degradations == (
+            NodeDegradation(node=1, time=0.5, speed=0.5, duration=2.0),)
+        permanent = FaultPlan.parse("degrade:node=1,t=0.5,speed=0.5")
+        assert permanent.degradations[0].duration is None
+
+    def test_parse_messages(self):
+        plan = FaultPlan.parse("msg:loss=0.01,delay=0.05,dup=0.02,"
+                               "mean_delay=0.002,offload_loss=0.1")
+        assert plan.messages == MessageFaultSpec(
+            p_loss=0.01, p_delay=0.05, p_duplicate=0.02,
+            mean_delay=0.002, p_offload_loss=0.1)
+
+    def test_parse_solver(self):
+        assert FaultPlan.parse("solver:p=0.3").solver == \
+            SolverFaultSpec(p_fail=0.3)
+        assert FaultPlan.parse("solver:ticks=2|4").solver == \
+            SolverFaultSpec(fail_ticks=(2, 4))
+
+    def test_parse_combined_with_seed(self):
+        plan = FaultPlan.parse(
+            "crash:node=1,t=0.5; msg:loss=0.01; solver:ticks=1", seed=7)
+        assert plan.seed == 7
+        assert len(plan.crashes) == 1
+        assert plan.messages.p_loss == 0.01
+        assert plan.solver.fail_ticks == (1,)
+        assert not plan.empty
+
+    def test_parse_rejects_unknown_kind_and_fields(self):
+        with pytest.raises(FaultError):
+            FaultPlan.parse("meteor:node=1,t=0.5")
+        with pytest.raises(FaultError):
+            FaultPlan.parse("crash:node=1,t=0.5,frobnicate=1")
+        with pytest.raises(FaultError):
+            FaultPlan.parse("msg:loss")
+
+    def test_parse_rejects_missing_fields_and_bad_values(self):
+        with pytest.raises(FaultError, match="missing required field 'node'"):
+            FaultPlan.parse("crash:apprank=0")
+        with pytest.raises(FaultError, match="bad value"):
+            FaultPlan.parse("crash:node=1,t=abc")
+        with pytest.raises(FaultError, match="bad value"):
+            FaultPlan.parse("solver:ticks=one|two")

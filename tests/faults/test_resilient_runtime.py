@@ -1,0 +1,200 @@
+"""End-to-end resilience: crashes, lossy offloads, solver fallback.
+
+Each test runs the synthetic benchmark under one fault plan and checks the
+runtime's contract: the run completes, every task is executed exactly
+once, and the recovery counters account for what happened. The empty-plan
+test pins the acceptance criterion that fault *support* costs nothing —
+a run with no faults is bit-identical to one built without the subsystem.
+"""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticSpec, make_synthetic_app
+from repro.cluster import MARENOSTRUM4, ClusterSpec
+from repro.errors import (FaultError, NodeFailedError, SolverFallbackWarning,
+                          TaskLostError)
+from repro.faults import (FaultPlan, MessageFaultSpec, NodeCrash,
+                          NodeDegradation, SolverFaultSpec, WorkerCrash)
+from repro.nanos import ClusterRuntime, RuntimeConfig
+
+MACHINE = MARENOSTRUM4.scaled(8)
+
+
+def run_synthetic(faults=None, num_nodes=4, home_nodes=None, setup=None,
+                  config=None):
+    appranks = num_nodes if home_nodes is None else home_nodes
+    spec = SyntheticSpec(num_appranks=appranks, imbalance=2.0,
+                         cores_per_apprank=8, tasks_per_core=8,
+                         iterations=3, seed=3)
+    config = config or RuntimeConfig.offloading(2, "global",
+                                                global_period=0.2)
+    runtime = ClusterRuntime(ClusterSpec.homogeneous(MACHINE, num_nodes),
+                             appranks, config, faults=faults,
+                             home_nodes=home_nodes)
+    if setup is not None:
+        setup(runtime)
+    results = runtime.run_app(make_synthetic_app(spec))
+    return runtime, results
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    runtime, results = run_synthetic()
+    return runtime
+
+
+def assert_exactly_once(runtime):
+    stats = runtime.stats()
+    assert stats["executed"] == stats["tasks"]
+    return stats
+
+
+def heavy_helper(runtime):
+    """A helper node of apprank 0 (the heavy rank in this workload)."""
+    graph = runtime.graph
+    return [n for n in graph.nodes_of(0) if n != graph.home_node(0)][0]
+
+
+class TestEmptyPlanIsFree:
+    def test_empty_plan_is_bit_identical(self, baseline):
+        runtime, _ = run_synthetic(faults=FaultPlan())
+        assert runtime.faults is None       # no injector even constructed
+        assert runtime.elapsed == baseline.elapsed
+        assert runtime.sim.events_fired == baseline.sim.events_fired
+        assert runtime.stats() == baseline.stats()
+
+    def test_seed_of_an_empty_plan_is_irrelevant(self, baseline):
+        runtime, _ = run_synthetic(faults=FaultPlan(seed=12345))
+        assert runtime.elapsed == baseline.elapsed
+        assert runtime.stats() == baseline.stats()
+
+
+class TestWorkerCrash:
+    def test_helper_crash_reexecutes_lost_tasks(self, baseline):
+        helper = heavy_helper(baseline)
+        plan = FaultPlan(crashes=(
+            WorkerCrash(apprank=0, node=helper, time=0.3 * baseline.elapsed),))
+        runtime, _ = run_synthetic(faults=plan)
+        stats = assert_exactly_once(runtime)
+        assert runtime.tasks_recovered > 0
+        assert stats["faults"]["crashes"] == 1
+        assert stats["faults"]["tasks_lost"] == runtime.tasks_recovered
+        assert stats["faults"]["recovery_time"] > 0
+        assert runtime.elapsed > baseline.elapsed       # redone work costs
+        assert (0, helper) not in runtime.workers
+        assert len(runtime.dead_workers) == 1
+
+    def test_crash_is_deterministic(self, baseline):
+        helper = heavy_helper(baseline)
+        plan = FaultPlan(crashes=(
+            WorkerCrash(apprank=0, node=helper, time=0.3 * baseline.elapsed),))
+        r1, _ = run_synthetic(faults=plan)
+        r2, _ = run_synthetic(faults=plan)
+        assert r1.elapsed == r2.elapsed
+        assert r1.stats() == r2.stats()
+
+    def test_home_worker_crash_is_fatal(self, baseline):
+        plan = FaultPlan(crashes=(
+            WorkerCrash(apprank=0, node=baseline.graph.home_node(0),
+                        time=0.3 * baseline.elapsed),))
+        with pytest.raises(NodeFailedError):
+            run_synthetic(faults=plan)
+
+    def test_crash_of_absent_worker_is_an_error(self, baseline):
+        missing = [n for n in range(4)
+                   if n not in baseline.graph.nodes_of(0)]
+        if not missing:
+            pytest.skip("degree covers all nodes at this size")
+        plan = FaultPlan(crashes=(
+            WorkerCrash(apprank=0, node=missing[0],
+                        time=0.3 * baseline.elapsed),))
+        with pytest.raises(FaultError):
+            run_synthetic(faults=plan)
+
+
+class TestNodeCrash:
+    def test_spare_node_crash_recovers(self, baseline):
+        # late enough that the policy has shifted work onto the spare
+        t_crash = 0.7 * baseline.elapsed
+        plan = FaultPlan(crashes=(NodeCrash(node=4, time=t_crash),))
+        runtime, _ = run_synthetic(
+            faults=plan, num_nodes=5, home_nodes=4,
+            setup=lambda rt: rt.add_helper(0, 4))
+        stats = assert_exactly_once(runtime)
+        assert runtime.dead_nodes == {4}
+        assert runtime.tasks_recovered > 0
+        assert stats["faults"]["crashes"] == 1
+        assert runtime.arbiters[4].dead
+
+    def test_home_node_crash_is_fatal(self, baseline):
+        plan = FaultPlan(crashes=(
+            NodeCrash(node=0, time=0.3 * baseline.elapsed),))
+        with pytest.raises(NodeFailedError):
+            run_synthetic(faults=plan)
+
+
+class TestOffloadProtocol:
+    def test_lossy_control_plane_resends_and_completes(self, baseline):
+        plan = FaultPlan(
+            messages=MessageFaultSpec(p_offload_loss=0.2), seed=5)
+        runtime, _ = run_synthetic(faults=plan)
+        stats = assert_exactly_once(runtime)
+        assert stats["offload_resends"] > 0
+        assert stats["offloaded"] > 0
+
+    def test_hopeless_loss_surfaces_task_lost(self):
+        config = RuntimeConfig.offloading(2, "global", global_period=0.2) \
+            .with_(max_retries=0, offload_ack_timeout=0.01)
+        plan = FaultPlan(
+            messages=MessageFaultSpec(p_offload_loss=0.99), seed=5)
+        with pytest.raises(TaskLostError) as excinfo:
+            run_synthetic(faults=plan, config=config)
+        assert excinfo.value.task is not None
+
+    def test_message_faults_keep_exactly_once(self, baseline):
+        # transport faults only: p_offload_loss=0 keeps the control plane
+        # clean so heavy loss rates don't exhaust the offload retry budget
+        plan = FaultPlan(messages=MessageFaultSpec(
+            p_loss=0.3, p_delay=0.3, p_duplicate=0.3,
+            p_offload_loss=0.0), seed=5)
+        runtime, _ = run_synthetic(faults=plan)
+        stats = assert_exactly_once(runtime)
+        messages = stats["faults"]["messages"]
+        assert messages["drops"] > 0
+        assert messages["suppressed"] == messages["duplicates"]
+
+
+class TestSolverFallback:
+    def test_failed_solve_reuses_last_allocation(self, baseline):
+        plan = FaultPlan(solver=SolverFaultSpec(fail_ticks=(2, 3)))
+        with pytest.warns(SolverFallbackWarning):
+            runtime, _ = run_synthetic(faults=plan)
+        stats = assert_exactly_once(runtime)
+        assert stats["faults"]["solver_fallbacks"] == 2
+        assert runtime.policy.fallbacks == 2
+
+    def test_first_solve_failing_has_no_last_good(self, baseline):
+        plan = FaultPlan(solver=SolverFaultSpec(fail_ticks=(1,)))
+        with pytest.warns(SolverFallbackWarning):
+            runtime, _ = run_synthetic(faults=plan)
+        assert_exactly_once(runtime)
+
+
+class TestDegradation:
+    def test_transient_degradation_restores_speed(self, baseline):
+        helper = heavy_helper(baseline)
+        plan = FaultPlan(degradations=(
+            NodeDegradation(node=helper, time=0.2 * baseline.elapsed,
+                            speed=0.5, duration=0.3 * baseline.elapsed),))
+        runtime, _ = run_synthetic(faults=plan)
+        assert_exactly_once(runtime)
+        assert runtime.cluster.node(helper).speed == 1.0    # restored
+        assert runtime.elapsed != baseline.elapsed
+
+    def test_permanent_degradation_sticks(self, baseline):
+        plan = FaultPlan(degradations=(
+            NodeDegradation(node=1, time=0.2 * baseline.elapsed, speed=0.5),))
+        runtime, _ = run_synthetic(faults=plan)
+        assert_exactly_once(runtime)
+        assert runtime.cluster.node(1).speed == 0.5
+        assert runtime.elapsed > baseline.elapsed

@@ -1,0 +1,141 @@
+"""Simulator.cancel vs waiting processes, and Process.interrupt.
+
+Regression tests for the resume-with-error machinery: cancelling the event
+a :class:`Timeout` scheduled used to leave its waiting process suspended
+forever (the simulator drained and the process was simply never resumed).
+Now the waiter is resumed with :class:`WaitCancelledError`, and
+:meth:`Process.interrupt` throws an arbitrary error into a process at its
+current ``yield`` while detaching the superseded wait.
+"""
+
+import pytest
+
+from repro.errors import ProcessError, WaitCancelledError
+from repro.sim import Simulator, Timeout
+
+
+class TestCancelTimeout:
+    def test_cancelled_timeout_resumes_waiter_with_error(self):
+        sim = Simulator()
+        caught = []
+        timeouts = []
+
+        def proc():
+            timeout = Timeout(10.0)
+            timeouts.append(timeout)
+            try:
+                yield timeout
+            except WaitCancelledError as exc:
+                caught.append(exc)
+            return "recovered"
+
+        process = sim.spawn(proc())
+        sim.step()                      # start: process now waits on the timeout
+        assert timeouts[0].event is not None
+        sim.cancel(timeouts[0].event)
+        sim.run()
+        assert process.done
+        assert process.result == "recovered"
+        assert len(caught) == 1
+        assert sim.now < 10.0           # resumed at cancel time, not expiry
+
+    def test_cancel_after_fire_is_a_noop(self):
+        sim = Simulator()
+        timeouts = []
+
+        def proc():
+            timeout = Timeout(1.0, value="v")
+            timeouts.append(timeout)
+            got = yield timeout
+            return got
+
+        process = sim.spawn(proc())
+        sim.run()
+        assert process.result == "v"
+        sim.cancel(timeouts[0].event)   # already fired: must not resume again
+        sim.run()
+        assert process.result == "v"
+
+    def test_uncaught_cancel_error_fails_the_process(self):
+        sim = Simulator()
+        timeouts = []
+
+        def proc():
+            timeout = Timeout(5.0)
+            timeouts.append(timeout)
+            yield timeout
+
+        process = sim.spawn(proc())
+        sim.step()
+        sim.cancel(timeouts[0].event)
+        with pytest.raises(WaitCancelledError):
+            sim.run()
+        assert process.done
+        with pytest.raises(WaitCancelledError):
+            process.result
+
+
+class TestInterrupt:
+    def test_interrupt_throws_into_process_and_detaches_wait(self):
+        sim = Simulator()
+        caught = []
+
+        def proc():
+            try:
+                yield Timeout(100.0)
+            except RuntimeError as exc:
+                caught.append(exc)
+            got = yield Timeout(1.0, value=7)
+            return got
+
+        process = sim.spawn(proc())
+        sim.step()                      # start
+        process.interrupt(RuntimeError("boom"))
+        sim.run()                       # the detached 100 s timeout still
+        assert process.done             # fires; its stale resume is dropped
+        assert process.result == 7
+        assert len(caught) == 1
+
+    def test_interrupt_default_error_is_wait_cancelled(self):
+        sim = Simulator()
+
+        def proc():
+            try:
+                yield Timeout(100.0)
+            except WaitCancelledError:
+                return "cancelled"
+            return "ran"
+
+        process = sim.spawn(proc())
+        sim.step()
+        process.interrupt()
+        sim.run()
+        assert process.result == "cancelled"
+
+    def test_uncaught_interrupt_finishes_process_with_error(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(5.0)
+
+        process = sim.spawn(proc())
+        sim.step()
+        process.interrupt(RuntimeError("boom"))
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert process.done
+        with pytest.raises(RuntimeError):
+            process.result
+        sim.run()                       # draining the stale timeout is safe
+
+    def test_interrupt_of_finished_process_raises(self):
+        sim = Simulator()
+
+        def proc():
+            return "done"
+            yield                       # pragma: no cover
+
+        process = sim.spawn(proc())
+        sim.run()
+        with pytest.raises(ProcessError):
+            process.interrupt()
