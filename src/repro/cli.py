@@ -12,6 +12,17 @@ CSV per table. The ``resilience`` target accepts ``--faults`` (the
 built-in fault sweep with a custom plan::
 
     python -m repro resilience --faults "crash:apprank=0,node=1,t=0.5" --seed 7
+
+The ``trace`` target records one fully instrumented run (see
+:mod:`repro.obs`) instead of a sweep, prints the critical-path makespan
+breakdown, and exports a Chrome trace-event JSON loadable in Perfetto
+(https://ui.perfetto.dev) and/or a Paraver triple::
+
+    python -m repro trace headline --out trace.json --paraver trace
+
+``--obs`` turns the same instrumentation on for any ordinary target and
+reports how much was recorded — useful for overhead checks and for
+driving the obs API from the harness.
 """
 
 from __future__ import annotations
@@ -26,7 +37,8 @@ from .errors import FaultError
 from .experiments import (MEDIUM, PAPER, SMALL, ResultTable, Scale,
                           fig05_policies, fig06_applications, fig07_local,
                           fig08_sweep, fig09_traces, fig10_slownode,
-                          fig11_convergence, headline, resilience)
+                          fig11_convergence, force_observability, headline,
+                          resilience, traced)
 from .faults import FaultPlan
 
 __all__ = ["main"]
@@ -69,8 +81,12 @@ def main(argv: Iterable[str] | None = None) -> int:
         description="Regenerate the tables/figures of 'Transparent load "
                     "balancing of MPI programs using OmpSs-2@Cluster and "
                     "DLB' (ICPP 2022) on the simulator.")
-    parser.add_argument("target", choices=TARGETS + ("all",),
-                        help="which figure/table to regenerate")
+    parser.add_argument("target", choices=TARGETS + ("all", "trace"),
+                        help="which figure/table to regenerate, or 'trace' "
+                             "to record one instrumented run")
+    parser.add_argument("experiment", nargs="?", default=None,
+                        help="trace only: which workload to record "
+                             f"({', '.join(traced.TRACE_TARGETS)})")
     parser.add_argument("--scale", choices=sorted(_SCALES), default="medium",
                         help="experiment sizing; 'paper' uses the published "
                              "parameters (48-core nodes, 100 tasks/core) "
@@ -78,27 +94,62 @@ def main(argv: Iterable[str] | None = None) -> int:
     parser.add_argument("--csv", type=Path, default=None, metavar="DIR",
                         help="also write each table as CSV into DIR")
     parser.add_argument("--faults", default=None, metavar="SPEC",
-                        help="resilience only: custom fault plan in the "
+                        help="resilience/trace: custom fault plan in the "
                              "FaultPlan.parse syntax, e.g. "
                              "'crash:apprank=0,node=1,t=0.5;msg:loss=0.01'")
     parser.add_argument("--seed", type=int, default=0,
-                        help="resilience only: seed for the fault plan's "
+                        help="resilience/trace: seed for the fault plan's "
                              "stochastic draws")
+    parser.add_argument("--out", type=Path, default=None, metavar="FILE",
+                        help="trace only: write the Chrome trace-event JSON "
+                             "here (load it at https://ui.perfetto.dev)")
+    parser.add_argument("--paraver", type=Path, default=None, metavar="BASE",
+                        help="trace only: also write BASE.prv/.pcf/.row "
+                             "Paraver files")
+    parser.add_argument("--obs", action="store_true",
+                        help="instrument every run of an ordinary target "
+                             "with the repro.obs event bus and report what "
+                             "was recorded")
     args = parser.parse_args(list(argv) if argv is not None else None)
 
-    if args.faults is not None and args.target != "resilience":
-        parser.error("--faults only applies to the 'resilience' target")
+    if args.faults is not None and args.target not in ("resilience", "trace"):
+        parser.error("--faults only applies to 'resilience' and 'trace'")
+    plan = None
     if args.faults:
         try:    # reject a malformed spec before any experiment runs
-            FaultPlan.parse(args.faults, seed=args.seed)
+            plan = FaultPlan.parse(args.faults, seed=args.seed)
         except FaultError as exc:
             parser.error(f"bad --faults spec: {exc}")
     scale = _SCALES[args.scale]
+
+    if args.target == "trace":
+        if args.obs:
+            parser.error("--obs is implied by the 'trace' target")
+        if args.experiment not in traced.TRACE_TARGETS:
+            parser.error("trace needs an experiment to record: "
+                         f"one of {', '.join(traced.TRACE_TARGETS)}")
+        started = time.perf_counter()
+        trace_run = traced.run(args.experiment, scale, out=args.out,
+                               paraver=args.paraver, faults=plan)
+        print(trace_run.format())
+        print(f"# wall time: {time.perf_counter() - started:.1f} s")
+        return 0
+    if args.experiment is not None:
+        parser.error("an experiment name only applies to the 'trace' target")
+    if args.out is not None or args.paraver is not None:
+        parser.error("--out/--paraver only apply to the 'trace' target")
+
     targets = TARGETS if args.target == "all" else (args.target,)
     for target in targets:
         started = time.perf_counter()
-        tables = _run_target(target, scale, faults=args.faults,
-                             fault_seed=args.seed)
+        if args.obs:
+            with force_observability() as observed:
+                tables = _run_target(target, scale, faults=args.faults,
+                                     fault_seed=args.seed)
+        else:
+            observed = []
+            tables = _run_target(target, scale, faults=args.faults,
+                                 fault_seed=args.seed)
         elapsed = time.perf_counter() - started
         for i, table in enumerate(tables):
             print(table.format())
@@ -110,6 +161,16 @@ def main(argv: Iterable[str] | None = None) -> int:
                 path = args.csv / f"{target}{suffix}_{scale.name}.csv"
                 path.write_text(table.to_csv() + "\n")
                 print(f"# wrote {path}")
+        if observed:
+            totals = {"spans": 0, "instants": 0, "counter_samples": 0}
+            for obs in observed:
+                summary = obs.bus.summary()
+                for key in totals:
+                    totals[key] += summary[key]
+            print(f"# obs: {len(observed)} runs instrumented, "
+                  f"{totals['spans']} spans, {totals['instants']} instants, "
+                  f"{totals['counter_samples']} counter samples")
+            print()
     return 0
 
 

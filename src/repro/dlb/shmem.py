@@ -17,10 +17,13 @@ Workers register with a small duck-typed interface: ``key``,
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol
+from typing import TYPE_CHECKING, Callable, Optional, Protocol
 
 from ..cluster.node import Core, Node, WorkerKey
 from ..errors import DlbError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import Observability
 
 __all__ = ["NodeArbiter", "WorkerPort"]
 
@@ -43,10 +46,12 @@ class NodeArbiter:
     """Core arbitration for one node."""
 
     def __init__(self, node: Node, lewi_enabled: bool = True,
-                 on_ownership_change: Optional[Callable[[int], None]] = None) -> None:
+                 on_ownership_change: Optional[Callable[[int], None]] = None,
+                 obs: Optional["Observability"] = None) -> None:
         self.node = node
         self.lewi_enabled = lewi_enabled
         self.on_ownership_change = on_ownership_change
+        self.obs = obs
         self.workers: dict[WorkerKey, WorkerPort] = {}
         #: set by :meth:`fail_node` — a failed node's cores never run again
         self.dead = False
@@ -176,6 +181,8 @@ class NodeArbiter:
                 core.owner = None
             core.lent = False
             moved += 1
+        if self.obs is not None:
+            self.obs.worker_retired(self.node.node_id, worker_key, moved)
         if moved:
             self.cores_moved += moved
             self._dispatch_idle_cores()
@@ -208,6 +215,8 @@ class NodeArbiter:
             for core in self.node.cores:
                 if core.occupant is None and core.lent and core.owner != worker.key:
                     self.borrows += 1
+                    if self.obs is not None:
+                        self.obs.lewi_borrow(self.node.node_id, worker.key)
                     return core
         return None
 
@@ -225,6 +234,8 @@ class NodeArbiter:
                 core.lent = True
                 lent += 1
         self.lends += lent
+        if lent and self.obs is not None:
+            self.obs.lewi_lend(self.node.node_id, worker_key, lent)
         return lent
 
     def release_core(self, core: Core, worker_key: WorkerKey) -> None:
@@ -248,6 +259,8 @@ class NodeArbiter:
         if owner is not None and owner.has_ready():
             if core.owner != worker_key:
                 self.reclaims += 1
+                if self.obs is not None:
+                    self.obs.lewi_reclaim(self.node.node_id, core.owner)
             core.lent = False
             if owner.start_next_on(core):
                 return
@@ -256,18 +269,24 @@ class NodeArbiter:
                 and (core.owner == worker_key or self.lewi_enabled)):
             if core.owner != worker_key:
                 self.borrows += 1
+                if self.obs is not None:
+                    self.obs.lewi_borrow(self.node.node_id, worker_key)
             if releaser.start_next_on(core):
                 return
         if self.lewi_enabled:
             for other in self._borrowers_by_priority(exclude=(core.owner, worker_key)):
                 if other.has_ready():
                     self.borrows += 1
+                    if self.obs is not None:
+                        self.obs.lewi_borrow(self.node.node_id, other.key)
                     if other.start_next_on(core):
                         return
         # Nobody can use it: idle. Lend it if its owner has nothing ready.
         core.lent = self.lewi_enabled and (owner is None or not owner.has_ready())
         if core.lent:
             self.lends += 1
+            if self.obs is not None and core.owner is not None:
+                self.obs.lewi_lend(self.node.node_id, core.owner, 1)
 
     def _borrowers_by_priority(self, exclude: tuple) -> list[WorkerPort]:
         """Other workers, busiest backlog first (deterministic tie-break)."""

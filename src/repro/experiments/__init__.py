@@ -2,8 +2,9 @@
 
 from . import (fig05_policies, fig06_applications, fig07_local, fig08_sweep,
                fig09_traces, fig10_slownode, fig11_convergence, headline,
-               resilience)
-from .base import MEDIUM, PAPER, SMALL, ResultTable, RunResult, Scale, run_workload
+               resilience, traced)
+from .base import (MEDIUM, PAPER, SMALL, ResultTable, RunResult, Scale,
+                   force_observability, run_workload)
 
 __all__ = [
     "Scale",
@@ -12,6 +13,7 @@ __all__ = [
     "PAPER",
     "RunResult",
     "run_workload",
+    "force_observability",
     "ResultTable",
     "fig05_policies",
     "fig06_applications",
@@ -22,4 +24,5 @@ __all__ = [
     "fig11_convergence",
     "headline",
     "resilience",
+    "traced",
 ]

@@ -15,8 +15,9 @@ Every figure module builds on the same pieces:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -28,7 +29,30 @@ from ..nanos.config import RuntimeConfig
 from ..nanos.runtime import ClusterRuntime
 
 __all__ = ["Scale", "SMALL", "MEDIUM", "PAPER", "RunResult", "run_workload",
-           "ResultTable", "reduction_vs"]
+           "ResultTable", "reduction_vs", "force_observability"]
+
+#: While a :func:`force_observability` block is active, this is the list
+#: collecting each run's Observability facade; ``None`` otherwise.
+_OBS_COLLECTOR: Optional[list] = None
+
+
+@contextmanager
+def force_observability() -> Iterator[list]:
+    """Enable ``config.obs`` on every :func:`run_workload` in the block.
+
+    The CLI's ``--obs`` flag uses this to instrument any existing
+    experiment target without threading an option through every figure
+    module: each run's :class:`repro.obs.Observability` facade is appended
+    to the yielded list in execution order.
+    """
+    global _OBS_COLLECTOR
+    if _OBS_COLLECTOR is not None:
+        raise ExperimentError("force_observability() does not nest")
+    _OBS_COLLECTOR = []
+    try:
+        yield _OBS_COLLECTOR
+    finally:
+        _OBS_COLLECTOR = None
 
 
 @dataclass(frozen=True)
@@ -133,6 +157,8 @@ def run_workload(machine: MachineSpec, num_nodes: int, appranks_per_node: int,
     spec = ClusterSpec.homogeneous(machine, num_nodes)
     if slow_nodes:
         spec = spec.with_slow_nodes(slow_nodes)
+    if _OBS_COLLECTOR is not None and not config.obs:
+        config = config.with_(obs=True)
     graph_nodes = num_nodes if home_nodes is None else home_nodes
     num_appranks = graph_nodes * appranks_per_node
     runtime = ClusterRuntime(spec, num_appranks, config, faults=faults,
@@ -140,6 +166,8 @@ def run_workload(machine: MachineSpec, num_nodes: int, appranks_per_node: int,
     if setup is not None:
         setup(runtime)
     results = runtime.run_app(app_factory())
+    if _OBS_COLLECTOR is not None and runtime.obs is not None:
+        _OBS_COLLECTOR.append(runtime.obs)
     iteration_maxima = _iteration_maxima(results)
     return RunResult(elapsed=runtime.elapsed, iteration_maxima=iteration_maxima,
                      runtime=runtime, rank_results=results)

@@ -171,15 +171,22 @@ class FaultInjector:
         previous = node.speed
         node.set_speed(degradation.speed)
         trace = self.runtime.trace
+        obs = self.runtime.obs
         if trace is not None:
             trace.add_event(self.runtime.sim.now, "degrade",
                             node=degradation.node, speed=degradation.speed)
+        if obs is not None:
+            obs.fault("degrade", node=degradation.node,
+                      speed=degradation.speed)
         if degradation.duration is not None:
             def restore() -> None:
                 node.set_speed(previous)
                 if trace is not None:
                     trace.add_event(self.runtime.sim.now, "degrade-end",
                                     node=degradation.node, speed=previous)
+                if obs is not None:
+                    obs.fault("degrade-end", node=degradation.node,
+                              speed=previous)
             self.runtime.sim.schedule(
                 degradation.duration, restore,
                 label=f"fault-degrade-end:n{degradation.node}")

@@ -7,6 +7,9 @@ trace triple:
 * one Paraver *task* per apprank, one *thread* per (apprank, node) worker;
 * event type 90000001 carries the worker's busy-core count at each change
   point, 90000002 the DROM-owned core count;
+* event type 90000003 carries point events (faults, recoveries, ...) from
+  the recorder's event bus, with the event kinds enumerated as values in
+  the .pcf so Paraver renders them as named flags;
 * state records mark a thread Running (1) while it has any busy core and
   Idle (0) otherwise — giving the familiar coloured timeline.
 
@@ -21,10 +24,12 @@ from typing import Optional
 from ..errors import ReproError
 from .trace import TraceRecorder
 
-__all__ = ["export_paraver", "BUSY_EVENT_TYPE", "OWNED_EVENT_TYPE"]
+__all__ = ["export_paraver", "BUSY_EVENT_TYPE", "OWNED_EVENT_TYPE",
+           "POINT_EVENT_TYPE"]
 
 BUSY_EVENT_TYPE = 90000001
 OWNED_EVENT_TYPE = 90000002
+POINT_EVENT_TYPE = 90000003
 
 _PCF_TEMPLATE = """DEFAULT_OPTIONS
 
@@ -50,6 +55,14 @@ STATES
 EVENT_TYPE
 9    {busy}    Busy cores (repro simulator)
 9    {owned}    DROM-owned cores (repro simulator)
+"""
+
+_PCF_POINT_TEMPLATE = """
+
+EVENT_TYPE
+9    {point}    Point events (repro simulator)
+VALUES
+{values}
 """
 
 
@@ -115,14 +128,42 @@ def export_paraver(trace: TraceRecorder, end_time: float, basename: Path,
                 records.append(
                     (ns(t),
                      f"2:{ident}:{ns(t)}:{OWNED_EVENT_TYPE}:{int(value)}"))
+
+    def thread_ident(apprank: int, node: int) -> str:
+        """Paraver object for a point event (best-effort placement)."""
+        if (apprank, node) in pairs:
+            task_no = appranks.index(apprank) + 1
+            thread_no = threads_of[apprank].index(node) + 1
+            return f"{nodes.index(node) + 1}:1:{task_no}:{thread_no}"
+        if apprank in threads_of:
+            home = threads_of[apprank][0]
+            return (f"{nodes.index(home) + 1}:1:"
+                    f"{appranks.index(apprank) + 1}:1")
+        return "1:1:1:1"
+
+    kinds = sorted({i.name for i in trace.bus.instants})
+    kind_values = {kind: i + 1 for i, kind in enumerate(kinds)}
+    for instant in trace.bus.instants:
+        ident = thread_ident(instant.args.get("apprank", -1),
+                             instant.track.node)
+        records.append(
+            (ns(instant.time),
+             f"2:{ident}:{ns(instant.time)}:{POINT_EVENT_TYPE}:"
+             f"{kind_values[instant.name]}"))
     records.sort(key=lambda r: r[0])
 
     prv = basename.with_suffix(".prv")
     prv.write_text(header + "\n" + "\n".join(line for _t, line in records)
                    + "\n")
     pcf = basename.with_suffix(".pcf")
-    pcf.write_text(_PCF_TEMPLATE.format(busy=BUSY_EVENT_TYPE,
-                                        owned=OWNED_EVENT_TYPE))
+    pcf_text = _PCF_TEMPLATE.format(busy=BUSY_EVENT_TYPE,
+                                    owned=OWNED_EVENT_TYPE)
+    if kinds:
+        value_lines = "\n".join(f"{v}   {kind}"
+                                for kind, v in kind_values.items())
+        pcf_text += _PCF_POINT_TEMPLATE.format(point=POINT_EVENT_TYPE,
+                                               values=value_lines)
+    pcf.write_text(pcf_text)
     row = basename.with_suffix(".row")
     row_lines = [f"LEVEL THREAD SIZE {len(pairs)}"]
     row_lines += [f"apprank{a}@node{n}" for a, n in pairs]

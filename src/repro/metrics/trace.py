@@ -20,14 +20,22 @@ __all__ = ["TraceRecorder"]
 
 
 class TraceRecorder:
-    """Collects step series keyed by (metric, node, apprank)."""
+    """Collects step series keyed by (metric, node, apprank).
+
+    Point events (faults, recoveries, fallbacks) are stored on a private
+    :class:`repro.obs.bus.EventBus` rather than a bare list, so the same
+    structured records feed the Paraver point-event export and the legacy
+    tuple view (:attr:`events`). The import is lazy on purpose: a recorder
+    only exists on traced runs, and untraced runs must never load
+    :mod:`repro.obs` (the zero-overhead guarantee).
+    """
 
     def __init__(self, sim: Simulator) -> None:
+        from ..obs.bus import EventBus
         self.sim = sim
         self._series: dict[tuple[str, int, int], StepSeries] = {}
-        #: point events (faults, recoveries, fallbacks): (time, kind,
-        #: node, apprank, detail) tuples in occurrence order
-        self.events: list[tuple[float, str, int, int, dict]] = []
+        #: structured point-event storage (instants with cat="trace")
+        self.bus = EventBus(clock=lambda: sim.now)
 
     def _get(self, metric: str, node: int, apprank: int) -> StepSeries:
         key = (metric, node, apprank)
@@ -55,7 +63,22 @@ class TraceRecorder:
     def add_event(self, now: float, kind: str, node: int = -1,
                   apprank: int = -1, **detail) -> None:
         """Record a point event (fault injected, task recovered, ...)."""
-        self.events.append((now, kind, node, apprank, detail))
+        from ..obs.events import CAT_TRACE, Track
+        if "apprank" in detail:
+            raise ReproError("'apprank' is a positional add_event parameter")
+        self.bus.emit_instant(kind, CAT_TRACE, Track(node, "trace"),
+                              time=now, apprank=apprank, **detail)
+
+    @property
+    def events(self) -> list[tuple[float, str, int, int, dict]]:
+        """Legacy tuple view: (time, kind, node, apprank, detail) records."""
+        out = []
+        for instant in self.bus.instants:
+            detail = dict(instant.args)
+            apprank = detail.pop("apprank", -1)
+            out.append((instant.time, instant.name, instant.track.node,
+                        apprank, detail))
+        return out
 
     def events_of(self, kind: str) -> list[tuple[float, str, int, int, dict]]:
         """All recorded point events of one kind, in occurrence order."""

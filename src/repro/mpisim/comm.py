@@ -79,11 +79,14 @@ class _PostedRecv:
 class _PendingSend:
     """Sender-side state for a rendezvous message awaiting its match."""
 
-    __slots__ = ("envelope", "request")
+    __slots__ = ("envelope", "request", "sent_at")
 
-    def __init__(self, envelope: Envelope, request: Request) -> None:
+    def __init__(self, envelope: Envelope, request: Request,
+                 sent_at: float = 0.0) -> None:
         self.envelope = envelope
         self.request = request
+        #: simulated send time, for observability message spans
+        self.sent_at = sent_at
 
 
 class Endpoint:
@@ -216,11 +219,13 @@ class RankComm:
         dst_w = self.comm.world_rank(self.rank)
         return world._post_recv(dst_w, src_w, tag, self.comm.comm_id)
 
-    def _mpi_timed(self, gen: Generator[Any, Any, Any]
+    def _mpi_timed(self, gen: Generator[Any, Any, Any], op: str = "mpi"
                    ) -> Generator[Any, Any, Any]:
-        """TALP interception (§3.3): time spent blocked in an MPI call."""
-        hook = self.comm.world.talp_hook
-        if hook is None or self._in_mpi:
+        """TALP/observability interception (§3.3): one blocking MPI call."""
+        world = self.comm.world
+        hook = world.talp_hook
+        obs = world.obs
+        if (hook is None and obs is None) or self._in_mpi:
             value = yield from gen
             return value
         self._in_mpi = True
@@ -229,13 +234,18 @@ class RankComm:
             value = yield from gen
         finally:
             self._in_mpi = False
-        hook(self.comm.world_rank(self.rank), self.sim.now - start)
+        world_rank = self.comm.world_rank(self.rank)
+        if hook is not None:
+            hook(world_rank, self.sim.now - start)
+        if obs is not None:
+            obs.mpi_call(op, world_rank, world.node_of(world_rank), start)
         return value
 
     def send(self, payload: Any, dest: int, tag: int = 0,
              nbytes: Optional[int] = None) -> Generator[Any, Any, None]:
         """Blocking send (``yield from comm.send(...)``)."""
-        return self._mpi_timed(self._send_gen(payload, dest, tag, nbytes))
+        return self._mpi_timed(self._send_gen(payload, dest, tag, nbytes),
+                               op="send")
 
     def _send_gen(self, payload, dest, tag, nbytes):
         req = self.isend(payload, dest, tag, nbytes)
@@ -245,7 +255,7 @@ class RankComm:
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
              ) -> Generator[Any, Any, Any]:
         """Blocking receive; returns the matched payload."""
-        return self._mpi_timed(self._recv_gen(source, tag))
+        return self._mpi_timed(self._recv_gen(source, tag), op="recv")
 
     def _recv_gen(self, source, tag):
         req = self.irecv(source, tag)
@@ -257,7 +267,8 @@ class RankComm:
                  ) -> Generator[Any, Any, Any]:
         """Simultaneous send+recv (deadlock-free pairwise exchange)."""
         return self._mpi_timed(self._sendrecv_gen(payload, dest, source,
-                                                  send_tag, recv_tag))
+                                                  send_tag, recv_tag),
+                               op="sendrecv")
 
     def _sendrecv_gen(self, payload, dest, source, send_tag, recv_tag):
         sreq = self.isend(payload, dest, send_tag)
@@ -294,57 +305,58 @@ class RankComm:
     def barrier(self):
         """Synchronise every rank (dissemination barrier)."""
         from .collectives import barrier
-        return self._mpi_timed(barrier(self))
+        return self._mpi_timed(barrier(self), op="barrier")
 
     def bcast(self, payload: Any, root: int = 0):
         """Broadcast from *root*; every rank returns the value."""
         from .collectives import bcast
-        return self._mpi_timed(bcast(self, payload, root))
+        return self._mpi_timed(bcast(self, payload, root), op="bcast")
 
     def reduce(self, payload: Any, op: Any = "sum", root: int = 0):
         """Reduce to *root* (others get None)."""
         from .collectives import reduce
-        return self._mpi_timed(reduce(self, payload, op, root))
+        return self._mpi_timed(reduce(self, payload, op, root), op="reduce")
 
     def allreduce(self, payload: Any, op: Any = "sum"):
         """Reduce and distribute the result to every rank."""
         from .collectives import allreduce
-        return self._mpi_timed(allreduce(self, payload, op))
+        return self._mpi_timed(allreduce(self, payload, op), op="allreduce")
 
     def gather(self, payload: Any, root: int = 0):
         """Collect each rank's payload at *root*."""
         from .collectives import gather
-        return self._mpi_timed(gather(self, payload, root))
+        return self._mpi_timed(gather(self, payload, root), op="gather")
 
     def allgather(self, payload: Any):
         """Collect each rank's payload at every rank."""
         from .collectives import allgather
-        return self._mpi_timed(allgather(self, payload))
+        return self._mpi_timed(allgather(self, payload), op="allgather")
 
     def scatter(self, payloads: Optional[list[Any]], root: int = 0):
         """Distribute *root*'s payload list, one element per rank."""
         from .collectives import scatter
-        return self._mpi_timed(scatter(self, payloads, root))
+        return self._mpi_timed(scatter(self, payloads, root), op="scatter")
 
     def alltoall(self, payloads: list[Any]):
         """Personalised exchange: element j goes to rank j."""
         from .collectives import alltoall
-        return self._mpi_timed(alltoall(self, payloads))
+        return self._mpi_timed(alltoall(self, payloads), op="alltoall")
 
     def scan(self, payload: Any, op: Any = "sum"):
         """Inclusive prefix reduction: rank i gets op over ranks 0..i."""
         from .collectives import scan
-        return self._mpi_timed(scan(self, payload, op))
+        return self._mpi_timed(scan(self, payload, op), op="scan")
 
     def exscan(self, payload: Any, op: Any = "sum"):
         """Exclusive prefix reduction; rank 0 gets None."""
         from .collectives import exscan
-        return self._mpi_timed(exscan(self, payload, op))
+        return self._mpi_timed(exscan(self, payload, op), op="exscan")
 
     def reduce_scatter(self, payloads: list[Any], op: Any = "sum"):
         """Element-wise reduce across ranks; rank i keeps element i."""
         from .collectives import reduce_scatter
-        return self._mpi_timed(reduce_scatter(self, payloads, op))
+        return self._mpi_timed(reduce_scatter(self, payloads, op),
+                               op="reduce_scatter")
 
     def split(self, color: int, key: Optional[int] = None
               ) -> Generator[Any, Any, Optional["RankComm"]]:

@@ -41,6 +41,9 @@ class MpiWorld:
         #: TALP interception hook: called as hook(world_rank, seconds) with
         #: the time a blocking MPI call spent on the simulated clock
         self.talp_hook = None
+        #: structured instrumentation (:class:`repro.obs.Observability`) or
+        #: None; set by the cluster runtime on observed runs only
+        self.obs = None
         #: fault injection: a :class:`repro.faults.MessageFaultModel` (or
         #: None); consulted for inter-node messages only
         self.fault_model = None
@@ -112,6 +115,7 @@ class MpiWorld:
         extra, copies = 0.0, 1
         if self.fault_model is not None and inter_node:
             extra, copies = self.fault_model.on_send(env, allow_duplicate=eager)
+        sent_at = self.sim.now
         if eager:
             # Buffered at the sender: local completion after injection overhead.
             self.sim.schedule(self.cluster.network.overhead_s,
@@ -119,19 +123,25 @@ class MpiWorld:
                               label="send-local-complete")
             arrival = self._transfer_time(env.src, env.dst, env.nbytes) + extra
             for _copy in range(copies):
-                self.sim.schedule(arrival, lambda: self._arrive_eager(env),
+                self.sim.schedule(arrival,
+                                  lambda: self._arrive_eager(env, sent_at),
                                   priority=EventPriority.DELIVERY,
                                   label="msg-arrival")
         else:
-            pending = _PendingSend(env, request)
+            pending = _PendingSend(env, request, sent_at)
             rts_delay = self._latency(env.src, env.dst) + extra
             self.sim.schedule(rts_delay, lambda: self._arrive_rendezvous(pending),
                               priority=EventPriority.DELIVERY, label="rts-arrival")
         return request
 
-    def _arrive_eager(self, env: Envelope) -> None:
+    def _arrive_eager(self, env: Envelope,
+                      sent_at: Optional[float] = None) -> None:
         if self.fault_model is not None and not self.fault_model.accept(env):
             return      # duplicate of a message already delivered
+        if self.obs is not None and sent_at is not None:
+            self.obs.mpi_message(
+                "eager", env.src, env.dst, self.node_of(env.src),
+                self.node_of(env.dst), env.nbytes, start=sent_at)
         endpoint = self._endpoint(env.dst)
         recv = endpoint.match_arrival(env)
         if recv is None:
@@ -156,6 +166,11 @@ class MpiWorld:
         cts = self._latency(env.dst, env.src)
         payload_time = self._transfer_time(env.src, env.dst, env.nbytes)
         total = cts + payload_time
+        if self.obs is not None:
+            self.obs.mpi_message(
+                "rdv", env.src, env.dst, self.node_of(env.src),
+                self.node_of(env.dst), env.nbytes,
+                start=pending.sent_at, end=self.sim.now + total)
         self.sim.schedule(total, lambda: recv.request._complete(env.payload),
                           priority=EventPriority.DELIVERY, label="rdv-recv-complete")
         self.sim.schedule(total, lambda: pending.request._complete(None),

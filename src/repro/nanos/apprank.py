@@ -9,7 +9,7 @@ mirroring the OmpSs-2 programmer's model.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Generator, Iterable, Optional
 
 from ..cluster.network import NetworkModel
 from ..errors import RuntimeModelError
@@ -22,6 +22,9 @@ from .scheduler import AppRankScheduler
 from .task import AccessType, DataAccess, Task, TaskState
 from .worker import Worker
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import Observability
+
 __all__ = ["AppRankRuntime"]
 
 
@@ -30,17 +33,21 @@ class AppRankRuntime:
 
     def __init__(self, sim: Simulator, apprank: int, home_node: int,
                  workers: dict[int, Worker], network: NetworkModel,
-                 config: RuntimeConfig) -> None:
+                 config: RuntimeConfig,
+                 obs: Optional["Observability"] = None) -> None:
         self.sim = sim
         self.apprank = apprank
         self.home_node = home_node
         self.workers = workers
         self.network = network
         self.config = config
+        self.obs = obs
         self.directory = DataDirectory(home_node)
         self.scheduler = AppRankScheduler(
-            sim, apprank, home_node, workers, self.directory, network, config)
-        self.deps = DependencyTracker(self.scheduler.on_ready)
+            sim, apprank, home_node, workers, self.directory, network, config,
+            obs=obs)
+        self.deps = DependencyTracker(self.scheduler.on_ready,
+                                      record_preds=obs is not None)
         self.outstanding = 0
         self.tasks_submitted = 0
         self._taskwait_signal: Optional[Signal] = None
@@ -135,7 +142,9 @@ class AppRankRuntime:
             execution.on_child_finished(task)
             self.scheduler.drain()
             return
-        self.deps.notify_finished(task)
+        released = self.deps.notify_finished(task)
+        if self.obs is not None and released:
+            self.obs.dep_release(task, released)
         self.outstanding -= 1
         if self.outstanding < 0:
             raise RuntimeModelError(

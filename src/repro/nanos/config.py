@@ -60,6 +60,10 @@ class RuntimeConfig:
     dynamic_max_degree: int = 8
     #: modelled process-spawn latency for a new helper rank, seconds
     dynamic_spawn_latency: float = 0.1
+    #: full structured instrumentation (:mod:`repro.obs`): event bus,
+    #: metrics registry, Chrome/Paraver export, critical-path analysis.
+    #: Off by default — disabled runs never even import the subsystem.
+    obs: bool = False
     #: record busy/owned trace timelines (costs memory; used by Figs 5/9/11)
     trace: bool = False
     #: ownership sampling period for traces, seconds

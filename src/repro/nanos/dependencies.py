@@ -46,11 +46,14 @@ class DependencyTracker:
     count reaches zero — at registration time for dependence-free tasks.
     """
 
-    def __init__(self, on_ready: Callable[[Task], None]) -> None:
+    def __init__(self, on_ready: Callable[[Task], None],
+                 record_preds: bool = False) -> None:
         self._map: IntervalMap[_RegionState] = IntervalMap()
         self._on_ready = on_ready
         self.tasks_registered = 0
         self.edges_created = 0
+        #: observed runs stamp ``task.pred_ids`` for critical-path analysis
+        self.record_preds = record_preds
 
     def register(self, task: Task) -> None:
         """Register *task*'s accesses; may immediately mark it ready."""
@@ -92,6 +95,8 @@ class DependencyTracker:
 
         predecessors.discard(task)  # overlapping accesses within one task
         live = [p for p in predecessors if p.state != TaskState.FINISHED]
+        if self.record_preds:
+            task.pred_ids = tuple(sorted(p.task_id for p in live))
         task.pending_predecessors = len(live)
         for pred in live:
             pred.successors.append(task)

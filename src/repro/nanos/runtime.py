@@ -71,11 +71,19 @@ class ClusterRuntime:
                                          spec.machine.cores_per_node)
         self.trace: Optional[TraceRecorder] = (
             TraceRecorder(self.sim) if config.trace else None)
+        #: structured instrumentation (event bus + metrics). The import is
+        #: deliberately lazy: a disabled run never even loads repro.obs.
+        self.obs = None
+        if config.obs:
+            from ..obs import Observability
+            self.obs = Observability(self.sim)
+            self.sim.tracer = self.obs
         self.talp = TalpModule(spec.total_cores)
 
         self.arbiters: dict[int, NodeArbiter] = {
             node.node_id: NodeArbiter(node, lewi_enabled=config.lewi,
-                                      on_ownership_change=self._ownership_changed)
+                                      on_ownership_change=self._ownership_changed,
+                                      obs=self.obs)
             for node in self.cluster.nodes
         }
         self.lewi = LewiModule(self.arbiters, enabled=config.lewi)
@@ -95,6 +103,7 @@ class ClusterRuntime:
         # TALP intercepts the appranks' MPI calls (§3.3); world rank ==
         # apprank id in this wiring.
         self.world.talp_hook = self.talp.add_mpi
+        self.world.obs = self.obs
 
         self.policy = self._build_policy()
         self.spreader: Optional[DynamicSpreader] = (
@@ -130,13 +139,14 @@ class ClusterRuntime:
             home = self.graph.home_node(apprank_id)
             worker_map: dict[int, Worker] = {}
             runtime = AppRankRuntime(self.sim, apprank_id, home, worker_map,
-                                     network, self.config)
+                                     network, self.config, obs=self.obs)
             for node_id in self.graph.nodes_of(apprank_id):
                 worker = Worker(self.sim, (apprank_id, node_id),
                                 self.cluster.node(node_id),
                                 self.arbiters[node_id],
                                 on_task_finished=runtime.on_task_finished,
-                                talp=self.talp, trace=self.trace)
+                                talp=self.talp, trace=self.trace,
+                                obs=self.obs)
                 worker.apprank_runtime = runtime
                 worker_map[node_id] = worker
                 self.workers[worker.key] = worker
@@ -180,6 +190,9 @@ class ClusterRuntime:
             self.appranks[apprank_id].scheduler.drain()
         if self.trace is not None:
             self._sample_ownership()
+        if self.obs is not None:
+            self.obs.ownership_sample(
+                node_id, self.arbiters[node_id].ownership_counts())
 
     def _sample_ownership(self) -> None:
         now = self.sim.now
@@ -212,6 +225,10 @@ class ClusterRuntime:
             self._trace_event = self.sim.schedule(
                 self.config.trace_period, self._trace_tick,
                 priority=EventPriority.TRACE, label="trace-sample")
+        if self.obs is not None:
+            for node_id, arbiter in self.arbiters.items():
+                self.obs.ownership_sample(node_id,
+                                          arbiter.ownership_counts())
 
     def stop(self) -> None:
         """Disarm policies, the spreader and tracing (idempotent)."""
@@ -246,7 +263,7 @@ class ClusterRuntime:
         worker = Worker(self.sim, (apprank_id, node_id),
                         self.cluster.node(node_id), arbiter,
                         on_task_finished=apprank_rt.on_task_finished,
-                        talp=self.talp, trace=self.trace)
+                        talp=self.talp, trace=self.trace, obs=self.obs)
         worker.apprank_runtime = apprank_rt
         arbiter.register_worker(worker)
         if len(arbiter.workers) == 1:
@@ -321,6 +338,9 @@ class ClusterRuntime:
         if self.trace is not None:
             self.trace.add_event(self.sim.now, "worker-crash", node=node_id,
                                  apprank=apprank_id, tasks_lost=len(lost))
+        if self.obs is not None:
+            self.obs.fault("worker-crash", node=node_id, apprank=apprank_id,
+                           tasks_lost=len(lost))
         self._recover_tasks(lost)
 
     def crash_node(self, node_id: int) -> None:
@@ -352,6 +372,8 @@ class ClusterRuntime:
         if self.trace is not None:
             self.trace.add_event(self.sim.now, "node-crash", node=node_id,
                                  tasks_lost=len(lost))
+        if self.obs is not None:
+            self.obs.fault("node-crash", node=node_id, tasks_lost=len(lost))
         self._recover_tasks(lost)
 
     def _take_down(self, worker: Worker) -> list[Task]:
@@ -385,6 +407,9 @@ class ClusterRuntime:
                 self.trace.add_event(self.sim.now, "task-recovered",
                                      apprank=task.apprank,
                                      task_id=task.task_id, retry=task.retries)
+            if self.obs is not None:
+                self.obs.fault("task-recovered", apprank=task.apprank,
+                               task_id=task.task_id, retry=task.retries)
             self.appranks[task.apprank].scheduler.on_ready(task)
 
     def apprank(self, apprank_id: int) -> AppRankRuntime:
@@ -424,6 +449,8 @@ class ClusterRuntime:
         self.stop()
         self.sim.run()   # drain task completions of fire-and-forget apps
         self.elapsed = self.sim.now
+        if self.obs is not None:
+            self.obs.finish(self.elapsed)
         for i, process in enumerate(processes):
             results[i] = process.result
         return results

@@ -28,6 +28,7 @@ from .worker import Worker
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.injector import FaultInjector
+    from ..obs import Observability
     from ..sim.events import Event
     from .config import RuntimeConfig
 
@@ -37,7 +38,8 @@ __all__ = ["AppRankScheduler"]
 class _OffloadDispatch:
     """One in-flight offload awaiting acknowledgement (fault runs only)."""
 
-    __slots__ = ("task", "worker", "attempt", "acked", "timer", "delivery", "ack")
+    __slots__ = ("task", "worker", "attempt", "acked", "timer", "delivery",
+                 "ack", "sent_at", "first_sent")
 
     def __init__(self, task: Task, worker: Worker) -> None:
         self.task = task
@@ -47,6 +49,9 @@ class _OffloadDispatch:
         self.timer: Optional["Event"] = None
         self.delivery: Optional["Event"] = None
         self.ack: Optional["Event"] = None
+        #: simulated time of the latest / first (re-)send, for obs spans
+        self.sent_at = 0.0
+        self.first_sent = 0.0
 
 
 class AppRankScheduler:
@@ -54,7 +59,8 @@ class AppRankScheduler:
 
     def __init__(self, sim: Simulator, apprank: int, home_node: int,
                  workers: dict[int, Worker], directory: DataDirectory,
-                 network: NetworkModel, config: "RuntimeConfig") -> None:
+                 network: NetworkModel, config: "RuntimeConfig",
+                 obs: Optional["Observability"] = None) -> None:
         self.sim = sim
         self.apprank = apprank
         self.home_node = home_node
@@ -62,6 +68,7 @@ class AppRankScheduler:
         self.directory = directory
         self.network = network
         self.config = config
+        self.obs = obs
         self.queue: deque[Task] = deque()
         self.tasks_offloaded = 0
         self.tasks_kept_home = 0
@@ -76,6 +83,8 @@ class AppRankScheduler:
 
     def on_ready(self, task: Task) -> None:
         """Dependency system callback: *task* is now satisfiable."""
+        if self.obs is not None:
+            task.ready_time = self.sim.now
         if task.pinned_node is not None:
             # §3.2: non-offloadable children are fixed on the same node as
             # their parent, wherever the parent happened to execute.
@@ -89,6 +98,9 @@ class AppRankScheduler:
         node = self._pick_node(task)
         if node is None:
             self.queue.append(task)
+            if self.obs is not None:
+                self.obs.queue_depth(self.apprank, self.home_node,
+                                     len(self.queue))
         else:
             self._assign(task, node)
 
@@ -103,6 +115,9 @@ class AppRankScheduler:
                 if node is None:
                     break
                 self._assign(self.queue.popleft(), node)
+                if self.obs is not None:
+                    self.obs.queue_depth(self.apprank, self.home_node,
+                                         len(self.queue))
         finally:
             self._draining = False
 
@@ -119,6 +134,9 @@ class AppRankScheduler:
         if not self.queue:
             return False
         self._assign(self.queue.popleft(), worker.node_id)
+        if self.obs is not None:
+            self.obs.queue_depth(self.apprank, self.home_node,
+                                 len(self.queue))
         return True
 
     @property
@@ -184,12 +202,14 @@ class AppRankScheduler:
             self._dispatches[task] = dispatch
             self._send(dispatch)
             return
+        sent_at = self.sim.now if node_id != self.home_node else None
         delay = self._dispatch_delay(task, node_id)
         if delay <= 0.0:
-            self._deliver(task, worker)
+            self._deliver(task, worker, sent_at)
         else:
             task.state = TaskState.TRANSFERRING
-            self.sim.schedule(delay, lambda: self._deliver(task, worker),
+            self.sim.schedule(delay,
+                              lambda: self._deliver(task, worker, sent_at),
                               label=f"task-dispatch:{task.task_id}")
 
     def _dispatch_delay(self, task: Task, node_id: int) -> float:
@@ -202,7 +222,11 @@ class AppRankScheduler:
             delay += self.network.transfer_time(missing)
         return delay
 
-    def _deliver(self, task: Task, worker: Worker) -> None:
+    def _deliver(self, task: Task, worker: Worker,
+                 sent_at: Optional[float] = None) -> None:
+        if self.obs is not None and sent_at is not None:
+            self.obs.offload_dispatched(task, self.home_node, worker.node_id,
+                                        start=sent_at)
         self.directory.record_copy_in(task.inputs, worker.node_id)
         worker.enqueue(task)
 
@@ -223,8 +247,13 @@ class AppRankScheduler:
                 f"offload of {task!r} to node {task.assigned_node} went "
                 f"unacknowledged {self.config.max_retries + 1} times",
                 task=task)
-        if dispatch.attempt > 1:
+        dispatch.sent_at = self.sim.now
+        if dispatch.attempt == 1:
+            dispatch.first_sent = self.sim.now
+        else:
             self.offload_resends += 1
+            if self.obs is not None:
+                self.obs.offload_resent(task, dispatch.attempt)
         send_lost = self.faults.offload_send_lost()
         ack_lost = self.faults.offload_ack_lost()
         delay = self._dispatch_delay(task, task.assigned_node)
@@ -252,13 +281,17 @@ class AppRankScheduler:
             return      # duplicate: an earlier attempt already arrived
         if not dispatch.worker.alive:
             return      # worker crashed; crash recovery re-places the task
-        self._deliver(task, dispatch.worker)
+        self._deliver(task, dispatch.worker, dispatch.sent_at)
 
     def _offload_acked(self, dispatch: _OffloadDispatch) -> None:
         dispatch.ack = None
         if self._dispatches.get(dispatch.task) is not dispatch:
             return      # superseded (task recovered and re-dispatched)
         dispatch.acked = True
+        if self.obs is not None:
+            self.obs.offload_acked(dispatch.task,
+                                   rtt=self.sim.now - dispatch.first_sent,
+                                   attempts=dispatch.attempt)
         if dispatch.timer is not None:
             self.sim.cancel(dispatch.timer)
             dispatch.timer = None

@@ -124,6 +124,12 @@ class Task:
     assigned_node: Optional[int] = None
     start_time: Optional[float] = None
     finish_time: Optional[float] = None
+    #: when the dependency system last released the task (set by the
+    #: scheduler; re-set when a recovered task becomes ready again)
+    ready_time: Optional[float] = None
+    #: predecessor task ids at registration — recorded only on observed
+    #: runs (``config.obs``), feeding the critical-path reconstruction
+    pred_ids: tuple[int, ...] = ()
     #: times this task was lost (crashed worker, dropped offload) and
     #: re-submitted; bounded by :attr:`RuntimeConfig.max_retries`
     retries: int = 0

@@ -24,6 +24,7 @@ from .task import Task, TaskState
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..dlb.talp import TalpModule
     from ..metrics.trace import TraceRecorder
+    from ..obs import Observability
 
 __all__ = ["Worker"]
 
@@ -35,7 +36,8 @@ class Worker:
                  arbiter: NodeArbiter,
                  on_task_finished: Callable[[Task, "Worker"], None],
                  talp: Optional["TalpModule"] = None,
-                 trace: Optional["TraceRecorder"] = None) -> None:
+                 trace: Optional["TraceRecorder"] = None,
+                 obs: Optional["Observability"] = None) -> None:
         self.sim = sim
         self.key = key
         self.node = node
@@ -43,6 +45,7 @@ class Worker:
         self._on_task_finished = on_task_finished
         self.talp = talp
         self.trace = trace
+        self.obs = obs
         self.ready: deque[Task] = deque()
         self.running: dict[Task, Core] = {}
         #: nested-task bodies parked at a scheduling point, awaiting a core
@@ -210,6 +213,9 @@ class Worker:
         self.assigned -= 1
         self.tasks_executed += 1
         self.work_executed += execution.compute_seconds
+        if self.obs is not None:
+            self.obs.task_executed(task, self.node_id, -1,
+                                   start=task.start_time, end=now)
         if self.talp is not None and execution.compute_seconds > 0:
             self.talp.add_useful(
                 self.apprank, self.node.task_duration(execution.compute_seconds))
@@ -285,6 +291,11 @@ class Worker:
         self.meter.decrement(now)
         if self.trace is not None:
             self.trace.busy_delta(now, self.node_id, self.apprank, -1)
+        if self.obs is not None:
+            self.obs.task_executed(task, self.node_id, core.index,
+                                   start=task.start_time, end=now)
+            if core.owner != self.key:
+                self.obs.borrowed_core_time(now - task.start_time)
         if self.talp is not None:
             self.talp.add_useful(self.apprank, now - task.start_time)
         # Hand the core back before dependency release so a successor

@@ -1,0 +1,133 @@
+"""The structured event bus: every layer's spans and instants, one place.
+
+An :class:`EventBus` is a passive recorder on the simulated clock: emit
+calls append records and return immediately — the bus never schedules
+simulator events, so enabling it cannot perturb the discrete-event
+ordering of a run. Emission order is deterministic (it follows the
+simulator's deterministic callback order), which makes recorded traces
+replayable artefacts: same seed, same trace.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import ReproError
+from .events import CounterSample, Instant, Span, Track
+
+__all__ = ["EventBus"]
+
+
+class EventBus:
+    """Typed event recording for one simulated run.
+
+    *clock* supplies the current simulated time (usually ``sim.now``);
+    explicit timestamps on emit calls override it, which lets callers
+    record a span whose start they captured in a closure long before the
+    end was known.
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        self.counters: list[CounterSample] = []
+        #: optional live subscribers, called as fn(record) per emission
+        self._subscribers: list[Callable[[Any], None]] = []
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    def subscribe(self, fn: Callable[[Any], None]) -> None:
+        """Register a live tap; *fn* receives every record as it is emitted."""
+        self._subscribers.append(fn)
+
+    def _publish(self, record: Any) -> None:
+        for fn in self._subscribers:
+            fn(record)
+
+    # -- emission -----------------------------------------------------------
+
+    def emit_span(self, name: str, cat: str, track: Track, start: float,
+                  end: Optional[float] = None, **args: Any) -> Span:
+        """Record a completed interval; *end* defaults to the clock."""
+        if end is None:
+            end = self._clock()
+        if end < start:
+            raise ReproError(f"span {name!r} ends before it starts "
+                             f"({end} < {start})")
+        span = Span(name=name, cat=cat, track=track, start=start, end=end,
+                    args=args)
+        self.spans.append(span)
+        if self._subscribers:
+            self._publish(span)
+        return span
+
+    def emit_instant(self, name: str, cat: str, track: Track,
+                     time: Optional[float] = None, **args: Any) -> Instant:
+        """Record a point event; *time* defaults to the clock."""
+        instant = Instant(name=name, cat=cat, track=track,
+                          time=self._clock() if time is None else time,
+                          args=args)
+        self.instants.append(instant)
+        if self._subscribers:
+            self._publish(instant)
+        return instant
+
+    def emit_counter(self, name: str, track: Track, value: float,
+                     time: Optional[float] = None) -> CounterSample:
+        """Record one sample of a named scalar."""
+        sample = CounterSample(name=name, track=track,
+                               time=self._clock() if time is None else time,
+                               value=float(value))
+        self.counters.append(sample)
+        if self._subscribers:
+            self._publish(sample)
+        return sample
+
+    # -- queries ------------------------------------------------------------
+
+    def spans_of(self, cat: str) -> list[Span]:
+        """All spans of one category, in emission order."""
+        return [s for s in self.spans if s.cat == cat]
+
+    def instants_of(self, cat: str) -> list[Instant]:
+        """All instants of one category, in emission order."""
+        return [i for i in self.instants if i.cat == cat]
+
+    def counters_of(self, name: str) -> list[CounterSample]:
+        """All samples of one counter, in emission order."""
+        return [c for c in self.counters if c.name == name]
+
+    def tracks(self) -> list[Track]:
+        """Every track any record was emitted on, sorted (node, lane)."""
+        seen = {s.track for s in self.spans}
+        seen.update(i.track for i in self.instants)
+        seen.update(c.track for c in self.counters)
+        return sorted(seen, key=lambda t: (t.node, t.lane))
+
+    def end_time(self) -> float:
+        """Largest timestamp recorded (0.0 for an empty bus)."""
+        latest = 0.0
+        if self.spans:
+            latest = max(latest, max(s.end for s in self.spans))
+        if self.instants:
+            latest = max(latest, max(i.time for i in self.instants))
+        if self.counters:
+            latest = max(latest, max(c.time for c in self.counters))
+        return latest
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants) + len(self.counters)
+
+    def summary(self) -> dict[str, int]:
+        """Record counts by shape and category (diagnostics)."""
+        by_cat: dict[str, int] = {}
+        for records in (self.spans, self.instants):
+            for record in records:  # type: ignore[attr-defined]
+                by_cat[record.cat] = by_cat.get(record.cat, 0) + 1
+        out = {"spans": len(self.spans), "instants": len(self.instants),
+               "counter_samples": len(self.counters)}
+        out.update({f"cat:{cat}": n for cat, n in sorted(by_cat.items())})
+        return out

@@ -1,0 +1,119 @@
+"""Chrome trace-event JSON export (loadable in Perfetto / chrome://tracing).
+
+Maps the bus onto the trace-event model almost one-to-one:
+
+* each simulated node becomes a *process* (the global pseudo-node -1
+  becomes the "cluster" process), each :class:`~repro.obs.events.Track`
+  lane a named *thread* within it;
+* spans become complete ``"X"`` events — except spans carrying an
+  ``async_id`` arg (MPI messages, offload dispatches: intervals that
+  overlap freely on one lane), which become ``"b"``/``"e"`` async pairs;
+* instants become thread-scoped ``"i"`` events, counter samples ``"C"``
+  events (Perfetto renders those as stacked counter tracks);
+* timestamps are microseconds of simulated time.
+
+The file is the JSON *object* form (``{"traceEvents": [...]}``) so
+run-level metadata rides along in ``otherData``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Optional, Union
+
+from .bus import EventBus
+from .events import Track
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .observe import Observability
+
+__all__ = ["trace_events", "export_chrome_trace"]
+
+_US = 1e6     # simulated seconds -> trace microseconds
+
+
+def _pid(node: int) -> int:
+    """Trace process id for a node (-1, the cluster pseudo-node, is 0)."""
+    return 0 if node < 0 else node + 1
+
+
+def _process_name(node: int) -> str:
+    return "cluster" if node < 0 else f"node{node}"
+
+
+def trace_events(bus: EventBus) -> list[dict[str, Any]]:
+    """The bus as a flat trace-event list (metadata first, then by time)."""
+    tracks = bus.tracks()
+    tids: dict[Track, int] = {}
+    by_node: dict[int, list[Track]] = {}
+    for track in tracks:
+        by_node.setdefault(track.node, []).append(track)
+    events: list[dict[str, Any]] = []
+    for node, node_tracks in sorted(by_node.items()):
+        pid = _pid(node)
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "args": {"name": _process_name(node)}})
+        events.append({"ph": "M", "name": "process_sort_index", "pid": pid,
+                       "args": {"sort_index": pid}})
+        for i, track in enumerate(node_tracks):
+            tid = i + 1
+            tids[track] = tid
+            events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                           "tid": tid, "args": {"name": track.lane}})
+            events.append({"ph": "M", "name": "thread_sort_index", "pid": pid,
+                           "tid": tid, "args": {"sort_index": tid}})
+
+    timed: list[dict[str, Any]] = []
+    for span in bus.spans:
+        pid, tid = _pid(span.track.node), tids[span.track]
+        args = dict(span.args)
+        async_id = args.pop("async_id", None)
+        base = {"name": span.name, "cat": span.cat, "pid": pid, "tid": tid}
+        if async_id is None:
+            timed.append({**base, "ph": "X", "ts": span.start * _US,
+                          "dur": span.duration * _US, "args": args})
+        else:
+            ident = f"0x{int(async_id):x}"
+            timed.append({**base, "ph": "b", "id": ident,
+                          "ts": span.start * _US, "args": args})
+            timed.append({**base, "ph": "e", "id": ident,
+                          "ts": span.end * _US})
+    for instant in bus.instants:
+        timed.append({"name": instant.name, "cat": instant.cat, "ph": "i",
+                      "s": "t", "ts": instant.time * _US,
+                      "pid": _pid(instant.track.node),
+                      "tid": tids[instant.track], "args": dict(instant.args)})
+    for sample in bus.counters:
+        timed.append({"name": sample.name, "cat": "counter", "ph": "C",
+                      "ts": sample.time * _US,
+                      "pid": _pid(sample.track.node),
+                      "tid": tids[sample.track],
+                      "args": {"value": sample.value}})
+    timed.sort(key=lambda e: (e["ts"], e["ph"] != "b"))
+    return events + timed
+
+
+def export_chrome_trace(obs: Union["Observability", EventBus],
+                        path: Union[str, Path],
+                        metrics: Optional[dict[str, Any]] = None
+                        ) -> dict[str, Any]:
+    """Write the trace to *path*; returns the document written.
+
+    Accepts either an :class:`Observability` (its metrics snapshot is
+    embedded in ``otherData`` automatically) or a bare bus.
+    """
+    bus = obs if isinstance(obs, EventBus) else obs.bus
+    other: dict[str, Any] = {"source": "repro.obs",
+                             "record_counts": bus.summary()}
+    if metrics is not None:
+        other["metrics"] = metrics
+    elif not isinstance(obs, EventBus):
+        other["metrics"] = obs.metrics.snapshot()
+    document = {
+        "traceEvents": trace_events(bus),
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+    Path(path).write_text(json.dumps(document) + "\n")
+    return document

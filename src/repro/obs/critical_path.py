@@ -1,0 +1,162 @@
+"""Critical-path reconstruction from recorded task spans.
+
+Task spans (category ``task``) carry everything the analysis needs in
+their args: ``task_id``, ``ready`` (when the dependency system released
+the task), ``preds`` (the task ids it waited on) and the execution
+interval. The pass walks back from the last-finishing task through each
+task's latest-finishing predecessor, yielding the dependency chain that
+bounded the run, then charges every moment of the makespan to exactly
+one bucket:
+
+* **compute** — the chain's tasks executing;
+* **communication** — gaps between a predecessor finishing and the next
+  task becoming ready (completion notices, eager input transfers) plus
+  the lead-in before the first task is ready;
+* **idle** — a ready task waiting for dispatch and a core (the
+  scheduler's spill queue, DLB arbitration);
+* **imbalance** — the tail after the chain's last task finishes while
+  other appranks, write-backs, or final collectives keep the clock
+  running.
+
+The buckets telescope, so they sum to the makespan exactly — the
+property the CLI's trace report asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import ReproError
+from .bus import EventBus
+from .events import CAT_TASK, Span
+
+__all__ = ["critical_path", "CriticalPathReport", "PathStep"]
+
+
+@dataclass
+class PathStep:
+    """One task on the critical path, with its charged gap segments."""
+
+    task_id: int
+    name: str
+    apprank: int
+    node: int
+    communication: float      # pred finish (or 0) -> ready
+    idle: float               # ready -> start
+    compute: float            # start -> finish
+    start: float
+    end: float
+
+
+@dataclass
+class CriticalPathReport:
+    """Makespan breakdown along the task-dependency critical path."""
+
+    makespan: float
+    breakdown: dict[str, float]
+    steps: list[PathStep] = field(default_factory=list)
+    tasks_seen: int = 0
+
+    @property
+    def path_task_ids(self) -> list[int]:
+        return [s.task_id for s in self.steps]
+
+    def check(self, tolerance: float = 1e-6) -> None:
+        """Assert the buckets sum to the makespan (within *tolerance*)."""
+        total = sum(self.breakdown.values())
+        if abs(total - self.makespan) > tolerance:
+            raise ReproError(
+                f"critical-path breakdown sums to {total}, "
+                f"makespan is {self.makespan}")
+
+    def format(self) -> str:
+        """Human-readable report (what ``python -m repro trace`` prints)."""
+        lines = [f"Critical path: {len(self.steps)} of {self.tasks_seen} "
+                 f"tasks over makespan {self.makespan:.6f}s"]
+        for bucket in ("compute", "communication", "idle", "imbalance"):
+            value = self.breakdown[bucket]
+            share = 100.0 * value / self.makespan if self.makespan > 0 else 0.0
+            lines.append(f"  {bucket:<14} {value:>12.6f}s  {share:5.1f}%")
+        if self.steps:
+            head = self.steps[:8]
+            shown = ", ".join(f"{s.name}@n{s.node}" for s in head)
+            suffix = ", ..." if len(self.steps) > len(head) else ""
+            lines.append(f"  path: {shown}{suffix}")
+        return "\n".join(lines)
+
+
+def _task_spans(bus: EventBus) -> dict[int, Span]:
+    """Latest execution span per task id (re-executions supersede)."""
+    spans: dict[int, Span] = {}
+    for span in bus.spans_of(CAT_TASK):
+        task_id = span.args.get("task_id")
+        if task_id is None:
+            continue
+        previous = spans.get(task_id)
+        if previous is None or span.end >= previous.end:
+            spans[task_id] = span
+    return spans
+
+
+def _walk_back(spans: dict[int, Span], last: Span) -> list[Span]:
+    """The chain ending at *last*, via latest-finishing predecessors."""
+    chain = [last]
+    seen = {last.args["task_id"]}
+    current = last
+    while True:
+        preds = [spans[p] for p in current.args.get("preds", ())
+                 if p in spans and p not in seen]
+        if not preds:
+            break
+        current = max(preds, key=lambda s: (s.end, s.args["task_id"]))
+        seen.add(current.args["task_id"])
+        chain.append(current)
+    chain.reverse()
+    return chain
+
+
+def critical_path(bus: EventBus,
+                  makespan: Optional[float] = None) -> CriticalPathReport:
+    """Reconstruct the critical path; *makespan* defaults to the bus end."""
+    if makespan is None:
+        makespan = bus.end_time()
+    if makespan < 0:
+        raise ReproError(f"negative makespan {makespan}")
+    spans = _task_spans(bus)
+    if not spans:
+        return CriticalPathReport(
+            makespan=makespan,
+            breakdown={"compute": 0.0, "communication": 0.0,
+                       "idle": 0.0, "imbalance": makespan})
+    last = max(spans.values(), key=lambda s: (s.end, s.args["task_id"]))
+    chain = _walk_back(spans, last)
+
+    buckets = {"compute": 0.0, "communication": 0.0, "idle": 0.0}
+    steps: list[PathStep] = []
+    cursor = 0.0
+    for span in chain:
+        # Clamp into monotone order so the buckets telescope exactly even
+        # if a recovered task's recorded ready time predates its
+        # predecessor's (re-)execution.
+        start = max(span.start, cursor)
+        ready = min(max(span.args.get("ready", span.start), cursor), start)
+        end = max(span.end, start)
+        communication = ready - cursor
+        idle = start - ready
+        compute = end - start
+        buckets["communication"] += communication
+        buckets["idle"] += idle
+        buckets["compute"] += compute
+        steps.append(PathStep(
+            task_id=span.args["task_id"], name=span.name,
+            apprank=span.args.get("apprank", -1),
+            node=span.args.get("node", span.track.node),
+            communication=communication, idle=idle, compute=compute,
+            start=start, end=end))
+        cursor = end
+    breakdown: dict[str, Any] = dict(buckets)
+    breakdown["imbalance"] = max(makespan - cursor, 0.0)
+    report = CriticalPathReport(makespan=makespan, breakdown=breakdown,
+                                steps=steps, tasks_seen=len(spans))
+    return report

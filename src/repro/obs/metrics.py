@@ -1,0 +1,185 @@
+"""Metrics registry: counters, gauges and histograms with JSON export.
+
+Instrument names are dotted paths (``sched.offloads``,
+``dlb.borrowed_core_seconds``); the registry creates instruments lazily
+on first touch so emission sites never pre-declare anything. A
+:meth:`MetricsRegistry.snapshot` is a plain nested dict, stable across
+calls, suitable for asserting in tests and for dumping with
+:meth:`MetricsRegistry.to_json`.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from typing import Any, Optional, Sequence
+
+from ..errors import ReproError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_BUCKETS"]
+
+#: Default histogram bounds: half-decade steps from 10 µs to 100 s cover
+#: every latency this simulator produces (network overheads are ~µs,
+#: runs last seconds to minutes).
+DEFAULT_BUCKETS = (1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+                   1e-1, 3e-1, 1.0, 3.0, 10.0, 30.0, 100.0)
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ReproError(f"counter {self.name!r}: negative add {amount}")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins scalar (queue depths, owned cores, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bound histogram with exact count/sum/min/max.
+
+    ``counts[i]`` holds observations ``<= bounds[i]``; the final slot is
+    the overflow bucket. Percentile estimates interpolate within the
+    winning bucket, which is plenty for the latency distributions the
+    reports quote.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ReproError(f"histogram {name!r}: bounds must be "
+                             "strictly increasing")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (0 <= q <= 1) from the buckets."""
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0.0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if seen + n >= rank:
+                lo = self.bounds[i - 1] if i > 0 else (self.min or 0.0)
+                hi = (self.bounds[i] if i < len(self.bounds)
+                      else (self.max or lo))
+                frac = (rank - seen) / n
+                return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+            seen += n
+        return self.max or 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Lazily created named instruments, one namespace per run."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            self._check_free(name, self._gauges, self._histograms)
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            self._check_free(name, self._counters, self._histograms)
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            self._check_free(name, self._counters, self._gauges)
+            inst = self._histograms[name] = Histogram(name, bounds)
+        return inst
+
+    @staticmethod
+    def _check_free(name: str, *others: dict) -> None:
+        for table in others:
+            if name in table:
+                raise ReproError(
+                    f"metric {name!r} already registered with another type")
+
+    def snapshot(self) -> dict[str, Any]:
+        """Every instrument's current value, sorted by name."""
+        return {
+            "counters": {n: c.snapshot()
+                         for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.snapshot()
+                       for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.snapshot()
+                           for n, h in sorted(self._histograms.items())},
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

@@ -171,6 +171,8 @@ class Process:
         self._done = True
         self._result = result
         self._error = error
+        if self.sim.tracer is not None:
+            self.sim.tracer.process_finished(self.name)
         waiters, self._waiters = self._waiters, []
         for resume in waiters:
             self.sim.schedule(0.0, lambda r=resume: r(result),
@@ -194,6 +196,9 @@ class Simulator:
         self._seq = 0
         self._running = False
         self.events_fired = 0
+        #: optional instrumentation tap (:class:`repro.obs.Observability`):
+        #: notified of process lifecycles; never schedules events itself
+        self.tracer: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -246,6 +251,8 @@ class Simulator:
     def spawn(self, gen: Generator[Any, Any, Any], name: str = "") -> Process:
         """Register a coroutine process; it first runs at the current time."""
         process = Process(self, gen, name=name)
+        if self.tracer is not None:
+            self.tracer.process_started(process.name)
         process._start()
         return process
 

@@ -47,3 +47,46 @@ class TestCli:
     def test_unknown_scale_rejected(self):
         with pytest.raises(SystemExit):
             cli.main(["fig05", "--scale", "galactic"])
+
+
+class TestTraceTarget:
+    def test_trace_writes_valid_chrome_json(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert cli.main(["trace", "synthetic", "--scale", "small",
+                         "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "Critical path" in text
+        assert "compute" in text and "imbalance" in text
+        import json
+        document = json.loads(out.read_text())
+        cats = {e.get("cat") for e in document["traceEvents"]}
+        assert {"task", "mpi", "dlb"} <= cats
+
+    def test_trace_with_paraver_triple(self, tmp_path):
+        base = tmp_path / "pt"
+        assert cli.main(["trace", "synthetic", "--scale", "small",
+                         "--paraver", str(base)]) == 0
+        for suffix in (".prv", ".pcf", ".row"):
+            assert base.with_suffix(suffix).exists()
+
+    def test_trace_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            cli.main(["trace"])
+
+    def test_trace_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            cli.main(["trace", "fig05"])
+
+    def test_out_rejected_outside_trace(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli.main(["fig05", "--out", str(tmp_path / "x.json")])
+
+    def test_obs_flag_reports_instrumentation(self, capsys):
+        assert cli.main(["fig05", "--scale", "small", "--obs"]) == 0
+        out = capsys.readouterr().out
+        assert "# obs:" in out
+        assert "runs instrumented" in out
+
+    def test_obs_rejected_with_trace(self):
+        with pytest.raises(SystemExit):
+            cli.main(["trace", "synthetic", "--obs"])

@@ -1,0 +1,82 @@
+"""The structured event bus."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.bus import EventBus
+from repro.obs.events import CAT_MPI, CAT_TASK, Track
+
+
+@pytest.fixture
+def bus():
+    clock = {"now": 0.0}
+    bus = EventBus(clock=lambda: clock["now"])
+    bus._test_clock = clock
+    return bus
+
+
+class TestSpans:
+    def test_span_records_fields(self, bus):
+        track = Track(0, "core0")
+        bus.emit_span("t1", CAT_TASK, track, start=1.0, end=2.5,
+                      task_id=7)
+        (span,) = bus.spans
+        assert span.name == "t1"
+        assert span.cat == CAT_TASK
+        assert span.track == track
+        assert span.start == 1.0
+        assert span.end == 2.5
+        assert span.args["task_id"] == 7
+
+    def test_clock_supplies_end_when_omitted(self, bus):
+        bus._test_clock["now"] = 3.0
+        bus.emit_span("t", CAT_TASK, Track(0, "c"), start=1.0)
+        assert bus.spans[0].end == 3.0
+
+    def test_negative_duration_rejected(self, bus):
+        with pytest.raises(ReproError):
+            bus.emit_span("t", CAT_TASK, Track(0, "c"), start=2.0, end=1.0)
+
+    def test_spans_of_filters_by_category(self, bus):
+        bus.emit_span("a", CAT_TASK, Track(0, "c"), start=0.0, end=1.0)
+        bus.emit_span("b", CAT_MPI, Track(0, "net"), start=0.0, end=1.0)
+        assert [s.name for s in bus.spans_of(CAT_TASK)] == ["a"]
+        assert [s.name for s in bus.spans_of(CAT_MPI)] == ["b"]
+
+
+class TestInstantsAndCounters:
+    def test_instant_recorded(self, bus):
+        bus._test_clock["now"] = 1.5
+        bus.emit_instant("fault", CAT_TASK, Track(2, "x"), kindness=0)
+        (instant,) = bus.instants
+        assert instant.time == 1.5
+        assert instant.track.node == 2
+        assert bus.instants_of(CAT_TASK) == [instant]
+
+    def test_counter_sample(self, bus):
+        bus.emit_counter("queue", Track(1, "q"), 4.0, time=0.25)
+        (sample,) = bus.counters
+        assert (sample.name, sample.value, sample.time) == ("queue", 4.0, 0.25)
+        assert bus.counters_of("queue") == [sample]
+
+
+class TestQueries:
+    def test_tracks_collects_all_sources(self, bus):
+        bus.emit_span("a", CAT_TASK, Track(0, "c"), start=0.0, end=1.0)
+        bus.emit_instant("b", CAT_TASK, Track(1, "x"))
+        bus.emit_counter("c", Track(2, "q"), 1.0, time=0.0)
+        assert {t.node for t in bus.tracks()} == {0, 1, 2}
+
+    def test_end_time_covers_every_record(self, bus):
+        bus.emit_span("a", CAT_TASK, Track(0, "c"), start=0.0, end=2.0)
+        bus.emit_instant("b", CAT_TASK, Track(0, "c"), time=3.0)
+        assert bus.end_time() == 3.0
+
+    def test_summary_counts(self, bus):
+        bus.emit_span("a", CAT_TASK, Track(0, "c"), start=0.0, end=1.0)
+        bus.emit_instant("b", CAT_TASK, Track(0, "c"))
+        bus.emit_instant("c", CAT_TASK, Track(0, "c"))
+        summary = bus.summary()
+        assert summary["spans"] == 1
+        assert summary["instants"] == 2
+        assert summary["counter_samples"] == 0

@@ -1,0 +1,74 @@
+"""Chrome trace-event export."""
+
+import json
+
+from repro.obs import EventBus, Observability, export_chrome_trace, trace_events
+from repro.obs.events import CAT_DLB, CAT_MPI, CAT_TASK, Track
+from repro.sim import Simulator
+
+
+def make_bus():
+    bus = EventBus(clock=lambda: 10.0)
+    bus.emit_span("task-a", CAT_TASK, Track(0, "core0"), start=0.0, end=1.0,
+                  task_id=1)
+    bus.emit_span("msg", CAT_MPI, Track(1, "net"), start=0.5, end=0.75,
+                  async_id=42, nbytes=8)
+    bus.emit_span("own=2", CAT_DLB, Track(0, "dlb"), start=0.0, end=1.0)
+    bus.emit_instant("fault", CAT_TASK, Track(0, "core0"), time=0.25)
+    bus.emit_counter("queue", Track(0, "q"), 3.0, time=0.1)
+    return bus
+
+
+class TestTraceEvents:
+    def test_metadata_names_processes_and_threads(self):
+        events = trace_events(make_bus())
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+        assert names == {"node0", "node1"}
+        lanes = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+        assert {"core0", "net", "dlb", "q"} <= lanes
+
+    def test_plain_span_is_complete_event_in_us(self):
+        events = trace_events(make_bus())
+        (x,) = [e for e in events if e["ph"] == "X" and e["name"] == "task-a"]
+        assert x["ts"] == 0.0
+        assert x["dur"] == 1e6
+        assert x["cat"] == CAT_TASK
+        assert x["args"]["task_id"] == 1
+
+    def test_async_span_becomes_paired_b_e(self):
+        events = trace_events(make_bus())
+        b = [e for e in events if e["ph"] == "b"]
+        e = [e for e in events if e["ph"] == "e"]
+        assert len(b) == len(e) == 1
+        assert b[0]["id"] == e[0]["id"] == "0x2a"
+        assert "async_id" not in b[0]["args"]
+
+    def test_instants_and_counters(self):
+        events = trace_events(make_bus())
+        (i,) = [e for e in events if e["ph"] == "i"]
+        assert i["name"] == "fault"
+        (c,) = [e for e in events if e["ph"] == "C"]
+        assert c["args"] == {"value": 3.0}
+
+    def test_timed_events_sorted_by_timestamp(self):
+        events = trace_events(make_bus())
+        times = [e["ts"] for e in events if e["ph"] != "M"]
+        assert times == sorted(times)
+
+
+class TestExport:
+    def test_writes_object_form_document(self, tmp_path):
+        path = tmp_path / "trace.json"
+        document = export_chrome_trace(make_bus(), path)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == document
+        assert on_disk["otherData"]["source"] == "repro.obs"
+        assert on_disk["otherData"]["record_counts"]["spans"] == 3
+
+    def test_observability_embeds_metrics(self, tmp_path):
+        obs = Observability(Simulator())
+        obs.metrics.counter("x").add(2)
+        obs.bus.emit_span("t", CAT_TASK, Track(0, "c"), start=0.0, end=1.0)
+        document = export_chrome_trace(obs, tmp_path / "t.json")
+        assert document["otherData"]["metrics"]["counters"]["x"] == 2.0

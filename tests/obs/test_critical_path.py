@@ -1,0 +1,97 @@
+"""Critical-path reconstruction and makespan breakdown."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import EventBus, critical_path
+from repro.obs.events import CAT_TASK, Track
+
+
+def bus_with(*spans):
+    """Spans as (task_id, ready, start, end, preds) on one track."""
+    bus = EventBus(clock=lambda: 0.0)
+    for task_id, ready, start, end, preds in spans:
+        bus.emit_span(f"t{task_id}", CAT_TASK, Track(0, "core0"),
+                      start=start, end=end, task_id=task_id,
+                      ready=ready, preds=preds, node=0, apprank=0)
+    return bus
+
+
+class TestChain:
+    def test_follows_latest_finishing_predecessor(self):
+        bus = bus_with(
+            (1, 0.0, 0.0, 1.0, ()),
+            (2, 0.0, 0.0, 2.0, ()),      # finishes later than task 1
+            (3, 2.1, 2.2, 3.0, (1, 2)),
+        )
+        report = critical_path(bus, makespan=3.0)
+        assert report.path_task_ids == [2, 3]
+        assert report.tasks_seen == 3
+
+    def test_breakdown_buckets(self):
+        bus = bus_with((1, 0.2, 0.5, 2.0, ()))
+        report = critical_path(bus, makespan=2.5)
+        assert report.breakdown["communication"] == pytest.approx(0.2)
+        assert report.breakdown["idle"] == pytest.approx(0.3)
+        assert report.breakdown["compute"] == pytest.approx(1.5)
+        assert report.breakdown["imbalance"] == pytest.approx(0.5)
+
+    def test_breakdown_sums_to_makespan(self):
+        bus = bus_with(
+            (1, 0.0, 0.1, 1.0, ()),
+            (2, 1.05, 1.1, 2.0, (1,)),
+            (3, 2.0, 2.0, 2.75, (2,)),
+        )
+        report = critical_path(bus, makespan=3.0)
+        report.check()
+        assert sum(report.breakdown.values()) == pytest.approx(3.0)
+
+    def test_reexecution_supersedes_and_clamps(self):
+        # task 1 re-executed after a crash: its second span ends after
+        # task 2's recorded ready time; buckets must still telescope.
+        bus = bus_with(
+            (1, 0.0, 0.0, 1.0, ()),
+            (1, 1.5, 1.5, 2.5, ()),      # re-execution
+            (2, 1.2, 2.6, 3.0, (1,)),    # ready predates pred's re-run
+        )
+        report = critical_path(bus, makespan=3.0)
+        report.check()
+        assert report.path_task_ids == [1, 2]
+
+    def test_empty_bus_charges_imbalance(self):
+        report = critical_path(EventBus(clock=lambda: 0.0), makespan=1.5)
+        assert report.breakdown == {"compute": 0.0, "communication": 0.0,
+                                    "idle": 0.0, "imbalance": 1.5}
+        report.check()
+
+    def test_negative_makespan_rejected(self):
+        with pytest.raises(ReproError):
+            critical_path(EventBus(clock=lambda: 0.0), makespan=-1.0)
+
+    def test_format_mentions_every_bucket(self):
+        bus = bus_with((1, 0.0, 0.0, 1.0, ()))
+        text = critical_path(bus, makespan=1.0).format()
+        for bucket in ("compute", "communication", "idle", "imbalance"):
+            assert bucket in text
+        assert "t1@n0" in text
+
+
+class TestRealRun:
+    def test_instrumented_run_breakdown_checks(self):
+        from repro.apps.synthetic import SyntheticSpec, make_synthetic_app
+        from repro.cluster import MARENOSTRUM4, ClusterSpec
+        from repro.nanos import ClusterRuntime, RuntimeConfig
+
+        machine = MARENOSTRUM4.scaled(4)
+        spec = SyntheticSpec(num_appranks=2, imbalance=1.5,
+                             cores_per_apprank=4, tasks_per_core=4,
+                             iterations=2)
+        runtime = ClusterRuntime(
+            ClusterSpec.homogeneous(machine, 2), 2,
+            RuntimeConfig.offloading(2, "global", obs=True,
+                                     global_period=0.2))
+        runtime.run_app(make_synthetic_app(spec))
+        report = critical_path(runtime.obs.bus, makespan=runtime.elapsed)
+        report.check()
+        assert report.steps
+        assert report.breakdown["compute"] > 0.0

@@ -1,0 +1,77 @@
+"""The metrics registry: counters, gauges, histograms, snapshots."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add(2.5)
+        assert counter.snapshot() == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ReproError):
+            Counter("x").add(-1.0)
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge("g")
+        gauge.set(4)
+        gauge.add(-1.5)
+        assert gauge.snapshot() == 2.5
+
+    def test_histogram_stats(self):
+        hist = Histogram("h", bounds=(1.0, 10.0))
+        for value in (0.5, 2.0, 2.0, 20.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(24.5)
+        assert snap["mean"] == pytest.approx(24.5 / 4)
+        assert snap["min"] == 0.5
+        assert snap["max"] == 20.0
+        assert 0.5 <= snap["p50"] <= 10.0
+        assert snap["p99"] <= 20.0
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ReproError):
+            Histogram("h", bounds=(2.0, 1.0))
+
+    def test_histogram_quantile_bounds_checked(self):
+        with pytest.raises(ReproError):
+            Histogram("h").quantile(1.5)
+
+
+class TestRegistry:
+    def test_lazy_creation_and_identity(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_name_collision_across_types_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ReproError):
+            registry.gauge("x")
+        with pytest.raises(ReproError):
+            registry.histogram("x")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("tasks").add(3)
+        registry.gauge("depth").set(2)
+        registry.histogram("lat").observe(0.01)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"tasks": 3.0}
+        assert snap["gauges"] == {"depth": 2.0}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_to_json_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("tasks").add(1)
+        parsed = json.loads(registry.to_json())
+        assert parsed["counters"]["tasks"] == 1.0

@@ -1,0 +1,84 @@
+"""The zero-overhead guarantee: disabled instrumentation changes nothing.
+
+Two halves:
+
+* enabling ``config.obs`` must not perturb the simulation — the same
+  seeded headline workload runs bit-identical (same makespan, same
+  per-iteration times, same simulator event count) with it on or off;
+* a disabled run must never even import :mod:`repro.obs` — checked in a
+  subprocess because this test session itself imports it freely.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.apps.micropp.workload import MicroppSpec, make_micropp_app
+from repro.cluster import MARENOSTRUM4
+from repro.experiments.base import run_workload
+from repro.nanos import RuntimeConfig
+
+SRC_DIR = str(Path(repro.__file__).resolve().parent.parent)
+
+
+def run_headline(obs: bool):
+    machine = MARENOSTRUM4.scaled(8)
+    spec = MicroppSpec(num_appranks=4, cores_per_apprank=8,
+                       subdomains_per_core=4, iterations=2, seed=7)
+    config = RuntimeConfig.offloading(2, "global", obs=obs,
+                                      local_period=0.02, global_period=0.2)
+    return run_workload(machine, 4, 1, config,
+                        lambda: make_micropp_app(spec))
+
+
+class TestBitIdentical:
+    def test_obs_does_not_perturb_the_run(self):
+        off = run_headline(obs=False)
+        on = run_headline(obs=True)
+        assert off.runtime.obs is None
+        assert on.runtime.obs is not None
+        # bit-identical results ...
+        assert on.elapsed == off.elapsed
+        assert np.array_equal(on.iteration_maxima, off.iteration_maxima)
+        assert on.offloaded_tasks == off.offloaded_tasks
+        # ... and the identical number of simulator events: recording
+        # never schedules anything.
+        assert on.runtime.sim._seq == off.runtime.sim._seq
+        # the instrumented twin actually recorded the run
+        assert on.runtime.obs.bus.spans
+
+
+class TestNeverImported:
+    def _run(self, code: str) -> None:
+        subprocess.run([sys.executable, "-c", code], check=True,
+                       env={**os.environ, "PYTHONPATH": SRC_DIR},
+                       timeout=300)
+
+    def test_disabled_run_never_imports_obs(self):
+        self._run(
+            "import sys\n"
+            "from repro.apps.synthetic import SyntheticSpec, "
+            "make_synthetic_app\n"
+            "from repro.cluster import MARENOSTRUM4, ClusterSpec\n"
+            "from repro.nanos import ClusterRuntime, RuntimeConfig\n"
+            "machine = MARENOSTRUM4.scaled(4)\n"
+            "spec = SyntheticSpec(num_appranks=2, imbalance=1.5,\n"
+            "                     cores_per_apprank=4, tasks_per_core=4,\n"
+            "                     iterations=2)\n"
+            "runtime = ClusterRuntime(\n"
+            "    ClusterSpec.homogeneous(machine, 2), 2,\n"
+            "    RuntimeConfig.offloading(2, 'global', global_period=0.2))\n"
+            "runtime.run_app(make_synthetic_app(spec))\n"
+            "assert runtime.elapsed > 0\n"
+            "assert 'repro.obs' not in sys.modules, 'obs imported'\n")
+
+    def test_importing_experiments_does_not_import_obs(self):
+        self._run(
+            "import sys\n"
+            "import repro.experiments\n"
+            "import repro.cli\n"
+            "assert 'repro.obs' not in sys.modules, 'obs imported'\n")

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file (stdlib only; used by CI).
+
+Checks the structural rules of the trace-event format that Perfetto and
+``chrome://tracing`` rely on, plus the invariants :mod:`repro.obs.chrome`
+promises:
+
+* JSON object form with a ``traceEvents`` list;
+* every event has ``name``/``ph``/``pid``/``tid`` and a numeric,
+  non-negative ``ts``; phases are drawn from the small set we emit;
+* ``X`` (complete) events carry a non-negative ``dur``;
+* ``b``/``e`` (async) events carry a shared ``id`` and pair up exactly —
+  every ``b`` has one ``e`` with the same (cat, id) at a later-or-equal
+  timestamp;
+* ``C`` (counter) events carry a numeric ``args`` mapping;
+* ``M`` (metadata) events are the expected ``process_name``/
+  ``thread_name`` records.
+
+Exit status 0 and a one-line summary on success; non-zero with the first
+failures printed otherwise.
+
+Usage::
+
+    python tools/validate_trace.py trace.json [--require-cats task,mpi,dlb]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: phases repro.obs.chrome emits; anything else is a malformed export
+KNOWN_PHASES = {"X", "B", "E", "b", "e", "i", "I", "C", "M"}
+METADATA_NAMES = {"process_name", "thread_name", "process_sort_index",
+                  "thread_sort_index"}
+
+
+def validate(data: object, require_cats: list[str]) -> list[str]:
+    """All violations found in the parsed trace (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(data, dict):
+        return [f"top level must be a JSON object, got {type(data).__name__}"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    if not events:
+        errors.append("'traceEvents' is empty")
+
+    open_async: dict[tuple[str, object], int] = {}
+    seen_cats: set[str] = set()
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if phase == "M":
+            # metadata has no timestamp; process_* records have no tid
+            if "pid" not in event:
+                errors.append(f"{where}: metadata missing 'pid'")
+            if event.get("name") not in METADATA_NAMES:
+                errors.append(f"{where}: unexpected metadata "
+                              f"{event.get('name')!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                errors.append(f"{where}: missing {key!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            errors.append(f"{where}: bad ts {ts!r}")
+            continue
+        if "cat" in event:
+            seen_cats.add(event["cat"])
+        if phase == "X":
+            dur = event.get("dur")
+            if (not isinstance(dur, (int, float)) or isinstance(dur, bool)
+                    or dur < 0):
+                errors.append(f"{where}: X event with bad dur {dur!r}")
+        elif phase in ("b", "e"):
+            if "id" not in event:
+                errors.append(f"{where}: async event without id")
+                continue
+            key = (event.get("cat", ""), event["id"])
+            if phase == "b":
+                open_async[key] = open_async.get(key, 0) + 1
+            else:
+                count = open_async.get(key, 0)
+                if count <= 0:
+                    errors.append(f"{where}: 'e' without matching 'b' "
+                                  f"for {key}")
+                else:
+                    open_async[key] = count - 1
+        elif phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args or not all(
+                    isinstance(v, (int, float)) and not isinstance(v, bool)
+                    for v in args.values()):
+                errors.append(f"{where}: C event needs numeric args, "
+                              f"got {args!r}")
+
+    unclosed = {key: n for key, n in open_async.items() if n > 0}
+    if unclosed:
+        errors.append(f"unclosed async spans: {unclosed}")
+    for cat in require_cats:
+        if cat not in seen_cats:
+            errors.append(f"required category {cat!r} absent "
+                          f"(saw {sorted(seen_cats)})")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", type=Path, help="Chrome trace JSON to check")
+    parser.add_argument("--require-cats", default="", metavar="CATS",
+                        help="comma-separated categories that must appear")
+    args = parser.parse_args(argv)
+
+    try:
+        data = json.loads(args.trace.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"FAIL: cannot parse {args.trace}: {exc}")
+        return 1
+    require = [c for c in args.require_cats.split(",") if c]
+    errors = validate(data, require)
+    if errors:
+        for error in errors[:20]:
+            print(f"FAIL: {error}")
+        if len(errors) > 20:
+            print(f"... and {len(errors) - 20} more")
+        return 1
+    events = data["traceEvents"]
+    cats = sorted({e.get("cat") for e in events if "cat" in e})
+    print(f"OK: {args.trace} — {len(events)} events, categories {cats}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
