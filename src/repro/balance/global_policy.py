@@ -34,6 +34,8 @@ from ..dlb.drom import DromModule
 from ..errors import AllocationError, SolverFallbackWarning
 from ..graph.bipartite import BipartiteGraph
 from ..graph.placement import WorkerKey
+from ..policies import (AllocationView, ClusterReallocationPolicy,
+                        GlobalLpReallocation)
 from ..sim.engine import Simulator
 from ..sim.events import Event, EventPriority
 from .load import MeterReader
@@ -235,7 +237,9 @@ class GlobalLpPolicy:
                  offload_penalty: float = 1e-6,
                  model_solver_cost: bool = True,
                  smoothing: float = 0.4,
-                 partition_nodes: Optional[int] = None) -> None:
+                 partition_nodes: Optional[int] = None,
+                 strategy: Optional[ClusterReallocationPolicy] = None
+                 ) -> None:
         if period <= 0:
             raise AllocationError("global policy period must be positive")
         if not 0 < smoothing <= 1:
@@ -260,6 +264,10 @@ class GlobalLpPolicy:
         #: §5.4.2 scaling: solve in groups of at most this many nodes
         #: (None = one whole-cluster solve). The paper recommends 32.
         self.partition_nodes = partition_nodes
+        #: what allocation each tick requests; the driver owns everything
+        #: around the decision (EMA, latency model, fallback, DROM apply)
+        self.strategy = strategy if strategy is not None \
+            else GlobalLpReallocation()
         self._work_ema: Optional[dict[int, float]] = None
         self._readers = {key: MeterReader(w.meter, start_time=sim.now)
                          for key, w in workers.items()}
@@ -341,22 +349,22 @@ class GlobalLpPolicy:
         try:
             if self.fault_hook is not None and self.fault_hook():
                 raise AllocationError("injected solver failure")
-            if (self.partition_nodes is not None
-                    and self.graph.num_nodes > self.partition_nodes
-                    and not self.dead_nodes):
-                allocation = solve_partitioned_allocation(
-                    self.graph, work, self.node_cores, self.node_speed,
-                    self.offload_penalty, group_nodes=self.partition_nodes)
-            else:
-                # Solve over the *live* worker set, so helpers added by
-                # dynamic spreading join the problem immediately — and
-                # dead workers drop out of it just as immediately.
-                edges = sorted(self.workers.keys())
-                home_of = {a: self.graph.home_node(a)
-                           for a in range(self.graph.num_appranks)}
-                allocation = solve_edge_allocation(
-                    edges, home_of, work, self.node_cores, self.node_speed,
-                    self.offload_penalty)
+            # Snapshot over the *live* worker set, so helpers added by
+            # dynamic spreading join the problem immediately — and dead
+            # workers drop out of it just as immediately.
+            view = AllocationView(
+                work=dict(work),
+                node_cores=dict(self.node_cores),
+                node_speed=dict(self.node_speed),
+                offload_penalty=self.offload_penalty,
+                edges=tuple(sorted(self.workers.keys())),
+                home_of={a: self.graph.home_node(a)
+                         for a in range(self.graph.num_appranks)},
+                num_nodes=self.graph.num_nodes,
+                partition_nodes=self.partition_nodes,
+                dead_nodes=frozenset(self.dead_nodes),
+                graph=self.graph)
+            allocation = self.strategy.allocate(view)
         except AllocationError as exc:
             self.fallbacks += 1
             warnings.warn(

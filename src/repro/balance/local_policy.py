@@ -13,10 +13,11 @@ from typing import TYPE_CHECKING, Optional
 
 from ..dlb.drom import DromModule
 from ..errors import AllocationError
+from ..policies import (LocalProportionalReallocation, NodeAllocationView,
+                        NodeReallocationPolicy)
 from ..sim.engine import Simulator
 from ..sim.events import Event, EventPriority
 from .load import MeterReader
-from .rounding import proportional_allocation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..nanos.worker import Worker
@@ -32,7 +33,8 @@ class LocalConvergencePolicy:
                  node_cores: dict[int, int],
                  period: float,
                  smoothing: float = 0.1,
-                 warmup_ticks: int = 3) -> None:
+                 warmup_ticks: int = 3,
+                 strategy: Optional[NodeReallocationPolicy] = None) -> None:
         if period <= 0:
             raise AllocationError("local policy period must be positive")
         if not 0 < smoothing <= 1:
@@ -54,6 +56,10 @@ class LocalConvergencePolicy:
         #: strips ownership from ranks that have not started yet — and a
         #: worker cannot LeWI-reclaim cores it no longer owns.
         self.warmup_ticks = warmup_ticks
+        #: what counts a tick requests; the driver owns the EMA, warmup,
+        #: zero-load guard and the DROM apply
+        self.strategy = strategy if strategy is not None \
+            else LocalProportionalReallocation()
         self._ema: dict = {}
         self._readers = {
             worker.key: MeterReader(worker.meter, start_time=sim.now)
@@ -119,8 +125,9 @@ class LocalConvergencePolicy:
             return
         if sum(averages.values()) <= 1e-9:
             return  # nothing ran: keep current ownership
-        counts = proportional_allocation(averages, self.node_cores[node_id],
-                                         minimum=1)
+        counts = self.strategy.allocate_node(NodeAllocationView(
+            node_id=node_id, cores=self.node_cores[node_id],
+            averages=dict(averages)))
         current = {w.key: w.arbiter.owned_count(w.key) for w in workers}
         if counts != current:
             self.drom.set_node_ownership(node_id, counts)

@@ -23,6 +23,15 @@ breakdown, and exports a Chrome trace-event JSON loadable in Perfetto
 ``--obs`` turns the same instrumentation on for any ordinary target and
 reports how much was recorded — useful for overhead checks and for
 driving the obs API from the harness.
+
+``--policy`` / ``--lend-policy`` swap registered policy-kernel strategies
+(:mod:`repro.policies`) into any target's runs; ``policies`` lists what
+is registered, and ``ablation`` sweeps every offload policy over the
+headline MicroPP workload::
+
+    python -m repro policies
+    python -m repro fig08 --policy locality
+    python -m repro ablation --scale small --policy work-sharing
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import ExitStack
 from pathlib import Path
 from typing import Iterable
 
@@ -37,9 +47,12 @@ from .errors import FaultError
 from .experiments import (MEDIUM, PAPER, SMALL, ResultTable, Scale,
                           fig05_policies, fig06_applications, fig07_local,
                           fig08_sweep, fig09_traces, fig10_slownode,
-                          fig11_convergence, force_observability, headline,
+                          fig11_convergence, fig_policies_ablation,
+                          force_observability, force_policies, headline,
                           resilience, traced)
 from .faults import FaultPlan
+from .nanos.config import RuntimeConfig
+from .policies import LEND_POLICIES, OFFLOAD_POLICIES
 
 __all__ = ["main"]
 
@@ -47,7 +60,8 @@ _SCALES = {"small": SMALL, "medium": MEDIUM, "paper": PAPER}
 
 
 def _run_target(target: str, scale: Scale, faults: str | None = None,
-                fault_seed: int = 0) -> list[ResultTable]:
+                fault_seed: int = 0,
+                policies: list[str] | None = None) -> list[ResultTable]:
     if target == "fig05":
         return [fig05_policies.run(scale)]
     if target == "fig06":
@@ -68,11 +82,33 @@ def _run_target(target: str, scale: Scale, faults: str | None = None,
         return [headline.run(scale)]
     if target == "resilience":
         return [resilience.run(scale, faults=faults, fault_seed=fault_seed)]
+    if target == "ablation":
+        return [fig_policies_ablation.run(scale, policies=policies)]
     raise ValueError(f"unknown target {target!r}")
 
 
 TARGETS = ("fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
-           "headline", "resilience")
+           "headline", "resilience", "ablation")
+
+
+def _print_policies() -> None:
+    """The ``policies`` target: registered strategies and the defaults."""
+    defaults = RuntimeConfig()
+    default_by_kind = {
+        "offload": defaults.offload_policy,
+        "lend": defaults.lend_policy,
+        "reclaim": defaults.reclaim_policy,
+        "reallocation": defaults.policy,
+    }
+    from .policies import _REGISTRIES
+    print("Registered policy-kernel strategies (repro.policies):")
+    for kind, registry in _REGISTRIES.items():
+        names = ", ".join(
+            f"{name}*" if name == default_by_kind[kind] else name
+            for name in registry.names())
+        print(f"  {kind:<12} {names}")
+    print("(* = RuntimeConfig default; select with --policy/--lend-policy,"
+          " or register more via the repro.<kind>_policies entry points)")
 
 
 def main(argv: Iterable[str] | None = None) -> int:
@@ -81,9 +117,12 @@ def main(argv: Iterable[str] | None = None) -> int:
         description="Regenerate the tables/figures of 'Transparent load "
                     "balancing of MPI programs using OmpSs-2@Cluster and "
                     "DLB' (ICPP 2022) on the simulator.")
-    parser.add_argument("target", choices=TARGETS + ("all", "trace"),
-                        help="which figure/table to regenerate, or 'trace' "
-                             "to record one instrumented run")
+    parser.add_argument("target", choices=TARGETS + ("all", "trace",
+                                                     "policies"),
+                        help="which figure/table to regenerate, 'trace' "
+                             "to record one instrumented run, or 'policies' "
+                             "to list the registered policy-kernel "
+                             "strategies")
     parser.add_argument("experiment", nargs="?", default=None,
                         help="trace only: which workload to record "
                              f"({', '.join(traced.TRACE_TARGETS)})")
@@ -110,7 +149,24 @@ def main(argv: Iterable[str] | None = None) -> int:
                         help="instrument every run of an ordinary target "
                              "with the repro.obs event bus and report what "
                              "was recorded")
+    parser.add_argument("--policy", default=None, metavar="NAME",
+                        help="offload placement policy for every run "
+                             "(ablation: restrict the sweep to NAME plus "
+                             "the tentative reference); see 'policies'")
+    parser.add_argument("--lend-policy", default=None, metavar="NAME",
+                        help="LeWI lending policy for every run; see "
+                             "'policies'")
     args = parser.parse_args(list(argv) if argv is not None else None)
+
+    if args.policy is not None and args.policy not in OFFLOAD_POLICIES:
+        parser.error(f"unknown offload policy {args.policy!r}; registered: "
+                     f"{', '.join(OFFLOAD_POLICIES.names())}")
+    if args.lend_policy is not None and args.lend_policy not in LEND_POLICIES:
+        parser.error(f"unknown lend policy {args.lend_policy!r}; registered: "
+                     f"{', '.join(LEND_POLICIES.names())}")
+    if args.target == "policies":
+        _print_policies()
+        return 0
 
     if args.faults is not None and args.target not in ("resilience", "trace"):
         parser.error("--faults only applies to 'resilience' and 'trace'")
@@ -142,14 +198,19 @@ def main(argv: Iterable[str] | None = None) -> int:
     targets = TARGETS if args.target == "all" else (args.target,)
     for target in targets:
         started = time.perf_counter()
-        if args.obs:
-            with force_observability() as observed:
-                tables = _run_target(target, scale, faults=args.faults,
-                                     fault_seed=args.seed)
-        else:
-            observed = []
+        # The ablation sweeps the offload policy itself: --policy narrows
+        # its sweep instead of forcing one name over every run.
+        restrict = ([args.policy] if target == "ablation" and args.policy
+                    else None)
+        offload_override = None if target == "ablation" else args.policy
+        with ExitStack() as stack:
+            observed = (stack.enter_context(force_observability())
+                        if args.obs else [])
+            if offload_override is not None or args.lend_policy is not None:
+                stack.enter_context(force_policies(offload=offload_override,
+                                                   lend=args.lend_policy))
             tables = _run_target(target, scale, faults=args.faults,
-                                 fault_seed=args.seed)
+                                 fault_seed=args.seed, policies=restrict)
         elapsed = time.perf_counter() - started
         for i, table in enumerate(tables):
             print(table.format())

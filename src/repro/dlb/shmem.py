@@ -21,6 +21,9 @@ from typing import TYPE_CHECKING, Callable, Optional, Protocol
 
 from ..cluster.node import Core, Node, WorkerKey
 from ..errors import DlbError
+from ..policies import (EagerLend, LendPolicy, OwnerFirstReclaim,
+                        ReclaimPolicy)
+from ..policies.lewi import CandidateView, CoreGrantView, LendView
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs import Observability
@@ -47,11 +50,17 @@ class NodeArbiter:
 
     def __init__(self, node: Node, lewi_enabled: bool = True,
                  on_ownership_change: Optional[Callable[[int], None]] = None,
-                 obs: Optional["Observability"] = None) -> None:
+                 obs: Optional["Observability"] = None,
+                 lend_policy: Optional[LendPolicy] = None,
+                 reclaim_policy: Optional[ReclaimPolicy] = None) -> None:
         self.node = node
         self.lewi_enabled = lewi_enabled
         self.on_ownership_change = on_ownership_change
         self.obs = obs
+        #: lend/grant decision strategies (see :mod:`repro.policies.lewi`);
+        #: the defaults reproduce the paper's LeWI behaviour
+        self.lend_policy: LendPolicy = lend_policy or EagerLend()
+        self.reclaim_policy: ReclaimPolicy = reclaim_policy or OwnerFirstReclaim()
         self.workers: dict[WorkerKey, WorkerPort] = {}
         #: set by :meth:`fail_node` — a failed node's cores never run again
         self.dead = False
@@ -221,18 +230,28 @@ class NodeArbiter:
         return None
 
     def lend_idle_cores(self, worker_key: WorkerKey) -> int:
-        """LeWI lend: mark the worker's idle cores borrowable.
+        """LeWI lend: mark (some of) the worker's idle cores borrowable.
 
         Called by a worker that has run out of ready tasks. No-op unless
-        LeWI is enabled. Returns the number of cores newly lent.
+        LeWI is enabled. How many of the idle owned cores are lent is the
+        :class:`~repro.policies.LendPolicy`'s decision (the default lends
+        all of them). Returns the number of cores newly lent.
         """
         if not self.lewi_enabled or self.dead:
             return 0
-        lent = 0
-        for core in self.node.cores:
-            if core.owner == worker_key and core.occupant is None and not core.lent:
-                core.lent = True
-                lent += 1
+        idle = [core for core in self.node.cores
+                if core.owner == worker_key and core.occupant is None
+                and not core.lent]
+        if not idle:
+            return 0
+        worker = self.workers.get(worker_key)
+        view = LendView(node_id=self.node.node_id, worker_key=worker_key,
+                        idle_owned_cores=len(idle),
+                        backlog=self._backlog(worker) if worker is not None
+                        else 0)
+        lent = max(0, min(self.lend_policy.lend_count(view), len(idle)))
+        for core in idle[:lent]:
+            core.lent = True
         self.lends += lent
         if lent and self.obs is not None:
             self.obs.lewi_lend(self.node.node_id, worker_key, lent)
@@ -241,12 +260,18 @@ class NodeArbiter:
     def release_core(self, core: Core, worker_key: WorkerKey) -> None:
         """A task just finished on *core*; decide who runs next.
 
-        Applies any pending DROM transfer first, then hands the core to (in
-        order): its owner if the owner has ready work (this is the LeWI
-        *reclaim* path when the releaser was a borrower), the releasing
-        worker, then any other worker with ready work (LeWI borrow). If
-        nobody can use it, the core goes idle — lent if LeWI is on and the
-        owner has nothing ready.
+        Applies any pending DROM transfer first, then offers the core to
+        workers in the :class:`~repro.policies.ReclaimPolicy`'s grant
+        order. The mechanism enforces the DLB rules regardless of policy:
+        candidates without ready work are skipped, non-owners only get
+        the core when LeWI is enabled, granting to the owner clears the
+        lent flag, and the counters classify each grant (owner taking a
+        core back from another releaser = *reclaim*, any non-owner grant
+        = *borrow*). The default order — owner, releaser, then others by
+        backlog — is the paper's behaviour. If nobody can use the core it
+        goes idle, lent when LeWI is on and the
+        :class:`~repro.policies.LendPolicy` agrees (by default: whenever
+        the owner has nothing ready).
         """
         if core.busy:
             raise DlbError("release_core on a busy core (stop the task first)")
@@ -255,43 +280,50 @@ class NodeArbiter:
         moved = core.apply_pending_owner()
         if moved:
             self.cores_moved += 1
-        owner = self.workers.get(core.owner) if core.owner is not None else None
-        if owner is not None and owner.has_ready():
-            if core.owner != worker_key:
-                self.reclaims += 1
-                if self.obs is not None:
-                    self.obs.lewi_reclaim(self.node.node_id, core.owner)
-            core.lent = False
-            if owner.start_next_on(core):
-                return
-        releaser = self.workers.get(worker_key)
-        if (releaser is not None and releaser.has_ready()
-                and (core.owner == worker_key or self.lewi_enabled)):
-            if core.owner != worker_key:
+        view = self._grant_view(core, worker_key)
+        offered: set[WorkerKey] = set()
+        for key in self.reclaim_policy.grant_order(view):
+            if key in offered:
+                continue
+            offered.add(key)
+            worker = self.workers.get(key)
+            if worker is None:
+                continue
+            is_owner = key == core.owner
+            if not is_owner and not self.lewi_enabled:
+                continue
+            if not worker.has_ready():
+                continue
+            if is_owner:
+                if key != worker_key:
+                    self.reclaims += 1
+                    if self.obs is not None:
+                        self.obs.lewi_reclaim(self.node.node_id, core.owner)
+                core.lent = False
+            else:
                 self.borrows += 1
                 if self.obs is not None:
-                    self.obs.lewi_borrow(self.node.node_id, worker_key)
-            if releaser.start_next_on(core):
+                    self.obs.lewi_borrow(self.node.node_id, key)
+            if worker.start_next_on(core):
                 return
-        if self.lewi_enabled:
-            for other in self._borrowers_by_priority(exclude=(core.owner, worker_key)):
-                if other.has_ready():
-                    self.borrows += 1
-                    if self.obs is not None:
-                        self.obs.lewi_borrow(self.node.node_id, other.key)
-                    if other.start_next_on(core):
-                        return
-        # Nobody can use it: idle. Lend it if its owner has nothing ready.
-        core.lent = self.lewi_enabled and (owner is None or not owner.has_ready())
+        # Nobody can use it: idle. Lend it if the lend policy says so.
+        core.lent = self.lewi_enabled and self.lend_policy.lend_released(view)
         if core.lent:
             self.lends += 1
             if self.obs is not None and core.owner is not None:
                 self.obs.lewi_lend(self.node.node_id, core.owner, 1)
 
-    def _borrowers_by_priority(self, exclude: tuple) -> list[WorkerPort]:
-        """Other workers, busiest backlog first (deterministic tie-break)."""
-        candidates = [w for key, w in self.workers.items() if key not in exclude]
-        return sorted(candidates, key=lambda w: (-self._backlog(w), w.key))
+    def _grant_view(self, core: Core, worker_key: WorkerKey) -> CoreGrantView:
+        """Immutable snapshot of one released-core decision."""
+        candidates = tuple(
+            CandidateView(key=key, has_ready=worker.has_ready(),
+                          backlog=self._backlog(worker),
+                          is_owner=key == core.owner,
+                          is_releaser=key == worker_key)
+            for key, worker in self.workers.items())
+        return CoreGrantView(node_id=self.node.node_id, core_index=core.index,
+                             owner=core.owner, releaser=worker_key,
+                             candidates=candidates)
 
     @staticmethod
     def _backlog(worker: WorkerPort) -> int:

@@ -71,6 +71,11 @@ class DlbError(ReproError):
     """Invalid DLB interaction (double lend, reclaiming an unowned core, ...)."""
 
 
+class PolicyError(ReproError):
+    """Invalid policy-kernel usage (unknown name, duplicate registration,
+    or a policy returning a decision outside its contract)."""
+
+
 class AllocationError(ReproError):
     """Core-allocation policy produced or received an invalid allocation."""
 

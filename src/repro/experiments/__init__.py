@@ -1,10 +1,10 @@
 """Per-figure experiment harnesses (see DESIGN.md's experiment index)."""
 
 from . import (fig05_policies, fig06_applications, fig07_local, fig08_sweep,
-               fig09_traces, fig10_slownode, fig11_convergence, headline,
-               resilience, traced)
+               fig09_traces, fig10_slownode, fig11_convergence,
+               fig_policies_ablation, headline, resilience, traced)
 from .base import (MEDIUM, PAPER, SMALL, ResultTable, RunResult, Scale,
-                   force_observability, run_workload)
+                   force_observability, force_policies, run_workload)
 
 __all__ = [
     "Scale",
@@ -14,6 +14,7 @@ __all__ = [
     "RunResult",
     "run_workload",
     "force_observability",
+    "force_policies",
     "ResultTable",
     "fig05_policies",
     "fig06_applications",
@@ -22,6 +23,7 @@ __all__ = [
     "fig09_traces",
     "fig10_slownode",
     "fig11_convergence",
+    "fig_policies_ablation",
     "headline",
     "resilience",
     "traced",

@@ -29,11 +29,16 @@ from ..nanos.config import RuntimeConfig
 from ..nanos.runtime import ClusterRuntime
 
 __all__ = ["Scale", "SMALL", "MEDIUM", "PAPER", "RunResult", "run_workload",
-           "ResultTable", "reduction_vs", "force_observability"]
+           "ResultTable", "reduction_vs", "force_observability",
+           "force_policies"]
 
 #: While a :func:`force_observability` block is active, this is the list
 #: collecting each run's Observability facade; ``None`` otherwise.
 _OBS_COLLECTOR: Optional[list] = None
+
+#: While a :func:`force_policies` block is active, these RuntimeConfig
+#: field overrides are applied to every run; ``None`` otherwise.
+_POLICY_OVERRIDES: Optional[dict] = None
 
 
 @contextmanager
@@ -53,6 +58,35 @@ def force_observability() -> Iterator[list]:
         yield _OBS_COLLECTOR
     finally:
         _OBS_COLLECTOR = None
+
+
+@contextmanager
+def force_policies(offload: Optional[str] = None,
+                   lend: Optional[str] = None,
+                   reclaim: Optional[str] = None) -> Iterator[None]:
+    """Override policy-kernel selections on every run in the block.
+
+    The CLI's ``--policy`` / ``--lend-policy`` flags use this to swap a
+    registered strategy into any existing experiment target without the
+    figure modules knowing: each :func:`run_workload` applies the given
+    names over its config. Names are validated by ``RuntimeConfig`` (and
+    upfront by the CLI) against the :mod:`repro.policies` registries.
+    """
+    global _POLICY_OVERRIDES
+    if _POLICY_OVERRIDES is not None:
+        raise ExperimentError("force_policies() does not nest")
+    overrides = {}
+    if offload is not None:
+        overrides["offload_policy"] = offload
+    if lend is not None:
+        overrides["lend_policy"] = lend
+    if reclaim is not None:
+        overrides["reclaim_policy"] = reclaim
+    _POLICY_OVERRIDES = overrides
+    try:
+        yield
+    finally:
+        _POLICY_OVERRIDES = None
 
 
 @dataclass(frozen=True)
@@ -159,6 +193,8 @@ def run_workload(machine: MachineSpec, num_nodes: int, appranks_per_node: int,
         spec = spec.with_slow_nodes(slow_nodes)
     if _OBS_COLLECTOR is not None and not config.obs:
         config = config.with_(obs=True)
+    if _POLICY_OVERRIDES:
+        config = config.with_(**_POLICY_OVERRIDES)
     graph_nodes = num_nodes if home_nodes is None else home_nodes
     num_appranks = graph_nodes * appranks_per_node
     runtime = ClusterRuntime(spec, num_appranks, config, faults=faults,

@@ -1,0 +1,105 @@
+"""Offload-policy ablation on the headline MicroPP workload.
+
+Not a paper figure — a capability the policy kernel adds on top of the
+reproduction: hold the paper's headline configuration fixed (MicroPP,
+32 nodes, degree 4, global reallocation; abstract / §7) and swap only
+the §5.5 offload placement strategy, one run per registered
+:data:`~repro.policies.OFFLOAD_POLICIES` name. Each run is instrumented
+so the table can attribute *decisions* (keep / offload / queue / drained
+/ stolen counters from :meth:`repro.obs.Observability.policy_decision`),
+not just outcomes, making regressions in a policy's decision mix visible
+even when the makespan happens to match.
+
+The ``tentative`` row is the paper's behaviour and the Δ reference; it
+is always run, so a restricted sweep (``--policy`` on the CLI) still
+reports a meaningful Δ column.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..apps.micropp.workload import MicroppSpec, make_micropp_app
+from ..cluster.machine import MARENOSTRUM4
+from ..errors import ExperimentError
+from ..nanos.config import RuntimeConfig
+from ..policies import OFFLOAD_POLICIES
+from .base import MEDIUM, ResultTable, Scale, reduction_vs, run_workload
+
+__all__ = ["run", "REFERENCE_POLICY", "DECISION_OUTCOMES"]
+
+#: The paper's §5.5 policy — every Δ in the table is measured against it.
+REFERENCE_POLICY = "tentative"
+
+#: Decision-counter outcomes attributed per policy (see
+#: :meth:`repro.obs.Observability.policy_decision`).
+DECISION_OUTCOMES = ("keep", "offload", "queue",
+                     "drained-keep", "drained-offload", "stolen")
+
+
+def run(scale: Scale = MEDIUM, seed: int = 7,
+        policies: Optional[Sequence[str]] = None,
+        num_nodes: int = 32) -> ResultTable:
+    """One headline-workload run per offload policy, decisions attributed.
+
+    *policies* restricts the sweep (default: every registered name); the
+    reference policy is added automatically when missing.
+    """
+    names = list(OFFLOAD_POLICIES.names() if policies is None else policies)
+    unknown = [n for n in names if n not in OFFLOAD_POLICIES]
+    if unknown:
+        raise ExperimentError(
+            f"unknown offload policies {unknown}; registered: "
+            f"{', '.join(OFFLOAD_POLICIES.names())}")
+    # Reference row first, so the Δ column reads top-down.
+    names = [REFERENCE_POLICY] + [n for n in names if n != REFERENCE_POLICY]
+
+    machine = scale.machine(MARENOSTRUM4)
+    spec = MicroppSpec(num_appranks=num_nodes,
+                       cores_per_apprank=machine.cores_per_node,
+                       subdomains_per_core=scale.micropp_subdomains_per_core,
+                       iterations=scale.iterations, seed=seed)
+    config = scale.tune(RuntimeConfig.offloading(4, "global", obs=True))
+
+    results = {}
+    for name in names:
+        results[name] = run_workload(
+            machine, num_nodes, 1, config.with_(offload_policy=name),
+            lambda: make_micropp_app(spec))
+
+    table = ResultTable(
+        title=(f"Offload-policy ablation: MicroPP {num_nodes} nodes, "
+               f"degree 4, global (scale={scale.name})"),
+        columns=["policy", "time_per_iter", "vs_tentative_%",
+                 "offloaded", "kept_home", *DECISION_OUTCOMES])
+    reference = results[REFERENCE_POLICY].steady_time_per_iteration
+    for name in names:
+        result = results[name]
+        obs = result.runtime.obs
+        decisions = {
+            outcome: int(obs.metrics.counter(
+                f"policy.{name}.{outcome}").snapshot())
+            for outcome in DECISION_OUTCOMES
+        }
+        table.add(policy=name,
+                  time_per_iter=result.steady_time_per_iteration,
+                  **{"vs_tentative_%": reduction_vs(
+                      result.steady_time_per_iteration, reference)},
+                  offloaded=result.offloaded_tasks,
+                  kept_home=sum(rt.scheduler.tasks_kept_home
+                                for rt in result.runtime.appranks),
+                  **decisions)
+    table.note("vs_tentative_% is the steady-state per-iteration time "
+               "reduction relative to the paper's tentative-immediate "
+               "policy (positive = faster).")
+    table.note("decision counters are per *submission-time* choice; "
+               "offloaded counts tasks that actually ran remotely.")
+    return table
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().format())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -25,8 +25,19 @@ class RuntimeConfig:
     lewi: bool = True
     #: coarse-grained ownership changes (§5.4); policies need this
     drom: bool = True
-    #: core-allocation policy: "local" (§5.4.1), "global" (§5.4.2), or None
+    #: core-allocation (DROM reallocation) policy: "local" (§5.4.1),
+    #: "global" (§5.4.2), any other name in
+    #: :data:`repro.policies.REALLOCATION_POLICIES`, or None
     policy: Optional[str] = "global"
+    #: §5.5 offload placement policy, by name in
+    #: :data:`repro.policies.OFFLOAD_POLICIES` ("tentative" = the paper's)
+    offload_policy: str = "tentative"
+    #: LeWI lending policy, by name in
+    #: :data:`repro.policies.LEND_POLICIES` ("eager" = the paper's)
+    lend_policy: str = "eager"
+    #: released-core grant-order policy, by name in
+    #: :data:`repro.policies.RECLAIM_POLICIES`
+    reclaim_policy: str = "owner-first"
     #: local-policy invocation period, seconds ("operates continuously")
     local_period: float = 0.1
     #: global-policy invocation period; the paper runs the solver every 2 s
@@ -81,8 +92,21 @@ class RuntimeConfig:
         if self.offload_degree < 1:
             raise RuntimeModelError(
                 f"offload degree must be >= 1, got {self.offload_degree}")
-        if self.policy not in (None, "local", "global"):
-            raise RuntimeModelError(f"unknown policy {self.policy!r}")
+        # Policy names resolve against the repro.policies registries (the
+        # import is deferred to keep this module import-light).
+        from ..policies import (LEND_POLICIES, OFFLOAD_POLICIES,
+                                REALLOCATION_POLICIES, RECLAIM_POLICIES)
+        if self.policy is not None and self.policy not in REALLOCATION_POLICIES:
+            raise RuntimeModelError(
+                f"unknown policy {self.policy!r}; registered: "
+                f"{', '.join(REALLOCATION_POLICIES.names())}")
+        for value, registry in ((self.offload_policy, OFFLOAD_POLICIES),
+                                (self.lend_policy, LEND_POLICIES),
+                                (self.reclaim_policy, RECLAIM_POLICIES)):
+            if value not in registry:
+                raise RuntimeModelError(
+                    f"unknown {registry.kind} policy {value!r}; registered: "
+                    f"{', '.join(registry.names())}")
         if self.policy is not None and not self.drom:
             raise RuntimeModelError(
                 "core-allocation policies act through DROM; enable drom or "

@@ -32,6 +32,8 @@ from ..graph.cache import get_graph
 from ..graph.placement import WorkerKey, build_placement
 from ..metrics.trace import TraceRecorder
 from ..mpisim.world import MpiWorld
+from ..policies import (LEND_POLICIES, REALLOCATION_POLICIES,
+                        RECLAIM_POLICIES, NodeReallocationPolicy)
 from ..sim.engine import Simulator
 from ..sim.events import Event, EventPriority
 from .apprank import AppRankRuntime
@@ -80,10 +82,16 @@ class ClusterRuntime:
             self.sim.tracer = self.obs
         self.talp = TalpModule(spec.total_cores)
 
+        # One lend/reclaim policy instance per node mirrors the per-node
+        # DLB shared-memory segments (policies are pure, but sharing one
+        # instance across nodes would hide accidental state).
         self.arbiters: dict[int, NodeArbiter] = {
-            node.node_id: NodeArbiter(node, lewi_enabled=config.lewi,
-                                      on_ownership_change=self._ownership_changed,
-                                      obs=self.obs)
+            node.node_id: NodeArbiter(
+                node, lewi_enabled=config.lewi,
+                on_ownership_change=self._ownership_changed,
+                obs=self.obs,
+                lend_policy=LEND_POLICIES.create(config.lend_policy),
+                reclaim_policy=RECLAIM_POLICIES.create(config.reclaim_policy))
             for node in self.cluster.nodes
         }
         self.lewi = LewiModule(self.arbiters, enabled=config.lewi)
@@ -162,16 +170,20 @@ class ClusterRuntime:
     def _build_policy(self):
         if self.config.policy is None:
             return None
+        strategy = REALLOCATION_POLICIES.create(self.config.policy)
         node_cores = {n: self.spec.machine.cores_per_node
                       for n in range(self.spec.num_nodes)}
-        if self.config.policy == "local":
+        # Per-node strategies ride the local convergence driver (its tick,
+        # EMA and warmup); cluster-wide ones ride the global LP driver
+        # (its gather/solve latency model and solver-failure fallback).
+        if isinstance(strategy, NodeReallocationPolicy):
             workers_by_node = {
                 node_id: [self.workers[key] for key in keys]
                 for node_id, keys in enumerate(self.placement.workers_by_node)
             }
             return LocalConvergencePolicy(
                 self.sim, self.drom, workers_by_node, node_cores,
-                period=self.config.local_period)
+                period=self.config.local_period, strategy=strategy)
         node_speed = {n: self.spec.node_speed(n)
                       for n in range(self.spec.num_nodes)}
         return GlobalLpPolicy(
@@ -180,7 +192,8 @@ class ClusterRuntime:
             period=self.config.global_period,
             offload_penalty=self.config.offload_penalty,
             model_solver_cost=self.config.model_solver_cost,
-            partition_nodes=self.config.global_partition_nodes)
+            partition_nodes=self.config.global_partition_nodes,
+            strategy=strategy)
 
     # -- hooks ---------------------------------------------------------------
 

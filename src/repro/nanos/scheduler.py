@@ -1,15 +1,19 @@
-"""Per-apprank task scheduler implementing the §5.5 policy.
+"""Per-apprank task scheduler: §5.5 mechanism behind a pluggable policy.
 
-When a task becomes ready the scheduler makes a *tentative* decision
-immediately:
+The scheduler owns the *mechanism*: the spill queue, dispatch/ack/resend
+machinery, data movement and bookkeeping. *Where* a ready task runs is
+delegated to an :class:`~repro.policies.OffloadPolicy` (selected by
+``RuntimeConfig.offload_policy``, default ``"tentative"`` — the paper's
+§5.5 rule) consulted through immutable snapshot views:
 
-1. the locality-best adjacent node takes it if it holds fewer than
-   ``tasks_per_core`` (default two) unfinished tasks per **owned** core —
-   LeWI-borrowed cores are deliberately not counted, because borrowed cores
-   can be reclaimed at any moment while lent ones can be taken back;
-2. otherwise any adjacent node under the threshold takes it;
-3. otherwise it waits in a queue and is drained ("stolen") as tasks
-   complete or ownership changes.
+1. the policy sees each adjacent node's liveness, owned cores, active
+   tasks and resident input bytes, and answers with a node, ``KEEP``
+   (home) or ``QUEUE`` (spill);
+2. spilled tasks are retried in the policy's ``drain_order`` as tasks
+   complete or ownership changes;
+3. a worker that runs dry *steals* the next queued task regardless of
+   any threshold (mechanism, not policy — §5.5's "stolen as tasks
+   complete" is what keeps LeWI-borrowed cores fed).
 
 Offloading is final: once assigned, a task is never migrated.
 """
@@ -20,7 +24,9 @@ from collections import deque
 from typing import TYPE_CHECKING, Optional
 
 from ..cluster.network import NetworkModel
-from ..errors import SchedulerError, TaskLostError
+from ..errors import PolicyError, SchedulerError, TaskLostError
+from ..policies import (KEEP, OFFLOAD_POLICIES, QUEUE, NodeView,
+                        OffloadPolicy, SchedulerView, TaskView)
 from ..sim.engine import Simulator
 from .locality import DataDirectory
 from .task import Task, TaskState
@@ -36,7 +42,8 @@ __all__ = ["AppRankScheduler"]
 
 
 class _OffloadDispatch:
-    """One in-flight offload awaiting acknowledgement (fault runs only)."""
+    """One in-flight remote dispatch (all bookkeeping lives here, so the
+    fault-free and resilient paths share a single dispatch mechanism)."""
 
     __slots__ = ("task", "worker", "attempt", "acked", "timer", "delivery",
                  "ack", "sent_at", "first_sent")
@@ -55,12 +62,13 @@ class _OffloadDispatch:
 
 
 class AppRankScheduler:
-    """Tentative-immediate scheduler for one apprank's ready tasks."""
+    """Placement mechanism for one apprank's ready tasks."""
 
     def __init__(self, sim: Simulator, apprank: int, home_node: int,
                  workers: dict[int, Worker], directory: DataDirectory,
                  network: NetworkModel, config: "RuntimeConfig",
-                 obs: Optional["Observability"] = None) -> None:
+                 obs: Optional["Observability"] = None,
+                 policy: Optional[OffloadPolicy] = None) -> None:
         self.sim = sim
         self.apprank = apprank
         self.home_node = home_node
@@ -69,6 +77,10 @@ class AppRankScheduler:
         self.network = network
         self.config = config
         self.obs = obs
+        #: the pure placement strategy (from the registry unless injected)
+        self.policy: OffloadPolicy = (
+            policy if policy is not None
+            else OFFLOAD_POLICIES.create(config.offload_policy))
         self.queue: deque[Task] = deque()
         self.tasks_offloaded = 0
         self.tasks_kept_home = 0
@@ -95,7 +107,7 @@ class AppRankScheduler:
             # of its load (the §4 contract for MPI-calling tasks).
             self._assign(task, self.home_node)
             return
-        node = self._pick_node(task)
+        node = self._place(task)
         if node is None:
             self.queue.append(task)
             if self.obs is not None:
@@ -105,34 +117,55 @@ class AppRankScheduler:
             self._assign(task, node)
 
     def drain(self) -> None:
-        """Re-run placement for queued tasks (§5.5 "stolen as tasks complete")."""
-        if self._draining:
+        """Retry spilled tasks (§5.5 "stolen as tasks complete").
+
+        Tasks are attempted in the policy's
+        :meth:`~repro.policies.OffloadPolicy.drain_order`; the drain
+        stops at the first ``QUEUE`` decision (with the default FIFO
+        order this is exactly the seed's head-of-queue drain).
+        """
+        if self._draining or not self.queue:
             return
         self._draining = True
         try:
-            while self.queue:
-                node = self._pick_node(self.queue[0])
-                if node is None:
-                    break
-                self._assign(self.queue.popleft(), node)
-                if self.obs is not None:
-                    self.obs.queue_depth(self.apprank, self.home_node,
-                                         len(self.queue))
+            self._drain_once()
         finally:
             self._draining = False
+
+    def _drain_once(self) -> None:
+        items = list(self.queue)
+        task_views = tuple(self._task_view(t) for t in items)
+        order = list(self.policy.drain_order(task_views,
+                                             self.scheduler_view(None)))
+        if sorted(order) != list(range(len(items))):
+            raise PolicyError(
+                f"{self.policy.name!r}.drain_order returned {order!r}, not "
+                f"a permutation of range({len(items)})")
+        for position in order:
+            task = items[position]
+            node = self._place(task, drained=True)
+            if node is None:
+                break
+            self.queue.remove(task)
+            self._assign(task, node)
+            if self.obs is not None:
+                self.obs.queue_depth(self.apprank, self.home_node,
+                                     len(self.queue))
 
     def steal_for(self, worker: Worker) -> bool:
         """§5.5: queued tasks "will be stolen as tasks complete".
 
         Called by a worker at a task completion when it has nothing ready:
         it pulls the next queued task to itself *regardless* of the
-        two-per-owned-core threshold. This is what keeps LeWI-borrowed
-        cores fed — the submission-time threshold deliberately ignores
-        borrowed cores (they may vanish, §5.5), but a core that just
-        finished a task here is demonstrably available right now.
+        placement policy. This is mechanism, deliberately outside the
+        policy: the submission-time decision ignores LeWI-borrowed cores
+        (they may vanish, §5.5), but a core that just finished a task
+        here is demonstrably available right now.
         """
         if not self.queue:
             return False
+        if self.obs is not None:
+            self.obs.policy_decision(self.policy.name, "stolen")
         self._assign(self.queue.popleft(), worker.node_id)
         if self.obs is not None:
             self.obs.queue_depth(self.apprank, self.home_node,
@@ -144,42 +177,56 @@ class AppRankScheduler:
         """Tasks waiting in the spill queue."""
         return len(self.queue)
 
-    # -- the §5.5 decision ---------------------------------------------------
+    # -- policy consultation -------------------------------------------------
 
-    def load_ratio(self, node_id: int) -> float:
-        """Unfinished tasks per owned core at our worker on *node_id*.
+    def scheduler_view(self, task: Optional[Task]) -> SchedulerView:
+        """Immutable placement snapshot for one decision.
 
-        Bodies blocked in taskwait are excluded: they occupy no core while
-        waiting and counting them would starve their own children.
+        With *task*, each node view carries the bytes of the task's
+        inputs resident there; without, byte counts are zero (the
+        task-agnostic view handed to ``drain_order``).
         """
-        worker = self.workers[node_id]
-        owned = worker.arbiter.owned_count(worker.key)
-        active = worker.assigned - worker.blocked_bodies
-        return active / max(owned, 1)
+        inputs = task.inputs if task is not None else ()
+        nodes = []
+        for node_id, worker in self.workers.items():
+            nodes.append(NodeView(
+                node_id=node_id,
+                alive=worker.alive,
+                owned_cores=worker.arbiter.owned_count(worker.key),
+                active_tasks=worker.assigned - worker.blocked_bodies,
+                bytes_present=(self.directory.bytes_present_at(inputs, node_id)
+                               if inputs else 0)))
+        return SchedulerView(apprank=self.apprank, home_node=self.home_node,
+                             tasks_per_core=self.config.tasks_per_core,
+                             nodes=tuple(nodes))
 
-    def _pick_node(self, task: Task) -> Optional[int]:
-        threshold = self.config.tasks_per_core
-        candidates = self._by_locality(task)
-        for node_id in candidates:
-            if not self.workers[node_id].alive:
-                continue        # crashed worker not yet unregistered
-            if self.load_ratio(node_id) < threshold:
-                return node_id
-        return None
+    @staticmethod
+    def _task_view(task: Task) -> TaskView:
+        return TaskView(task_id=task.task_id,
+                        input_bytes=sum(a.nbytes for a in task.inputs))
 
-    def _by_locality(self, task: Task) -> list[int]:
-        """Adjacent nodes ordered best-locality-first (home wins ties)."""
-        nodes = list(self.workers.keys())
-        if len(nodes) == 1:
-            return nodes
-        if not task.inputs:
-            # No data: home first, then helpers in node order.
-            nodes.sort(key=lambda n: (n != self.home_node, n))
-            return nodes
-        scores = {n: self.directory.bytes_present_at(task.inputs, n)
-                  for n in nodes}
-        nodes.sort(key=lambda n: (-scores[n], n != self.home_node, n))
-        return nodes
+    def _place(self, task: Task, drained: bool = False) -> Optional[int]:
+        """Ask the policy; validate; return a node id or None (= spill)."""
+        view = self.scheduler_view(task)
+        decision = self.policy.choose_worker(self._task_view(task), view)
+        if decision is QUEUE:
+            if self.obs is not None and not drained:
+                self.obs.policy_decision(self.policy.name, "queue")
+            return None
+        node_id = self.home_node if decision is KEEP else decision
+        if not isinstance(node_id, int) or node_id not in self.workers:
+            raise PolicyError(
+                f"policy {self.policy.name!r} chose {decision!r}, not an "
+                f"adjacent node of apprank {self.apprank}")
+        if not self.workers[node_id].alive:
+            raise PolicyError(
+                f"policy {self.policy.name!r} chose dead node {node_id} "
+                f"for {task!r}")
+        if self.obs is not None:
+            outcome = "keep" if node_id == self.home_node else "offload"
+            self.obs.policy_decision(
+                self.policy.name, f"drained-{outcome}" if drained else outcome)
+        return node_id
 
     # -- binding and data movement -------------------------------------------
 
@@ -194,22 +241,23 @@ class AppRankScheduler:
             self.tasks_kept_home += 1
         else:
             self.tasks_offloaded += 1
-        if self.faults is not None and node_id != self.home_node:
-            # Resilient path: the offload control message may be lost, so
-            # the dispatch is acknowledged and re-sent on timeout.
-            task.state = TaskState.TRANSFERRING
+        if node_id != self.home_node:
+            # Every remote send goes through one dispatch record; with a
+            # fault model the control message may be lost, so the dispatch
+            # is additionally tracked, acknowledged and re-sent on timeout.
             dispatch = _OffloadDispatch(task, worker)
-            self._dispatches[task] = dispatch
+            if self.faults is not None:
+                task.state = TaskState.TRANSFERRING
+                self._dispatches[task] = dispatch
             self._send(dispatch)
             return
-        sent_at = self.sim.now if node_id != self.home_node else None
         delay = self._dispatch_delay(task, node_id)
         if delay <= 0.0:
-            self._deliver(task, worker, sent_at)
+            self._deliver(task, worker, None)
         else:
             task.state = TaskState.TRANSFERRING
             self.sim.schedule(delay,
-                              lambda: self._deliver(task, worker, sent_at),
+                              lambda: self._deliver(task, worker, None),
                               label=f"task-dispatch:{task.task_id}")
 
     def _dispatch_delay(self, task: Task, node_id: int) -> float:
@@ -230,14 +278,17 @@ class AppRankScheduler:
         self.directory.record_copy_in(task.inputs, worker.node_id)
         worker.enqueue(task)
 
-    # -- resilient offload (fault runs only) -------------------------------
+    # -- the shared remote-dispatch path ------------------------------------
 
     def _send(self, dispatch: _OffloadDispatch) -> None:
-        """(Re-)send one offload; arm the acknowledgement timer.
+        """(Re-)send one remote dispatch.
 
-        Each attempt draws send/ack loss from the fault model's dedicated
-        RNG stream. The timer backs off exponentially; past
-        ``max_retries`` re-sends the task is declared lost.
+        The send/first-send timestamps and attempt counter live on the
+        dispatch record for both modes. Without a fault model the send is
+        reliable: one delivery, no acknowledgement traffic. With one,
+        each attempt draws send/ack loss from the fault model's dedicated
+        RNG stream, the acknowledgement timer backs off exponentially,
+        and past ``max_retries`` re-sends the task is declared lost.
         """
         task = dispatch.task
         dispatch.attempt += 1
@@ -254,9 +305,20 @@ class AppRankScheduler:
             self.offload_resends += 1
             if self.obs is not None:
                 self.obs.offload_resent(task, dispatch.attempt)
+        delay = self._dispatch_delay(task, task.assigned_node)
+        if self.faults is None:
+            sent_at = dispatch.sent_at
+            if delay <= 0.0:
+                self._deliver(task, dispatch.worker, sent_at)
+            else:
+                task.state = TaskState.TRANSFERRING
+                dispatch.delivery = self.sim.schedule(
+                    delay,
+                    lambda: self._deliver(task, dispatch.worker, sent_at),
+                    label=f"task-dispatch:{task.task_id}")
+            return
         send_lost = self.faults.offload_send_lost()
         ack_lost = self.faults.offload_ack_lost()
-        delay = self._dispatch_delay(task, task.assigned_node)
         ack_rtt = delay + self.network.control_message_time()
         if not send_lost:
             dispatch.delivery = self.sim.schedule(

@@ -121,6 +121,17 @@ class Observability:
             task_id=task.task_id, attempt=attempt)
         self.metrics.counter("sched.offload_resends").add()
 
+    def policy_decision(self, policy: str, outcome: str) -> None:
+        """One offload-policy decision, attributed per policy name.
+
+        Counters only (``policy.<name>.<outcome>``) — no trace events are
+        emitted, so enabling attribution cannot perturb event ordering.
+        Outcomes: ``keep``/``offload``/``queue`` at submission,
+        ``drained-keep``/``drained-offload`` from the spill queue,
+        ``stolen`` for completion-time steals.
+        """
+        self.metrics.counter(f"policy.{policy}.{outcome}").add()
+
     def queue_depth(self, apprank: int, home_node: int, depth: int) -> None:
         """Spill-queue depth changed (counter track per apprank)."""
         self.bus.emit_counter(f"queued:a{apprank}",

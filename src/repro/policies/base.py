@@ -1,0 +1,144 @@
+"""Pure decision interfaces for the §5.5 offload scheduler.
+
+The scheduler in :mod:`repro.nanos.scheduler` is mechanism: it owns the
+spill queue, dispatch/ack/resend machinery and data movement. *Where* a
+ready task runs is decided by an :class:`OffloadPolicy` — a pure strategy
+consulted through immutable snapshot views. The purity contract:
+
+* policies never see the :class:`~repro.sim.engine.Simulator`, workers,
+  or the data directory — only :class:`TaskView`/:class:`SchedulerView`
+  snapshots built by the mechanism for one decision;
+* policies must not keep mutable state across calls that affects
+  decisions (two identical views must yield identical decisions), which
+  is what makes same-seed runs reproducible under every policy;
+* a decision is a node id from the view, :data:`KEEP` (run on the home
+  node) or :data:`QUEUE` (no node can take it now; spill it).
+
+The default policy (``"tentative"`` in
+:data:`repro.policies.OFFLOAD_POLICIES`) reproduces the paper's §5.5
+rule bit-identically; see ``tests/policies/test_golden_parity.py``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import ClassVar, Sequence, Union
+
+__all__ = ["KEEP", "QUEUE", "Decision", "TaskView", "NodeView",
+           "SchedulerView", "OffloadPolicy"]
+
+
+class _Sentinel:
+    """A named singleton decision marker (:data:`KEEP` / :data:`QUEUE`)."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __repr__(self) -> str:
+        return self._name
+
+
+#: Decision: run the task on the apprank's home node.
+KEEP = _Sentinel("KEEP")
+#: Decision: no node may take the task now; spill it to the queue.
+QUEUE = _Sentinel("QUEUE")
+
+#: What :meth:`OffloadPolicy.choose_worker` returns: an adjacent node id,
+#: :data:`KEEP`, or :data:`QUEUE`.
+Decision = Union[int, _Sentinel]
+
+
+@dataclass(frozen=True)
+class TaskView:
+    """What a policy may know about one schedulable task."""
+
+    #: submission-order id (unique within the apprank)
+    task_id: int
+    #: total bytes of the task's read accesses (0 if it reads nothing)
+    input_bytes: int
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """One graph-adjacent node as the deciding apprank sees it."""
+
+    node_id: int
+    #: False once the worker there crashed (never place work on it)
+    alive: bool
+    #: cores the apprank's worker *owns* there — LeWI-borrowed cores are
+    #: deliberately excluded (§5.5: they can be reclaimed at any moment)
+    owned_cores: int
+    #: unfinished tasks bound there, excluding taskwait-blocked bodies
+    active_tasks: int
+    #: bytes of the current task's inputs already resident on this node
+    #: (0 in a task-agnostic view, e.g. for :meth:`OffloadPolicy.drain_order`)
+    bytes_present: int
+
+    @property
+    def load_ratio(self) -> float:
+        """Unfinished tasks per owned core — the §5.5 threshold metric."""
+        return self.active_tasks / max(self.owned_cores, 1)
+
+
+@dataclass(frozen=True)
+class SchedulerView:
+    """Immutable snapshot of one apprank's placement state.
+
+    Built by the mechanism for a single decision; policies must not hold
+    on to it across calls.
+    """
+
+    apprank: int
+    home_node: int
+    #: the §5.5 spill threshold (``RuntimeConfig.tasks_per_core``)
+    tasks_per_core: int
+    #: every graph-adjacent node, in worker-registration order
+    nodes: tuple[NodeView, ...]
+
+    def node(self, node_id: int) -> NodeView:
+        """The view of one adjacent node (:class:`KeyError` if absent)."""
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node
+        raise KeyError(node_id)
+
+    def by_locality(self) -> list[int]:
+        """Adjacent node ids in §5.5 order: most input bytes resident
+        first, the home node winning ties, then node id."""
+        return [n.node_id for n in sorted(
+            self.nodes,
+            key=lambda n: (-n.bytes_present, n.node_id != self.home_node,
+                           n.node_id))]
+
+
+class OffloadPolicy(ABC):
+    """Pure placement strategy for the tentative-immediate scheduler.
+
+    Subclasses set :attr:`name` (the registry key) and implement
+    :meth:`choose_worker`; :meth:`drain_order` may be overridden to
+    reorder the spill queue. Register with
+    ``repro.policies.OFFLOAD_POLICIES.register(MyPolicy)``.
+    """
+
+    #: registry key; also the value accepted by ``--policy`` and
+    #: ``RuntimeConfig.offload_policy``
+    name: ClassVar[str] = ""
+
+    @abstractmethod
+    def choose_worker(self, task: TaskView, view: SchedulerView) -> Decision:
+        """Place one ready task: a node id, :data:`KEEP` or :data:`QUEUE`."""
+
+    def drain_order(self, queue: Sequence[TaskView],
+                    view: SchedulerView) -> Sequence[int]:
+        """Order (queue positions) in which to retry spilled tasks.
+
+        Must return a permutation of ``range(len(queue))``. The mechanism
+        attempts tasks in this order and stops at the first
+        :data:`QUEUE` decision. The default is FIFO — together with
+        :meth:`choose_worker` stopping the drain, this reproduces the
+        seed scheduler's head-of-queue drain exactly.
+        """
+        return range(len(queue))

@@ -1,0 +1,142 @@
+"""DROM reallocation strategies (paper §5.4).
+
+The periodic tick machinery — meter reading, EMA smoothing, solver-cost
+latency, fallback to the last feasible allocation, applying through DROM
+— stays in :mod:`repro.balance`. What allocation a tick *requests* is
+decided here, from immutable snapshots of the measured work:
+
+* :class:`ClusterReallocationPolicy` sees the whole cluster at once
+  (driven by :class:`~repro.balance.global_policy.GlobalLpPolicy`);
+* :class:`NodeReallocationPolicy` sees one node at a time (driven by
+  :class:`~repro.balance.local_policy.LocalConvergencePolicy`).
+
+``global`` and ``local`` reproduce §5.4.2 / §5.4.1 bit-identically (the
+parity-tested defaults). The solver imports are deliberately lazy so
+this module stays import-light (stdlib only at module level).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, ClassVar, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph.bipartite import BipartiteGraph
+
+__all__ = ["AllocationView", "NodeAllocationView",
+           "ClusterReallocationPolicy", "NodeReallocationPolicy",
+           "GlobalLpReallocation", "LocalProportionalReallocation"]
+
+#: Worker identity: ``(apprank, node)`` edge tuples in the runtime (Any
+#: rather than a tuple alias so allocation dicts returned by concrete
+#: solvers remain assignable under dict key invariance).
+WorkerKey = Any
+
+
+@dataclass(frozen=True)
+class AllocationView:
+    """Cluster-wide inputs to one reallocation decision (read-only copies)."""
+
+    #: smoothed measured work per apprank (busy-core seconds this period)
+    work: Mapping[int, float]
+    #: cores per node
+    node_cores: Mapping[int, int]
+    #: relative speed per node
+    node_speed: Mapping[int, float]
+    #: §5.4.2 home-core incentive (remote work counts ``1 + penalty``)
+    offload_penalty: float
+    #: live ``(apprank, node)`` worker edges, sorted — grown helpers and
+    #: crashed workers are reflected here, not in the static graph
+    edges: tuple[tuple[int, int], ...]
+    #: home node per apprank
+    home_of: Mapping[int, int]
+    #: nodes in the static graph
+    num_nodes: int
+    #: §5.4.2 partitioned-solve group size (None = whole-cluster solve)
+    partition_nodes: Optional[int]
+    #: nodes that failed mid-run
+    dead_nodes: frozenset[int]
+    #: the static bipartite topology (treat as immutable)
+    graph: "BipartiteGraph"
+
+
+@dataclass(frozen=True)
+class NodeAllocationView:
+    """One node's inputs to a local reallocation decision."""
+
+    node_id: int
+    #: cores on the node
+    cores: int
+    #: smoothed average busy cores per worker key on this node
+    averages: Mapping[Any, float]
+
+
+class ClusterReallocationPolicy(ABC):
+    """Cluster-wide ownership strategy (global-policy driver)."""
+
+    #: registry key (``RuntimeConfig.policy`` / ``--realloc-policy``)
+    name: ClassVar[str] = ""
+
+    @abstractmethod
+    def allocate(self, view: AllocationView
+                 ) -> dict[int, dict[WorkerKey, int]]:
+        """Requested owned-core counts: node id → worker key → cores.
+
+        May raise :class:`~repro.errors.AllocationError` when infeasible;
+        the mechanism falls back to the last feasible allocation.
+        """
+
+
+class NodeReallocationPolicy(ABC):
+    """Per-node ownership strategy (local-policy driver)."""
+
+    #: registry key (``RuntimeConfig.policy``)
+    name: ClassVar[str] = ""
+
+    @abstractmethod
+    def allocate_node(self, view: NodeAllocationView) -> dict[Any, int]:
+        """Requested owned-core counts for one node's workers."""
+
+
+class GlobalLpReallocation(ClusterReallocationPolicy):
+    """The paper's §5.4.2 Eq. 1 linear program (the ``"global"`` default).
+
+    Solves over the live worker edges so dynamically grown helpers join
+    the problem immediately; above ``partition_nodes`` healthy nodes it
+    switches to the contiguous-group partitioned solve the paper
+    recommends at scale.
+    """
+
+    name = "global"
+
+    def allocate(self, view: AllocationView
+                 ) -> dict[int, dict[WorkerKey, int]]:
+        """One Eq. 1 solve (partitioned when the cluster is large)."""
+        from ..balance.global_policy import (solve_edge_allocation,
+                                             solve_partitioned_allocation)
+        if (view.partition_nodes is not None
+                and view.num_nodes > view.partition_nodes
+                and not view.dead_nodes):
+            return solve_partitioned_allocation(
+                view.graph, dict(view.work), dict(view.node_cores),
+                dict(view.node_speed), view.offload_penalty,
+                group_nodes=view.partition_nodes)
+        return solve_edge_allocation(
+            list(view.edges), dict(view.home_of), dict(view.work),
+            dict(view.node_cores), dict(view.node_speed),
+            view.offload_penalty)
+
+
+class LocalProportionalReallocation(NodeReallocationPolicy):
+    """The paper's §5.4.1 per-node proportional split (the ``"local"``
+    default): each worker gets cores proportional to its smoothed busy
+    average, with the one-core DLB floor."""
+
+    name = "local"
+
+    def allocate_node(self, view: NodeAllocationView) -> dict[Any, int]:
+        """Proportional largest-remainder split with a one-core floor."""
+        from ..balance.rounding import proportional_allocation
+        return proportional_allocation(dict(view.averages), view.cores,
+                                       minimum=1)

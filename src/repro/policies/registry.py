@@ -1,0 +1,111 @@
+"""String-keyed policy registries.
+
+One :class:`PolicyRegistry` per decision kind (offload, lend, reclaim,
+reallocation) lives in :mod:`repro.policies`. Policies are plain classes
+with a ``name`` class attribute; third parties register theirs either
+directly::
+
+    from repro.policies import OFFLOAD_POLICIES
+
+    @OFFLOAD_POLICIES.register
+    class MyPolicy(OffloadPolicy):
+        name = "mine"
+        ...
+
+or through entry points (group ``repro.<kind>_policies``), loaded on
+demand by :func:`register_entry_points`.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+from ..errors import PolicyError
+
+__all__ = ["PolicyRegistry", "register_entry_points"]
+
+T = TypeVar("T")
+
+
+class PolicyRegistry(Generic[T]):
+    """Maps policy names to policy classes for one decision kind."""
+
+    def __init__(self, kind: str) -> None:
+        #: human-readable kind, used in error messages ("offload", ...)
+        self.kind = kind
+        self._classes: dict[str, type[T]] = {}
+
+    def register(self, cls: type[T]) -> type[T]:
+        """Add a policy class under its ``name``; usable as a decorator.
+
+        Raises :class:`~repro.errors.PolicyError` on a missing/empty name
+        or a duplicate registration (two policies answering to one name
+        would make ``--policy`` ambiguous).
+        """
+        name = getattr(cls, "name", "")
+        if not isinstance(name, str) or not name:
+            raise PolicyError(
+                f"{cls.__name__} has no 'name' class attribute; cannot "
+                f"register it as a {self.kind} policy")
+        if name in self._classes:
+            raise PolicyError(
+                f"{self.kind} policy name {name!r} already registered "
+                f"(by {self._classes[name].__name__})")
+        self._classes[name] = cls
+        return cls
+
+    def names(self) -> tuple[str, ...]:
+        """All registered names, sorted (stable for CLI listings/tests)."""
+        return tuple(sorted(self._classes))
+
+    def get(self, name: str) -> type[T]:
+        """The class registered under *name*.
+
+        An unknown name raises :class:`~repro.errors.PolicyError` whose
+        one-line message lists every registered name.
+        """
+        try:
+            return self._classes[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "(none)"
+            raise PolicyError(
+                f"unknown {self.kind} policy {name!r}; registered "
+                f"policies: {known}") from None
+
+    def create(self, name: str) -> T:
+        """Instantiate the policy registered under *name*."""
+        return self.get(name)()
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._classes
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+
+def register_entry_points(registry: PolicyRegistry[T], group: str) -> int:
+    """Load third-party policies advertised as entry points.
+
+    Scans the installed distributions for *group* (e.g.
+    ``repro.offload_policies``), loads each entry point and registers the
+    class it names. Names already registered are skipped, so calling this
+    twice is harmless. Returns the number of newly registered policies;
+    a broken entry point raises :class:`~repro.errors.PolicyError`.
+    """
+    from importlib.metadata import entry_points
+    added = 0
+    for entry in entry_points(group=group):
+        try:
+            cls = entry.load()
+        except Exception as exc:
+            raise PolicyError(
+                f"entry point {entry.name!r} in group {group!r} failed to "
+                f"load: {exc}") from exc
+        if getattr(cls, "name", None) in registry:
+            continue
+        registry.register(cls)
+        added += 1
+    return added

@@ -49,6 +49,46 @@ class TestCli:
             cli.main(["fig05", "--scale", "galactic"])
 
 
+class TestPolicyKernelCli:
+    def test_policies_listing(self, capsys):
+        assert cli.main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("offload", "lend", "reclaim", "reallocation"):
+            assert kind in out
+        assert "tentative*" in out      # default marked
+
+    def test_unknown_policy_one_line_error(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["headline", "--policy", "definitely-not-registered"])
+        err = capsys.readouterr().err
+        line = [ln for ln in err.splitlines() if "unknown offload" in ln]
+        assert len(line) == 1
+        assert "tentative" in line[0]   # lists registered names
+
+    def test_unknown_lend_policy_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["headline", "--lend-policy", "nope"])
+        assert "eager" in capsys.readouterr().err
+
+    def test_ablation_restricted_to_one_policy(self, tmp_path, capsys):
+        assert cli.main(["ablation", "--scale", "small",
+                         "--policy", "work-sharing",
+                         "--csv", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "work-sharing" in out and "tentative" in out
+        csv = next(tmp_path.glob("ablation_*.csv")).read_text()
+        header, *rows = csv.strip().splitlines()
+        assert header.startswith("policy,")
+        assert [r.split(",")[0] for r in rows] == ["tentative",
+                                                   "work-sharing"]
+
+    def test_policy_override_applies_to_ordinary_target(self, capsys):
+        assert cli.main(["fig05", "--scale", "small",
+                         "--policy", "locality",
+                         "--lend-policy", "reserve-one"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+
 class TestTraceTarget:
     def test_trace_writes_valid_chrome_json(self, tmp_path, capsys):
         out = tmp_path / "trace.json"

@@ -1,0 +1,49 @@
+"""Property: same-seed runs offload identically under every policy.
+
+The policy purity contract (no hidden mutable state, decisions a pure
+function of the views) plus the simulator's seeded determinism imply
+that two runs of the same workload with the same seed must offload the
+same tasks to the same nodes in the same order — for *every* registered
+offload policy, not just the parity-tested default. The offload order is
+read back from the instrumentation bus (``offload`` spans carry task id,
+source and destination in dispatch-arrival order).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.micropp.workload import MicroppSpec, make_micropp_app
+from repro.cluster import MARENOSTRUM4
+from repro.experiments.base import run_workload
+from repro.nanos import RuntimeConfig, task as task_module
+from repro.obs.events import CAT_SCHED
+from repro.policies import OFFLOAD_POLICIES
+
+
+def _offload_order(policy: str, seed: int) -> list[tuple]:
+    # Task ids come from a process-global counter; record them relative
+    # to this run's first id so two runs are comparable.
+    base = task_module._task_counter
+    machine = MARENOSTRUM4.scaled(4)
+    spec = MicroppSpec(num_appranks=2, cores_per_apprank=4,
+                       subdomains_per_core=2, iterations=2, seed=seed)
+    config = RuntimeConfig.offloading(2, "global", obs=True,
+                                      offload_policy=policy,
+                                      local_period=0.02, global_period=0.2)
+    result = run_workload(machine, 2, 1, config,
+                          lambda: make_micropp_app(spec))
+    bus = result.runtime.obs.bus
+    return [(s.args["task_id"] - base, s.args["src"], s.args["dst"], s.start)
+            for s in bus.spans_of(CAT_SCHED) if s.name == "offload"]
+
+
+@pytest.mark.parametrize("policy", OFFLOAD_POLICIES.names())
+class TestSameSeedSameOffloads:
+    @settings(max_examples=3, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_offload_order_reproducible(self, policy, seed):
+        first = _offload_order(policy, seed)
+        second = _offload_order(policy, seed)
+        assert first == second
+        assert first, "workload saturates the home node, so must offload"

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.apps.nbody",
     "repro.metrics",
     "repro.experiments",
+    "repro.policies",
 ]
 
 

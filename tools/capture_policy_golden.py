@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Capture the default-policy golden numbers for the parity test.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/capture_policy_golden.py
+
+Writes ``tests/policies/golden_default.json``. The file was recorded once
+against the pre-refactor tree (before the decision logic moved into
+``repro.policies``); re-capture it ONLY when a deliberate behaviour change
+makes the old numbers obsolete — and say so in the commit message, because
+the parity test exists precisely to catch silent drift.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT))
+sys.path.insert(0, str(ROOT / "src"))
+
+from tests.policies.harness import collect_golden  # noqa: E402
+
+OUT = ROOT / "tests" / "policies" / "golden_default.json"
+
+
+def main() -> int:
+    golden = collect_golden()
+    OUT.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
