@@ -1,0 +1,50 @@
+"""Bench-suite determinism: same seed, same run, bit-identical tables.
+
+The whole reproduction rests on the simulator being deterministic; these
+benches re-run a figure and a raw workload back to back and demand the
+CSV serialisations (every float formatted, every row ordered) match byte
+for byte. A diff here means nondeterminism crept into the stack — an
+unseeded RNG, set/dict iteration reaching scheduling, or wall-clock
+leakage — which would silently invalidate every other bench.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.apps.synthetic import SyntheticSpec, make_synthetic_app
+from repro.cluster import MARENOSTRUM4
+from repro.experiments import fig05_policies
+from repro.experiments.base import run_workload
+from repro.nanos import RuntimeConfig
+
+from .conftest import BENCH, run_once
+
+
+def test_fig05_double_run_is_bit_identical(benchmark):
+    first = fig05_policies.run(BENCH).to_csv()
+    second = run_once(benchmark, fig05_policies.run, BENCH).to_csv()
+    assert first == second
+
+
+def test_workload_double_run_is_bit_identical(benchmark):
+    machine = MARENOSTRUM4.scaled(BENCH.cores_per_node)
+    spec = SyntheticSpec(num_appranks=4, imbalance=2.0,
+                         cores_per_apprank=BENCH.cores_per_node,
+                         tasks_per_core=BENCH.tasks_per_core,
+                         iterations=BENCH.iterations)
+    config = BENCH.tune(RuntimeConfig.offloading(4, "global"))
+
+    def snapshot():
+        result = run_workload(machine, 4, 1, config,
+                              lambda: make_synthetic_app(spec))
+        return json.dumps({
+            "elapsed": result.elapsed,
+            "iteration_maxima": [float(x) for x in result.iteration_maxima],
+            "events_fired": result.runtime.sim.events_fired,
+            "events_scheduled": result.runtime.sim._seq,
+        }, sort_keys=True)
+
+    first = snapshot()
+    second = run_once(benchmark, snapshot)
+    assert first == second

@@ -19,7 +19,7 @@ from .errors import (AllocationError, ClusterConfigError, DlbError,
                      FaultError, GraphError, MpiError, NodeFailedError,
                      ReproError, RuntimeModelError, SchedulerError,
                      SimulationError, SolverFallbackWarning, TaskError,
-                     TaskLostError, WorkloadError)
+                     TaskLostError, ValidationError, WorkloadError)
 from .faults import (FaultPlan, MessageFaultSpec, NodeCrash, NodeDegradation,
                      SolverFaultSpec, WorkerCrash)
 from .nanos import (AccessType, AppRankRuntime, ClusterRuntime, DataAccess,
@@ -59,6 +59,7 @@ __all__ = [
     "FaultError",
     "NodeFailedError",
     "TaskLostError",
+    "ValidationError",
     "SolverFallbackWarning",
     "__version__",
 ]

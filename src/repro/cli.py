@@ -32,6 +32,15 @@ headline MicroPP workload::
     python -m repro policies
     python -m repro fig08 --policy locality
     python -m repro ablation --scale small --policy work-sharing
+
+The ``check`` target runs the invariant sanitizer and differential/
+metamorphic oracles (:mod:`repro.validate`) over a conformance workload
+(defaults to the fast ``small`` scale), and ``--check`` arms the same
+sanitizer on every run of any ordinary target::
+
+    python -m repro check headline
+    python -m repro check resilience --faults "crash:apprank=0,node=1,t=0.5"
+    python -m repro fig08 --check
 """
 
 from __future__ import annotations
@@ -48,8 +57,8 @@ from .experiments import (MEDIUM, PAPER, SMALL, ResultTable, Scale,
                           fig05_policies, fig06_applications, fig07_local,
                           fig08_sweep, fig09_traces, fig10_slownode,
                           fig11_convergence, fig_policies_ablation,
-                          force_observability, force_policies, headline,
-                          resilience, traced)
+                          force_observability, force_policies,
+                          force_validation, headline, resilience, traced)
 from .faults import FaultPlan
 from .nanos.config import RuntimeConfig
 from .policies import LEND_POLICIES, OFFLOAD_POLICIES
@@ -118,27 +127,29 @@ def main(argv: Iterable[str] | None = None) -> int:
                     "balancing of MPI programs using OmpSs-2@Cluster and "
                     "DLB' (ICPP 2022) on the simulator.")
     parser.add_argument("target", choices=TARGETS + ("all", "trace",
-                                                     "policies"),
+                                                     "policies", "check"),
                         help="which figure/table to regenerate, 'trace' "
-                             "to record one instrumented run, or 'policies' "
+                             "to record one instrumented run, 'policies' "
                              "to list the registered policy-kernel "
-                             "strategies")
+                             "strategies, or 'check' to run the invariant "
+                             "sanitizer over a conformance workload")
     parser.add_argument("experiment", nargs="?", default=None,
-                        help="trace only: which workload to record "
-                             f"({', '.join(traced.TRACE_TARGETS)})")
-    parser.add_argument("--scale", choices=sorted(_SCALES), default="medium",
+                        help="trace/check only: which workload to record "
+                             f"(trace: {', '.join(traced.TRACE_TARGETS)}; "
+                             "check: headline, synthetic, nbody, resilience)")
+    parser.add_argument("--scale", choices=sorted(_SCALES), default=None,
                         help="experiment sizing; 'paper' uses the published "
                              "parameters (48-core nodes, 100 tasks/core) "
-                             "and is slow")
+                             "and is slow (default: medium; check: small)")
     parser.add_argument("--csv", type=Path, default=None, metavar="DIR",
                         help="also write each table as CSV into DIR")
     parser.add_argument("--faults", default=None, metavar="SPEC",
-                        help="resilience/trace: custom fault plan in the "
-                             "FaultPlan.parse syntax, e.g. "
+                        help="resilience/trace/check: custom fault plan in "
+                             "the FaultPlan.parse syntax, e.g. "
                              "'crash:apprank=0,node=1,t=0.5;msg:loss=0.01'")
     parser.add_argument("--seed", type=int, default=0,
-                        help="resilience/trace: seed for the fault plan's "
-                             "stochastic draws")
+                        help="resilience/trace/check: seed for the fault "
+                             "plan's stochastic draws")
     parser.add_argument("--out", type=Path, default=None, metavar="FILE",
                         help="trace only: write the Chrome trace-event JSON "
                              "here (load it at https://ui.perfetto.dev)")
@@ -149,6 +160,10 @@ def main(argv: Iterable[str] | None = None) -> int:
                         help="instrument every run of an ordinary target "
                              "with the repro.obs event bus and report what "
                              "was recorded")
+    parser.add_argument("--check", action="store_true",
+                        help="arm the repro.validate invariant sanitizer on "
+                             "every run of an ordinary target and report "
+                             "what was checked")
     parser.add_argument("--policy", default=None, metavar="NAME",
                         help="offload placement policy for every run "
                              "(ablation: restrict the sweep to NAME plus "
@@ -168,15 +183,38 @@ def main(argv: Iterable[str] | None = None) -> int:
         _print_policies()
         return 0
 
-    if args.faults is not None and args.target not in ("resilience", "trace"):
-        parser.error("--faults only applies to 'resilience' and 'trace'")
+    if args.faults is not None and args.target not in ("resilience", "trace",
+                                                       "check"):
+        parser.error("--faults only applies to 'resilience', 'trace' and "
+                     "'check'")
     plan = None
     if args.faults:
         try:    # reject a malformed spec before any experiment runs
             plan = FaultPlan.parse(args.faults, seed=args.seed)
         except FaultError as exc:
             parser.error(f"bad --faults spec: {exc}")
-    scale = _SCALES[args.scale]
+    if args.scale is not None:
+        scale = _SCALES[args.scale]
+    else:   # checks favour quick feedback; everything else the paper sizing
+        scale = SMALL if args.target == "check" else MEDIUM
+
+    if args.target == "check":
+        from .validate import CHECK_TARGETS, run_check
+        if args.check:
+            parser.error("--check is implied by the 'check' target")
+        if args.experiment not in CHECK_TARGETS:
+            parser.error("check needs an experiment to validate: "
+                         f"one of {', '.join(CHECK_TARGETS)}")
+        started = time.perf_counter()
+        with ExitStack() as stack:
+            if args.policy is not None or args.lend_policy is not None:
+                stack.enter_context(force_policies(offload=args.policy,
+                                                   lend=args.lend_policy))
+            report = run_check(args.experiment, scale, faults=args.faults,
+                               fault_seed=args.seed)
+        print(report.format())
+        print(f"# wall time: {time.perf_counter() - started:.1f} s")
+        return 0
 
     if args.target == "trace":
         if args.obs:
@@ -191,7 +229,8 @@ def main(argv: Iterable[str] | None = None) -> int:
         print(f"# wall time: {time.perf_counter() - started:.1f} s")
         return 0
     if args.experiment is not None:
-        parser.error("an experiment name only applies to the 'trace' target")
+        parser.error("an experiment name only applies to the 'trace' and "
+                     "'check' targets")
     if args.out is not None or args.paraver is not None:
         parser.error("--out/--paraver only apply to the 'trace' target")
 
@@ -206,6 +245,8 @@ def main(argv: Iterable[str] | None = None) -> int:
         with ExitStack() as stack:
             observed = (stack.enter_context(force_observability())
                         if args.obs else [])
+            validated = (stack.enter_context(force_validation())
+                         if args.check else [])
             if offload_override is not None or args.lend_policy is not None:
                 stack.enter_context(force_policies(offload=offload_override,
                                                    lend=args.lend_policy))
@@ -231,6 +272,20 @@ def main(argv: Iterable[str] | None = None) -> int:
             print(f"# obs: {len(observed)} runs instrumented, "
                   f"{totals['spans']} spans, {totals['instants']} instants, "
                   f"{totals['counter_samples']} counter samples")
+            print()
+        if validated:
+            checked = {"events": 0, "messages": 0, "tasks": 0,
+                       "dlb_checks": 0}
+            for sanitizer in validated:
+                summary = sanitizer.summary()
+                for key in checked:
+                    checked[key] += summary[key]
+            print(f"# check: {len(validated)} runs validated, "
+                  f"{checked['events']} events, "
+                  f"{checked['messages']} messages, "
+                  f"{checked['tasks']} tasks, "
+                  f"{checked['dlb_checks']} DLB snapshots — all invariants "
+                  "held")
             print()
     return 0
 

@@ -27,6 +27,7 @@ from ..policies.lewi import CandidateView, CoreGrantView, LendView
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs import Observability
+    from ..validate import Sanitizer
 
 __all__ = ["NodeArbiter", "WorkerPort"]
 
@@ -52,11 +53,13 @@ class NodeArbiter:
                  on_ownership_change: Optional[Callable[[int], None]] = None,
                  obs: Optional["Observability"] = None,
                  lend_policy: Optional[LendPolicy] = None,
-                 reclaim_policy: Optional[ReclaimPolicy] = None) -> None:
+                 reclaim_policy: Optional[ReclaimPolicy] = None,
+                 validator: Optional["Sanitizer"] = None) -> None:
         self.node = node
         self.lewi_enabled = lewi_enabled
         self.on_ownership_change = on_ownership_change
         self.obs = obs
+        self.validator = validator
         #: lend/grant decision strategies (see :mod:`repro.policies.lewi`);
         #: the defaults reproduce the paper's LeWI behaviour
         self.lend_policy: LendPolicy = lend_policy or EagerLend()
@@ -94,6 +97,8 @@ class NodeArbiter:
             for _ in range(count):
                 self.node.cores[cursor].set_owner(worker_key)
                 cursor += 1
+        if self.validator is not None:
+            self.validator.check_node(self)
 
     def _check_counts(self, counts: dict[WorkerKey, int]) -> None:
         for worker_key, count in counts.items():
@@ -197,6 +202,8 @@ class NodeArbiter:
             self._dispatch_idle_cores()
             if self.on_ownership_change is not None:
                 self.on_ownership_change(self.node.node_id)
+        if self.validator is not None:
+            self.validator.check_node(self)
         return moved
 
     def fail_node(self) -> None:
@@ -255,6 +262,8 @@ class NodeArbiter:
         self.lends += lent
         if lent and self.obs is not None:
             self.obs.lewi_lend(self.node.node_id, worker_key, lent)
+        if self.validator is not None:
+            self.validator.check_node(self)
         return lent
 
     def release_core(self, core: Core, worker_key: WorkerKey) -> None:
@@ -312,6 +321,8 @@ class NodeArbiter:
             self.lends += 1
             if self.obs is not None and core.owner is not None:
                 self.obs.lewi_lend(self.node.node_id, core.owner, 1)
+        if self.validator is not None:
+            self.validator.check_node(self)
 
     def _grant_view(self, core: Core, worker_key: WorkerKey) -> CoreGrantView:
         """Immutable snapshot of one released-core decision."""
@@ -376,6 +387,8 @@ class NodeArbiter:
             self._dispatch_idle_cores()
             if self.on_ownership_change is not None:
                 self.on_ownership_change(self.node.node_id)
+        if self.validator is not None:
+            self.validator.check_node(self)
         return moved
 
     def _dispatch_idle_cores(self) -> None:

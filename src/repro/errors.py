@@ -119,6 +119,39 @@ class TaskLostError(FaultError):
         self.task = task
 
 
+class ValidationError(ReproError):
+    """A runtime invariant was violated while the sanitizer was armed.
+
+    Raised by :mod:`repro.validate` when an in-line invariant check (clock
+    monotonicity, message conservation, dependency ordering, DLB core
+    conservation, ...) or the differential oracle fails. Carries structured
+    context so a failure points at the exact simulated span:
+
+    - ``invariant``: short dotted name of the violated rule
+      (e.g. ``"dlb.core_conservation"``).
+    - ``time``: simulated time of the violation (``None`` for post-run
+      checks such as the sequential-replay oracle).
+    - ``context``: free-form mapping with the offending objects rendered
+      to primitives (task ids, node ids, sequence numbers, ...).
+    - ``events``: most recent observability records when the run also had
+      :mod:`repro.obs` enabled, else an empty tuple.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        invariant: str = "",
+        time: "float | None" = None,
+        context: "dict | None" = None,
+        events: "tuple | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.invariant = invariant
+        self.time = time
+        self.context = dict(context) if context else {}
+        self.events = tuple(events) if events else ()
+
+
 class SolverFallbackWarning(UserWarning):
     """The global LP solve failed; the policy fell back to the last
     feasible allocation (a logged degradation, not an error)."""

@@ -4,7 +4,8 @@ from . import (fig05_policies, fig06_applications, fig07_local, fig08_sweep,
                fig09_traces, fig10_slownode, fig11_convergence,
                fig_policies_ablation, headline, resilience, traced)
 from .base import (MEDIUM, PAPER, SMALL, ResultTable, RunResult, Scale,
-                   force_observability, force_policies, run_workload)
+                   force_observability, force_policies, force_validation,
+                   run_workload)
 
 __all__ = [
     "Scale",
@@ -15,6 +16,7 @@ __all__ = [
     "run_workload",
     "force_observability",
     "force_policies",
+    "force_validation",
     "ResultTable",
     "fig05_policies",
     "fig06_applications",

@@ -30,11 +30,15 @@ from ..nanos.runtime import ClusterRuntime
 
 __all__ = ["Scale", "SMALL", "MEDIUM", "PAPER", "RunResult", "run_workload",
            "ResultTable", "reduction_vs", "force_observability",
-           "force_policies"]
+           "force_policies", "force_validation"]
 
 #: While a :func:`force_observability` block is active, this is the list
 #: collecting each run's Observability facade; ``None`` otherwise.
 _OBS_COLLECTOR: Optional[list] = None
+
+#: While a :func:`force_validation` block is active, this is the list
+#: collecting each run's Sanitizer; ``None`` otherwise.
+_VALIDATE_COLLECTOR: Optional[list] = None
 
 #: While a :func:`force_policies` block is active, these RuntimeConfig
 #: field overrides are applied to every run; ``None`` otherwise.
@@ -58,6 +62,27 @@ def force_observability() -> Iterator[list]:
         yield _OBS_COLLECTOR
     finally:
         _OBS_COLLECTOR = None
+
+
+@contextmanager
+def force_validation() -> Iterator[list]:
+    """Enable ``config.validate`` on every :func:`run_workload` in the block.
+
+    The CLI's ``--check`` flag and the ``check`` target use this to arm
+    the invariant sanitizer (:mod:`repro.validate`) on any existing
+    experiment target: each run's :class:`~repro.validate.Sanitizer` is
+    appended to the yielded list in execution order, so callers can report
+    what was checked. A violation surfaces as the run raising
+    :class:`~repro.errors.ValidationError`.
+    """
+    global _VALIDATE_COLLECTOR
+    if _VALIDATE_COLLECTOR is not None:
+        raise ExperimentError("force_validation() does not nest")
+    _VALIDATE_COLLECTOR = []
+    try:
+        yield _VALIDATE_COLLECTOR
+    finally:
+        _VALIDATE_COLLECTOR = None
 
 
 @contextmanager
@@ -193,6 +218,8 @@ def run_workload(machine: MachineSpec, num_nodes: int, appranks_per_node: int,
         spec = spec.with_slow_nodes(slow_nodes)
     if _OBS_COLLECTOR is not None and not config.obs:
         config = config.with_(obs=True)
+    if _VALIDATE_COLLECTOR is not None and not config.validate:
+        config = config.with_(validate=True)
     if _POLICY_OVERRIDES:
         config = config.with_(**_POLICY_OVERRIDES)
     graph_nodes = num_nodes if home_nodes is None else home_nodes
@@ -204,6 +231,8 @@ def run_workload(machine: MachineSpec, num_nodes: int, appranks_per_node: int,
     results = runtime.run_app(app_factory())
     if _OBS_COLLECTOR is not None and runtime.obs is not None:
         _OBS_COLLECTOR.append(runtime.obs)
+    if _VALIDATE_COLLECTOR is not None and runtime.validator is not None:
+        _VALIDATE_COLLECTOR.append(runtime.validator)
     iteration_maxima = _iteration_maxima(results)
     return RunResult(elapsed=runtime.elapsed, iteration_maxima=iteration_maxima,
                      runtime=runtime, rank_results=results)

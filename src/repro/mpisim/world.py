@@ -44,6 +44,9 @@ class MpiWorld:
         #: structured instrumentation (:class:`repro.obs.Observability`) or
         #: None; set by the cluster runtime on observed runs only
         self.obs = None
+        #: invariant sanitizer (:class:`repro.validate.Sanitizer`) or None;
+        #: notified of every envelope send and endpoint arrival
+        self.validator = None
         #: fault injection: a :class:`repro.faults.MessageFaultModel` (or
         #: None); consulted for inter-node messages only
         self.fault_model = None
@@ -110,6 +113,8 @@ class MpiWorld:
         """Start a send; returns the sender-side request."""
         request = Request(self.sim, "send")
         self._account(env.src, env.dst, env.nbytes)
+        if self.validator is not None:
+            self.validator.msg_sent(env)
         inter_node = self.node_of(env.src) != self.node_of(env.dst)
         eager = not inter_node or self.cluster.network.is_eager(env.nbytes)
         extra, copies = 0.0, 1
@@ -138,6 +143,8 @@ class MpiWorld:
                       sent_at: Optional[float] = None) -> None:
         if self.fault_model is not None and not self.fault_model.accept(env):
             return      # duplicate of a message already delivered
+        if self.validator is not None:
+            self.validator.msg_delivered(env)
         if self.obs is not None and sent_at is not None:
             self.obs.mpi_message(
                 "eager", env.src, env.dst, self.node_of(env.src),
@@ -153,6 +160,8 @@ class MpiWorld:
 
     def _arrive_rendezvous(self, pending: _PendingSend) -> None:
         env = pending.envelope
+        if self.validator is not None:
+            self.validator.msg_delivered(env)
         endpoint = self._endpoint(env.dst)
         recv = endpoint.match_arrival(env)
         if recv is None:

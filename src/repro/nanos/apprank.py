@@ -24,6 +24,7 @@ from .worker import Worker
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs import Observability
+    from ..validate import Sanitizer
 
 __all__ = ["AppRankRuntime"]
 
@@ -34,7 +35,8 @@ class AppRankRuntime:
     def __init__(self, sim: Simulator, apprank: int, home_node: int,
                  workers: dict[int, Worker], network: NetworkModel,
                  config: RuntimeConfig,
-                 obs: Optional["Observability"] = None) -> None:
+                 obs: Optional["Observability"] = None,
+                 validator: Optional["Sanitizer"] = None) -> None:
         self.sim = sim
         self.apprank = apprank
         self.home_node = home_node
@@ -42,12 +44,14 @@ class AppRankRuntime:
         self.network = network
         self.config = config
         self.obs = obs
+        self.validator = validator
         self.directory = DataDirectory(home_node)
         self.scheduler = AppRankScheduler(
             sim, apprank, home_node, workers, self.directory, network, config,
-            obs=obs)
-        self.deps = DependencyTracker(self.scheduler.on_ready,
-                                      record_preds=obs is not None)
+            obs=obs, validator=validator)
+        self.deps = DependencyTracker(
+            self.scheduler.on_ready,
+            record_preds=obs is not None or validator is not None)
         self.outstanding = 0
         self.tasks_submitted = 0
         self._taskwait_signal: Optional[Signal] = None
@@ -88,7 +92,11 @@ class AppRankRuntime:
         task.apprank = self.apprank
         self.outstanding += 1
         self.tasks_submitted += 1
+        if self.validator is not None:
+            self.validator.task_registered(task)
         self.deps.register(task)
+        if self.validator is not None:
+            self.validator.task_dependencies_known(task)
         return task
 
     def taskwait(self) -> Generator[Any, Any, None]:

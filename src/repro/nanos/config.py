@@ -75,6 +75,14 @@ class RuntimeConfig:
     #: metrics registry, Chrome/Paraver export, critical-path analysis.
     #: Off by default — disabled runs never even import the subsystem.
     obs: bool = False
+    #: invariant sanitizer (:mod:`repro.validate`): asserts clock
+    #: monotonicity, message conservation/ordering, dependency and
+    #: placement rules, DLB core conservation, and directory coherence
+    #: in-line, then replays the task graph against a sequential reference
+    #: executor at the end of the run. Purely passive (never schedules
+    #: events or consumes randomness), so enabling it does not perturb
+    #: timing. Off by default — disabled runs never import the subsystem.
+    validate: bool = False
     #: record busy/owned trace timelines (costs memory; used by Figs 5/9/11)
     trace: bool = False
     #: ownership sampling period for traces, seconds

@@ -133,10 +133,15 @@ class BodyExecution:
             child.pinned_node = self.worker.node_id
         if self._child_tracker is None:
             self._child_tracker = DependencyTracker(
-                apprank_rt.scheduler.on_ready)
+                apprank_rt.scheduler.on_ready,
+                record_preds=apprank_rt.deps.record_preds)
         self.children_outstanding += 1
         apprank_rt.register_child(child, self)
+        if apprank_rt.validator is not None:
+            apprank_rt.validator.task_registered(child)
         self._child_tracker.register(child)
+        if apprank_rt.validator is not None:
+            apprank_rt.validator.task_dependencies_known(child)
         return child
 
     def on_child_finished(self, child: Task) -> None:

@@ -80,6 +80,12 @@ class ClusterRuntime:
             from ..obs import Observability
             self.obs = Observability(self.sim)
             self.sim.tracer = self.obs
+        #: invariant sanitizer (lazily imported like obs; purely passive)
+        self.validator = None
+        if config.validate:
+            from ..validate import Sanitizer
+            self.validator = Sanitizer(self.sim, obs=self.obs)
+            self.sim.validator = self.validator
         self.talp = TalpModule(spec.total_cores)
 
         # One lend/reclaim policy instance per node mirrors the per-node
@@ -91,7 +97,8 @@ class ClusterRuntime:
                 on_ownership_change=self._ownership_changed,
                 obs=self.obs,
                 lend_policy=LEND_POLICIES.create(config.lend_policy),
-                reclaim_policy=RECLAIM_POLICIES.create(config.reclaim_policy))
+                reclaim_policy=RECLAIM_POLICIES.create(config.reclaim_policy),
+                validator=self.validator)
             for node in self.cluster.nodes
         }
         self.lewi = LewiModule(self.arbiters, enabled=config.lewi)
@@ -112,6 +119,7 @@ class ClusterRuntime:
         # apprank id in this wiring.
         self.world.talp_hook = self.talp.add_mpi
         self.world.obs = self.obs
+        self.world.validator = self.validator
 
         self.policy = self._build_policy()
         self.spreader: Optional[DynamicSpreader] = (
@@ -147,14 +155,15 @@ class ClusterRuntime:
             home = self.graph.home_node(apprank_id)
             worker_map: dict[int, Worker] = {}
             runtime = AppRankRuntime(self.sim, apprank_id, home, worker_map,
-                                     network, self.config, obs=self.obs)
+                                     network, self.config, obs=self.obs,
+                                     validator=self.validator)
             for node_id in self.graph.nodes_of(apprank_id):
                 worker = Worker(self.sim, (apprank_id, node_id),
                                 self.cluster.node(node_id),
                                 self.arbiters[node_id],
                                 on_task_finished=runtime.on_task_finished,
                                 talp=self.talp, trace=self.trace,
-                                obs=self.obs)
+                                obs=self.obs, validator=self.validator)
                 worker.apprank_runtime = runtime
                 worker_map[node_id] = worker
                 self.workers[worker.key] = worker
@@ -226,6 +235,10 @@ class ClusterRuntime:
         """Arm policies, TALP, tracing and faults; lend initially idle cores."""
         if self.faults is not None:
             self.faults.arm()
+            if self.validator is not None:
+                # Message losses legitimately reorder deliveries; the
+                # sanitizer keeps conservation checks but drops FIFO.
+                self.validator.relax_message_order()
         self.talp.start(self.sim.now)
         for key in self.placement.workers:
             self.arbiters[key[1]].lend_idle_cores(key)
@@ -276,7 +289,8 @@ class ClusterRuntime:
         worker = Worker(self.sim, (apprank_id, node_id),
                         self.cluster.node(node_id), arbiter,
                         on_task_finished=apprank_rt.on_task_finished,
-                        talp=self.talp, trace=self.trace, obs=self.obs)
+                        talp=self.talp, trace=self.trace, obs=self.obs,
+                        validator=self.validator)
         worker.apprank_runtime = apprank_rt
         arbiter.register_worker(worker)
         if len(arbiter.workers) == 1:
@@ -464,6 +478,8 @@ class ClusterRuntime:
         self.elapsed = self.sim.now
         if self.obs is not None:
             self.obs.finish(self.elapsed)
+        if self.validator is not None:
+            self.validator.finish(self)
         for i, process in enumerate(processes):
             results[i] = process.result
         return results

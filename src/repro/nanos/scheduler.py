@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.injector import FaultInjector
     from ..obs import Observability
     from ..sim.events import Event
+    from ..validate import Sanitizer
     from .config import RuntimeConfig
 
 __all__ = ["AppRankScheduler"]
@@ -68,7 +69,8 @@ class AppRankScheduler:
                  workers: dict[int, Worker], directory: DataDirectory,
                  network: NetworkModel, config: "RuntimeConfig",
                  obs: Optional["Observability"] = None,
-                 policy: Optional[OffloadPolicy] = None) -> None:
+                 policy: Optional[OffloadPolicy] = None,
+                 validator: Optional["Sanitizer"] = None) -> None:
         self.sim = sim
         self.apprank = apprank
         self.home_node = home_node
@@ -77,6 +79,7 @@ class AppRankScheduler:
         self.network = network
         self.config = config
         self.obs = obs
+        self.validator = validator
         #: the pure placement strategy (from the registry unless injected)
         self.policy: OffloadPolicy = (
             policy if policy is not None
@@ -143,6 +146,11 @@ class AppRankScheduler:
                 f"a permutation of range({len(items)})")
         for position in order:
             task = items[position]
+            if task not in self.queue:
+                # A zero-delay assignment above can complete synchronously
+                # and steal (or place) later snapshot entries re-entrantly;
+                # anything no longer queued has already been handled.
+                continue
             node = self._place(task, drained=True)
             if node is None:
                 break
@@ -222,6 +230,11 @@ class AppRankScheduler:
             raise PolicyError(
                 f"policy {self.policy.name!r} chose dead node {node_id} "
                 f"for {task!r}")
+        if self.validator is not None:
+            chosen = next(nv for nv in view.nodes if nv.node_id == node_id)
+            self.validator.placement_decided(task, chosen,
+                                             view.tasks_per_core,
+                                             self.policy.name)
         if self.obs is not None:
             outcome = "keep" if node_id == self.home_node else "offload"
             self.obs.policy_decision(

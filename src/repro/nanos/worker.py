@@ -25,6 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..dlb.talp import TalpModule
     from ..metrics.trace import TraceRecorder
     from ..obs import Observability
+    from ..validate import Sanitizer
 
 __all__ = ["Worker"]
 
@@ -37,7 +38,8 @@ class Worker:
                  on_task_finished: Callable[[Task, "Worker"], None],
                  talp: Optional["TalpModule"] = None,
                  trace: Optional["TraceRecorder"] = None,
-                 obs: Optional["Observability"] = None) -> None:
+                 obs: Optional["Observability"] = None,
+                 validator: Optional["Sanitizer"] = None) -> None:
         self.sim = sim
         self.key = key
         self.node = node
@@ -46,6 +48,7 @@ class Worker:
         self.talp = talp
         self.trace = trace
         self.obs = obs
+        self.validator = validator
         self.ready: deque[Task] = deque()
         self.running: dict[Task, Core] = {}
         #: nested-task bodies parked at a scheduling point, awaiting a core
@@ -141,6 +144,8 @@ class Worker:
     # -- execution ---------------------------------------------------------
 
     def _start(self, task: Task, core: Core) -> None:
+        if self.validator is not None:
+            self.validator.task_started(task, self)
         if task.body is not None:
             self._start_body(task, core)
             return
@@ -219,6 +224,8 @@ class Worker:
         if self.talp is not None and execution.compute_seconds > 0:
             self.talp.add_useful(
                 self.apprank, self.node.task_duration(execution.compute_seconds))
+        if self.validator is not None:
+            self.validator.task_finished(task, self)
         self._on_task_finished(task, self)
         self._steal_if_starving()
         if not self.has_ready():
@@ -301,6 +308,8 @@ class Worker:
         # Hand the core back before dependency release so a successor
         # arriving at this instant sees a consistent core state.
         self.arbiter.release_core(core, self.key)
+        if self.validator is not None:
+            self.validator.task_finished(task, self)
         self._on_task_finished(task, self)
         self._steal_if_starving()
         if not self.has_ready():

@@ -199,6 +199,9 @@ class Simulator:
         #: optional instrumentation tap (:class:`repro.obs.Observability`):
         #: notified of process lifecycles; never schedules events itself
         self.tracer: Optional[Any] = None
+        #: optional invariant sanitizer (:class:`repro.validate.Sanitizer`):
+        #: sees every fired event; never schedules events itself
+        self.validator: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -265,6 +268,8 @@ class Simulator:
             raise SimulationError("event queue returned a past event")
         self._now = event.time
         self.events_fired += 1
+        if self.validator is not None:
+            self.validator.on_event(event)
         event.callback()
         return True
 

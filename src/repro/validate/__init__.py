@@ -1,0 +1,48 @@
+"""Invariant sanitizer and differential conformance harness.
+
+Switchable per run (``RuntimeConfig.validate``, the CLI's ``--check``
+flag, or ``python -m repro check <target>``), this package asserts the
+semantic rules every layer of the stack rests on, *while the run
+executes*:
+
+* :class:`Sanitizer` — in-line checks: clock monotonicity and cancelled
+  events (sim), FIFO ordering and message conservation (mpisim),
+  dependency/lifecycle/placement/coherence rules (nanos), core
+  conservation across LeWI/DROM (dlb);
+* :mod:`repro.validate.reference` — the differential oracle: a
+  sequential reference executor replays each apprank's recorded task
+  graph and must agree on the task set, dependency order, and final data
+  versions under every policy and fault plan;
+* :mod:`repro.validate.metamorphic` — paired-run relations (a faster
+  network never increases the makespan; node speeds never reach the
+  n-body physics);
+* :func:`run_check` — the ``python -m repro check`` entry point tying it
+  together over the headline/synthetic/nbody/resilience targets.
+
+Everything is strictly passive: a validated run is bit-identical in
+timing and event counts to the same run unvalidated. Violations raise
+:class:`~repro.errors.ValidationError` with structured context.
+"""
+
+from ..errors import ValidationError
+from .metamorphic import (assert_network_speedup_helps,
+                          assert_slow_node_physics_invariant, faster_network)
+from .reference import (ReferenceResult, TaskRecord, compare_with_reference,
+                        sequential_replay)
+from .runner import CHECK_TARGETS, CheckReport, run_check
+from .sanitizer import Sanitizer
+
+__all__ = [
+    "Sanitizer",
+    "ValidationError",
+    "TaskRecord",
+    "ReferenceResult",
+    "sequential_replay",
+    "compare_with_reference",
+    "faster_network",
+    "assert_network_speedup_helps",
+    "assert_slow_node_physics_invariant",
+    "CHECK_TARGETS",
+    "CheckReport",
+    "run_check",
+]

@@ -1,0 +1,239 @@
+"""Differential oracle: sequential reference replay of recorded task graphs.
+
+The distributed runtime executes each apprank's task graph across many
+workers, policies and failure modes; this module replays the *same* graph
+on a trivial sequential reference executor (tasks run one at a time, in
+submission order) and checks that both executions agree on everything that
+is observable through the programming model:
+
+* **task set** — every registered task executed exactly once, nothing
+  extra, nothing lost (also under fault plans with task re-execution);
+* **dependency order** — every predecessor finished (on the simulated
+  clock) before its successor started;
+* **data versions** — the final writer of every byte region matches the
+  reference execution, except where the model legitimately admits several
+  outcomes (``concurrent`` access groups run simultaneously; nested child
+  domains only order against their siblings). Those regions are marked
+  *ambiguous* and excluded from the comparison.
+
+The oracle works purely on :class:`TaskRecord` snapshots collected by the
+sanitizer — primitives only, so holding them does not pin runtime objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..errors import ValidationError
+from ..nanos.regions import IntervalMap
+
+__all__ = ["TaskRecord", "ReferenceResult", "sequential_replay",
+           "compare_with_reference"]
+
+
+@dataclass
+class TaskRecord:
+    """Primitive snapshot of one task, filled in as the run progresses.
+
+    Created at registration (identity, dependencies, write regions) and
+    completed by the execution hooks (timestamps, node, start/finish
+    counts). ``writes`` holds ``(start, end, ambiguous)`` triples —
+    *ambiguous* marks regions whose final writer is not uniquely defined
+    by the model (concurrent groups, nested child domains).
+    """
+
+    task_id: int
+    apprank: int
+    label: str
+    submit_index: int
+    pred_ids: tuple[int, ...]
+    writes: tuple[tuple[int, int, bool], ...]
+    parent_id: Optional[int] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    node: Optional[int] = None
+    starts: int = 0
+    finishes: int = 0
+
+
+@dataclass(frozen=True)
+class ReferenceResult:
+    """What the sequential reference executor produced for one apprank."""
+
+    #: every task id, in the (sequential) execution order
+    task_ids: tuple[int, ...]
+    #: canonical ``(start, end, writer_id)`` pieces; ``writer_id`` is None
+    #: where the final writer is ambiguous (excluded from comparison)
+    final_writers: tuple[tuple[int, int, Optional[int]], ...]
+
+
+@dataclass(frozen=True)
+class _WriterCell:
+    """Interval-map payload: who wrote this region last, and how surely."""
+
+    writer: int
+    ambiguous: bool
+
+    def clone(self) -> "_WriterCell":
+        """Interval-map protocol: cells are immutable, share them."""
+        return self
+
+
+def _final_writers(
+        log: Iterable[tuple[int, int, int, bool]]
+) -> tuple[tuple[int, int, Optional[int]], ...]:
+    """Reduce an ordered write log to canonical last-writer pieces."""
+    writers: IntervalMap[_WriterCell] = IntervalMap()
+    for start, end, writer, ambiguous in log:
+        writers.set_range(start, end, _WriterCell(writer, ambiguous))
+    writers.coalesce()
+    return tuple(
+        (seg.start, seg.end, None if seg.value.ambiguous else seg.value.writer)
+        for seg in writers)
+
+
+def sequential_replay(records: list[TaskRecord]) -> ReferenceResult:
+    """Run one apprank's graph on the trivial sequential executor.
+
+    Tasks execute one at a time in submission order; the replay asserts
+    that this order satisfies every recorded dependency (a structural
+    property of program-order dependency graphs — a violation means the
+    dependency tracker registered an edge pointing forward in submission
+    order) and applies writes to a region map to obtain the reference
+    final writer of every byte.
+    """
+    ordered = sorted(records, key=lambda r: r.submit_index)
+    executed: set[int] = set()
+    log: list[tuple[int, int, int, bool]] = []
+    for rec in ordered:
+        missing = [p for p in rec.pred_ids if p not in executed]
+        if missing:
+            raise ValidationError(
+                f"task {rec.task_id} ({rec.label or 'unlabeled'}) depends on "
+                f"{missing} not yet executed in submission order",
+                invariant="oracle.sequential_order",
+                context={"task_id": rec.task_id, "apprank": rec.apprank,
+                         "missing_preds": missing})
+        executed.add(rec.task_id)
+        for start, end, ambiguous in rec.writes:
+            log.append((start, end, rec.task_id, ambiguous))
+    return ReferenceResult(task_ids=tuple(r.task_id for r in ordered),
+                           final_writers=_final_writers(log))
+
+
+@dataclass
+class _Comparison:
+    """Counter bundle returned by :func:`compare_with_reference`."""
+
+    tasks: int = 0
+    dependency_edges: int = 0
+    regions: int = 0
+    ambiguous_regions: int = 0
+    appranks: int = 0
+    by_apprank: dict[int, int] = field(default_factory=dict)
+
+
+def compare_with_reference(
+        records: dict[int, TaskRecord],
+        write_logs: dict[int, list[tuple[int, int, int, bool]]]
+) -> _Comparison:
+    """Check a finished distributed run against its sequential replay.
+
+    *records* maps task id to its completed :class:`TaskRecord`;
+    *write_logs* maps apprank to the ordered ``(start, end, task_id,
+    ambiguous)`` log of writes as the distributed run applied them.
+    Raises :class:`~repro.errors.ValidationError` on the first
+    disagreement; returns comparison counters otherwise.
+    """
+    stats = _Comparison(tasks=len(records))
+    by_apprank: dict[int, list[TaskRecord]] = {}
+    for rec in records.values():
+        by_apprank.setdefault(rec.apprank, []).append(rec)
+
+    for apprank, group in sorted(by_apprank.items()):
+        reference = sequential_replay(group)
+        stats.appranks += 1
+        stats.by_apprank[apprank] = len(group)
+
+        # Task set + exactly-once execution.
+        for rec in group:
+            if rec.finishes != 1:
+                raise ValidationError(
+                    f"task {rec.task_id} ({rec.label or 'unlabeled'}) of "
+                    f"apprank {apprank} finished {rec.finishes} times; the "
+                    "reference executes every registered task exactly once",
+                    invariant="oracle.task_set",
+                    context={"task_id": rec.task_id, "apprank": apprank,
+                             "starts": rec.starts, "finishes": rec.finishes})
+
+        # Dependency order on the simulated clock.
+        for rec in group:
+            for pred_id in rec.pred_ids:
+                pred = records.get(pred_id)
+                if pred is None:
+                    raise ValidationError(
+                        f"task {rec.task_id} depends on unregistered task "
+                        f"{pred_id}",
+                        invariant="oracle.dependency_order",
+                        context={"task_id": rec.task_id, "pred": pred_id})
+                stats.dependency_edges += 1
+                if (pred.finished_at is None or rec.started_at is None
+                        or pred.finished_at > rec.started_at):
+                    raise ValidationError(
+                        f"task {rec.task_id} started at {rec.started_at} "
+                        f"before predecessor {pred_id} finished at "
+                        f"{pred.finished_at}",
+                        invariant="oracle.dependency_order",
+                        time=rec.started_at,
+                        context={"task_id": rec.task_id, "pred": pred_id,
+                                 "apprank": apprank})
+
+        # Data versions: final writer per byte region. Ambiguous writes
+        # (concurrent groups, nested domains) may split regions at
+        # different points in the two runs, so the comparison walks the
+        # union of both runs' segment boundaries instead of demanding an
+        # identical segment structure.
+        distributed = _final_writers(write_logs.get(apprank, []))
+        bounds = sorted({b for s, e, _ in reference.final_writers
+                         for b in (s, e)}
+                        | {b for s, e, _ in distributed for b in (s, e)})
+        for lo, hi in zip(bounds, bounds[1:]):
+            ref_writer = _writer_of(reference.final_writers, lo, hi)
+            dist_writer = _writer_of(distributed, lo, hi)
+            if ref_writer is _UNCOVERED and dist_writer is _UNCOVERED:
+                continue
+            stats.regions += 1
+            if ref_writer is None or dist_writer is None:
+                stats.ambiguous_regions += 1
+                continue
+            if ref_writer != dist_writer:
+                raise ValidationError(
+                    f"apprank {apprank}: region [{lo}, {hi}) was last "
+                    f"written by {_describe(dist_writer)} in the "
+                    f"distributed run but by {_describe(ref_writer)} in "
+                    "the sequential reference",
+                    invariant="oracle.data_versions",
+                    context={"apprank": apprank, "region": [lo, hi],
+                             "reference_writer": ref_writer,
+                             "distributed_writer": dist_writer})
+    return stats
+
+
+#: sentinel for "no write covered this piece in that run"
+_UNCOVERED = "uncovered"
+
+
+def _writer_of(pieces: tuple[tuple[int, int, Optional[int]], ...],
+               lo: int, hi: int):
+    """Final writer of ``[lo, hi)``: a task id, None (ambiguous), or
+    :data:`_UNCOVERED` when no write touched the piece."""
+    for start, end, writer in pieces:
+        if start <= lo and hi <= end:
+            return writer
+    return _UNCOVERED
+
+
+def _describe(writer) -> str:
+    """Human-readable name of a :func:`_writer_of` result."""
+    return "no task" if writer is _UNCOVERED else f"task {writer}"

@@ -1,0 +1,386 @@
+"""In-line invariant sanitizer for validated runs (``config.validate``).
+
+One :class:`Sanitizer` per :class:`~repro.sim.engine.Simulator` observes
+every layer of a run through guarded hook calls (the same pattern as
+:mod:`repro.obs`) and asserts the semantic rules the paper's mechanisms
+rest on, *as they happen* on the simulated clock:
+
+========== =========================================================
+layer      invariants
+========== =========================================================
+sim        clock monotonicity; cancelled events never fire; no event
+           fires twice
+mpisim     per-``(src, dst, tag, comm)`` FIFO matching order (relaxed
+           under fault plans, which legitimately delay messages);
+           message conservation — every sent envelope is delivered
+           exactly once, duplicates and re-sends included
+nanos      no task starts before every region dependency released;
+           no double start (unless the task was lost and recovered)
+           or double finish; §5.5 two-tasks-per-core bound on every
+           threshold-respecting policy decision; directory coherence
+           — a task's eager input copies are valid at its execution
+           node when it starts
+dlb        core conservation across LeWI lend/reclaim and DROM
+           reallocations: every core has exactly one effective owner,
+           owners are registered workers, every worker keeps its
+           one-core DLB floor, occupants are registered
+========== =========================================================
+
+The sanitizer is strictly passive: it never schedules events, mutates
+runtime state, or consumes randomness, so a validated run is bit-identical
+(same timing, same event counts) to the same run with validation off.
+Violations raise :class:`~repro.errors.ValidationError` with the invariant
+name, simulated time, offending identifiers, and — when :mod:`repro.obs`
+is also enabled — the most recent observability records for context.
+
+At the end of the run, :meth:`Sanitizer.finish` settles the global checks
+(message conservation, exactly-once execution) and replays every
+apprank's task graph against the sequential reference executor
+(:mod:`repro.validate.reference`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..errors import ValidationError
+from ..nanos.task import AccessType, Task
+from .reference import TaskRecord, compare_with_reference
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dlb.shmem import NodeArbiter
+    from ..mpisim.message import Envelope
+    from ..nanos.worker import Worker
+    from ..obs import Observability
+    from ..policies import NodeView
+    from ..sim.engine import Simulator
+    from ..sim.events import Event
+
+__all__ = ["Sanitizer"]
+
+#: offload policies whose contract includes the §5.5 threshold: a chosen
+#: node must satisfy ``load_ratio < tasks_per_core`` at decision time
+_THRESHOLD_POLICIES = frozenset({"tentative", "locality", "work-sharing"})
+
+
+class Sanitizer:
+    """Run-scoped invariant checker; one instance per validated run."""
+
+    def __init__(self, sim: "Simulator",
+                 obs: Optional["Observability"] = None) -> None:
+        self.sim = sim
+        self.obs = obs
+        # sim layer
+        self._last_event_time = 0.0
+        self.events_checked = 0
+        # mpisim layer
+        self._fifo_relaxed = False
+        self._sent_seqs: set[int] = set()
+        self._delivered_seqs: set[int] = set()
+        self._pending_by_key: dict[tuple[int, int, int, int],
+                                   deque[int]] = {}
+        self.messages_checked = 0
+        # nanos layer
+        self.records: dict[int, TaskRecord] = {}
+        self._submit_index: dict[int, int] = {}
+        self._finished_ids: set[int] = set()
+        self._write_logs: dict[int, list[tuple[int, int, int, bool]]] = {}
+        self.tasks_checked = 0
+        self.placements_checked = 0
+        # dlb layer
+        self.dlb_checks = 0
+        #: filled by :meth:`finish`: differential-oracle counters
+        self.oracle_stats: Optional[Any] = None
+        self.finished = False
+
+    # -- failure path ------------------------------------------------------
+
+    def _fail(self, invariant: str, message: str, **context: Any) -> None:
+        """Raise a structured :class:`ValidationError` at the current time."""
+        events: tuple = ()
+        if self.obs is not None:
+            events = (tuple(self.obs.bus.spans[-8:])
+                      + tuple(self.obs.bus.instants[-8:]))
+        raise ValidationError(
+            f"[{invariant}] t={self.sim.now:.6f}: {message}",
+            invariant=invariant, time=self.sim.now, context=context,
+            events=events)
+
+    # -- sim layer ---------------------------------------------------------
+
+    def on_event(self, event: "Event") -> None:
+        """Engine hook: *event* was popped to fire right now."""
+        self.events_checked += 1
+        if event.cancelled:
+            self._fail("sim.cancelled_event_fired",
+                       f"cancelled event {event.label or event.seq} fired",
+                       label=event.label, seq=event.seq)
+        if event.time < self._last_event_time:
+            self._fail("sim.clock_monotonic",
+                       f"event {event.label or event.seq} at t={event.time} "
+                       f"fired after t={self._last_event_time}",
+                       label=event.label, seq=event.seq,
+                       event_time=event.time,
+                       last_time=self._last_event_time)
+        self._last_event_time = event.time
+
+    # -- mpisim layer ------------------------------------------------------
+
+    def relax_message_order(self) -> None:
+        """A fault plan is armed: losses legitimately reorder deliveries.
+
+        FIFO matching is no longer asserted; message conservation (every
+        sent envelope delivered exactly once) still is.
+        """
+        self._fifo_relaxed = True
+
+    def msg_sent(self, env: "Envelope") -> None:
+        """Transport hook: *env* was handed to the network."""
+        if env.seq in self._sent_seqs:
+            self._fail("mpi.message_conservation",
+                       f"envelope seq {env.seq} sent twice",
+                       seq=env.seq, src=env.src, dst=env.dst, tag=env.tag)
+        self._sent_seqs.add(env.seq)
+        key = (env.src, env.dst, env.tag, env.comm_id)
+        self._pending_by_key.setdefault(key, deque()).append(env.seq)
+
+    def msg_delivered(self, env: "Envelope") -> None:
+        """Transport hook: *env* reached its destination endpoint."""
+        self.messages_checked += 1
+        if env.seq not in self._sent_seqs:
+            self._fail("mpi.message_conservation",
+                       f"envelope seq {env.seq} delivered but never sent",
+                       seq=env.seq, src=env.src, dst=env.dst, tag=env.tag)
+        if env.seq in self._delivered_seqs:
+            self._fail("mpi.message_conservation",
+                       f"envelope seq {env.seq} delivered twice "
+                       f"({env.src}->{env.dst} tag {env.tag})",
+                       seq=env.seq, src=env.src, dst=env.dst, tag=env.tag)
+        self._delivered_seqs.add(env.seq)
+        key = (env.src, env.dst, env.tag, env.comm_id)
+        pending = self._pending_by_key.get(key)
+        if not pending:        # conservation already covers stray seqs
+            return
+        if self._fifo_relaxed:
+            try:
+                pending.remove(env.seq)
+            except ValueError:
+                pass
+            return
+        expected = pending[0]
+        if env.seq != expected:
+            self._fail("mpi.fifo_order",
+                       f"message seq {env.seq} from rank {env.src} to rank "
+                       f"{env.dst} (tag {env.tag}, comm {env.comm_id}) "
+                       f"overtook seq {expected} on the same channel",
+                       seq=env.seq, expected=expected, src=env.src,
+                       dst=env.dst, tag=env.tag, comm=env.comm_id)
+        pending.popleft()
+
+    # -- nanos layer -------------------------------------------------------
+
+    def task_registered(self, task: Task) -> None:
+        """Runtime hook: *task* is about to enter its dependency domain.
+
+        Called *before* dependency registration (which may synchronously
+        start a dependence-free task); :meth:`task_dependencies_known`
+        completes the record with the stamped predecessor ids afterwards.
+        """
+        if task.task_id in self.records:
+            self._fail("nanos.registration",
+                       f"task {task.task_id} registered twice",
+                       task_id=task.task_id, apprank=task.apprank)
+        index = self._submit_index.get(task.apprank, 0)
+        self._submit_index[task.apprank] = index + 1
+        self.records[task.task_id] = TaskRecord(
+            task_id=task.task_id, apprank=task.apprank, label=task.label,
+            submit_index=index, pred_ids=(),
+            writes=tuple((a.start, a.end,
+                          a.mode is AccessType.CONCURRENT
+                          or task.parent is not None)
+                         for a in task.outputs),
+            parent_id=None if task.parent is None else task.parent.task_id)
+
+    def task_dependencies_known(self, task: Task) -> None:
+        """Runtime hook: the tracker stamped *task*'s predecessor ids.
+
+        A task that started synchronously during registration provably had
+        no live predecessors, so completing the record afterwards is safe.
+        """
+        rec = self.records.get(task.task_id)
+        if rec is not None:
+            rec.pred_ids = task.pred_ids
+
+    def task_started(self, task: Task, worker: "Worker") -> None:
+        """Worker hook: *task* starts executing on *worker* now."""
+        self.tasks_checked += 1
+        rec = self.records.get(task.task_id)
+        if rec is None:
+            return        # worker used standalone (unit tests): no graph
+        if rec.finishes:
+            self._fail("nanos.lifecycle",
+                       f"task {task.task_id} started after finishing",
+                       task_id=task.task_id, apprank=task.apprank)
+        if rec.starts and task.retries == 0:
+            self._fail("nanos.lifecycle",
+                       f"task {task.task_id} started twice without being "
+                       "lost and recovered",
+                       task_id=task.task_id, starts=rec.starts)
+        rec.starts += 1
+        rec.started_at = self.sim.now
+        rec.node = worker.node_id
+        missing = [p for p in rec.pred_ids if p not in self._finished_ids]
+        if missing:
+            self._fail("nanos.dependency_order",
+                       f"task {task.task_id} started before predecessors "
+                       f"{missing} finished",
+                       task_id=task.task_id, apprank=task.apprank,
+                       missing_preds=missing, node=worker.node_id)
+        runtime = worker.apprank_runtime
+        if runtime is not None and not any(
+                a.mode is AccessType.CONCURRENT for a in task.accesses):
+            # Concurrent-group peers may invalidate each other's copies
+            # mid-flight by design; every other task must see its eager
+            # input copies valid at the execution node when it starts.
+            stale = runtime.directory.bytes_missing_at(task.inputs,
+                                                       worker.node_id)
+            if stale:
+                self._fail("nanos.directory_coherence",
+                           f"task {task.task_id} started on node "
+                           f"{worker.node_id} with {stale} input bytes not "
+                           "valid there",
+                           task_id=task.task_id, node=worker.node_id,
+                           stale_bytes=stale)
+
+    def task_finished(self, task: Task, worker: "Worker") -> None:
+        """Worker hook: *task* finished executing on *worker* now."""
+        rec = self.records.get(task.task_id)
+        if rec is None:
+            return
+        if rec.finishes:
+            self._fail("nanos.lifecycle",
+                       f"task {task.task_id} finished twice",
+                       task_id=task.task_id, apprank=task.apprank)
+        rec.finishes += 1
+        rec.finished_at = self.sim.now
+        rec.node = worker.node_id
+        self._finished_ids.add(task.task_id)
+        log = self._write_logs.setdefault(rec.apprank, [])
+        for start, end, ambiguous in rec.writes:
+            log.append((start, end, rec.task_id, ambiguous))
+
+    def placement_decided(self, task: Task, node: "NodeView",
+                          tasks_per_core: int, policy_name: str) -> None:
+        """Scheduler hook: the offload policy chose *node* for *task*."""
+        self.placements_checked += 1
+        if policy_name not in _THRESHOLD_POLICIES:
+            return        # third-party policies may define other contracts
+        if not node.alive:
+            self._fail("nanos.placement_bound",
+                       f"policy {policy_name!r} placed task {task.task_id} "
+                       f"on dead node {node.node_id}",
+                       task_id=task.task_id, node=node.node_id,
+                       policy=policy_name)
+        if node.load_ratio >= tasks_per_core:
+            self._fail("nanos.placement_bound",
+                       f"policy {policy_name!r} placed task {task.task_id} "
+                       f"on node {node.node_id} at load ratio "
+                       f"{node.load_ratio:.2f} >= threshold {tasks_per_core} "
+                       "(§5.5 two-tasks-per-core bound)",
+                       task_id=task.task_id, node=node.node_id,
+                       load_ratio=node.load_ratio,
+                       tasks_per_core=tasks_per_core, policy=policy_name)
+
+    # -- dlb layer ---------------------------------------------------------
+
+    def check_node(self, arbiter: "NodeArbiter") -> None:
+        """Arbiter hook: core state mutated; re-assert core conservation."""
+        if arbiter.dead or not arbiter.workers:
+            return        # failed or fully retired nodes hold no invariants
+        self.dlb_checks += 1
+        node = arbiter.node
+        counts = {key: 0 for key in arbiter.workers}
+        for core in node.cores:
+            effective = core.pending_owner or core.owner
+            if effective is None:
+                self._fail("dlb.core_conservation",
+                           f"core {core.index} of node {node.node_id} has "
+                           "no effective owner",
+                           node=node.node_id, core=core.index)
+            if effective not in counts:
+                self._fail("dlb.core_conservation",
+                           f"core {core.index} of node {node.node_id} owned "
+                           f"by unregistered worker {effective!r}",
+                           node=node.node_id, core=core.index,
+                           owner=list(effective))
+            counts[effective] += 1
+            if (core.occupant is not None
+                    and core.occupant not in arbiter.workers):
+                self._fail("dlb.core_conservation",
+                           f"core {core.index} of node {node.node_id} "
+                           f"occupied by unregistered worker "
+                           f"{core.occupant!r}",
+                           node=node.node_id, core=core.index,
+                           occupant=list(core.occupant))
+        total = sum(counts.values())
+        if total != node.num_cores:
+            self._fail("dlb.core_conservation",
+                       f"node {node.node_id} effective ownership covers "
+                       f"{total} cores, node has {node.num_cores}",
+                       node=node.node_id, total=total,
+                       num_cores=node.num_cores)
+        floorless = sorted(key for key, n in counts.items() if n < 1)
+        if floorless:
+            self._fail("dlb.core_conservation",
+                       f"node {node.node_id}: workers {floorless} fell "
+                       "below the one-core DLB floor",
+                       node=node.node_id,
+                       workers=[list(key) for key in floorless])
+
+    # -- end of run --------------------------------------------------------
+
+    def finish(self, runtime: Any = None) -> None:
+        """Settle global checks and run the differential oracle.
+
+        Called by :meth:`repro.nanos.runtime.ClusterRuntime.run_app` after
+        the event queue drained; idempotent. *runtime* is accepted for
+        symmetry with the other facades and reserved for cross-checks
+        against its counters.
+        """
+        if self.finished:
+            return
+        self.finished = True
+        undelivered = self._sent_seqs - self._delivered_seqs
+        if undelivered:
+            sample = sorted(undelivered)[:10]
+            self._fail("mpi.message_conservation",
+                       f"{len(undelivered)} sent message(s) never reached "
+                       f"their destination endpoint (seqs {sample}...)",
+                       undelivered=sample, total=len(undelivered))
+        never_finished = sorted(
+            rec.task_id for rec in self.records.values() if not rec.finishes)
+        if never_finished:
+            self._fail("nanos.lifecycle",
+                       f"{len(never_finished)} registered task(s) never "
+                       f"finished (ids {never_finished[:10]}...)",
+                       task_ids=never_finished[:10],
+                       total=len(never_finished))
+        if self.records:
+            self.oracle_stats = compare_with_reference(self.records,
+                                                       self._write_logs)
+
+    def summary(self) -> dict[str, int]:
+        """Counters of what was checked (for reports and the CLI)."""
+        return {
+            "events": self.events_checked,
+            "messages": self.messages_checked,
+            "tasks": len(self.records),
+            "task_starts": self.tasks_checked,
+            "placements": self.placements_checked,
+            "dlb_checks": self.dlb_checks,
+            "oracle_edges": (self.oracle_stats.dependency_edges
+                             if self.oracle_stats is not None else 0),
+            "oracle_regions": (self.oracle_stats.regions
+                               if self.oracle_stats is not None else 0),
+        }

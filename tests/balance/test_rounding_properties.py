@@ -1,0 +1,91 @@
+"""Hypothesis properties of the integer core apportionment.
+
+Complements ``test_rounding.py``'s example-based cases: for *any*
+weights/LP solution, the rounded allocation must hand out exactly the
+node's cores, never drop a worker below its floor, and be a pure function
+of the mapping's *contents* (insertion order must not matter — both
+callers build their dicts in whatever order the runtime produced).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.balance.rounding import proportional_allocation, round_allocation
+
+WEIGHTS = st.dictionaries(
+    st.integers(min_value=0, max_value=31),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=8)
+
+LP_VALUES = st.dictionaries(
+    st.integers(min_value=0, max_value=31),
+    st.floats(min_value=1.0, max_value=64.0, allow_nan=False),
+    min_size=1, max_size=8)
+
+
+def shuffled(mapping, seed):
+    """The same mapping rebuilt in a different insertion order."""
+    keys = sorted(mapping)
+    rotation = seed % len(keys)
+    reordered = keys[rotation:] + keys[:rotation]
+    return {k: mapping[k] for k in reversed(reordered)}
+
+
+class TestProportionalAllocation:
+    @given(weights=WEIGHTS, spare=st.integers(min_value=0, max_value=64),
+           minimum=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=200)
+    def test_sums_to_total_with_floor(self, weights, spare, minimum):
+        total = minimum * len(weights) + spare
+        counts = proportional_allocation(weights, total, minimum=minimum)
+        assert sum(counts.values()) == total
+        assert set(counts) == set(weights)
+        assert all(count >= minimum for count in counts.values())
+
+    @given(weights=WEIGHTS, spare=st.integers(min_value=0, max_value=64),
+           seed=st.integers(min_value=1, max_value=7))
+    @settings(max_examples=200)
+    def test_permutation_stable(self, weights, spare, seed):
+        total = len(weights) + spare
+        assert (proportional_allocation(weights, total)
+                == proportional_allocation(shuffled(weights, seed), total))
+
+    @given(weights=WEIGHTS, spare=st.integers(min_value=0, max_value=64))
+    @settings(max_examples=200)
+    def test_within_one_core_of_the_real_proportion(self, weights, spare):
+        total = len(weights) + spare
+        counts = proportional_allocation(weights, total)
+        clean = {k: max(0.0, float(v)) for k, v in weights.items()}
+        weight_sum = sum(clean.values())
+        if weight_sum <= 0.0:
+            return
+        distributable = total - len(weights)
+        for key, count in counts.items():
+            share = distributable * clean[key] / weight_sum
+            assert 1 + math.floor(share) <= count <= 1 + math.ceil(share) + 1
+
+
+def lp_floor(value):
+    """The rounding module's floor: nudged so near-integer LP values
+    (solver tolerance) land on the integer they mean."""
+    return max(1, int(value + 1e-9))
+
+
+class TestRoundAllocation:
+    @given(values=LP_VALUES, spare=st.integers(min_value=0, max_value=16))
+    @settings(max_examples=200)
+    def test_sums_to_total_never_below_floor(self, values, spare):
+        total = sum(lp_floor(v) for v in values.values()) + spare
+        counts = round_allocation(values, total)
+        assert sum(counts.values()) == total
+        assert all(counts[k] >= lp_floor(values[k]) for k in values)
+
+    @given(values=LP_VALUES, spare=st.integers(min_value=0, max_value=16),
+           seed=st.integers(min_value=1, max_value=7))
+    @settings(max_examples=200)
+    def test_permutation_stable(self, values, spare, seed):
+        total = sum(lp_floor(v) for v in values.values()) + spare
+        assert (round_allocation(values, total)
+                == round_allocation(shuffled(values, seed), total))

@@ -1,0 +1,75 @@
+"""Hypothesis properties of §5.4 worker placement and initial ownership.
+
+For any feasible (appranks, nodes, degree, cores) combination, the
+placement must conserve cores exactly — every node's initial ownership
+sums to the node's core count, nobody starts below the one-core DLB
+floor — and stay structurally consistent with the bipartite graph.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError, InfeasibleGraphError
+from repro.graph.cache import get_graph
+from repro.graph.placement import build_placement
+
+
+@st.composite
+def placements(draw):
+    num_nodes = draw(st.integers(min_value=1, max_value=6))
+    per_node = draw(st.integers(min_value=1, max_value=3))
+    num_appranks = num_nodes * per_node
+    degree = draw(st.integers(min_value=1, max_value=min(4, num_nodes)))
+    seed = draw(st.integers(min_value=0, max_value=3))
+    cores_per_node = draw(st.integers(min_value=1, max_value=16))
+    try:
+        graph = get_graph(num_appranks, num_nodes, degree, seed,
+                          use_cache=False)
+        placement = build_placement(graph, cores_per_node)
+    except (InfeasibleGraphError, GraphError):
+        assume(False)
+    return placement, cores_per_node
+
+
+class TestPlacementProperties:
+    @given(placements())
+    @settings(max_examples=60, deadline=None)
+    def test_every_node_conserves_its_cores(self, case):
+        placement, cores_per_node = case
+        for node_workers in placement.workers_by_node:
+            owned = sum(placement.initial_cores[w] for w in node_workers)
+            assert owned == cores_per_node
+
+    @given(placements())
+    @settings(max_examples=60, deadline=None)
+    def test_nobody_starts_below_the_dlb_floor(self, case):
+        placement, _ = case
+        assert all(cores >= 1
+                   for cores in placement.initial_cores.values())
+        helpers = [w for w in placement.workers if not placement.is_home(w)]
+        assert all(placement.initial_cores[w] == 1 for w in helpers)
+        assert placement.num_helpers == len(helpers)
+
+    @given(placements())
+    @settings(max_examples=60, deadline=None)
+    def test_workers_match_the_graph_edges(self, case):
+        placement, _ = case
+        graph = placement.graph
+        expected = {(a, n) for a in range(graph.num_appranks)
+                    for n in graph.nodes_of(a)}
+        assert set(placement.workers) == expected
+        assert len(placement.workers) == len(set(placement.workers))
+        flattened = [w for node_workers in placement.workers_by_node
+                     for w in node_workers]
+        assert sorted(flattened) == sorted(placement.workers)
+
+    @given(placements())
+    @settings(max_examples=60, deadline=None)
+    def test_every_apprank_lists_home_first(self, case):
+        placement, _ = case
+        graph = placement.graph
+        for apprank in range(graph.num_appranks):
+            workers = placement.workers_of_apprank(apprank)
+            assert workers[0] == (apprank, graph.home_node(apprank))
+            assert placement.is_home(workers[0])
+            assert not any(placement.is_home(w) for w in workers[1:])

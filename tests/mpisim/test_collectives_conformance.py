@@ -1,0 +1,166 @@
+"""Differential conformance: every collective vs a flat reference, 2–64 ranks.
+
+The tree/dissemination algorithms in :mod:`repro.mpisim.collectives` must
+produce exactly what a trivial flat implementation (``functools.reduce``
+over the rank payloads in rank order) produces, at every size — including
+the awkward non-powers-of-two — plus the MPI completion-ordering
+guarantees (nobody leaves a barrier before the last arrival; a root never
+holds a reduction result before every contribution could have reached it).
+Every world runs with the :mod:`repro.validate` sanitizer armed, so FIFO
+matching and message conservation are asserted on every exchange.
+"""
+
+import functools
+
+import pytest
+
+from repro.cluster import GENERIC_SMALL, Cluster, ClusterSpec
+from repro.mpisim import MpiWorld
+from repro.sim import Simulator, Timeout
+from repro.validate import Sanitizer
+
+SIZES = [2, 3, 4, 5, 7, 8, 16, 33, 64]
+
+OPS = {"sum": lambda a, b: a + b,
+       "max": max,
+       "min": min,
+       "prod": lambda a, b: a * b}
+
+
+def payload_of(rank):
+    """Distinct, non-commutative-friendly per-rank value."""
+    return 3 * rank + 1
+
+
+def run_world(size, main):
+    """Run *main* on a validated standalone world; returns rank results."""
+    sim = Simulator()
+    nodes = max(1, (size + 1) // 2)
+    cluster = Cluster(ClusterSpec.homogeneous(GENERIC_SMALL, nodes))
+    world = MpiWorld(sim, cluster, [r % nodes for r in range(size)])
+    sanitizer = Sanitizer(sim)
+    sim.validator = sanitizer
+    world.validator = sanitizer
+    results = world.run_spmd(main)
+    sanitizer.finish()
+    assert sanitizer.messages_checked > 0
+    return results
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestAgainstFlatReference:
+    def test_reduce_and_allreduce(self, size):
+        values = [payload_of(r) for r in range(size)]
+        for op_name, op in OPS.items():
+            expected = functools.reduce(op, values)
+
+            def main(comm, op_name=op_name):
+                at_root = yield from comm.reduce(payload_of(comm.rank),
+                                                 op=op_name, root=0)
+                everywhere = yield from comm.allreduce(payload_of(comm.rank),
+                                                       op=op_name)
+                return at_root, everywhere
+
+            results = run_world(size, main)
+            assert results[0][0] == expected
+            assert all(r[0] is None for r in results[1:])
+            assert [r[1] for r in results] == [expected] * size
+
+    def test_scan_and_exscan(self, size):
+        values = [payload_of(r) for r in range(size)]
+
+        def main(comm):
+            inclusive = yield from comm.scan(payload_of(comm.rank))
+            exclusive = yield from comm.exscan(payload_of(comm.rank))
+            return inclusive, exclusive
+
+        results = run_world(size, main)
+        for rank, (inclusive, exclusive) in enumerate(results):
+            assert inclusive == functools.reduce(OPS["sum"],
+                                                 values[:rank + 1])
+            if rank == 0:
+                assert exclusive is None
+            else:
+                assert exclusive == functools.reduce(OPS["sum"],
+                                                     values[:rank])
+
+    def test_gather_allgather_scatter(self, size):
+        values = [payload_of(r) for r in range(size)]
+
+        def main(comm):
+            gathered = yield from comm.gather(payload_of(comm.rank), root=0)
+            everywhere = yield from comm.allgather(payload_of(comm.rank))
+            mine = yield from comm.scatter(
+                [v * 10 for v in values] if comm.rank == 0 else None, root=0)
+            return gathered, everywhere, mine
+
+        results = run_world(size, main)
+        assert results[0][0] == values
+        assert all(r[0] is None for r in results[1:])
+        assert all(r[1] == values for r in results)
+        assert [r[2] for r in results] == [v * 10 for v in values]
+
+    def test_alltoall_is_a_transpose(self, size):
+        def main(comm):
+            out = [(comm.rank, dst) for dst in range(comm.size)]
+            received = yield from comm.alltoall(out)
+            return received
+
+        results = run_world(size, main)
+        for rank, received in enumerate(results):
+            assert received == [(src, rank) for src in range(size)]
+
+    def test_reduce_scatter_matches_columnwise_reduce(self, size):
+        def main(comm):
+            rows = [comm.rank + 100 * col for col in range(comm.size)]
+            mine = yield from comm.reduce_scatter(rows)
+            return mine
+
+        results = run_world(size, main)
+        column_sum = sum(range(size))        # sum over ranks of `rank`
+        for rank, mine in enumerate(results):
+            assert mine == column_sum + 100 * rank * size
+
+    def test_bcast_from_middle_root(self, size):
+        root = size // 2
+
+        def main(comm):
+            payload = "payload" if comm.rank == root else None
+            value = yield from comm.bcast(payload, root=root)
+            return value
+
+        assert run_world(size, main) == ["payload"] * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestCompletionOrdering:
+    def test_barrier_completes_after_the_last_arrival(self, size):
+        def main(comm):
+            yield Timeout(0.01 * comm.rank)     # staggered arrival
+            yield from comm.barrier()
+            return comm.sim.now
+
+        times = run_world(size, main)
+        last_arrival = 0.01 * (size - 1)
+        assert all(t >= last_arrival for t in times)
+
+    def test_allreduce_completes_after_every_contribution(self, size):
+        def main(comm):
+            yield Timeout(0.01 * comm.rank)     # last contribution known
+            value = yield from comm.allreduce(1)
+            return comm.sim.now, value
+
+        results = run_world(size, main)
+        last_contribution = 0.01 * (size - 1)
+        assert all(t >= last_contribution for t, _ in results)
+        assert all(value == size for _, value in results)
+
+    def test_root_reduce_completes_after_every_contribution(self, size):
+        def main(comm):
+            yield Timeout(0.01 * comm.rank)
+            value = yield from comm.reduce(1, root=0)
+            return comm.sim.now, value
+
+        results = run_world(size, main)
+        assert results[0][0] >= 0.01 * (size - 1)
+        assert results[0][1] == size

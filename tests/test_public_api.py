@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.metrics",
     "repro.experiments",
     "repro.policies",
+    "repro.validate",
 ]
 
 
@@ -66,3 +67,10 @@ class TestTopLevel:
         assert ClusterRuntime and RuntimeConfig and ClusterSpec
         assert MARENOSTRUM4.cores_per_node == 48
         assert AccessType("inout").reads and DataAccess
+
+    def test_validation_error_importable_from_root(self):
+        import repro
+        from repro.validate import ValidationError
+        assert repro.ValidationError is ValidationError
+        assert "ValidationError" in repro.__all__
+        assert issubclass(ValidationError, repro.ReproError)

@@ -1,0 +1,82 @@
+"""Metamorphic oracles on stub run functions (no simulator needed)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import GENERIC_SMALL
+from repro.errors import ValidationError
+from repro.validate import (assert_network_speedup_helps,
+                            assert_slow_node_physics_invariant,
+                            faster_network)
+
+
+class TestFasterNetwork:
+    def test_scales_latency_down_and_bandwidth_up(self):
+        fast = faster_network(GENERIC_SMALL, 4.0)
+        assert fast.network_latency_s == GENERIC_SMALL.network_latency_s / 4
+        assert (fast.network_bandwidth_bps
+                == GENERIC_SMALL.network_bandwidth_bps * 4)
+        assert fast.cores_per_node == GENERIC_SMALL.cores_per_node
+
+    def test_rejects_non_positive_factor(self):
+        with pytest.raises(ValidationError):
+            faster_network(GENERIC_SMALL, 0.0)
+
+
+class TestNetworkSpeedupRelation:
+    def test_not_increased_passes(self):
+        makespans = iter([10.0, 8.0])
+        base, fast = assert_network_speedup_helps(
+            lambda machine: next(makespans), GENERIC_SMALL)
+        assert (base, fast) == (10.0, 8.0)
+
+    def test_equal_makespans_pass(self):
+        base, fast = assert_network_speedup_helps(
+            lambda machine: 10.0, GENERIC_SMALL)
+        assert base == fast == 10.0
+
+    def test_small_scheduling_anomaly_is_tolerated(self):
+        makespans = iter([10.0, 10.1])      # +1%: adaptive-placement noise
+        base, fast = assert_network_speedup_helps(
+            lambda machine: next(makespans), GENERIC_SMALL)
+        assert (base, fast) == (10.0, 10.1)
+
+    def test_increase_beyond_anomaly_slack_fails(self):
+        makespans = iter([10.0, 12.0])      # +20%: a timing-model bug
+        with pytest.raises(ValidationError) as exc:
+            assert_network_speedup_helps(lambda machine: next(makespans),
+                                         GENERIC_SMALL)
+        assert exc.value.invariant == "metamorphic.network_speedup"
+        assert exc.value.context["fast_elapsed"] == 12.0
+
+    def test_run_fn_sees_the_scaled_machine(self):
+        seen = []
+        assert_network_speedup_helps(
+            lambda machine: seen.append(machine.network_latency_s) or 1.0,
+            GENERIC_SMALL, factor=2.0)
+        assert seen == [GENERIC_SMALL.network_latency_s,
+                        GENERIC_SMALL.network_latency_s / 2]
+
+
+class TestPhysicsInvariance:
+    def _results(self, shift=0.0):
+        return [{"positions": np.arange(6.0).reshape(2, 3) + shift,
+                 "velocities": np.ones((2, 3))} for _ in range(3)]
+
+    def test_identical_results_pass(self):
+        ranks = assert_slow_node_physics_invariant(
+            lambda slow: self._results())
+        assert ranks == 3
+
+    def test_position_drift_fails(self):
+        with pytest.raises(ValidationError) as exc:
+            assert_slow_node_physics_invariant(
+                lambda slow: self._results(1e-12 if slow else 0.0))
+        assert exc.value.invariant == "metamorphic.physics_invariance"
+        assert exc.value.context["field"] == "positions"
+
+    def test_rank_count_change_fails(self):
+        with pytest.raises(ValidationError):
+            assert_slow_node_physics_invariant(
+                lambda slow: self._results()[:2] if slow
+                else self._results())

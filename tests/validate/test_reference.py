@@ -1,0 +1,129 @@
+"""The differential oracle on handcrafted task-record histories."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.validate import (TaskRecord, compare_with_reference,
+                            sequential_replay)
+
+
+def record(task_id, submit_index, preds=(), writes=(), apprank=0,
+           started_at=None, finished_at=None, starts=1, finishes=1):
+    return TaskRecord(task_id=task_id, apprank=apprank, label=f"t{task_id}",
+                      submit_index=submit_index, pred_ids=tuple(preds),
+                      writes=tuple(writes), started_at=started_at,
+                      finished_at=finished_at, starts=starts,
+                      finishes=finishes)
+
+
+def log_of(records):
+    """The write log a faithful distributed run would have produced, in
+    finish order."""
+    ordered = sorted(records, key=lambda r: r.finished_at)
+    return [(s, e, r.task_id, amb) for r in ordered for s, e, amb in r.writes]
+
+
+class TestSequentialReplay:
+    def test_chain_executes_in_submission_order(self):
+        recs = [record(1, 0, writes=[(0, 10, False)]),
+                record(2, 1, preds=[1], writes=[(0, 10, False)]),
+                record(3, 2, preds=[2], writes=[(5, 20, False)])]
+        ref = sequential_replay(recs)
+        assert ref.task_ids == (1, 2, 3)
+        assert ref.final_writers == ((0, 5, 2), (5, 20, 3))
+
+    def test_forward_edge_in_submission_order_fails(self):
+        recs = [record(1, 0, preds=[2]), record(2, 1)]
+        with pytest.raises(ValidationError) as exc:
+            sequential_replay(recs)
+        assert exc.value.invariant == "oracle.sequential_order"
+
+    def test_ambiguous_writes_are_masked(self):
+        recs = [record(1, 0, writes=[(0, 10, True)]),
+                record(2, 1, writes=[(4, 6, False)])]
+        ref = sequential_replay(recs)
+        assert ref.final_writers == ((0, 4, None), (4, 6, 2), (6, 10, None))
+
+
+class TestCompare:
+    def _good_run(self):
+        recs = {
+            1: record(1, 0, writes=[(0, 8, False)],
+                      started_at=0.0, finished_at=1.0),
+            2: record(2, 1, preds=[1], writes=[(0, 8, False)],
+                      started_at=1.0, finished_at=2.0),
+            3: record(3, 2, writes=[(8, 16, False)],
+                      started_at=0.0, finished_at=0.5),
+        }
+        return recs, {0: log_of(recs.values())}
+
+    def test_faithful_run_passes_with_counters(self):
+        recs, logs = self._good_run()
+        stats = compare_with_reference(recs, logs)
+        assert stats.tasks == 3
+        assert stats.dependency_edges == 1
+        assert stats.regions == 2
+        assert stats.appranks == 1
+
+    def test_task_executed_twice_fails(self):
+        recs, logs = self._good_run()
+        recs[3].finishes = 2
+        with pytest.raises(ValidationError) as exc:
+            compare_with_reference(recs, logs)
+        assert exc.value.invariant == "oracle.task_set"
+
+    def test_successor_starting_early_fails(self):
+        recs, logs = self._good_run()
+        recs[2].started_at = 0.5        # before task 1 finished at 1.0
+        with pytest.raises(ValidationError) as exc:
+            compare_with_reference(recs, logs)
+        assert exc.value.invariant == "oracle.dependency_order"
+
+    def test_dependency_on_unregistered_task_fails(self):
+        recs, logs = self._good_run()
+        recs[2].pred_ids = (99,)
+        # The sequential replay itself rejects the edge: task 99 never
+        # executes in submission order.
+        with pytest.raises(ValidationError) as exc:
+            compare_with_reference(recs, logs)
+        assert exc.value.invariant == "oracle.sequential_order"
+
+    def test_wrong_final_writer_fails(self):
+        recs, logs = self._good_run()
+        # Distributed run applied the two writes to [0, 8) in the wrong
+        # order: task 1 overwrote task 2.
+        logs[0] = [(0, 8, 2, False), (0, 8, 1, False), (8, 16, 3, False)]
+        with pytest.raises(ValidationError) as exc:
+            compare_with_reference(recs, logs)
+        assert exc.value.invariant == "oracle.data_versions"
+
+    def test_missing_write_region_fails(self):
+        recs, logs = self._good_run()
+        logs[0] = [piece for piece in logs[0] if piece[2] != 3]
+        with pytest.raises(ValidationError) as exc:
+            compare_with_reference(recs, logs)
+        assert exc.value.invariant == "oracle.data_versions"
+
+    def test_ambiguous_regions_tolerate_either_order(self):
+        recs = {
+            1: record(1, 0, writes=[(0, 8, True)],
+                      started_at=0.0, finished_at=1.0),
+            2: record(2, 1, writes=[(0, 8, True)],
+                      started_at=0.0, finished_at=0.5),
+        }
+        # Concurrent peers finished in the "wrong" order: still fine.
+        logs = {0: [(0, 8, 1, True), (0, 8, 2, True)]}
+        stats = compare_with_reference(recs, logs)
+        assert stats.ambiguous_regions >= 1
+
+    def test_appranks_compared_independently(self):
+        recs = {
+            1: record(1, 0, apprank=0, writes=[(0, 4, False)],
+                      started_at=0.0, finished_at=1.0),
+            2: record(2, 0, apprank=1, writes=[(0, 4, False)],
+                      started_at=0.0, finished_at=1.0),
+        }
+        logs = {0: [(0, 4, 1, False)], 1: [(0, 4, 2, False)]}
+        stats = compare_with_reference(recs, logs)
+        assert stats.appranks == 2
+        assert stats.by_apprank == {0: 1, 1: 1}

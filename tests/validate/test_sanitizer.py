@@ -1,0 +1,362 @@
+"""Each sanitizer invariant trips on a violating scenario (unit level).
+
+The :class:`~repro.validate.Sanitizer` is driven directly through its
+hook methods with handcrafted events/envelopes/tasks, so every failure
+branch is exercised without having to corrupt a live runtime.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.nanos.task import AccessType, DataAccess, Task
+from repro.validate import Sanitizer
+
+
+def make_sanitizer(now=0.0):
+    return Sanitizer(SimpleNamespace(now=now))
+
+
+def event(time, cancelled=False, seq=1, label=""):
+    return SimpleNamespace(time=time, cancelled=cancelled, seq=seq,
+                           label=label)
+
+
+def envelope(seq, src=0, dst=1, tag=5, comm_id=0):
+    return SimpleNamespace(seq=seq, src=src, dst=dst, tag=tag,
+                           comm_id=comm_id)
+
+
+def worker(node_id=0):
+    return SimpleNamespace(node_id=node_id, apprank_runtime=None)
+
+
+class TestSimLayer:
+    def test_monotone_clock_accepts_equal_and_increasing_times(self):
+        s = make_sanitizer()
+        for t in (0.0, 0.5, 0.5, 1.25):
+            s.on_event(event(t))
+        assert s.events_checked == 4
+
+    def test_clock_going_backwards_fails(self):
+        s = make_sanitizer()
+        s.on_event(event(2.0))
+        with pytest.raises(ValidationError) as exc:
+            s.on_event(event(1.0))
+        assert exc.value.invariant == "sim.clock_monotonic"
+        assert exc.value.context["last_time"] == 2.0
+
+    def test_cancelled_event_firing_fails(self):
+        s = make_sanitizer()
+        with pytest.raises(ValidationError) as exc:
+            s.on_event(event(0.0, cancelled=True))
+        assert exc.value.invariant == "sim.cancelled_event_fired"
+
+
+class TestMessageLayer:
+    def test_in_order_delivery_passes(self):
+        s = make_sanitizer()
+        for seq in (1, 2, 3):
+            s.msg_sent(envelope(seq))
+        for seq in (1, 2, 3):
+            s.msg_delivered(envelope(seq))
+        assert s.messages_checked == 3
+
+    def test_fifo_overtaking_fails(self):
+        s = make_sanitizer()
+        s.msg_sent(envelope(1))
+        s.msg_sent(envelope(2))
+        with pytest.raises(ValidationError) as exc:
+            s.msg_delivered(envelope(2))
+        assert exc.value.invariant == "mpi.fifo_order"
+        assert exc.value.context["expected"] == 1
+
+    def test_different_channels_do_not_order_each_other(self):
+        s = make_sanitizer()
+        s.msg_sent(envelope(1, tag=5))
+        s.msg_sent(envelope(2, tag=6))
+        s.msg_delivered(envelope(2, tag=6))    # different key: fine
+        s.msg_delivered(envelope(1, tag=5))
+
+    def test_relaxed_mode_allows_overtaking_but_not_duplication(self):
+        s = make_sanitizer()
+        s.relax_message_order()
+        s.msg_sent(envelope(1))
+        s.msg_sent(envelope(2))
+        s.msg_delivered(envelope(2))
+        with pytest.raises(ValidationError) as exc:
+            s.msg_delivered(envelope(2))
+        assert exc.value.invariant == "mpi.message_conservation"
+
+    def test_delivery_without_send_fails(self):
+        s = make_sanitizer()
+        with pytest.raises(ValidationError) as exc:
+            s.msg_delivered(envelope(7))
+        assert exc.value.invariant == "mpi.message_conservation"
+
+    def test_double_send_of_same_seq_fails(self):
+        s = make_sanitizer()
+        s.msg_sent(envelope(4))
+        with pytest.raises(ValidationError):
+            s.msg_sent(envelope(4))
+
+    def test_undelivered_messages_fail_at_finish(self):
+        s = make_sanitizer()
+        s.msg_sent(envelope(1))
+        with pytest.raises(ValidationError) as exc:
+            s.finish()
+        assert exc.value.invariant == "mpi.message_conservation"
+        assert exc.value.context["total"] == 1
+
+
+class TestTaskLifecycle:
+    def test_register_start_finish_passes(self):
+        s = make_sanitizer()
+        task = Task(work=1.0, apprank=0)
+        s.task_registered(task)
+        s.task_dependencies_known(task)
+        s.task_started(task, worker())
+        s.task_finished(task, worker())
+        s.finish()
+        assert s.oracle_stats.tasks == 1
+
+    def test_double_registration_fails(self):
+        s = make_sanitizer()
+        task = Task(work=1.0, apprank=0)
+        s.task_registered(task)
+        with pytest.raises(ValidationError) as exc:
+            s.task_registered(task)
+        assert exc.value.invariant == "nanos.registration"
+
+    def test_double_start_without_retry_fails(self):
+        s = make_sanitizer()
+        task = Task(work=1.0, apprank=0)
+        s.task_registered(task)
+        s.task_started(task, worker())
+        with pytest.raises(ValidationError) as exc:
+            s.task_started(task, worker())
+        assert exc.value.invariant == "nanos.lifecycle"
+
+    def test_double_start_with_retry_is_a_recovered_task(self):
+        s = make_sanitizer()
+        task = Task(work=1.0, apprank=0)
+        s.task_registered(task)
+        s.task_started(task, worker())
+        task.retries = 1                       # lost and re-submitted
+        s.task_started(task, worker(node_id=1))
+        assert s.records[task.task_id].starts == 2
+
+    def test_start_after_finish_fails(self):
+        s = make_sanitizer()
+        task = Task(work=1.0, apprank=0)
+        s.task_registered(task)
+        s.task_started(task, worker())
+        s.task_finished(task, worker())
+        task.retries = 1
+        with pytest.raises(ValidationError) as exc:
+            s.task_started(task, worker())
+        assert exc.value.invariant == "nanos.lifecycle"
+
+    def test_double_finish_fails(self):
+        s = make_sanitizer()
+        task = Task(work=1.0, apprank=0)
+        s.task_registered(task)
+        s.task_started(task, worker())
+        s.task_finished(task, worker())
+        with pytest.raises(ValidationError):
+            s.task_finished(task, worker())
+
+    def test_never_finished_task_fails_at_finish(self):
+        s = make_sanitizer()
+        task = Task(work=1.0, apprank=0)
+        s.task_registered(task)
+        s.task_started(task, worker())
+        with pytest.raises(ValidationError) as exc:
+            s.finish()
+        assert exc.value.invariant == "nanos.lifecycle"
+
+    def test_start_before_predecessor_finished_fails(self):
+        s = make_sanitizer()
+        pred = Task(work=1.0, apprank=0)
+        succ = Task(work=1.0, apprank=0)
+        s.task_registered(pred)
+        s.task_registered(succ)
+        succ.pred_ids = (pred.task_id,)
+        s.task_dependencies_known(succ)
+        s.task_started(pred, worker())
+        with pytest.raises(ValidationError) as exc:
+            s.task_started(succ, worker())
+        assert exc.value.invariant == "nanos.dependency_order"
+        assert exc.value.context["missing_preds"] == [pred.task_id]
+
+    def test_unregistered_task_on_standalone_worker_is_ignored(self):
+        s = make_sanitizer()
+        task = Task(work=1.0, apprank=0)
+        s.task_started(task, worker())
+        s.task_finished(task, worker())
+        assert task.task_id not in s.records
+
+
+class TestDirectoryCoherence:
+    def _task_with_input(self):
+        return Task(work=1.0, apprank=0,
+                    accesses=(DataAccess(AccessType.IN, 0, 64),))
+
+    def test_stale_input_copy_fails(self):
+        s = make_sanitizer()
+        task = self._task_with_input()
+        s.task_registered(task)
+        directory = SimpleNamespace(bytes_missing_at=lambda accs, node: 64)
+        w = SimpleNamespace(node_id=1,
+                            apprank_runtime=SimpleNamespace(
+                                directory=directory))
+        with pytest.raises(ValidationError) as exc:
+            s.task_started(task, w)
+        assert exc.value.invariant == "nanos.directory_coherence"
+        assert exc.value.context["stale_bytes"] == 64
+
+    def test_valid_copies_pass(self):
+        s = make_sanitizer()
+        task = self._task_with_input()
+        s.task_registered(task)
+        directory = SimpleNamespace(bytes_missing_at=lambda accs, node: 0)
+        w = SimpleNamespace(node_id=1,
+                            apprank_runtime=SimpleNamespace(
+                                directory=directory))
+        s.task_started(task, w)
+
+    def test_concurrent_tasks_are_exempt(self):
+        s = make_sanitizer()
+        task = Task(work=1.0, apprank=0,
+                    accesses=(DataAccess(AccessType.CONCURRENT, 0, 64),))
+        s.task_registered(task)
+        directory = SimpleNamespace(bytes_missing_at=lambda accs, node: 64)
+        w = SimpleNamespace(node_id=1,
+                            apprank_runtime=SimpleNamespace(
+                                directory=directory))
+        s.task_started(task, w)                # no failure
+
+
+class TestPlacementBound:
+    def _node(self, alive=True, load_ratio=0.5, node_id=3):
+        return SimpleNamespace(alive=alive, load_ratio=load_ratio,
+                               node_id=node_id)
+
+    def test_under_threshold_passes(self):
+        s = make_sanitizer()
+        s.placement_decided(Task(work=1.0), self._node(load_ratio=1.9),
+                            tasks_per_core=2, policy_name="tentative")
+        assert s.placements_checked == 1
+
+    def test_at_or_over_threshold_fails(self):
+        s = make_sanitizer()
+        with pytest.raises(ValidationError) as exc:
+            s.placement_decided(Task(work=1.0), self._node(load_ratio=2.0),
+                                tasks_per_core=2, policy_name="locality")
+        assert exc.value.invariant == "nanos.placement_bound"
+
+    def test_dead_node_fails(self):
+        s = make_sanitizer()
+        with pytest.raises(ValidationError):
+            s.placement_decided(Task(work=1.0), self._node(alive=False),
+                                tasks_per_core=2, policy_name="tentative")
+
+    def test_non_threshold_policy_is_not_bound(self):
+        s = make_sanitizer()
+        s.placement_decided(Task(work=1.0), self._node(load_ratio=99.0),
+                            tasks_per_core=2, policy_name="random")
+        assert s.placements_checked == 1
+
+
+def make_arbiter(owners, occupants=None, workers=None, num_cores=None,
+                 pending=None):
+    """A minimal NodeArbiter lookalike for :meth:`Sanitizer.check_node`."""
+    num_cores = num_cores if num_cores is not None else len(owners)
+    occupants = occupants or {}
+    pending = pending or {}
+    cores = [SimpleNamespace(index=i, owner=owner,
+                             pending_owner=pending.get(i),
+                             occupant=occupants.get(i))
+             for i, owner in enumerate(owners)]
+    keys = workers if workers is not None else sorted(
+        {o for o in owners if o is not None}
+        | set(occupants.values()) | set(pending.values()))
+    node = SimpleNamespace(node_id=0, cores=cores, num_cores=num_cores)
+    return SimpleNamespace(dead=False, workers={k: None for k in keys},
+                           node=node)
+
+
+class TestCoreConservation:
+    W0, W1 = (0, 0), (1, 0)
+
+    def test_clean_split_passes(self):
+        s = make_sanitizer()
+        s.check_node(make_arbiter([self.W0, self.W0, self.W1, self.W1]))
+        assert s.dlb_checks == 1
+
+    def test_pending_owner_is_the_effective_owner(self):
+        s = make_sanitizer()
+        s.check_node(make_arbiter([self.W0, self.W0, self.W1, None],
+                                  pending={3: self.W1}))
+
+    def test_ownerless_core_fails(self):
+        s = make_sanitizer()
+        with pytest.raises(ValidationError) as exc:
+            s.check_node(make_arbiter([self.W0, None],
+                                      workers=[self.W0, self.W1]))
+        assert exc.value.invariant == "dlb.core_conservation"
+
+    def test_unregistered_owner_fails(self):
+        s = make_sanitizer()
+        with pytest.raises(ValidationError):
+            s.check_node(make_arbiter([self.W0, (9, 9)],
+                                      workers=[self.W0, self.W1]))
+
+    def test_unregistered_occupant_fails(self):
+        s = make_sanitizer()
+        with pytest.raises(ValidationError):
+            s.check_node(make_arbiter([self.W0, self.W0],
+                                      occupants={1: (9, 9)},
+                                      workers=[self.W0]))
+
+    def test_worker_below_one_core_floor_fails(self):
+        s = make_sanitizer()
+        with pytest.raises(ValidationError) as exc:
+            s.check_node(make_arbiter([self.W0, self.W0],
+                                      workers=[self.W0, self.W1]))
+        assert "floor" in str(exc.value)
+
+    def test_dead_or_empty_node_is_skipped(self):
+        s = make_sanitizer()
+        arb = make_arbiter([self.W0])
+        arb.dead = True
+        s.check_node(arb)
+        s.check_node(SimpleNamespace(dead=False, workers={}, node=None))
+        assert s.dlb_checks == 0
+
+
+class TestFinish:
+    def test_finish_is_idempotent(self):
+        s = make_sanitizer()
+        s.finish()
+        s.finish()
+        assert s.finished
+
+    def test_summary_keys_are_stable(self):
+        s = make_sanitizer()
+        s.finish()
+        assert set(s.summary()) == {
+            "events", "messages", "tasks", "task_starts", "placements",
+            "dlb_checks", "oracle_edges", "oracle_regions"}
+
+    def test_error_carries_structured_context(self):
+        s = make_sanitizer(now=1.5)
+        s.on_event(event(2.0))
+        with pytest.raises(ValidationError) as exc:
+            s.on_event(event(1.0, seq=42, label="late"))
+        err = exc.value
+        assert err.invariant == "sim.clock_monotonic"
+        assert err.time == 1.5
+        assert err.context["seq"] == 42
+        assert "[sim.clock_monotonic]" in str(err)
