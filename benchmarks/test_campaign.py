@@ -1,0 +1,50 @@
+"""Campaign orchestration overhead and end-to-end throughput.
+
+The orchestrator's job is to add fault tolerance, not latency: these
+benches time a tiny grid end to end through the full master/worker
+machinery (process spawn, queues, journal fsyncs) and the serial
+equivalent of the same cells, so the per-cell orchestration overhead is
+visible as the difference. A resume over a complete journal is also
+benched — it must stay near-instant (no cells recomputed).
+"""
+
+from __future__ import annotations
+
+from repro.campaign import CampaignGrid, run_campaign
+from repro.campaign.cells import run_cell
+
+from .conftest import run_once
+
+GRID = "app=synthetic;scale=tiny;nodes=2;degree=1,2;imbalance=1.5,2.0;seed=0..1"
+
+
+def test_campaign_end_to_end(benchmark, tmp_path):
+    grid = CampaignGrid.parse(GRID)
+
+    def campaign():
+        out = tmp_path / f"run-{len(list(tmp_path.iterdir()))}"
+        return run_campaign(grid, out, workers=2)
+
+    report = run_once(benchmark, campaign)
+    assert report.exit_code == 0
+    assert report.completed == len(grid.cells())
+
+
+def test_serial_cells_reference(benchmark):
+    grid = CampaignGrid.parse(GRID)
+
+    def serial():
+        return [run_cell(cell) for cell in grid.cells()]
+
+    rows = run_once(benchmark, serial)
+    assert len(rows) == len(grid.cells())
+
+
+def test_campaign_resume_is_near_instant(benchmark, tmp_path):
+    grid = CampaignGrid.parse(GRID)
+    out = tmp_path / "resume"
+    assert run_campaign(grid, out, workers=2).exit_code == 0
+
+    report = run_once(benchmark, run_campaign, grid, out, workers=2)
+    assert report.computed == 0
+    assert report.resumed == len(grid.cells())

@@ -1,0 +1,44 @@
+"""Fault-tolerant campaign orchestrator (``python -m repro campaign``).
+
+Shards a sweep grid — seeds x policies x cluster sizes x fault plans x
+scales — across a master/worker process pool, and is itself resilient:
+worker crashes, hangs and ``kill -9`` of the master are all survivable.
+The pieces:
+
+* :mod:`~repro.campaign.grid` — :class:`CampaignGrid` / :class:`Cell`:
+  the declarative cross product, parsed from a compact CLI syntax;
+* :mod:`~repro.campaign.cells` — :func:`run_cell`: one deterministic
+  simulator run per cell, returning a JSON-safe result row;
+* :mod:`~repro.campaign.journal` — :class:`CampaignJournal`: fsynced
+  append-only JSONL with atomic compaction, the resume source of truth;
+* :mod:`~repro.campaign.master` — :func:`run_campaign`: heartbeats,
+  per-cell timeouts, crash requeue with exponential backoff, quarantine
+  of poison cells, batched aggregation into one merged
+  :class:`~repro.experiments.base.ResultTable`/CSV;
+* :mod:`~repro.campaign.chaos` — :class:`ChaosPlan`: the built-in
+  ``--chaos`` self-test (SIGKILLed workers, wedged cells) proving the
+  recovery paths leave merged results bit-identical.
+"""
+
+from .cells import RESULT_COLUMNS, run_cell
+from .chaos import ChaosPlan
+from .grid import APPS, SCALES, CampaignGrid, Cell
+from .journal import CampaignJournal
+from .master import (JOURNAL_NAME, REPORT_NAME, RESULTS_NAME,
+                     CampaignReport, run_campaign)
+
+__all__ = [
+    "CampaignGrid",
+    "Cell",
+    "SCALES",
+    "APPS",
+    "run_cell",
+    "RESULT_COLUMNS",
+    "CampaignJournal",
+    "ChaosPlan",
+    "run_campaign",
+    "CampaignReport",
+    "JOURNAL_NAME",
+    "RESULTS_NAME",
+    "REPORT_NAME",
+]

@@ -1,0 +1,102 @@
+"""Execute one campaign cell: a single deterministic simulator run.
+
+:func:`run_cell` is the only code a campaign worker runs per task. It
+maps a :class:`~repro.campaign.grid.Cell` onto the same building blocks
+the figure harnesses use (:func:`repro.experiments.base.run_workload`,
+the app workload factories, :class:`~repro.nanos.config.RuntimeConfig`)
+and returns a flat JSON-safe row of *simulated* metrics only — no
+wall-clock values — so a cell's result is bit-identical no matter which
+worker, attempt, or campaign run produced it. That property is what
+makes chaos recovery provable: a campaign that lost workers mid-run
+merges to exactly the same report as an undisturbed one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..cluster.machine import MARENOSTRUM4
+from ..errors import CampaignError
+from ..nanos.config import RuntimeConfig
+from .grid import SCALES, Cell, fault_tag
+
+__all__ = ["run_cell", "RESULT_COLUMNS"]
+
+#: Columns of one cell's result row (and of the merged campaign CSV),
+#: in report order. All values are simulated — deterministic per cell.
+RESULT_COLUMNS = ("cell", "app", "scale", "nodes", "degree", "imbalance",
+                  "policy", "lend", "realloc", "faults", "seed",
+                  "makespan", "time_per_iter", "steady_per_iter",
+                  "offloaded", "tasks", "executed")
+
+
+def _app_factory(cell: Cell, cores_per_node: int) -> Callable[[], Any]:
+    scale = SCALES[cell.scale]
+    if cell.app == "synthetic":
+        from ..apps.synthetic import SyntheticSpec, make_synthetic_app
+        spec = SyntheticSpec(num_appranks=cell.nodes,
+                             imbalance=cell.imbalance,
+                             cores_per_apprank=cores_per_node,
+                             tasks_per_core=scale.tasks_per_core,
+                             iterations=scale.iterations, seed=cell.seed)
+        return lambda: make_synthetic_app(spec)
+    if cell.app == "micropp":
+        from ..apps.micropp.workload import MicroppSpec, make_micropp_app
+        mspec = MicroppSpec(
+            num_appranks=cell.nodes, cores_per_apprank=cores_per_node,
+            subdomains_per_core=scale.micropp_subdomains_per_core,
+            iterations=scale.iterations, seed=cell.seed)
+        return lambda: make_micropp_app(mspec)
+    if cell.app == "nbody":
+        from ..apps.nbody.workload import NBodySpec, make_nbody_app
+        nspec = NBodySpec(num_appranks=cell.nodes,
+                          cores_per_apprank=cores_per_node,
+                          bodies_per_apprank=256 * cores_per_node,
+                          timesteps=scale.iterations, seed=cell.seed)
+        return lambda: make_nbody_app(nspec)
+    raise CampaignError(f"unknown app {cell.app!r} in cell {cell.cell_id}")
+
+
+def run_cell(cell: Cell, check: bool = False) -> dict[str, Any]:
+    """Run one cell and return its JSON-safe result row.
+
+    *check* arms the :mod:`repro.validate` invariant sanitizer on the
+    run (the campaign's ``--check`` flag); a violation raises
+    :class:`~repro.errors.ValidationError`, which the worker reports as
+    a cell failure. Any exception out of here counts toward the cell's
+    quarantine budget.
+    """
+    from ..experiments.base import run_workload
+    scale = SCALES[cell.scale]
+    machine = scale.machine(MARENOSTRUM4)
+    if cell.degree == 1:
+        config = RuntimeConfig.dlb_single_node()     # fixed local policy
+    else:
+        config = RuntimeConfig.offloading(cell.degree, cell.realloc)
+    config = scale.tune(config).with_(offload_policy=cell.policy,
+                                      lend_policy=cell.lend)
+    if check:
+        config = config.with_(validate=True)
+    result = run_workload(machine, cell.nodes, 1, config,
+                          _app_factory(cell, machine.cores_per_node),
+                          faults=cell.fault_plan)
+    stats = result.runtime.stats()
+    return {
+        "cell": cell.cell_id,
+        "app": cell.app,
+        "scale": cell.scale,
+        "nodes": cell.nodes,
+        "degree": cell.degree,
+        "imbalance": cell.imbalance,
+        "policy": cell.policy,
+        "lend": cell.lend,
+        "realloc": cell.realloc,
+        "faults": fault_tag(cell.faults),
+        "seed": cell.seed,
+        "makespan": result.elapsed,
+        "time_per_iter": result.time_per_iteration,
+        "steady_per_iter": result.steady_time_per_iteration,
+        "offloaded": result.offloaded_tasks,
+        "tasks": stats["tasks"],
+        "executed": stats["executed"],
+    }

@@ -1,0 +1,63 @@
+"""Chaos self-test: prove the recovery paths on every campaign run.
+
+``--chaos`` arms a seeded :class:`ChaosPlan` that injects two distinct
+failure classes mid-campaign:
+
+* **worker kills** — at planned completion counts the master SIGKILLs a
+  busy worker (preferring one with a cell in flight), exercising crash
+  detection, task requeue and respawn;
+* **hung cells** — planned cells have their *first* attempt wedged (the
+  worker sleeps before computing anything), exercising the per-cell
+  wall-clock timeout, kill and clean retry.
+
+Both injections strike *around* the computation, never inside it, and a
+killed attempt writes nothing to the journal — so a chaos run's merged
+results are bit-identical to a fault-free run of the same grid. That
+equality is the campaign's recovery proof and is asserted by the tests
+and the CI ``campaign-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .grid import Cell
+
+__all__ = ["ChaosPlan"]
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Deterministic (seeded) schedule of injected failures."""
+
+    #: completion counts after which the master SIGKILLs one worker
+    kill_after: tuple[int, ...]
+    #: cell ids whose first attempt is wedged past the cell timeout
+    hang_cells: frozenset[str]
+    seed: int
+
+    @classmethod
+    def plan(cls, cells: list[Cell], seed: int = 0, kills: int = 1,
+             hangs: int = 1) -> "ChaosPlan":
+        """Pick kill points and hang victims for *cells* from *seed*.
+
+        Kills are scheduled in the first half of the campaign so the
+        recovery (requeue + respawn) is itself exercised before the end;
+        tiny grids get at most one of each.
+        """
+        rng = random.Random(seed)
+        n = len(cells)
+        kills = max(0, min(kills, n // 2)) if n > 1 else 0
+        hangs = max(0, min(hangs, n))
+        window = range(1, max(2, n // 2 + 1))
+        kill_after = tuple(sorted(rng.sample(window,
+                                             min(kills, len(window)))))
+        hang_cells = frozenset(
+            cell.cell_id for cell in rng.sample(cells, hangs))
+        return cls(kill_after=kill_after, hang_cells=hang_cells, seed=seed)
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing."""
+        return not self.kill_after and not self.hang_cells

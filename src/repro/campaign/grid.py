@@ -1,0 +1,314 @@
+"""Campaign sweep grids: the cross product a campaign shards over.
+
+A :class:`CampaignGrid` is a declarative description of a sweep —
+seeds x offload policies x cluster sizes x fault plans x scales — parsed
+from a compact ``key=value,...;key=value`` CLI syntax::
+
+    app=synthetic;nodes=2,4;degree=1,2;imbalance=1.5,2.0;seed=0..4
+    app=micropp;nodes=4,8;policy=tentative,locality;scale=small
+    faults=none|crash:apprank=0,node=1,t=0.5+msg:loss=0.01
+
+Axes are ``;``-separated; values are ``,``-separated except the
+``faults`` axis, whose values are full :meth:`repro.faults.FaultPlan.parse`
+specs (which themselves contain ``,`` and ``;``) — fault alternatives
+are therefore ``|``-separated and use ``+`` where a plan would use
+``;``. Integer axes accept ``a..b`` ranges. Unknown keys, unknown
+policy/scale/app names and malformed values all raise a one-line
+:class:`~repro.errors.CampaignError` naming the offending token.
+
+The grid expands to an ordered list of :class:`Cell` — one simulator run
+each, with a stable human-readable ``cell_id`` and a JSON round-trip —
+and a content :meth:`~CampaignGrid.fingerprint` that ties an on-disk
+journal to the grid that produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Iterator
+
+from ..errors import CampaignError, FaultError
+from ..experiments.base import MEDIUM, PAPER, SMALL, TINY, Scale
+from ..faults.plan import FaultPlan
+
+__all__ = ["Cell", "CampaignGrid", "SCALES", "APPS", "expand_fault_spec",
+           "fault_tag"]
+
+#: Scales a campaign cell may run at, by grid-axis name.
+SCALES: dict[str, Scale] = {"tiny": TINY, "small": SMALL, "medium": MEDIUM,
+                            "paper": PAPER}
+
+#: Applications a campaign cell may run.
+APPS = ("synthetic", "micropp", "nbody")
+
+#: Axis iteration order — also the nesting order of the cross product,
+#: so cell order (and therefore journal/report order) is stable.
+AXES = ("app", "scale", "nodes", "degree", "imbalance", "policy", "lend",
+        "realloc", "faults", "seed")
+
+_DEFAULTS: dict[str, tuple] = {
+    "app": ("synthetic",),
+    "scale": ("small",),
+    "nodes": (4,),
+    "degree": (2,),
+    "imbalance": (2.0,),
+    "policy": ("tentative",),
+    "lend": ("eager",),
+    "realloc": ("global",),
+    "faults": ("none",),
+    "seed": (1234,),
+}
+
+_INT_AXES = {"nodes", "degree", "seed"}
+_FLOAT_AXES = {"imbalance"}
+
+
+def expand_fault_spec(token: str) -> str:
+    """The grid fault syntax (``+`` joins) as a real FaultPlan spec."""
+    return token.replace("+", ";")
+
+
+def fault_tag(token: str) -> str:
+    """Short stable tag for a fault alternative (CSV-safe column value)."""
+    if token == "none":
+        return "none"
+    digest = hashlib.sha1(expand_fault_spec(token).encode()).hexdigest()
+    return f"f{digest[:8]}"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of a campaign grid: a single deterministic simulator run."""
+
+    app: str
+    scale: str
+    nodes: int
+    degree: int
+    imbalance: float
+    policy: str
+    lend: str
+    realloc: str
+    faults: str             # grid syntax ("none" or a '+'-joined plan)
+    seed: int
+
+    @property
+    def cell_id(self) -> str:
+        """Stable, human-readable identity used by journal and report."""
+        return (f"{self.app}:{self.scale}:n{self.nodes}:d{self.degree}"
+                f":i{self.imbalance:g}:{self.policy}:{self.lend}"
+                f":{self.realloc}:{fault_tag(self.faults)}:s{self.seed}")
+
+    @property
+    def fault_plan(self) -> "FaultPlan | None":
+        """The parsed fault plan, or None for a fault-free cell."""
+        if self.faults == "none":
+            return None
+        return FaultPlan.parse(expand_fault_spec(self.faults), seed=self.seed)
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-safe dict; inverse of :meth:`from_json`."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "Cell":
+        """Rebuild a cell from :meth:`to_json` output."""
+        return cls(**data)
+
+
+def _parse_int_values(key: str, token: str) -> list[int]:
+    values: list[int] = []
+    for item in token.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if ".." in item:
+            lo_s, _, hi_s = item.partition("..")
+            try:
+                lo, hi = int(lo_s), int(hi_s)
+            except ValueError:
+                raise CampaignError(
+                    f"bad range {item!r} for grid key {key!r} "
+                    "(expected a..b with integers)") from None
+            if hi < lo:
+                raise CampaignError(
+                    f"empty range {item!r} for grid key {key!r}")
+            values.extend(range(lo, hi + 1))
+        else:
+            try:
+                values.append(int(item))
+            except ValueError:
+                raise CampaignError(
+                    f"bad integer {item!r} for grid key {key!r}") from None
+    return values
+
+
+def _parse_axis(key: str, token: str) -> tuple:
+    if key == "faults":
+        values: list[Any] = []
+        for alt in token.split("|"):
+            alt = alt.strip()
+            if not alt:
+                continue
+            if alt != "none":
+                try:
+                    FaultPlan.parse(expand_fault_spec(alt))
+                except FaultError as exc:
+                    raise CampaignError(
+                        f"bad fault spec {alt!r} in grid: {exc}") from None
+            values.append(alt)
+    elif key in _INT_AXES:
+        values = list(_parse_int_values(key, token))
+    elif key in _FLOAT_AXES:
+        values = []
+        for item in token.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            try:
+                values.append(float(item))
+            except ValueError:
+                raise CampaignError(
+                    f"bad number {item!r} for grid key {key!r}") from None
+    else:
+        values = [item.strip() for item in token.split(",") if item.strip()]
+    if not values:
+        raise CampaignError(f"grid key {key!r} has no values")
+    return tuple(values)
+
+
+def _validate_axis(key: str, values: tuple) -> None:
+    if key == "app":
+        for app in values:
+            if app not in APPS:
+                raise CampaignError(f"unknown app {app!r} in grid "
+                                    f"(known: {', '.join(APPS)})")
+    elif key == "scale":
+        for name in values:
+            if name not in SCALES:
+                raise CampaignError(
+                    f"unknown scale {name!r} in grid "
+                    f"(known: {', '.join(sorted(SCALES))})")
+    elif key in ("policy", "lend", "realloc"):
+        from ..policies import (LEND_POLICIES, OFFLOAD_POLICIES,
+                                REALLOCATION_POLICIES)
+        registry = {"policy": OFFLOAD_POLICIES, "lend": LEND_POLICIES,
+                    "realloc": REALLOCATION_POLICIES}[key]
+        for name in values:
+            if name not in registry:
+                raise CampaignError(
+                    f"unknown {registry.kind} policy {name!r} in grid "
+                    f"(registered: {', '.join(registry.names())})")
+    elif key in ("nodes", "degree"):
+        for v in values:
+            if v < 1:
+                raise CampaignError(f"grid key {key!r} needs values >= 1, "
+                                    f"got {v}")
+    elif key == "seed":
+        for v in values:
+            if v < 0:
+                raise CampaignError(f"negative seed {v} in grid")
+    elif key == "imbalance":
+        for v in values:
+            if v < 1.0:
+                raise CampaignError(f"imbalance must be >= 1, got {v:g}")
+
+
+@dataclass(frozen=True)
+class CampaignGrid:
+    """A validated sweep description; expand with :meth:`cells`."""
+
+    axes: tuple[tuple[str, tuple], ...]     # in AXES order
+    spec: str                               # the original CLI spec
+
+    @classmethod
+    def parse(cls, spec: str) -> "CampaignGrid":
+        """Parse the ``key=value,...;key=...`` grid syntax (module doc)."""
+        given: dict[str, tuple] = {}
+        for part in spec.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, token = part.partition("=")
+            key = key.strip()
+            if not sep:
+                raise CampaignError(
+                    f"malformed grid axis {part!r} (expected key=value,...)")
+            if key not in AXES:
+                raise CampaignError(
+                    f"unknown campaign-grid key {key!r} "
+                    f"(known: {', '.join(AXES)})")
+            if key in given:
+                raise CampaignError(f"duplicate grid key {key!r}")
+            values = _parse_axis(key, token)
+            _validate_axis(key, values)
+            given[key] = values
+        axes = tuple((key, given.get(key, _DEFAULTS[key])) for key in AXES)
+        grid = cls(axes=axes, spec=spec)
+        if not grid.cells():
+            raise CampaignError(
+                f"grid {spec!r} expands to zero feasible cells "
+                "(every combination was infeasible: degree > nodes, "
+                "imbalance > nodes, or too few cores per node for the "
+                "degree)")
+        return grid
+
+    def axis(self, key: str) -> tuple:
+        """The values of one axis."""
+        for name, values in self.axes:
+            if name == key:
+                return values
+        raise CampaignError(f"unknown campaign-grid key {key!r}")
+
+    def cells(self) -> list[Cell]:
+        """The feasible cells, in stable cross-product order.
+
+        Infeasible combinations are skipped with the same rules the
+        sweep figures use: ``degree > nodes``, synthetic
+        ``imbalance > nodes``, and degrees the scale's cores-per-node
+        cannot host (the DLB one-core floor). For non-synthetic apps the
+        imbalance axis does not apply; those cells are normalised to
+        ``imbalance=0`` and de-duplicated.
+        """
+        keys = [key for key, _ in self.axes]
+        pools = [values for _, values in self.axes]
+        seen: set[str] = set()
+        cells: list[Cell] = []
+        for combo in itertools.product(*pools):
+            params = dict(zip(keys, combo))
+            scale = SCALES[params["scale"]]
+            if params["degree"] > params["nodes"]:
+                continue
+            if params["degree"] > 1 and not scale.feasible(
+                    params["degree"], 1):
+                continue
+            if params["app"] == "synthetic":
+                if params["imbalance"] > params["nodes"]:
+                    continue
+            else:
+                params["imbalance"] = 0.0
+            if params["degree"] == 1:
+                # degree 1 is the single-node-DLB reference: the
+                # reallocation axis does not apply (always "local")
+                params["realloc"] = "local"
+            cell = Cell(**params)
+            if cell.cell_id in seen:
+                continue
+            seen.add(cell.cell_id)
+            cells.append(cell)
+        return cells
+
+    def fingerprint(self) -> str:
+        """Content hash tying a journal to the grid that produced it."""
+        canonical = json.dumps([[k, list(v)] for k, v in self.axes],
+                               sort_keys=True)
+        return hashlib.sha256(("campaign-grid-v1:" + canonical)
+                              .encode()).hexdigest()
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self.cells())
+
+    def __len__(self) -> int:
+        return len(self.cells())

@@ -1,0 +1,187 @@
+"""Crash-safe campaign journal: resume exactly where a run stopped.
+
+The journal is an append-only JSONL file. Every record is one line,
+written with flush + fsync before the master acts on it, so a campaign
+killed at *any* instant (including ``kill -9``) can be restarted and
+will skip every cell whose ``done`` record reached disk — recomputing
+nothing and double-counting nothing.
+
+Crash-safety discipline:
+
+* **Appends** are single ``write + flush + fsync`` calls on a file held
+  open in append mode; a crash can at worst leave one truncated final
+  line.
+* **Recovery** tolerates exactly that: a trailing partial line is
+  dropped, and the journal is immediately *compacted* — rewritten to a
+  temp file and atomically renamed over the original
+  (:func:`repro.ioutil.atomic_write_text`) — before appending resumes,
+  so corruption can never accumulate.
+* The first record carries the grid fingerprint; resuming against a
+  *different* grid is refused with a one-line error instead of silently
+  merging incompatible results.
+
+Record kinds: ``campaign`` (header), ``done`` (cell result row),
+``failed`` (cell raised), ``requeued`` (worker crash / hang / timeout),
+``quarantined`` (cell abandoned after exhausting its budget).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+from ..errors import CampaignError
+from ..ioutil import atomic_write_text
+
+__all__ = ["CampaignJournal"]
+
+_VERSION = 1
+
+
+class CampaignJournal:
+    """Append-only on-disk record of one campaign's progress."""
+
+    def __init__(self, path: Path, records: list[dict],
+                 handle: Any) -> None:
+        self.path = path
+        self._handle = handle
+        #: first recorded result row per completed cell id
+        self.done: dict[str, dict] = {}
+        #: error strings per cell id (cell raised — poison budget)
+        self.failures: dict[str, list[str]] = {}
+        #: interruption count per cell id (crash/hang/timeout requeues)
+        self.requeues: dict[str, int] = {}
+        #: cells abandoned after exhausting a budget -> reason record
+        self.quarantined: dict[str, dict] = {}
+        for record in records:
+            self._absorb(record)
+
+    # -- opening ---------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: "Path | str", fingerprint: str,
+             grid_spec: str) -> "CampaignJournal":
+        """Create the journal, or load + compact it when resuming.
+
+        Raises :class:`~repro.errors.CampaignError` when an existing
+        journal was written for a different grid (fingerprint mismatch).
+        """
+        path = Path(path)
+        if path.exists():
+            records = cls._load_records(path)
+            header = records[0] if records else None
+            if (header is None or header.get("kind") != "campaign"
+                    or "fingerprint" not in header):
+                raise CampaignError(
+                    f"journal {path} is not a campaign journal "
+                    "(missing header); use a fresh --out directory")
+            if header["fingerprint"] != fingerprint:
+                raise CampaignError(
+                    f"journal {path} was written for a different grid "
+                    f"({header.get('grid', '?')!r}); resume with the "
+                    "original grid or use a fresh --out directory")
+            # compact: drop any truncated tail atomically before appending
+            text = "".join(json.dumps(r, sort_keys=True) + "\n"
+                           for r in records)
+            atomic_write_text(path, text)
+        else:
+            records = []
+            path.parent.mkdir(parents=True, exist_ok=True)
+            header = {"kind": "campaign", "version": _VERSION,
+                      "fingerprint": fingerprint, "grid": grid_spec}
+            atomic_write_text(path, json.dumps(header, sort_keys=True) + "\n")
+            records = [header]
+        handle = open(path, "a", encoding="utf-8")
+        return cls(path, records, handle)
+
+    @staticmethod
+    def _load_records(path: Path) -> list[dict]:
+        """Parse the JSONL file, dropping a truncated trailing line."""
+        records: list[dict] = []
+        raw = path.read_bytes().decode("utf-8", errors="replace")
+        lines = raw.split("\n")
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if i >= len(lines) - 2:
+                    break       # partial final line from a crash: drop it
+                raise CampaignError(
+                    f"journal {path} is corrupt at line {i + 1}; "
+                    "use a fresh --out directory") from None
+            if not isinstance(record, dict):
+                raise CampaignError(
+                    f"journal {path} line {i + 1} is not a record")
+            records.append(record)
+        return records
+
+    # -- state -----------------------------------------------------------
+
+    def _absorb(self, record: dict) -> None:
+        kind = record.get("kind")
+        cell = record.get("cell")
+        if kind == "done" and cell is not None:
+            # first completion wins; duplicates are never double-counted
+            self.done.setdefault(cell, record.get("row", {}))
+        elif kind == "failed" and cell is not None:
+            self.failures.setdefault(cell, []).append(
+                record.get("error", ""))
+        elif kind == "requeued" and cell is not None:
+            self.requeues[cell] = self.requeues.get(cell, 0) + 1
+        elif kind == "quarantined" and cell is not None:
+            self.quarantined.setdefault(cell, record)
+
+    # -- writing ---------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (write + flush + fsync) and absorb it."""
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._absorb(record)
+
+    def record_done(self, cell_id: str, attempt: int, row: dict,
+                    wall: float) -> None:
+        """A cell completed; *row* is its deterministic result."""
+        self.append({"kind": "done", "cell": cell_id, "attempt": attempt,
+                     "wall": round(wall, 6), "row": row})
+
+    def record_failed(self, cell_id: str, attempt: int, error: str) -> None:
+        """A cell raised; counts toward its poison (quarantine) budget."""
+        self.append({"kind": "failed", "cell": cell_id, "attempt": attempt,
+                     "error": error})
+
+    def record_requeued(self, cell_id: str, attempt: int,
+                        reason: str) -> None:
+        """A cell's worker crashed/hung/timed out; the cell is requeued."""
+        self.append({"kind": "requeued", "cell": cell_id,
+                     "attempt": attempt, "reason": reason})
+
+    def record_quarantined(self, cell_id: str, reason: str,
+                           errors: Optional[list[str]] = None) -> None:
+        """A cell exhausted its budget and is abandoned (reported, not
+        retried); the campaign completes without it."""
+        self.append({"kind": "quarantined", "cell": cell_id,
+                     "reason": reason, "errors": errors or []})
+
+    def close(self) -> None:
+        """Flush and close the append handle."""
+        if self._handle is not None:
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except (OSError, ValueError):  # pragma: no cover - closed race
+                pass
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

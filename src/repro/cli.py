@@ -41,31 +41,49 @@ sanitizer on every run of any ordinary target::
     python -m repro check headline
     python -m repro check resilience --faults "crash:apprank=0,node=1,t=0.5"
     python -m repro fig08 --check
+
+The ``campaign`` target shards a sweep grid across a fault-tolerant
+master/worker process pool (:mod:`repro.campaign`) with a crash-safe
+journal: an interrupted or killed campaign resumes from the same
+``--out`` directory, skipping completed cells. ``--chaos`` arms the
+built-in self-test (a worker is SIGKILLed, a cell is wedged past its
+timeout) to prove the recovery paths::
+
+    python -m repro campaign --grid "app=synthetic;nodes=2,4;seed=0..9" \\
+        --out sweep --workers 8
+    python -m repro campaign --grid @imbalance-sweep --out sweep8
+    python -m repro campaign --grid @smoke --out /tmp/c --chaos --seed 1
+
+On Ctrl-C the campaign terminates its workers, flushes the journal,
+prints the exact resume command, and exits 130.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from contextlib import ExitStack
 from pathlib import Path
 from typing import Iterable
 
-from .errors import FaultError
-from .experiments import (MEDIUM, PAPER, SMALL, ResultTable, Scale,
-                          fig05_policies, fig06_applications, fig07_local,
-                          fig08_sweep, fig09_traces, fig10_slownode,
-                          fig11_convergence, fig_policies_ablation,
-                          force_observability, force_policies,
-                          force_validation, headline, resilience, traced)
+from .errors import CampaignError, FaultError
+from .experiments import (CAMPAIGN_GRIDS, MEDIUM, PAPER, SMALL, TINY,
+                          ResultTable, Scale, fig05_policies,
+                          fig06_applications, fig07_local, fig08_sweep,
+                          fig09_traces, fig10_slownode, fig11_convergence,
+                          fig_policies_ablation, force_observability,
+                          force_policies, force_validation, headline,
+                          resilience, traced)
 from .faults import FaultPlan
+from .ioutil import atomic_write_text
 from .nanos.config import RuntimeConfig
 from .policies import LEND_POLICIES, OFFLOAD_POLICIES
 
 __all__ = ["main"]
 
-_SCALES = {"small": SMALL, "medium": MEDIUM, "paper": PAPER}
+_SCALES = {"tiny": TINY, "small": SMALL, "medium": MEDIUM, "paper": PAPER}
 
 
 def _run_target(target: str, scale: Scale, faults: str | None = None,
@@ -99,6 +117,99 @@ def _run_target(target: str, scale: Scale, faults: str | None = None,
 TARGETS = ("fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
            "headline", "resilience", "ablation")
 
+#: flags that only make sense for the ``campaign`` target
+_CAMPAIGN_FLAGS = ("--grid", "--workers", "--chaos", "--cell-timeout",
+                   "--max-failures", "--max-requeues")
+
+
+def _fail(message: str) -> int:
+    """One-line CLI error (no usage dump, no traceback); exits 2."""
+    print(f"repro-experiments: error: {message}", file=sys.stderr)
+    return 2
+
+
+def _campaign_progress(event: dict) -> None:
+    """Render orchestration events as compact stderr progress lines."""
+    kind = event.get("event")
+    if kind == "resume":
+        print(f"# campaign: resuming — {event['resumed']}/{event['total']} "
+              "cells already journalled", file=sys.stderr)
+    elif kind == "done":
+        print(f"# [{event['completed']}/{event['total']}] {event['cell']} "
+              f"done (attempt {event['attempt']}, {event['wall']:.2f}s)",
+              file=sys.stderr)
+    elif kind == "failed":
+        print(f"# cell {event['cell']} failed (attempt {event['attempt']}): "
+              f"{event['error']}", file=sys.stderr)
+    elif kind == "requeued":
+        print(f"# cell {event['cell']} requeued ({event['reason']})",
+              file=sys.stderr)
+    elif kind == "quarantined":
+        print(f"# cell {event['cell']} QUARANTINED", file=sys.stderr)
+    elif kind in ("chaos-kill", "chaos-hang", "kill", "crash"):
+        detail = event.get("cell") or f"worker {event.get('worker')}"
+        print(f"# {kind}: {detail}", file=sys.stderr)
+
+
+def _resume_command(args) -> str:
+    """The exact invocation that resumes an interrupted campaign."""
+    parts = ["python -m repro campaign", f"--grid '{args.grid}'",
+             f"--out {args.out}"]
+    if args.workers is not None:
+        parts.append(f"--workers {args.workers}")
+    if args.chaos:
+        parts.append("--chaos")
+    if args.check:
+        parts.append("--check")
+    return " ".join(parts)
+
+
+def _run_campaign(args) -> int:
+    """The ``campaign`` target: shard a grid across a worker pool."""
+    from .campaign import CampaignGrid, run_campaign
+    if args.grid is None:
+        return _fail("campaign needs --grid (a sweep spec or @preset; "
+                     f"presets: {', '.join(sorted(CAMPAIGN_GRIDS))})")
+    spec = args.grid
+    if spec.startswith("@"):
+        preset = spec[1:]
+        if preset not in CAMPAIGN_GRIDS:
+            return _fail(f"unknown campaign preset {preset!r} "
+                         f"(known: {', '.join(sorted(CAMPAIGN_GRIDS))})")
+        spec = CAMPAIGN_GRIDS[preset]
+        args.grid = spec        # resume command must name the real grid
+    try:
+        grid = CampaignGrid.parse(spec)
+    except CampaignError as exc:
+        return _fail(str(exc))
+    workers = args.workers or max(1, (os.cpu_count() or 2) - 1)
+    started = time.perf_counter()
+    try:
+        report = run_campaign(
+            grid, args.out, workers=workers,
+            cell_timeout=args.cell_timeout,
+            max_failures=args.max_failures,
+            max_requeues=args.max_requeues,
+            check=args.check, chaos=bool(args.chaos),
+            chaos_seed=args.seed, progress=_campaign_progress)
+    except CampaignError as exc:
+        return _fail(str(exc))
+    if report.interrupted:
+        print("# campaign interrupted — journal flushed; resume with:",
+              file=sys.stderr)
+        print(f"#   {_resume_command(args)}", file=sys.stderr)
+        return 130
+    print(report.format())
+    print(f"# wall time: {time.perf_counter() - started:.1f} s")
+    print(f"# journal: {report.out_dir / 'journal.jsonl'}")
+    print(f"# results: {report.csv_path}")
+    if args.csv is not None:
+        args.csv.mkdir(parents=True, exist_ok=True)
+        path = args.csv / "campaign.csv"
+        atomic_write_text(path, report.table.to_csv() + "\n")
+        print(f"# wrote {path}")
+    return report.exit_code
+
 
 def _print_policies() -> None:
     """The ``policies`` target: registered strategies and the defaults."""
@@ -127,12 +238,15 @@ def main(argv: Iterable[str] | None = None) -> int:
                     "balancing of MPI programs using OmpSs-2@Cluster and "
                     "DLB' (ICPP 2022) on the simulator.")
     parser.add_argument("target", choices=TARGETS + ("all", "trace",
-                                                     "policies", "check"),
+                                                     "policies", "check",
+                                                     "campaign"),
                         help="which figure/table to regenerate, 'trace' "
                              "to record one instrumented run, 'policies' "
                              "to list the registered policy-kernel "
-                             "strategies, or 'check' to run the invariant "
-                             "sanitizer over a conformance workload")
+                             "strategies, 'check' to run the invariant "
+                             "sanitizer over a conformance workload, or "
+                             "'campaign' to shard a sweep grid across a "
+                             "fault-tolerant worker pool")
     parser.add_argument("experiment", nargs="?", default=None,
                         help="trace/check only: which workload to record "
                              f"(trace: {', '.join(traced.TRACE_TARGETS)}; "
@@ -150,9 +264,12 @@ def main(argv: Iterable[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0,
                         help="resilience/trace/check: seed for the fault "
                              "plan's stochastic draws")
-    parser.add_argument("--out", type=Path, default=None, metavar="FILE",
-                        help="trace only: write the Chrome trace-event JSON "
-                             "here (load it at https://ui.perfetto.dev)")
+    parser.add_argument("--out", type=Path, default=None, metavar="PATH",
+                        help="trace: write the Chrome trace-event JSON here "
+                             "(load it at https://ui.perfetto.dev); "
+                             "campaign: the output directory holding the "
+                             "journal, results.csv and report.json "
+                             "(default: campaign-out)")
     parser.add_argument("--paraver", type=Path, default=None, metavar="BASE",
                         help="trace only: also write BASE.prv/.pcf/.row "
                              "Paraver files")
@@ -171,7 +288,43 @@ def main(argv: Iterable[str] | None = None) -> int:
     parser.add_argument("--lend-policy", default=None, metavar="NAME",
                         help="LeWI lending policy for every run; see "
                              "'policies'")
+    parser.add_argument("--grid", default=None, metavar="SPEC",
+                        help="campaign only: the sweep grid, e.g. "
+                             "'app=synthetic;nodes=2,4;seed=0..9', or a "
+                             "preset via @name "
+                             f"({', '.join(sorted(CAMPAIGN_GRIDS))})")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="campaign only: worker processes "
+                             "(default: cores - 1)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="campaign only: arm the chaos self-test "
+                             "(SIGKILL a worker and wedge a cell mid-run "
+                             "to prove the recovery paths; seeded by "
+                             "--seed)")
+    parser.add_argument("--cell-timeout", type=float, default=300.0,
+                        metavar="SEC",
+                        help="campaign only: per-cell wall-clock budget "
+                             "before the worker is killed and the cell "
+                             "requeued (default: 300)")
+    parser.add_argument("--max-failures", type=int, default=3, metavar="N",
+                        help="campaign only: cell errors before quarantine "
+                             "(default: 3)")
+    parser.add_argument("--max-requeues", type=int, default=10, metavar="N",
+                        help="campaign only: crash/hang interruptions of "
+                             "one cell before quarantine (default: 10)")
     args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return _dispatch(parser, args)
+    except KeyboardInterrupt:
+        # campaign handles its own interrupt (workers reaped, journal
+        # flushed, resume command printed); everything else just exits
+        # with the conventional SIGINT status.
+        print("# interrupted", file=sys.stderr)
+        return 130
+
+
+def _dispatch(parser: argparse.ArgumentParser, args) -> int:
+    """Validate cross-flag constraints and run the selected target."""
 
     if args.policy is not None and args.policy not in OFFLOAD_POLICIES:
         parser.error(f"unknown offload policy {args.policy!r}; registered: "
@@ -183,6 +336,20 @@ def main(argv: Iterable[str] | None = None) -> int:
         _print_policies()
         return 0
 
+    if args.target != "campaign":
+        for flag in _CAMPAIGN_FLAGS:
+            name = flag.lstrip("-").replace("-", "_")
+            default = {"cell_timeout": 300.0, "max_failures": 3,
+                       "max_requeues": 10}.get(name)
+            if getattr(args, name) not in (None, False, default):
+                parser.error(f"{flag} only applies to the 'campaign' target")
+    if args.target == "campaign":
+        if args.experiment is not None:
+            parser.error("campaign does not take an experiment name")
+        if args.out is None:
+            args.out = Path("campaign-out")
+        return _run_campaign(args)
+
     if args.faults is not None and args.target not in ("resilience", "trace",
                                                        "check"):
         parser.error("--faults only applies to 'resilience', 'trace' and "
@@ -192,7 +359,7 @@ def main(argv: Iterable[str] | None = None) -> int:
         try:    # reject a malformed spec before any experiment runs
             plan = FaultPlan.parse(args.faults, seed=args.seed)
         except FaultError as exc:
-            parser.error(f"bad --faults spec: {exc}")
+            return _fail(f"bad --faults spec: {exc}")
     if args.scale is not None:
         scale = _SCALES[args.scale]
     else:   # checks favour quick feedback; everything else the paper sizing
@@ -258,10 +425,11 @@ def main(argv: Iterable[str] | None = None) -> int:
             print(f"# wall time: {elapsed:.1f} s")
             print()
             if args.csv is not None:
-                args.csv.mkdir(parents=True, exist_ok=True)
                 suffix = f"_{i}" if len(tables) > 1 else ""
                 path = args.csv / f"{target}{suffix}_{scale.name}.csv"
-                path.write_text(table.to_csv() + "\n")
+                # temp-file + rename: an interrupted run never leaves a
+                # truncated CSV (same discipline as the campaign journal)
+                atomic_write_text(path, table.to_csv() + "\n")
                 print(f"# wrote {path}")
         if observed:
             totals = {"spans": 0, "instants": 0, "counter_samples": 0}

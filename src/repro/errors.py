@@ -119,6 +119,15 @@ class TaskLostError(FaultError):
         self.task = task
 
 
+class CampaignError(ReproError):
+    """Invalid campaign usage (bad grid spec, journal/grid mismatch, ...).
+
+    Raised by :mod:`repro.campaign` for user-facing configuration
+    problems; messages are single-line so the CLI can surface them
+    without a traceback, naming the offending token.
+    """
+
+
 class ValidationError(ReproError):
     """A runtime invariant was violated while the sanitizer was armed.
 

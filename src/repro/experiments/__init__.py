@@ -3,12 +3,14 @@
 from . import (fig05_policies, fig06_applications, fig07_local, fig08_sweep,
                fig09_traces, fig10_slownode, fig11_convergence,
                fig_policies_ablation, headline, resilience, traced)
-from .base import (MEDIUM, PAPER, SMALL, ResultTable, RunResult, Scale,
+from .base import (MEDIUM, PAPER, SMALL, TINY, ResultTable, RunResult, Scale,
                    force_observability, force_policies, force_validation,
                    run_workload)
+from .campaign_grids import CAMPAIGN_GRIDS
 
 __all__ = [
     "Scale",
+    "TINY",
     "SMALL",
     "MEDIUM",
     "PAPER",
@@ -29,4 +31,5 @@ __all__ = [
     "headline",
     "resilience",
     "traced",
+    "CAMPAIGN_GRIDS",
 ]

@@ -28,9 +28,9 @@ from ..faults.plan import FaultPlan
 from ..nanos.config import RuntimeConfig
 from ..nanos.runtime import ClusterRuntime
 
-__all__ = ["Scale", "SMALL", "MEDIUM", "PAPER", "RunResult", "run_workload",
-           "ResultTable", "reduction_vs", "force_observability",
-           "force_policies", "force_validation"]
+__all__ = ["Scale", "TINY", "SMALL", "MEDIUM", "PAPER", "RunResult",
+           "run_workload", "ResultTable", "reduction_vs",
+           "force_observability", "force_policies", "force_validation"]
 
 #: While a :func:`force_observability` block is active, this is the list
 #: collecting each run's Observability facade; ``None`` otherwise.
@@ -154,6 +154,12 @@ class Scale:
         return 2 * degree * appranks_per_node <= self.cores_per_node
 
 
+#: Smoke-test scale: single runs finish in tens of milliseconds. Used by
+#: the campaign orchestrator's self-tests and CI chaos smoke, where the
+#: *orchestration* (not the simulated physics) is under test.
+TINY = Scale(name="tiny", cores_per_node=4, tasks_per_core=4, iterations=2,
+             micropp_subdomains_per_core=2,
+             local_period=0.02, global_period=0.2)
 #: Fast CI scale: every shape holds, runs in seconds.
 SMALL = Scale(name="small", cores_per_node=8, tasks_per_core=10, iterations=3,
               micropp_subdomains_per_core=4,

@@ -1,0 +1,38 @@
+"""Named campaign grids: the sweep experiments as campaign targets.
+
+Each entry is a :meth:`repro.campaign.CampaignGrid.parse` spec that
+re-expresses one of the repo's sweep experiments (or a robustness
+matrix no serial harness could afford) as a shardable campaign, so
+``python -m repro campaign --grid @<name>`` runs it across every core
+with resume/chaos/quarantine for free. The presets deliberately sweep
+*more* than the serial figures (extra seeds, crossed policies): the
+campaign runner is the scale-out path of ROADMAP item 2.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CAMPAIGN_GRIDS"]
+
+#: name -> grid spec (the ``@name`` targets of ``--grid``)
+CAMPAIGN_GRIDS: dict[str, str] = {
+    # CI smoke / quick local sanity: a handful of sub-second cells.
+    "smoke": ("app=synthetic;scale=tiny;nodes=2;degree=1,2;"
+              "imbalance=1.5,2.0;seed=0..2"),
+    # Figure 8 as a campaign: the synthetic imbalance sweep with seed
+    # replication the serial harness never had.
+    "imbalance-sweep": ("app=synthetic;scale=small;nodes=4,8;degree=1,2,4;"
+                        "imbalance=1.0,1.5,2.0,2.5,3.0,4.0;seed=1234..1238"),
+    # The policy-ablation experiment crossed with cluster size.
+    "policy-ablation": ("app=micropp;scale=small;nodes=4,8,16;degree=4;"
+                        "policy=tentative,locality,work-sharing;"
+                        "seed=7,8,9"),
+    # Resilience matrix: every app under representative fault plans.
+    "resilience-matrix": (
+        "app=synthetic,micropp,nbody;scale=small;nodes=4;degree=2;"
+        "imbalance=2.0;seed=0,1;"
+        "faults=none"
+        "|crash:apprank=0,node=1,t=0.2"
+        "|degrade:node=1,t=0.1,speed=0.5,dur=0.5"
+        "|msg:loss=0.02,delay=0.05,dup=0.02"
+        "|solver:ticks=1+msg:loss=0.01"),
+}

@@ -16,6 +16,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import GraphError
+from ..ioutil import atomic_write_text
 from .biregular import random_biregular
 from .bipartite import BipartiteGraph
 from .expansion import is_good_expander
@@ -69,12 +70,14 @@ class GraphCache:
         return graph
 
     def store(self, graph: BipartiteGraph, seed: int) -> Path:
-        """Persist *graph* under its (A, N, d, seed) key; returns the path."""
-        self.directory.mkdir(parents=True, exist_ok=True)
+        """Persist *graph* under its (A, N, d, seed) key; returns the path.
+
+        Uses a unique temp file + atomic rename so concurrent campaign
+        workers storing the same graph cannot clobber each other's
+        half-written temp file.
+        """
         path = self._path(graph.num_appranks, graph.num_nodes, graph.degree, seed)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(graph.to_dict()))
-        tmp.replace(path)  # atomic on POSIX
+        atomic_write_text(path, json.dumps(graph.to_dict()))
         return path
 
     def clear(self) -> int:

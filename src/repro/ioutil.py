@@ -1,0 +1,65 @@
+"""Crash-safe filesystem helpers (atomic writes, durable appends).
+
+Every artefact the library leaves on disk — campaign journals, merged
+result CSVs, cached expander graphs — follows the same discipline: write
+the full content to a uniquely named temporary file in the *target's*
+directory, fsync it, then :func:`os.replace` it over the destination.
+A reader (or a resumed campaign) therefore only ever observes either the
+old complete file or the new complete file, never a truncated mix —
+even across ``kill -9`` or power loss mid-write.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text", "fsync_dir"]
+
+
+def fsync_dir(directory: Path) -> None:
+    """Flush a directory entry so a rename survives a crash.
+
+    ``os.replace`` is atomic but only durable once the containing
+    directory's metadata reaches disk; platforms without directory fds
+    (or filesystems that reject the open) simply skip the sync.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: "Path | str", text: str,
+                      encoding: str = "utf-8") -> Path:
+    """Write *text* to *path* atomically (temp file + fsync + rename).
+
+    An interrupted write never leaves a truncated *path*: the content
+    lands in a ``.tmp``-suffixed sibling first and is renamed over the
+    destination only once fully flushed. Returns the final path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    fsync_dir(path.parent)
+    return path

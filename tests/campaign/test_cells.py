@@ -1,0 +1,57 @@
+"""Cell execution: determinism and JSON-safety of result rows."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import RESULT_COLUMNS, CampaignGrid, run_cell
+
+
+def tiny_cell(**overrides):
+    spec = {"app": "synthetic", "scale": "tiny", "nodes": "2", "degree": "2",
+            "imbalance": "2.0", "seed": "0"}
+    spec.update({k: str(v) for k, v in overrides.items()})
+    grid = CampaignGrid.parse(";".join(f"{k}={v}" for k, v in spec.items()))
+    return grid.cells()[0]
+
+
+class TestRunCell:
+    def test_row_has_all_columns(self):
+        row = run_cell(tiny_cell())
+        assert tuple(row) == RESULT_COLUMNS
+
+    def test_row_is_json_safe(self):
+        row = run_cell(tiny_cell())
+        assert json.loads(json.dumps(row)) == row
+
+    def test_deterministic_across_runs(self):
+        cell = tiny_cell()
+        assert run_cell(cell) == run_cell(cell)
+
+    def test_degree_one_runs_single_node_reference(self):
+        row = run_cell(tiny_cell(degree=1, nodes=2))
+        assert row["degree"] == 1
+        assert row["offloaded"] == 0
+        assert row["executed"] == row["tasks"]
+
+    def test_offloading_cell_offloads(self):
+        row = run_cell(tiny_cell(degree=2, imbalance=2.0))
+        assert row["offloaded"] > 0
+
+    def test_faulty_cell_runs(self):
+        row = run_cell(tiny_cell(faults="msg:loss=0.01"))
+        assert row["faults"].startswith("f")
+        assert row["makespan"] > 0
+
+    @pytest.mark.parametrize("app", ["micropp", "nbody"])
+    def test_other_apps_run(self, app):
+        row = run_cell(tiny_cell(app=app))
+        assert row["app"] == app
+        assert row["executed"] > 0
+
+    def test_check_mode_runs_clean(self):
+        # the sanitizer must not fire on a healthy tiny cell
+        row = run_cell(tiny_cell(), check=True)
+        assert row["makespan"] > 0

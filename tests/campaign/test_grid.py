@@ -1,0 +1,123 @@
+"""Grid parsing: syntax, defaults, feasibility, one-line errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import APPS, SCALES, CampaignGrid, Cell
+from repro.errors import CampaignError
+from repro.experiments import CAMPAIGN_GRIDS
+
+
+class TestParse:
+    def test_defaults(self):
+        grid = CampaignGrid.parse("")
+        cells = grid.cells()
+        assert len(cells) == 1
+        cell = cells[0]
+        assert cell.app == "synthetic"
+        assert cell.scale == "small"
+        assert cell.nodes == 4
+        assert cell.degree == 2
+        assert cell.seed == 1234
+
+    def test_values_and_ranges(self):
+        grid = CampaignGrid.parse("nodes=2,4;seed=0..3")
+        assert grid.axis("nodes") == (2, 4)
+        assert grid.axis("seed") == (0, 1, 2, 3)
+
+    def test_float_axis(self):
+        grid = CampaignGrid.parse("imbalance=1.5,2.0,4.0;nodes=8")
+        assert grid.axis("imbalance") == (1.5, 2.0, 4.0)
+
+    def test_fault_alternatives(self):
+        grid = CampaignGrid.parse(
+            "faults=none|crash:apprank=0,node=1,t=0.5"
+            "|solver:ticks=1+msg:loss=0.01")
+        assert len(grid.axis("faults")) == 3
+        tags = {c.cell_id.split(":")[-2] for c in grid.cells()}
+        assert "none" in tags
+        assert len(tags) == 3       # distinct tags per alternative
+
+    @pytest.mark.parametrize("spec, token", [
+        ("frobnicate=1", "frobnicate"),             # unknown key
+        ("nodes", "nodes"),                         # missing '='
+        ("nodes=two", "two"),                       # bad integer
+        ("seed=5..1", "5..1"),                      # empty range
+        ("imbalance=fast", "fast"),                 # bad float
+        ("scale=galactic", "galactic"),             # unknown scale
+        ("app=fortran", "fortran"),                 # unknown app
+        ("policy=psychic", "psychic"),              # unknown policy
+        ("faults=crash:flavor=mint", "flavor"),     # bad fault spec
+        ("nodes=2;nodes=4", "nodes"),               # duplicate key
+    ])
+    def test_one_line_error_names_token(self, spec, token):
+        with pytest.raises(CampaignError) as err:
+            CampaignGrid.parse(spec)
+        message = str(err.value)
+        assert token in message
+        assert "\n" not in message
+
+    def test_zero_feasible_cells_rejected(self):
+        with pytest.raises(CampaignError, match="zero feasible"):
+            CampaignGrid.parse("nodes=2;degree=4")
+
+
+class TestCells:
+    def test_infeasible_combinations_skipped(self):
+        grid = CampaignGrid.parse("nodes=2,4;degree=2,8")
+        for cell in grid.cells():
+            assert cell.degree <= cell.nodes
+
+    def test_degree_one_normalises_realloc(self):
+        grid = CampaignGrid.parse(
+            "scale=tiny;nodes=2;degree=1;realloc=local,global")
+        cells = grid.cells()
+        assert len(cells) == 1      # deduplicated: realloc doesn't apply
+        assert cells[0].realloc == "local"
+
+    def test_non_synthetic_drops_imbalance(self):
+        grid = CampaignGrid.parse(
+            "app=micropp;scale=tiny;nodes=2;imbalance=1.5,2.0")
+        cells = grid.cells()
+        assert len(cells) == 1
+        assert cells[0].imbalance == 0.0
+
+    def test_cell_order_is_stable(self):
+        grid = CampaignGrid.parse("scale=tiny;nodes=2;seed=0..4")
+        assert [c.cell_id for c in grid.cells()] == [
+            c.cell_id for c in grid.cells()]
+
+    def test_cell_json_roundtrip(self):
+        for cell in CampaignGrid.parse("scale=tiny;nodes=2;seed=0..2"):
+            assert Cell.from_json(cell.to_json()) == cell
+
+    def test_fault_plan_property(self):
+        cell = CampaignGrid.parse(
+            "scale=tiny;nodes=2;faults=msg:loss=0.01").cells()[0]
+        assert cell.fault_plan is not None
+        none_cell = CampaignGrid.parse("scale=tiny;nodes=2").cells()[0]
+        assert none_cell.fault_plan is None
+
+
+class TestFingerprint:
+    def test_same_grid_same_fingerprint(self):
+        a = CampaignGrid.parse("nodes=2,4;seed=0..2")
+        b = CampaignGrid.parse("nodes=2,4;seed=0,1,2")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_grid_different_fingerprint(self):
+        a = CampaignGrid.parse("nodes=2,4")
+        b = CampaignGrid.parse("nodes=2,8")
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", sorted(CAMPAIGN_GRIDS))
+    def test_presets_parse_and_expand(self, name):
+        grid = CampaignGrid.parse(CAMPAIGN_GRIDS[name])
+        cells = grid.cells()
+        assert cells
+        for cell in cells:
+            assert cell.app in APPS
+            assert cell.scale in SCALES

@@ -1,0 +1,78 @@
+"""Journal crash-safety: roundtrip, truncated-tail recovery, dedupe."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignJournal
+from repro.errors import CampaignError
+
+FP = "f" * 64
+GRID = "nodes=2"
+
+
+class TestRoundtrip:
+    def test_records_survive_reopen(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal.open(path, FP, GRID) as journal:
+            journal.record_done("cell-a", 1, {"makespan": 1.5}, 0.1)
+            journal.record_failed("cell-b", 1, "ValueError: boom")
+            journal.record_requeued("cell-c", 1, "crash")
+            journal.record_quarantined("cell-d", "failed 3 times",
+                                       errors=["x", "y", "z"])
+        with CampaignJournal.open(path, FP, GRID) as journal:
+            assert journal.done == {"cell-a": {"makespan": 1.5}}
+            assert journal.failures == {"cell-b": ["ValueError: boom"]}
+            assert journal.requeues == {"cell-c": 1}
+            assert set(journal.quarantined) == {"cell-d"}
+
+    def test_done_dedupe_first_wins(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal.open(path, FP, GRID) as journal:
+            journal.record_done("cell-a", 1, {"makespan": 1.0}, 0.1)
+            journal.record_done("cell-a", 2, {"makespan": 9.0}, 0.1)
+            assert journal.done["cell-a"] == {"makespan": 1.0}
+        with CampaignJournal.open(path, FP, GRID) as journal:
+            assert journal.done["cell-a"] == {"makespan": 1.0}
+
+
+class TestRecovery:
+    def test_truncated_tail_dropped_and_compacted(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal.open(path, FP, GRID) as journal:
+            journal.record_done("cell-a", 1, {"makespan": 1.0}, 0.1)
+        # simulate kill -9 mid-append: a partial trailing line
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "done", "cell": "cell-b", "ro')
+        with CampaignJournal.open(path, FP, GRID) as journal:
+            assert "cell-a" in journal.done
+            assert "cell-b" not in journal.done
+        # recovery compacted the file: every line parses now
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_mid_file_corruption_refused(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal.open(path, FP, GRID) as journal:
+            journal.record_done("cell-a", 1, {}, 0.1)
+        text = path.read_text().splitlines()
+        text.insert(1, "not json at all")
+        path.write_text("\n".join(text) + "\n")
+        with pytest.raises(CampaignError, match="corrupt"):
+            CampaignJournal.open(path, FP, GRID)
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        CampaignJournal.open(path, FP, GRID).close()
+        with pytest.raises(CampaignError) as err:
+            CampaignJournal.open(path, "0" * 64, "nodes=8")
+        assert "different grid" in str(err.value)
+        assert "\n" not in str(err.value)
+
+    def test_non_journal_file_refused(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(CampaignError, match="missing header"):
+            CampaignJournal.open(path, FP, GRID)

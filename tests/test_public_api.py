@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.policies",
     "repro.validate",
+    "repro.campaign",
 ]
 
 
