@@ -85,6 +85,9 @@ class CampaignReport:
     interrupted: bool
     out_dir: Path
     csv_path: Optional[Path]
+    #: wall-clock accounting of *this* run: total seconds, cells/sec,
+    #: per-cell mean/p95 and worker utilization (busy / capacity)
+    wall_clock: dict[str, Any] = field(default_factory=dict)
 
     @property
     def exit_code(self) -> int:
@@ -197,6 +200,9 @@ class _Master:
         self.journal: Optional[CampaignJournal] = None
         self.resumed = 0
         self.interrupted = False
+        #: wall-clock bookkeeping for the progress line and report
+        self.wall_started: Optional[float] = None
+        self.busy_seconds = 0.0
 
     # -- events ----------------------------------------------------------
 
@@ -331,15 +337,28 @@ class _Master:
             return
         journal.record_done(cell_id, attempt, row, wall)
         self.completions_this_run += 1
+        self.busy_seconds += wall
         self.metrics.counter("campaign.cells_done").add()
         self.metrics.histogram("campaign.cell_seconds").observe(wall)
         worker = self.by_uid.get(uid)
         if worker is not None:
             self.metrics.counter(
                 f"campaign.worker.{worker.slot}.cells_done").add()
+        # Throughput + ETA over this run's wall clock (resumed cells cost
+        # nothing, so the rate only counts cells actually computed here).
+        rate = None
+        eta = None
+        if self.wall_started is not None:
+            elapsed = time.monotonic() - self.wall_started
+            if elapsed > 0:
+                rate = self.completions_this_run / elapsed
+                remaining = (len(self.cells) - len(journal.done)
+                             - len(journal.quarantined))
+                eta = remaining / rate if rate > 0 else None
         self.emit("done", cell=cell_id, attempt=attempt, wall=wall,
                   completed=len(journal.done),
-                  total=len(self.cells))
+                  total=len(self.cells),
+                  cells_per_sec=rate, eta=eta)
 
     # -- chaos -----------------------------------------------------------
 
@@ -478,6 +497,7 @@ class _Master:
                       worker=worker.uid)
 
     def run(self) -> CampaignReport:
+        self.wall_started = time.monotonic()
         self.out_dir.mkdir(parents=True, exist_ok=True)
         journal = CampaignJournal.open(self.out_dir / JOURNAL_NAME,
                                        self.grid.fingerprint(),
@@ -536,7 +556,8 @@ class _Master:
             computed=self.completions_this_run, resumed=self.resumed,
             quarantined=dict(journal.quarantined),
             metrics=self.metrics.snapshot(), interrupted=self.interrupted,
-            out_dir=self.out_dir, csv_path=csv_path)
+            out_dir=self.out_dir, csv_path=csv_path,
+            wall_clock=self.wall_clock_section())
         atomic_write_text(
             self.out_dir / REPORT_NAME,
             json.dumps({
@@ -549,8 +570,32 @@ class _Master:
                 "interrupted": report.interrupted,
                 "quarantined": report.quarantined,
                 "metrics": report.metrics,
+                "wall_clock": report.wall_clock,
             }, indent=2, sort_keys=True) + "\n")
         return report
+
+    def wall_clock_section(self) -> dict[str, Any]:
+        """Wall-clock accounting of this run for ``report.json``.
+
+        ``worker_utilization`` is the summed in-cell seconds over the
+        pool's wall-clock capacity — how much of the campaign the
+        workers spent simulating rather than idle or respawning.
+        """
+        total = (time.monotonic() - self.wall_started
+                 if self.wall_started is not None else 0.0)
+        hist = self.metrics.histogram("campaign.cell_seconds")
+        capacity = total * self.num_workers
+        return {
+            "total_s": total,
+            "cells_per_sec": (self.completions_this_run / total
+                              if total > 0 else 0.0),
+            "cell_seconds": {
+                "mean": hist.mean,
+                "p95": hist.quantile(0.95) if hist.count else 0.0,
+            },
+            "worker_utilization": (self.busy_seconds / capacity
+                                   if capacity > 0 else 0.0),
+        }
 
 
 def run_campaign(grid: CampaignGrid, out_dir: "Path | str",

@@ -19,6 +19,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional, Protocol
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..perf import PerfRecorder
+
 from ..cluster.node import Core, Node, WorkerKey
 from ..errors import DlbError
 from ..policies import (EagerLend, LendPolicy, OwnerFirstReclaim,
@@ -54,12 +57,16 @@ class NodeArbiter:
                  obs: Optional["Observability"] = None,
                  lend_policy: Optional[LendPolicy] = None,
                  reclaim_policy: Optional[ReclaimPolicy] = None,
-                 validator: Optional["Sanitizer"] = None) -> None:
+                 validator: Optional["Sanitizer"] = None,
+                 perf: Optional["PerfRecorder"] = None) -> None:
         self.node = node
         self.lewi_enabled = lewi_enabled
         self.on_ownership_change = on_ownership_change
         self.obs = obs
         self.validator = validator
+        #: optional wall-clock recorder; the arbiter has no simulator
+        #: reference, so the runtime injects it directly
+        self.perf = perf
         #: lend/grant decision strategies (see :mod:`repro.policies.lewi`);
         #: the defaults reproduce the paper's LeWI behaviour
         self.lend_policy: LendPolicy = lend_policy or EagerLend()
@@ -171,6 +178,15 @@ class NodeArbiter:
         The caller must have stopped the worker's tasks first (the cores
         must not be occupied by it). Returns the number of cores moved.
         """
+        if self.perf is None:
+            return self._retire_worker(worker_key)
+        self.perf.begin("dlb.arbitration")
+        try:
+            return self._retire_worker(worker_key)
+        finally:
+            self.perf.end()
+
+    def _retire_worker(self, worker_key: WorkerKey) -> int:
         if worker_key not in self.workers:
             raise DlbError(f"retire of unknown worker {worker_key!r} on node "
                            f"{self.node.node_id}")
@@ -221,6 +237,15 @@ class NodeArbiter:
         Preference order: an idle core it owns (taking back ones it lent),
         then — with LeWI — an idle core another worker has lent.
         """
+        if self.perf is None:
+            return self._acquire_core(worker)
+        self.perf.begin("dlb.arbitration")
+        try:
+            return self._acquire_core(worker)
+        finally:
+            self.perf.end()
+
+    def _acquire_core(self, worker: WorkerPort) -> Optional[Core]:
         if self.dead:
             return None
         for core in self.node.cores:
@@ -244,6 +269,15 @@ class NodeArbiter:
         :class:`~repro.policies.LendPolicy`'s decision (the default lends
         all of them). Returns the number of cores newly lent.
         """
+        if self.perf is None:
+            return self._lend_idle_cores(worker_key)
+        self.perf.begin("dlb.arbitration")
+        try:
+            return self._lend_idle_cores(worker_key)
+        finally:
+            self.perf.end()
+
+    def _lend_idle_cores(self, worker_key: WorkerKey) -> int:
         if not self.lewi_enabled or self.dead:
             return 0
         idle = [core for core in self.node.cores
@@ -256,7 +290,15 @@ class NodeArbiter:
                         idle_owned_cores=len(idle),
                         backlog=self._backlog(worker) if worker is not None
                         else 0)
-        lent = max(0, min(self.lend_policy.lend_count(view), len(idle)))
+        if self.perf is None:
+            decided = self.lend_policy.lend_count(view)
+        else:
+            self.perf.begin("policies")
+            try:
+                decided = self.lend_policy.lend_count(view)
+            finally:
+                self.perf.end()
+        lent = max(0, min(decided, len(idle)))
         for core in idle[:lent]:
             core.lent = True
         self.lends += lent
@@ -282,6 +324,16 @@ class NodeArbiter:
         :class:`~repro.policies.LendPolicy` agrees (by default: whenever
         the owner has nothing ready).
         """
+        if self.perf is None:
+            self._release_core(core, worker_key)
+            return
+        self.perf.begin("dlb.arbitration")
+        try:
+            self._release_core(core, worker_key)
+        finally:
+            self.perf.end()
+
+    def _release_core(self, core: Core, worker_key: WorkerKey) -> None:
         if core.busy:
             raise DlbError("release_core on a busy core (stop the task first)")
         if self.dead:
@@ -290,8 +342,16 @@ class NodeArbiter:
         if moved:
             self.cores_moved += 1
         view = self._grant_view(core, worker_key)
+        if self.perf is None:
+            order = self.reclaim_policy.grant_order(view)
+        else:
+            self.perf.begin("policies")
+            try:
+                order = self.reclaim_policy.grant_order(view)
+            finally:
+                self.perf.end()
         offered: set[WorkerKey] = set()
-        for key in self.reclaim_policy.grant_order(view):
+        for key in order:
             if key in offered:
                 continue
             offered.add(key)
@@ -316,7 +376,14 @@ class NodeArbiter:
             if worker.start_next_on(core):
                 return
         # Nobody can use it: idle. Lend it if the lend policy says so.
-        core.lent = self.lewi_enabled and self.lend_policy.lend_released(view)
+        if self.perf is None or not self.lewi_enabled:
+            core.lent = self.lewi_enabled and self.lend_policy.lend_released(view)
+        else:
+            self.perf.begin("policies")
+            try:
+                core.lent = self.lend_policy.lend_released(view)
+            finally:
+                self.perf.end()
         if core.lent:
             self.lends += 1
             if self.obs is not None and core.owner is not None:
@@ -349,6 +416,15 @@ class NodeArbiter:
         applied at their current task's completion. Returns the number of
         cores whose (current or pending) owner changed.
         """
+        if self.perf is None:
+            return self._set_ownership(counts)
+        self.perf.begin("dlb.arbitration")
+        try:
+            return self._set_ownership(counts)
+        finally:
+            self.perf.end()
+
+    def _set_ownership(self, counts: dict[WorkerKey, int]) -> int:
         if self.dead:
             raise DlbError(f"node {self.node.node_id} has failed; DROM "
                            "ownership is frozen")

@@ -14,6 +14,7 @@ completion with :meth:`ClusterRuntime.run_app`.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Generator, Optional
 
 from ..balance.dynamic import DynamicSpreader
@@ -53,6 +54,7 @@ class ClusterRuntime:
                  config: RuntimeConfig,
                  faults: Optional[FaultPlan] = None,
                  home_nodes: Optional[int] = None) -> None:
+        t_setup = perf_counter()
         self.spec = spec
         self.config = config
         self.num_appranks = num_appranks
@@ -86,6 +88,13 @@ class ClusterRuntime:
             from ..validate import Sanitizer
             self.validator = Sanitizer(self.sim, obs=self.obs)
             self.sim.validator = self.validator
+        #: wall-clock recorder (lazily imported like obs; reads only the
+        #: host clock, so arming it cannot perturb the simulated run)
+        self.perf = None
+        if config.perf:
+            from ..perf import PerfRecorder
+            self.perf = PerfRecorder()
+            self.sim.perf = self.perf
         self.talp = TalpModule(spec.total_cores)
 
         # One lend/reclaim policy instance per node mirrors the per-node
@@ -98,7 +107,7 @@ class ClusterRuntime:
                 obs=self.obs,
                 lend_policy=LEND_POLICIES.create(config.lend_policy),
                 reclaim_policy=RECLAIM_POLICIES.create(config.reclaim_policy),
-                validator=self.validator)
+                validator=self.validator, perf=self.perf)
             for node in self.cluster.nodes
         }
         self.lewi = LewiModule(self.arbiters, enabled=config.lewi)
@@ -146,6 +155,8 @@ class ClusterRuntime:
         self.faults: Optional[FaultInjector] = (
             FaultInjector(self, faults)
             if faults is not None and not faults.empty else None)
+        if self.perf is not None:
+            self.perf.add_phase("setup", perf_counter() - t_setup)
 
     # -- construction -------------------------------------------------------
 
@@ -451,6 +462,8 @@ class ClusterRuntime:
         Returns each apprank's return value; ``self.elapsed`` holds the
         simulated time-to-solution.
         """
+        perf = self.perf
+        t_mark = perf_counter()
         self.start()
         remaining = self.num_appranks
         results: list[Any] = [None] * self.num_appranks
@@ -468,6 +481,11 @@ class ClusterRuntime:
         for process in processes:
             process._subscribe(self.sim, on_done)
 
+        events_before = self.sim.events_fired
+        if perf is not None:
+            now = perf_counter()
+            perf.add_phase("setup", now - t_mark)
+            t_mark = now
         while remaining > 0:
             if not self.sim.step():
                 stuck = [p.name for p in processes if not p.done]
@@ -475,6 +493,11 @@ class ClusterRuntime:
                     f"deadlock: appranks never finished: {', '.join(stuck)}")
         self.stop()
         self.sim.run()   # drain task completions of fire-and-forget apps
+        if perf is not None:
+            now = perf_counter()
+            perf.add_phase("event_loop", now - t_mark)
+            perf.events_processed += self.sim.events_fired - events_before
+            t_mark = now
         self.elapsed = self.sim.now
         if self.obs is not None:
             self.obs.finish(self.elapsed)
@@ -482,6 +505,8 @@ class ClusterRuntime:
             self.validator.finish(self)
         for i, process in enumerate(processes):
             results[i] = process.result
+        if perf is not None:
+            perf.add_phase("teardown", perf_counter() - t_mark)
         return results
 
     # -- reporting --------------------------------------------------------

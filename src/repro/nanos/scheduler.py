@@ -98,6 +98,17 @@ class AppRankScheduler:
 
     def on_ready(self, task: Task) -> None:
         """Dependency system callback: *task* is now satisfiable."""
+        perf = self.sim.perf
+        if perf is None:
+            self._on_ready(task)
+            return
+        perf.begin("nanos.scheduler")
+        try:
+            self._on_ready(task)
+        finally:
+            perf.end()
+
+    def _on_ready(self, task: Task) -> None:
         if self.obs is not None:
             task.ready_time = self.sim.now
         if task.pinned_node is not None:
@@ -130,16 +141,28 @@ class AppRankScheduler:
         if self._draining or not self.queue:
             return
         self._draining = True
+        perf = self.sim.perf
+        if perf is not None:
+            perf.begin("nanos.scheduler")
         try:
             self._drain_once()
         finally:
             self._draining = False
+            if perf is not None:
+                perf.end()
 
     def _drain_once(self) -> None:
         items = list(self.queue)
         task_views = tuple(self._task_view(t) for t in items)
-        order = list(self.policy.drain_order(task_views,
-                                             self.scheduler_view(None)))
+        perf = self.sim.perf
+        if perf is not None:
+            perf.begin("policies")
+        try:
+            order = list(self.policy.drain_order(task_views,
+                                                 self.scheduler_view(None)))
+        finally:
+            if perf is not None:
+                perf.end()
         if sorted(order) != list(range(len(items))):
             raise PolicyError(
                 f"{self.policy.name!r}.drain_order returned {order!r}, not "
@@ -172,12 +195,19 @@ class AppRankScheduler:
         """
         if not self.queue:
             return False
-        if self.obs is not None:
-            self.obs.policy_decision(self.policy.name, "stolen")
-        self._assign(self.queue.popleft(), worker.node_id)
-        if self.obs is not None:
-            self.obs.queue_depth(self.apprank, self.home_node,
-                                 len(self.queue))
+        perf = self.sim.perf
+        if perf is not None:
+            perf.begin("nanos.scheduler")
+        try:
+            if self.obs is not None:
+                self.obs.policy_decision(self.policy.name, "stolen")
+            self._assign(self.queue.popleft(), worker.node_id)
+            if self.obs is not None:
+                self.obs.queue_depth(self.apprank, self.home_node,
+                                     len(self.queue))
+        finally:
+            if perf is not None:
+                perf.end()
         return True
 
     @property
@@ -216,7 +246,14 @@ class AppRankScheduler:
     def _place(self, task: Task, drained: bool = False) -> Optional[int]:
         """Ask the policy; validate; return a node id or None (= spill)."""
         view = self.scheduler_view(task)
-        decision = self.policy.choose_worker(self._task_view(task), view)
+        perf = self.sim.perf
+        if perf is not None:
+            perf.begin("policies")
+        try:
+            decision = self.policy.choose_worker(self._task_view(task), view)
+        finally:
+            if perf is not None:
+                perf.end()
         if decision is QUEUE:
             if self.obs is not None and not drained:
                 self.obs.policy_decision(self.policy.name, "queue")

@@ -19,7 +19,9 @@ run-level metadata rides along in ``otherData``.
 from __future__ import annotations
 
 import json
+import platform
 from pathlib import Path
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Optional, Union
 
 from .bus import EventBus
@@ -110,8 +112,18 @@ def export_chrome_trace(obs: Union["Observability", EventBus],
         other["metrics"] = metrics
     elif not isinstance(obs, EventBus):
         other["metrics"] = obs.metrics.snapshot()
+    started = perf_counter()
+    events = trace_events(bus)
+    # Wall-clock provenance: which environment produced (and how long it
+    # took to build) this trace, so a Perfetto file found in an artifact
+    # bucket is attributable to its run.
+    other["metadata"] = {
+        "host": platform.node(),
+        "python": platform.python_version(),
+        "export_duration_s": perf_counter() - started,
+    }
     document = {
-        "traceEvents": trace_events(bus),
+        "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": other,
     }

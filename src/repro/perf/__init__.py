@@ -1,0 +1,35 @@
+"""Wall-clock performance observability (the real-time twin of `repro.obs`).
+
+:mod:`repro.obs` makes the *simulated* world observable; this package makes
+the **simulator itself** observable on the wall clock, so the perf
+trajectory of the codebase can be tracked across PRs and the planned
+event-core rewrite can prove its throughput claims against committed
+baselines.
+
+Three parts:
+
+* :class:`PerfRecorder` — lightweight self-instrumentation: phase timers
+  (setup / event loop / teardown) and per-subsystem wall-clock attribution
+  (engine dispatch, scheduler, DLB arbitration, MPI delivery, policy
+  calls, sanitizer overhead) via explicit hooks in the hot paths. Armed by
+  ``RuntimeConfig(perf=True)``; with it off, runs never even import this
+  package and are bit-identical to the seed (the same zero-overhead
+  contract :mod:`repro.obs` keeps).
+* :mod:`repro.perf.bench` — the ``python -m repro bench`` harness: runs
+  pinned workloads, measures events/sec, per-phase wall-clock, peak RSS
+  and per-subsystem shares, and writes schema-versioned, environment-
+  stamped ``BENCH_<target>.json`` files that accumulate across PRs.
+* :mod:`repro.perf.compare` — the noise-aware regression comparator
+  behind ``tools/compare_bench.py``: diffs a fresh run against a
+  committed baseline with improvement / regression / within-noise
+  verdicts (report-only in CI, a gate locally).
+
+The recorder only ever reads ``time.perf_counter()`` — it never touches
+the simulated clock, the RNG streams, or the event queue — so arming it
+cannot perturb a run: even perf-*on* runs stay bit-identical to the seed
+(asserted by the golden-parity tests).
+"""
+
+from .recorder import PERF_SUBSYSTEMS, PerfRecorder
+
+__all__ = ["PerfRecorder", "PERF_SUBSYSTEMS"]

@@ -1,0 +1,178 @@
+"""Noise-aware comparison of two ``BENCH_*.json`` records.
+
+Wall-clock numbers are noisy — a shared CI box, a thermal throttle, a
+background indexer all move them — so a naive ``current < baseline``
+gate would flake constantly. The comparator instead classifies each
+tracked metric into one of three verdicts:
+
+* ``within-noise`` — the relative change is inside the metric's noise
+  tolerance, or the absolute change is under the floor (microsecond
+  deltas on millisecond runs are measurement grain, not signal);
+* ``improvement`` — better than the tolerance band;
+* ``regression`` — worse than the tolerance band.
+
+A fourth verdict, ``incomparable``, marks metrics missing from either
+record (schema drift, platforms without RSS). Records from different
+schemas, targets, or scales refuse to compare outright — a faster run
+at a smaller scale is not an improvement.
+
+Used by ``tools/compare_bench.py`` (report-only in CI, a gate locally)
+and unit-tested directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["Metric", "MetricVerdict", "ComparisonReport", "TRACKED_METRICS",
+           "compare_records", "BenchCompareError"]
+
+
+class BenchCompareError(Exception):
+    """Two bench records cannot be meaningfully compared."""
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One tracked wall-clock metric and its noise model."""
+
+    #: dotted path into the record's ``wall_clock`` section
+    path: str
+    #: True when larger values are better (throughput); False for costs
+    higher_better: bool
+    #: relative change treated as noise (0.15 = ±15%)
+    rel_tol: float
+    #: absolute change floor in the metric's unit; deltas under it are
+    #: noise regardless of the relative change
+    abs_floor: float
+
+
+#: The comparison surface. Wall-clock gates use *best-case* statistics
+#: — min time, max throughput — because the best repeat is the one least
+#: disturbed by the machine (a background indexer inflates the mean but
+#: rarely all repeats at once). Tolerances are deliberately loose on top
+#: of that: the trajectory is meant to catch order-of-magnitude drifts
+#: and genuine regressions, not 3% jitter.
+TRACKED_METRICS = (
+    Metric("events_per_sec.max", higher_better=True,
+           rel_tol=0.25, abs_floor=100.0),
+    Metric("total_s.min", higher_better=False,
+           rel_tol=0.25, abs_floor=0.01),
+    Metric("event_loop_s.min", higher_better=False,
+           rel_tol=0.25, abs_floor=0.01),
+    Metric("peak_rss_bytes", higher_better=False,
+           rel_tol=0.20, abs_floor=16 * 2**20),
+)
+
+
+@dataclass(frozen=True)
+class MetricVerdict:
+    """The classified change of one metric between two records."""
+
+    name: str
+    baseline: Optional[float]
+    current: Optional[float]
+    #: signed relative change, positive = metric value grew
+    change: Optional[float]
+    #: "improvement" | "regression" | "within-noise" | "incomparable"
+    verdict: str
+
+    def format(self) -> str:
+        """One aligned report line."""
+        if self.verdict == "incomparable":
+            return f"  {self.name:<22} {'—':>12}  incomparable"
+        pct = f"{self.change:+.1%}"
+        return (f"  {self.name:<22} {self.baseline:>12,.2f} -> "
+                f"{self.current:>12,.2f}  {pct:>8}  {self.verdict}")
+
+
+@dataclass
+class ComparisonReport:
+    """All metric verdicts for one baseline/current pair."""
+
+    target: str
+    scale: str
+    verdicts: list[MetricVerdict]
+    #: non-fatal context differences (host changed, python bumped, ...)
+    notes: list[str]
+
+    @property
+    def regressions(self) -> list[MetricVerdict]:
+        """The metrics classified as regressions."""
+        return [v for v in self.verdicts if v.verdict == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        """Whether no tracked metric regressed."""
+        return not self.regressions
+
+    def format(self) -> str:
+        """The full human-readable report."""
+        lines = [f"bench compare: target={self.target} scale={self.scale}"]
+        lines += [v.format() for v in self.verdicts]
+        lines += [f"  note: {note}" for note in self.notes]
+        if self.ok:
+            lines.append("  verdict: OK (no regressions)")
+        else:
+            names = ", ".join(v.name for v in self.regressions)
+            lines.append(f"  verdict: REGRESSION in {names}")
+        return "\n".join(lines)
+
+
+def _lookup(record: dict[str, Any], path: str) -> Optional[float]:
+    node: Any = record.get("wall_clock", {})
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def _classify(metric: Metric, baseline: Optional[float],
+              current: Optional[float]) -> MetricVerdict:
+    if baseline is None or current is None or baseline <= 0:
+        return MetricVerdict(metric.path, baseline, current, None,
+                             "incomparable")
+    change = (current - baseline) / baseline
+    if abs(current - baseline) < metric.abs_floor or \
+            abs(change) <= metric.rel_tol:
+        verdict = "within-noise"
+    elif (change > 0) == metric.higher_better:
+        verdict = "improvement"
+    else:
+        verdict = "regression"
+    return MetricVerdict(metric.path, baseline, current, change, verdict)
+
+
+def compare_records(baseline: dict[str, Any], current: dict[str, Any],
+                    metrics: tuple[Metric, ...] = TRACKED_METRICS
+                    ) -> ComparisonReport:
+    """Classify every tracked metric; raises on apples-to-oranges input.
+
+    A schema, target, or scale mismatch raises :class:`BenchCompareError`
+    (the records measure different things). Environment differences —
+    another host, a different Python — are reported as notes, not errors:
+    the trajectory is expected to cross machines, the reader just needs
+    to know.
+    """
+    for key in ("schema", "target", "scale"):
+        b, c = baseline.get(key), current.get(key)
+        if b != c:
+            raise BenchCompareError(
+                f"records disagree on {key}: baseline={b!r} current={c!r}")
+    notes = []
+    base_env = baseline.get("environment", {})
+    cur_env = current.get("environment", {})
+    for key in ("host", "python", "cpu_count", "machine"):
+        if base_env.get(key) != cur_env.get(key):
+            notes.append(f"environment.{key} changed: "
+                         f"{base_env.get(key)!r} -> {cur_env.get(key)!r}")
+    if baseline.get("simulated") != current.get("simulated"):
+        notes.append("simulated outcome differs (the code under measurement "
+                     "changed behaviour, not just speed)")
+    verdicts = [_classify(m, _lookup(baseline, m.path),
+                          _lookup(current, m.path)) for m in metrics]
+    return ComparisonReport(target=str(baseline.get("target")),
+                            scale=str(baseline.get("scale")),
+                            verdicts=verdicts, notes=notes)

@@ -1,0 +1,170 @@
+"""The wall-clock self-instrumentation recorder.
+
+One :class:`PerfRecorder` per :class:`~repro.nanos.runtime.ClusterRuntime`
+accumulates three kinds of measurement, all on ``time.perf_counter()``:
+
+* **phases** — coarse additive timers for ``setup`` (stack construction +
+  policy arming), ``event_loop`` (the simulator drain) and ``teardown``
+  (policy stop, obs/validator finish, result collection);
+* **subsystem buckets** — *exclusive* (self) wall-clock per subsystem,
+  maintained by a begin/end stack: time spent in a nested hook is charged
+  to the inner bucket and subtracted from the outer one, so the buckets
+  partition the instrumented time and their sum (plus the uninstrumented
+  ``other`` remainder) reconstructs the event-loop total;
+* **counters** — events processed (read off ``Simulator.events_fired``
+  around the loop) and per-bucket call counts.
+
+The hot-path API is deliberately two plain methods (:meth:`begin` /
+:meth:`end`) rather than a context manager: the event loop calls them
+once per event and ``contextlib`` overhead would double the cost of the
+hook. Cold paths can use the :meth:`section` context manager.
+
+Everything here reads the wall clock and nothing else — no simulated
+time, no RNG, no event scheduling — so recording cannot perturb the
+simulation (the bit-identical guarantee the parity tests assert).
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Iterator, Optional
+
+__all__ = ["PerfRecorder", "PERF_SUBSYSTEMS"]
+
+#: The attribution vocabulary: every hook charges one of these buckets.
+#: ``other`` is not a hook — it is the computed remainder of the event
+#: loop (queue pops, process stepping, uninstrumented callbacks).
+PERF_SUBSYSTEMS = (
+    "engine.dispatch",      # event callbacks fired by Simulator.step
+    "nanos.scheduler",      # placement mechanism: on_ready/drain/steal
+    "dlb.arbitration",      # NodeArbiter: acquire/lend/release/DROM moves
+    "mpisim.delivery",      # message post/arrival/rendezvous machinery
+    "policies",             # pure strategy calls (offload/LeWI/DROM)
+    "validate.sanitizer",   # in-line invariant checks per fired event
+)
+
+#: Phase names in reporting order.
+PERF_PHASES = ("setup", "event_loop", "teardown")
+
+
+class PerfRecorder:
+    """Accumulates wall-clock phases and exclusive subsystem buckets."""
+
+    __slots__ = ("phases", "buckets", "calls", "events_processed", "_stack")
+
+    def __init__(self) -> None:
+        self.phases: dict[str, float] = {}
+        self.buckets: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+        #: simulator events fired during the ``event_loop`` phase; set by
+        #: the runtime from ``Simulator.events_fired`` around the loop
+        self.events_processed = 0
+        #: open timing frames: [name, start, child_seconds]
+        self._stack: list[list[Any]] = []
+
+    # -- hot-path hooks ----------------------------------------------------
+
+    def begin(self, name: str) -> None:
+        """Open a timing frame for subsystem *name* (must be paired)."""
+        self._stack.append([name, perf_counter(), 0.0])
+
+    def end(self) -> None:
+        """Close the innermost frame; charge its *exclusive* time.
+
+        The frame's full duration is propagated to the parent frame's
+        child accumulator, so nested hooks never double-count: a policy
+        call inside a scheduler hook lands in ``policies``, not both.
+        """
+        name, start, child = self._stack.pop()
+        elapsed = perf_counter() - start
+        self.buckets[name] = self.buckets.get(name, 0.0) + elapsed - child
+        self.calls[name] = self.calls.get(name, 0) + 1
+        if self._stack:
+            self._stack[-1][2] += elapsed
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Cold-path convenience wrapper around :meth:`begin`/:meth:`end`."""
+        self.begin(name)
+        try:
+            yield
+        finally:
+            self.end()
+
+    # -- phases ------------------------------------------------------------
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        """Accumulate *seconds* of wall clock into phase *name*."""
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def balanced(self) -> bool:
+        """Whether every ``begin`` has been matched by an ``end``."""
+        return not self._stack
+
+    def loop_seconds(self) -> float:
+        """Wall-clock of the event-loop phase (0.0 before the run)."""
+        return self.phases.get("event_loop", 0.0)
+
+    def events_per_sec(self) -> float:
+        """Event throughput over the loop phase (0.0 before the run)."""
+        loop = self.loop_seconds()
+        return self.events_processed / loop if loop > 0 else 0.0
+
+    def attribution(self) -> dict[str, dict[str, float]]:
+        """Per-subsystem exclusive seconds, shares and call counts.
+
+        Shares are fractions of the event-loop wall-clock. The ``other``
+        entry is the loop remainder not charged to any hook (event-queue
+        operations, generator stepping, uninstrumented callbacks), so the
+        shares sum to 1 by construction — the property the bench schema
+        test asserts to ±5% (the slack covers clock resolution on
+        sub-millisecond loops).
+        """
+        loop = self.loop_seconds()
+        out: dict[str, dict[str, float]] = {}
+        accounted = 0.0
+        for name in sorted(self.buckets):
+            seconds = self.buckets[name]
+            accounted += seconds
+            out[name] = {
+                "self_s": seconds,
+                "share": seconds / loop if loop > 0 else 0.0,
+                "calls": self.calls.get(name, 0),
+            }
+        other = max(0.0, loop - accounted)
+        out["other"] = {"self_s": other,
+                        "share": other / loop if loop > 0 else 0.0,
+                        "calls": 0}
+        return out
+
+    def report(self) -> dict[str, Any]:
+        """The full JSON-able measurement of one run."""
+        return {
+            "phases_s": {name: self.phases.get(name, 0.0)
+                         for name in PERF_PHASES},
+            "total_s": sum(self.phases.values()),
+            "events_processed": self.events_processed,
+            "events_per_sec": self.events_per_sec(),
+            "subsystems": self.attribution(),
+        }
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process, or None off-POSIX.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalise to
+    bytes.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS
+        return int(peak)
+    return int(peak) * 1024

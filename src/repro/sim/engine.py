@@ -202,6 +202,9 @@ class Simulator:
         #: optional invariant sanitizer (:class:`repro.validate.Sanitizer`):
         #: sees every fired event; never schedules events itself
         self.validator: Optional[Any] = None
+        #: optional wall-clock recorder (:class:`repro.perf.PerfRecorder`):
+        #: charged per fired event; only ever reads the host clock
+        self.perf: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -268,9 +271,23 @@ class Simulator:
             raise SimulationError("event queue returned a past event")
         self._now = event.time
         self.events_fired += 1
+        perf = self.perf
+        if perf is None:
+            if self.validator is not None:
+                self.validator.on_event(event)
+            event.callback()
+            return True
         if self.validator is not None:
-            self.validator.on_event(event)
-        event.callback()
+            perf.begin("validate.sanitizer")
+            try:
+                self.validator.on_event(event)
+            finally:
+                perf.end()
+        perf.begin("engine.dispatch")
+        try:
+            event.callback()
+        finally:
+            perf.end()
         return True
 
     def run(self, until: Optional[float] = None,

@@ -1,0 +1,1 @@
+"""Tests for :mod:`repro.perf` (wall-clock self-profiling and bench)."""

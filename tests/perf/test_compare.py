@@ -1,0 +1,184 @@
+"""Comparator tests: the verdict matrix and the CLI gate's exit codes.
+
+Works on synthetic records (no simulation) so the matrix is exact: each
+tracked metric is pushed over / under / inside its tolerance band and
+the classification asserted.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf.compare import (BenchCompareError, Metric, compare_records)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _spread(value):
+    return {"mean": value, "min": value, "max": value}
+
+
+def _record(events_per_sec=50_000.0, total_s=2.0, loop_s=1.5,
+            rss=200 * 2**20, **overrides):
+    """A minimal but schema-complete bench record."""
+    rec = {
+        "schema": "repro-bench/1",
+        "target": "headline",
+        "scale": "tiny",
+        "repeat": 2,
+        "environment": {"host": "boxA", "python": "3.11.0",
+                        "cpu_count": 8, "machine": "x86_64"},
+        "simulated": {"elapsed": 1.0, "events": 1000},
+        "wall_clock": {
+            "events_per_sec": _spread(events_per_sec),
+            "total_s": _spread(total_s),
+            "event_loop_s": _spread(loop_s),
+            "peak_rss_bytes": rss,
+        },
+    }
+    rec.update(overrides)
+    return rec
+
+
+class TestVerdicts:
+    def test_identical_records_are_all_within_noise(self):
+        report = compare_records(_record(), _record())
+        assert report.ok
+        assert {v.verdict for v in report.verdicts} == {"within-noise"}
+        assert "OK" in report.format()
+
+    def test_throughput_drop_is_a_regression(self):
+        report = compare_records(_record(), _record(events_per_sec=20_000.0))
+        names = [v.name for v in report.regressions]
+        assert "events_per_sec.max" in names
+        assert not report.ok
+        assert "REGRESSION" in report.format()
+
+    def test_throughput_gain_is_an_improvement(self):
+        report = compare_records(_record(), _record(events_per_sec=100_000.0))
+        verdicts = {v.name: v.verdict for v in report.verdicts}
+        assert verdicts["events_per_sec.max"] == "improvement"
+        assert report.ok
+
+    def test_slower_wall_clock_is_a_regression(self):
+        report = compare_records(_record(), _record(total_s=5.0, loop_s=4.0))
+        names = {v.name for v in report.regressions}
+        assert {"total_s.min", "event_loop_s.min"} <= names
+
+    def test_small_changes_are_noise(self):
+        # +10% on a 25%-tolerance metric
+        report = compare_records(_record(), _record(total_s=2.2, loop_s=1.65))
+        verdicts = {v.name: v.verdict for v in report.verdicts}
+        assert verdicts["total_s.min"] == "within-noise"
+
+    def test_absolute_floor_beats_relative_change(self):
+        # 10x slower but only 9 ms in absolute terms: measurement grain
+        metric = Metric("total_s.min", higher_better=False,
+                        rel_tol=0.25, abs_floor=0.01)
+        report = compare_records(_record(total_s=0.001),
+                                 _record(total_s=0.010),
+                                 metrics=(metric,))
+        assert report.verdicts[0].verdict == "within-noise"
+
+    def test_missing_metric_is_incomparable(self):
+        current = _record()
+        del current["wall_clock"]["peak_rss_bytes"]
+        report = compare_records(_record(), current)
+        verdicts = {v.name: v.verdict for v in report.verdicts}
+        assert verdicts["peak_rss_bytes"] == "incomparable"
+        assert report.ok  # incomparable is not a regression
+
+
+class TestRefusals:
+    @pytest.mark.parametrize("key,value", [
+        ("schema", "repro-bench/0"),
+        ("target", "synthetic"),
+        ("scale", "paper"),
+    ])
+    def test_identity_mismatch_raises(self, key, value):
+        with pytest.raises(BenchCompareError, match=key):
+            compare_records(_record(), _record(**{key: value}))
+
+
+class TestNotes:
+    def test_environment_changes_become_notes(self):
+        current = _record()
+        current["environment"]["host"] = "boxB"
+        report = compare_records(_record(), current)
+        assert any("environment.host" in n for n in report.notes)
+        assert report.ok  # a note, not a verdict
+
+    def test_simulated_drift_becomes_a_note(self):
+        current = _record()
+        current["simulated"]["events"] = 2000
+        report = compare_records(_record(), current)
+        assert any("simulated outcome differs" in n for n in report.notes)
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location(
+        "compare_bench", REPO_ROOT / "tools" / "compare_bench.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCompareBenchTool:
+    """Exit-code contract of ``tools/compare_bench.py`` (file-vs-file)."""
+
+    @pytest.fixture()
+    def tool(self):
+        return _load_tool()
+
+    def _write(self, path: Path, record: dict) -> Path:
+        path.write_text(json.dumps(record), encoding="utf-8")
+        return path
+
+    def test_clean_compare_exits_zero(self, tool, tmp_path, capsys):
+        self._write(tmp_path / "BENCH_headline.json", _record())
+        current = self._write(tmp_path / "fresh.json", _record())
+        code = tool.main(["headline", "--bench-dir", str(tmp_path),
+                          "--current", str(current)])
+        assert code == 0
+        assert "OK (no regressions)" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tool, tmp_path):
+        self._write(tmp_path / "BENCH_headline.json", _record())
+        current = self._write(tmp_path / "fresh.json",
+                              _record(events_per_sec=10_000.0, total_s=9.0,
+                                      loop_s=8.0))
+        code = tool.main(["headline", "--bench-dir", str(tmp_path),
+                          "--current", str(current)])
+        assert code == 1
+
+    def test_report_only_downgrades_regressions(self, tool, tmp_path, capsys):
+        self._write(tmp_path / "BENCH_headline.json", _record())
+        current = self._write(tmp_path / "fresh.json",
+                              _record(events_per_sec=10_000.0))
+        code = tool.main(["headline", "--bench-dir", str(tmp_path),
+                          "--current", str(current), "--report-only"])
+        assert code == 0
+        assert "--report-only" in capsys.readouterr().out
+
+    def test_missing_baseline_exits_two(self, tool, tmp_path):
+        current = self._write(tmp_path / "fresh.json", _record())
+        code = tool.main(["headline", "--bench-dir", str(tmp_path),
+                          "--current", str(current)])
+        assert code == 2
+
+    def test_incomparable_records_exit_two(self, tool, tmp_path):
+        self._write(tmp_path / "BENCH_headline.json", _record())
+        current = self._write(tmp_path / "fresh.json", _record(scale="paper"))
+        code = tool.main(["headline", "--bench-dir", str(tmp_path),
+                          "--current", str(current)])
+        assert code == 2
+
+    def test_report_only_does_not_mask_incomparable(self, tool, tmp_path):
+        self._write(tmp_path / "BENCH_headline.json", _record())
+        current = self._write(tmp_path / "fresh.json",
+                              _record(schema="repro-bench/0"))
+        code = tool.main(["headline", "--bench-dir", str(tmp_path),
+                          "--current", str(current), "--report-only"])
+        assert code == 2

@@ -1,0 +1,113 @@
+"""Unit tests for :class:`repro.perf.recorder.PerfRecorder`.
+
+The accounting contract under test: buckets hold *exclusive* time (a
+nested frame's duration is subtracted from its parent), the computed
+``other`` remainder makes attribution shares sum to exactly 1, and the
+report shape matches what the bench schema embeds.
+"""
+
+import time
+
+import pytest
+
+from repro.perf import PERF_SUBSYSTEMS, PerfRecorder
+from repro.perf.recorder import PERF_PHASES, peak_rss_bytes
+
+
+class TestFrames:
+    def test_begin_end_charges_the_bucket(self):
+        rec = PerfRecorder()
+        rec.begin("engine.dispatch")
+        rec.end()
+        assert rec.balanced
+        assert rec.buckets["engine.dispatch"] >= 0.0
+        assert rec.calls["engine.dispatch"] == 1
+
+    def test_nested_frame_time_is_exclusive(self):
+        rec = PerfRecorder()
+        rec.begin("nanos.scheduler")
+        time.sleep(0.002)
+        rec.begin("policies")
+        time.sleep(0.02)
+        rec.end()
+        time.sleep(0.002)
+        rec.end()
+        assert rec.balanced
+        # the inner sleep lands in "policies", not in the scheduler bucket
+        assert rec.buckets["policies"] >= 0.02
+        assert rec.buckets["nanos.scheduler"] < 0.02
+        # sum of exclusive buckets == total outer duration (no double count)
+        total = sum(rec.buckets.values())
+        assert total == pytest.approx(0.024, abs=0.02)
+
+    def test_unbalanced_stack_is_detectable(self):
+        rec = PerfRecorder()
+        rec.begin("engine.dispatch")
+        assert not rec.balanced
+
+    def test_section_context_manager_closes_on_error(self):
+        rec = PerfRecorder()
+        with pytest.raises(RuntimeError):
+            with rec.section("dlb.arbitration"):
+                raise RuntimeError("boom")
+        assert rec.balanced
+        assert rec.calls["dlb.arbitration"] == 1
+
+
+class TestPhases:
+    def test_phases_accumulate(self):
+        rec = PerfRecorder()
+        rec.add_phase("setup", 0.5)
+        rec.add_phase("setup", 0.25)
+        rec.add_phase("event_loop", 2.0)
+        assert rec.phases["setup"] == pytest.approx(0.75)
+        assert rec.loop_seconds() == pytest.approx(2.0)
+
+    def test_events_per_sec(self):
+        rec = PerfRecorder()
+        assert rec.events_per_sec() == 0.0  # before the run
+        rec.add_phase("event_loop", 2.0)
+        rec.events_processed = 1000
+        assert rec.events_per_sec() == pytest.approx(500.0)
+
+
+class TestAttribution:
+    def test_shares_sum_to_one_via_other(self):
+        rec = PerfRecorder()
+        rec.add_phase("event_loop", 1.0)
+        rec.buckets = {"engine.dispatch": 0.3, "policies": 0.2}
+        rec.calls = {"engine.dispatch": 10, "policies": 5}
+        out = rec.attribution()
+        assert out["other"]["self_s"] == pytest.approx(0.5)
+        assert sum(e["share"] for e in out.values()) == pytest.approx(1.0)
+
+    def test_other_never_negative(self):
+        rec = PerfRecorder()
+        rec.add_phase("event_loop", 0.1)
+        rec.buckets = {"engine.dispatch": 0.2}  # clock-grain overshoot
+        assert rec.attribution()["other"]["self_s"] == 0.0
+
+    def test_report_shape(self):
+        rec = PerfRecorder()
+        rec.add_phase("setup", 0.1)
+        rec.add_phase("event_loop", 1.0)
+        rec.add_phase("teardown", 0.05)
+        rec.events_processed = 42
+        report = rec.report()
+        assert set(report) == {"phases_s", "total_s", "events_processed",
+                               "events_per_sec", "subsystems"}
+        assert set(report["phases_s"]) == set(PERF_PHASES)
+        assert report["total_s"] == pytest.approx(1.15)
+        assert report["events_processed"] == 42
+        assert "other" in report["subsystems"]
+
+
+class TestModuleLevel:
+    def test_subsystem_vocabulary(self):
+        assert "engine.dispatch" in PERF_SUBSYSTEMS
+        assert "other" not in PERF_SUBSYSTEMS  # computed, not a hook
+
+    def test_peak_rss_positive_on_posix(self):
+        peak = peak_rss_bytes()
+        if peak is not None:
+            assert peak > 2**20  # a Python process exceeds 1 MiB

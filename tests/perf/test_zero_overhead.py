@@ -1,0 +1,108 @@
+"""The perf recorder's strictly-passive guarantee.
+
+Mirrors ``tests/obs/test_zero_overhead.py`` for the wall-clock tap:
+
+* arming ``config.perf`` must not perturb the simulation — the same
+  seeded workload runs bit-identical with it on or off (the recorder
+  only ever reads ``time.perf_counter()``, which the simulation never
+  consults);
+* a disabled run must never even import :mod:`repro.perf` — checked in
+  a subprocess because this test session itself imports it freely.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from tests.policies.harness import synthetic_snapshot
+
+SRC_DIR = str(Path(repro.__file__).resolve().parent.parent)
+
+
+class TestBitIdentical:
+    def test_perf_does_not_perturb_the_run(self):
+        off = synthetic_snapshot()
+        on = synthetic_snapshot(perf=True)
+        assert json.dumps(on, sort_keys=True) == \
+            json.dumps(off, sort_keys=True)
+
+    def test_perf_run_actually_recorded(self):
+        from repro.apps.synthetic import SyntheticSpec, make_synthetic_app
+        from repro.cluster import MARENOSTRUM4
+        from repro.experiments.base import run_workload
+        from repro.nanos import RuntimeConfig
+
+        machine = MARENOSTRUM4.scaled(4)
+        spec = SyntheticSpec(num_appranks=2, imbalance=1.5,
+                             cores_per_apprank=4, tasks_per_core=4,
+                             iterations=2)
+        config = RuntimeConfig.offloading(2, "global", perf=True,
+                                          local_period=0.02,
+                                          global_period=0.2)
+        result = run_workload(machine, 2, 1, config,
+                              lambda: make_synthetic_app(spec))
+        perf = result.runtime.perf
+        assert perf is not None
+        assert perf.balanced
+        assert perf.loop_seconds() > 0
+        assert perf.events_processed > 0
+        assert perf.events_per_sec() > 0
+        # the hooked subsystems all saw traffic in an offloading run
+        for name in ("engine.dispatch", "nanos.scheduler",
+                     "dlb.arbitration", "mpisim.delivery", "policies"):
+            assert perf.calls.get(name, 0) > 0, name
+        # ... and every phase got a timer
+        for phase in ("setup", "event_loop", "teardown"):
+            assert perf.phases.get(phase, 0.0) > 0.0, phase
+
+    def test_disabled_run_has_no_recorder(self):
+        from repro.apps.synthetic import SyntheticSpec, make_synthetic_app
+        from repro.cluster import MARENOSTRUM4
+        from repro.experiments.base import run_workload
+        from repro.nanos import RuntimeConfig
+
+        machine = MARENOSTRUM4.scaled(4)
+        spec = SyntheticSpec(num_appranks=2, imbalance=1.5,
+                             cores_per_apprank=4, tasks_per_core=4,
+                             iterations=2)
+        config = RuntimeConfig.offloading(2, "global", local_period=0.02,
+                                          global_period=0.2)
+        result = run_workload(machine, 2, 1, config,
+                              lambda: make_synthetic_app(spec))
+        assert result.runtime.perf is None
+        assert result.runtime.sim.perf is None
+
+
+class TestNeverImported:
+    def _run(self, code: str) -> None:
+        subprocess.run([sys.executable, "-c", code], check=True,
+                       env={**os.environ, "PYTHONPATH": SRC_DIR},
+                       timeout=300)
+
+    def test_disabled_run_never_imports_perf(self):
+        self._run(
+            "import sys\n"
+            "from repro.apps.synthetic import SyntheticSpec, "
+            "make_synthetic_app\n"
+            "from repro.cluster import MARENOSTRUM4, ClusterSpec\n"
+            "from repro.nanos import ClusterRuntime, RuntimeConfig\n"
+            "machine = MARENOSTRUM4.scaled(4)\n"
+            "spec = SyntheticSpec(num_appranks=2, imbalance=1.5,\n"
+            "                     cores_per_apprank=4, tasks_per_core=4,\n"
+            "                     iterations=2)\n"
+            "runtime = ClusterRuntime(\n"
+            "    ClusterSpec.homogeneous(machine, 2), 2,\n"
+            "    RuntimeConfig.offloading(2, 'global', global_period=0.2))\n"
+            "runtime.run_app(make_synthetic_app(spec))\n"
+            "assert runtime.elapsed > 0\n"
+            "assert 'repro.perf' not in sys.modules, 'perf imported'\n")
+
+    def test_importing_experiments_does_not_import_perf(self):
+        self._run(
+            "import sys\n"
+            "import repro.experiments\n"
+            "import repro.cli\n"
+            "assert 'repro.perf' not in sys.modules, 'perf imported'\n")

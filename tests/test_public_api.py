@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.policies",
     "repro.validate",
     "repro.campaign",
+    "repro.perf",
 ]
 
 

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Diff a fresh bench run against committed ``BENCH_*.json`` baselines.
+
+Two modes:
+
+* **file vs file** — ``--current fresh.json`` compares an existing
+  record against the baseline (pure JSON diff, no simulation);
+* **run fresh** — without ``--current`` the tool runs the bench now
+  (importing :mod:`repro`; ``src/`` is added to ``sys.path`` when the
+  package is not installed) and compares the measurement it just took.
+
+The comparison itself is :func:`repro.perf.compare.compare_records`:
+noise-aware per-metric verdicts (improvement / regression /
+within-noise / incomparable).
+
+Exit status: 0 when no tracked metric regressed (or ``--report-only``),
+1 on a regression, 2 when the records cannot be compared at all
+(missing baseline, schema/target/scale mismatch). CI runs this with
+``--report-only`` — the trajectory is informative there, the gate is
+for local before/after checks.
+
+Usage::
+
+    python tools/compare_bench.py headline                  # run + gate
+    python tools/compare_bench.py headline synthetic nbody --report-only
+    python tools/compare_bench.py headline --current fresh/BENCH_headline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _import_repro():
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.perf import bench, compare
+    return bench, compare
+
+
+def _load(path: Path) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("targets", nargs="+",
+                        help="bench targets (headline, synthetic, nbody)")
+    parser.add_argument("--bench-dir", type=Path, default=REPO_ROOT,
+                        help="directory holding the committed BENCH_*.json "
+                             "baselines (default: repo root)")
+    parser.add_argument("--current", type=Path, default=None,
+                        help="existing record to compare instead of running "
+                             "a fresh bench (single target only)")
+    parser.add_argument("--scale", default=None,
+                        help="scale for fresh runs (default: the baseline's)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repeats for fresh runs (default: 3)")
+    parser.add_argument("--report-only", action="store_true",
+                        help="always exit 0 on regressions (CI mode); "
+                             "incomparable records still exit 2")
+    args = parser.parse_args(argv)
+    if args.current is not None and len(args.targets) != 1:
+        parser.error("--current compares exactly one target")
+
+    bench, compare = _import_repro()
+    from repro.errors import ExperimentError
+    from repro.experiments import MEDIUM, PAPER, SMALL, TINY
+    scales = {s.name: s for s in (TINY, SMALL, MEDIUM, PAPER)}
+
+    worst = 0
+    for target in args.targets:
+        baseline_path = bench.bench_path(target, args.bench_dir)
+        if not baseline_path.exists():
+            print(f"compare_bench: no baseline {baseline_path}",
+                  file=sys.stderr)
+            return 2
+        baseline = _load(baseline_path)
+        if args.current is not None:
+            current = _load(args.current)
+        else:
+            scale_name = args.scale or baseline.get("scale", "small")
+            if scale_name not in scales:
+                print(f"compare_bench: unknown scale {scale_name!r}",
+                      file=sys.stderr)
+                return 2
+            try:
+                result = bench.run_bench(
+                    target, scale=scales[scale_name], repeat=args.repeat,
+                    progress=lambda msg: print(msg, file=sys.stderr))
+            except ExperimentError as exc:
+                print(f"compare_bench: bench failed: {exc}", file=sys.stderr)
+                return 2
+            current = result.record()
+        try:
+            report = compare.compare_records(baseline, current)
+        except compare.BenchCompareError as exc:
+            print(f"compare_bench: {exc}", file=sys.stderr)
+            return 2
+        print(report.format())
+        if not report.ok:
+            worst = max(worst, 1)
+    if worst and args.report_only:
+        print("compare_bench: regressions reported, exit 0 (--report-only)")
+        return 0
+    return worst
+
+
+if __name__ == "__main__":
+    sys.exit(main())
