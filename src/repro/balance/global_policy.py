@@ -29,6 +29,20 @@ from typing import TYPE_CHECKING, Callable, Optional
 import numpy as np
 from scipy.optimize import linprog
 
+try:
+    # Private HiGHS backend used by ``linprog(method="highs")``. The public
+    # wrapper spends more time validating options and packaging marginals
+    # than HiGHS spends solving our ~30-variable instances, so the hot
+    # path drives highspy directly, replicating the exact model and option
+    # assignments ``_linprog_highs``/``_highs_wrapper`` would make (see
+    # ``_solve_highs_direct``). Any import failure (scipy relayout) simply
+    # disables the fast path; ``linprog`` remains the behavioural oracle.
+    import scipy.optimize._highspy._core as _highs_core
+    from scipy.optimize._linprog_highs import kHighsInf
+    from scipy.sparse import csc_array
+except Exception:  # pragma: no cover - exercised only on other scipys
+    _highs_core = None
+
 from ..cluster.network import NetworkModel
 from ..dlb.drom import DromModule
 from ..errors import AllocationError, SolverFallbackWarning
@@ -49,6 +63,73 @@ __all__ = ["GlobalLpPolicy", "solve_core_allocation",
 
 #: Paper measurement: 57 ms to solve the 32-node allocation problem.
 _SOLVE_SECONDS_AT_32_NODES = 57e-3
+
+
+#: Lazily-built ``HighsOptions`` shared by every direct solve: exactly the
+#: assignments ``_highs_wrapper`` performs for ``linprog(method="highs")``
+#: at our tight tolerances (``passOptions`` copies it into each solver
+#: instance, so sharing one object across solves is safe).
+_highs_options = None
+
+
+def _direct_highs_options():
+    global _highs_options
+    if _highs_options is None:
+        opts = _highs_core.HighsOptions()
+        opts.presolve = "on"
+        opts.highs_debug_level = 0          # kHighsDebugLevelNone
+        opts.log_to_console = False
+        opts.output_flag = False
+        opts.primal_feasibility_tolerance = 1e-9
+        opts.dual_feasibility_tolerance = 1e-9
+        opts.simplex_strategy = \
+            _highs_core.simplex_constants.SimplexStrategy.kSimplexStrategyDual
+        _highs_options = opts
+    return _highs_options
+
+
+def _solve_highs_direct(objective: np.ndarray, a_ub: np.ndarray,
+                        b_ub: np.ndarray,
+                        bounds: list) -> Optional[np.ndarray]:
+    """Solve ``min c.x, A_ub x <= b_ub, bounds`` via HiGHS directly.
+
+    Feeds HiGHS the identical model ``linprog(method="highs")`` would
+    build for our problem shape (dense float A_ub, no equalities, finite
+    rhs, tolerances of 1e-9): same CSC conversion, same ``-inf <= Ax <=
+    b_ub`` row encoding, same option assignments — so the chosen vertex is
+    bit-identical to the ``linprog`` call it replaces, while skipping the
+    wrapper's per-call option validation and marginal extraction. Returns
+    None when HiGHS does not reach optimality; the caller then re-solves
+    through the public API, keeping its failure semantics (default-
+    tolerance retry, then :class:`AllocationError`).
+    """
+    a_csc = csc_array(a_ub)
+    num_rows, num_cols = a_ub.shape
+    lp = _highs_core.HighsLp()
+    lp.num_col_ = num_cols
+    lp.num_row_ = num_rows
+    lp.a_matrix_.num_col_ = num_cols
+    lp.a_matrix_.num_row_ = num_rows
+    lp.a_matrix_.format_ = _highs_core.MatrixFormat.kColwise
+    lp.col_cost_ = objective
+    lp.col_lower_ = np.array([lo for lo, _hi in bounds])
+    lp.col_upper_ = np.array([kHighsInf if hi is None else hi
+                              for _lo, hi in bounds])
+    lp.row_lower_ = np.full_like(b_ub, -kHighsInf)  # -inf <= A x <= b_ub
+    lp.row_upper_ = b_ub
+    lp.a_matrix_.start_ = a_csc.indptr
+    lp.a_matrix_.index_ = a_csc.indices
+    lp.a_matrix_.value_ = a_csc.data
+    highs = _highs_core._Highs()
+    if highs.passOptions(_direct_highs_options()) == _highs_core.HighsStatus.kError:
+        return None
+    if highs.passModel(lp) == _highs_core.HighsStatus.kError:
+        return None
+    if highs.run() == _highs_core.HighsStatus.kError:
+        return None
+    if highs.getModelStatus() != _highs_core.HighsModelStatus.kOptimal:
+        return None
+    return np.array(highs.getSolution().col_value)
 
 
 def _solve_lp(edges: list[WorkerKey], appranks: list[int],
@@ -104,19 +185,28 @@ def _solve_lp(edges: list[WorkerKey], appranks: list[int],
     # the tolerances makes the epsilon decisive, matching the paper's
     # observation that "the solver will tend to take it no matter how
     # small" (their CVXOPT interior-point solver resolves it natively).
-    options = {"primal_feasibility_tolerance": 1e-9,
-               "dual_feasibility_tolerance": 1e-9}
-    result = linprog(objective, A_ub=np.vstack(rows), b_ub=np.asarray(ubs),
-                     bounds=bounds, method="highs", options=options)
-    if not result.success:
-        # Large ill-conditioned instances can fail at the tight tolerance;
-        # retry at HiGHS defaults — losing only the epsilon tie-break, which
-        # matters for cosmetics (gratuitous remote ownership), not balance.
-        result = linprog(objective, A_ub=np.vstack(rows),
-                         b_ub=np.asarray(ubs), bounds=bounds, method="highs")
-    if not result.success:
-        raise AllocationError(f"core-allocation LP failed: {result.message}")
-    return {e: float(result.x[1 + edge_index[e]]) for e in edges}
+    a_ub = np.vstack(rows)
+    b_ub = np.asarray(ubs)
+    x: Optional[np.ndarray] = None
+    if _highs_core is not None:
+        x = _solve_highs_direct(objective, a_ub, b_ub, bounds)
+    if x is None:
+        options = {"primal_feasibility_tolerance": 1e-9,
+                   "dual_feasibility_tolerance": 1e-9}
+        result = linprog(objective, A_ub=a_ub, b_ub=b_ub,
+                         bounds=bounds, method="highs", options=options)
+        if not result.success:
+            # Large ill-conditioned instances can fail at the tight
+            # tolerance; retry at HiGHS defaults — losing only the epsilon
+            # tie-break, which matters for cosmetics (gratuitous remote
+            # ownership), not balance.
+            result = linprog(objective, A_ub=a_ub, b_ub=b_ub,
+                             bounds=bounds, method="highs")
+        if not result.success:
+            raise AllocationError(
+                f"core-allocation LP failed: {result.message}")
+        x = result.x
+    return {e: float(x[1 + edge_index[e]]) for e in edges}
 
 
 def solve_edge_allocation(edges: list[WorkerKey],

@@ -9,6 +9,17 @@ A :class:`Core` tracks two orthogonal facts used by DLB:
 
 The "worker" identifiers stored here are opaque hashables; the runtime uses
 ``(apprank_id, node_id)`` tuples.
+
+Storage is **columnar**: the per-core facts live in parallel lists on the
+node's shared :class:`CoreColumns`, and each :class:`Core` is a thin view
+over one column position. DLB arbitration scans all cores of a node many
+times per simulated second — iterating flat lists of owners/occupants
+beats chasing an object per core — while the view keeps the established
+per-core API (``core.owner``, ``core.start(...)``, direct attribute
+assignment in tests) working unchanged. The columns also maintain an
+incremental owner→count map, making ``count_owned`` O(1) instead of a
+scan; it is the single hottest DLB query (the scheduler asks it for every
+adjacent node on every placement decision).
 """
 
 from __future__ import annotations
@@ -17,69 +28,144 @@ from typing import Hashable, Iterator, Optional
 
 from ..errors import ClusterConfigError, DlbError
 
-__all__ = ["Core", "Node"]
+__all__ = ["Core", "CoreColumns", "Node"]
 
 WorkerKey = Hashable
 
 
+class CoreColumns:
+    """Parallel per-core state arrays for one node (or a detached core).
+
+    ``owner[i]``/``occupant[i]``/``lent[i]``/``pending[i]`` hold core
+    *i*'s DROM owner, current occupant, LeWI lend flag and deferred DROM
+    transfer target. ``owned_counts`` is the incrementally-maintained
+    owner → owned-core count map; every owner write **must** go through
+    :meth:`set_owner_at` (or the :class:`Core` property) to keep it true.
+    """
+
+    __slots__ = ("owner", "occupant", "lent", "pending", "owned_counts")
+
+    def __init__(self, num_cores: int) -> None:
+        self.owner: list[Optional[WorkerKey]] = [None] * num_cores
+        self.occupant: list[Optional[WorkerKey]] = [None] * num_cores
+        self.lent: list[bool] = [False] * num_cores
+        self.pending: list[Optional[WorkerKey]] = [None] * num_cores
+        self.owned_counts: dict[WorkerKey, int] = {}
+
+    def set_owner_at(self, pos: int, worker: Optional[WorkerKey]) -> None:
+        """Write ``owner[pos]`` keeping :attr:`owned_counts` consistent."""
+        counts = self.owned_counts
+        old = self.owner[pos]
+        if old is not None:
+            counts[old] -= 1
+        self.owner[pos] = worker
+        if worker is not None:
+            counts[worker] = counts.get(worker, 0) + 1
+
+
 class Core:
-    """One CPU core on a node."""
+    """One CPU core on a node — a view over its node's columns."""
 
-    __slots__ = ("node_id", "index", "owner", "occupant", "lent", "pending_owner")
+    __slots__ = ("node_id", "index", "_cols", "_pos")
 
-    def __init__(self, node_id: int, index: int) -> None:
+    def __init__(self, node_id: int, index: int,
+                 cols: Optional[CoreColumns] = None, pos: int = 0) -> None:
         self.node_id = node_id
         self.index = index
-        #: worker that owns the core under DROM (None = unassigned)
-        self.owner: Optional[WorkerKey] = None
-        #: worker currently executing on the core (None = idle)
-        self.occupant: Optional[WorkerKey] = None
-        #: True while the owner has lent the core to the DLB pool
-        self.lent = False
-        #: DROM ownership transfer deferred to the current task's completion
-        self.pending_owner: Optional[WorkerKey] = None
+        if cols is None:           # detached core (direct construction)
+            cols = CoreColumns(1)
+            pos = 0
+        self._cols = cols
+        self._pos = pos
+
+    # -- column-backed attributes -----------------------------------------
+
+    @property
+    def owner(self) -> Optional[WorkerKey]:
+        """Worker that owns the core under DROM (None = unassigned)."""
+        return self._cols.owner[self._pos]
+
+    @owner.setter
+    def owner(self, worker: Optional[WorkerKey]) -> None:
+        self._cols.set_owner_at(self._pos, worker)
+
+    @property
+    def occupant(self) -> Optional[WorkerKey]:
+        """Worker currently executing on the core (None = idle)."""
+        return self._cols.occupant[self._pos]
+
+    @occupant.setter
+    def occupant(self, worker: Optional[WorkerKey]) -> None:
+        self._cols.occupant[self._pos] = worker
+
+    @property
+    def lent(self) -> bool:
+        """True while the owner has lent the core to the DLB pool."""
+        return self._cols.lent[self._pos]
+
+    @lent.setter
+    def lent(self, value: bool) -> None:
+        self._cols.lent[self._pos] = value
+
+    @property
+    def pending_owner(self) -> Optional[WorkerKey]:
+        """DROM ownership transfer deferred to the current task's completion."""
+        return self._cols.pending[self._pos]
+
+    @pending_owner.setter
+    def pending_owner(self, worker: Optional[WorkerKey]) -> None:
+        self._cols.pending[self._pos] = worker
+
+    # -- derived state -----------------------------------------------------
 
     @property
     def busy(self) -> bool:
         """Whether something is executing on the core right now."""
-        return self.occupant is not None
+        return self._cols.occupant[self._pos] is not None
 
     @property
     def borrowed(self) -> bool:
         """Whether a non-owner is currently running on the core."""
-        return self.occupant is not None and self.occupant != self.owner
+        cols, pos = self._cols, self._pos
+        occupant = cols.occupant[pos]
+        return occupant is not None and occupant != cols.owner[pos]
 
     def set_owner(self, worker: Optional[WorkerKey]) -> None:
         """DROM ownership change. Clears lend state and pending transfers."""
-        self.owner = worker
-        self.lent = False
-        self.pending_owner = None
+        cols, pos = self._cols, self._pos
+        cols.set_owner_at(pos, worker)
+        cols.lent[pos] = False
+        cols.pending[pos] = None
 
     def apply_pending_owner(self) -> bool:
         """Apply a deferred DROM transfer; returns True if ownership moved."""
-        if self.pending_owner is None:
+        cols, pos = self._cols, self._pos
+        pending = cols.pending[pos]
+        if pending is None:
             return False
-        self.owner = self.pending_owner
-        self.pending_owner = None
-        self.lent = False
+        cols.set_owner_at(pos, pending)
+        cols.pending[pos] = None
+        cols.lent[pos] = False
         return True
 
     def start(self, worker: WorkerKey) -> None:
         """Mark the core busy on behalf of *worker*."""
-        if self.occupant is not None:
+        cols, pos = self._cols, self._pos
+        if cols.occupant[pos] is not None:
             raise DlbError(
                 f"core {self.node_id}.{self.index} already occupied "
-                f"by {self.occupant!r}")
-        self.occupant = worker
+                f"by {cols.occupant[pos]!r}")
+        cols.occupant[pos] = worker
 
     def stop(self, worker: WorkerKey) -> None:
         """Mark the core idle again; *worker* must be the occupant."""
-        if self.occupant != worker:
+        cols, pos = self._cols, self._pos
+        if cols.occupant[pos] != worker:
             raise DlbError(
                 f"core {self.node_id}.{self.index}: stop by {worker!r} "
-                f"but occupant is {self.occupant!r}"
+                f"but occupant is {cols.occupant[pos]!r}"
             )
-        self.occupant = None
+        cols.occupant[pos] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Core({self.node_id}.{self.index}, owner={self.owner!r}, "
@@ -94,7 +180,7 @@ class Node:
     ``speed = 1.8/3.0 = 0.6`` (paper §6.3).
     """
 
-    __slots__ = ("node_id", "num_cores", "speed", "cores")
+    __slots__ = ("node_id", "num_cores", "speed", "cores", "cols")
 
     def __init__(self, node_id: int, num_cores: int, speed: float = 1.0) -> None:
         if num_cores <= 0:
@@ -104,31 +190,35 @@ class Node:
         self.node_id = node_id
         self.num_cores = num_cores
         self.speed = speed
-        self.cores = [Core(node_id, i) for i in range(num_cores)]
+        #: the columnar per-core state (shared by every core view below)
+        self.cols = CoreColumns(num_cores)
+        self.cores = [Core(node_id, i, self.cols, i) for i in range(num_cores)]
 
     def cores_owned_by(self, worker: WorkerKey) -> list[Core]:
         """All cores currently owned (under DROM) by *worker*."""
-        return [c for c in self.cores if c.owner == worker]
+        owner = self.cols.owner
+        return [c for i, c in enumerate(self.cores) if owner[i] == worker]
 
     def count_owned(self, worker: WorkerKey) -> int:
         """Number of cores currently owned by *worker* under DROM."""
-        return sum(1 for c in self.cores if c.owner == worker)
+        return self.cols.owned_counts.get(worker, 0)
 
     def busy_cores(self) -> int:
         """Number of cores executing right now."""
-        return sum(1 for c in self.cores if c.busy)
+        return sum(1 for occupant in self.cols.occupant if occupant is not None)
 
     def busy_cores_of(self, worker: WorkerKey) -> int:
         """Cores this worker is currently executing on (owned or borrowed)."""
-        return sum(1 for c in self.cores if c.occupant == worker)
+        return sum(1 for occupant in self.cols.occupant if occupant == worker)
 
     def iter_idle(self) -> Iterator[Core]:
         """Iterate over cores with nothing executing on them."""
-        return (c for c in self.cores if not c.busy)
+        occupant = self.cols.occupant
+        return (c for i, c in enumerate(self.cores) if occupant[i] is None)
 
     def owners(self) -> set[WorkerKey]:
         """Distinct owners present on the node (excluding unowned cores)."""
-        return {c.owner for c in self.cores if c.owner is not None}
+        return {owner for owner in self.cols.owner if owner is not None}
 
     def task_duration(self, nominal: float) -> float:
         """Wall time of a task with nominal duration *nominal* on this node."""

@@ -129,11 +129,8 @@ class NodeArbiter:
 
     def ownership_counts(self) -> dict[WorkerKey, int]:
         """Current owned-core count per registered worker."""
-        counts = {key: 0 for key in self.workers}
-        for core in self.node.cores:
-            if core.owner is not None:
-                counts[core.owner] += 1
-        return counts
+        owned = self.node.cols.owned_counts
+        return {key: owned.get(key, 0) for key in self.workers}
 
     def effective_counts(self) -> dict[WorkerKey, int]:
         """Ownership with pending DROM transfers counted at their target.
@@ -143,26 +140,34 @@ class NodeArbiter:
         transfer makes a floor-owning worker look core-less.
         """
         counts = {key: 0 for key in self.workers}
-        for core in self.node.cores:
-            effective = core.pending_owner or core.owner
+        cols = self.node.cols
+        owner_col, pending_col = cols.owner, cols.pending
+        for i in range(self.node.num_cores):
+            effective = pending_col[i] or owner_col[i]
             if effective is not None:
                 counts[effective] += 1
         return counts
 
     def lent_idle_count(self) -> int:
         """Cores currently available to borrowers."""
-        return sum(1 for c in self.node.cores if c.lent and not c.busy)
+        cols = self.node.cols
+        occ_col = cols.occupant
+        return sum(1 for i, lent in enumerate(cols.lent)
+                   if lent and occ_col[i] is None)
 
     def available_idle_count(self, worker_key: WorkerKey) -> int:
         """Idle cores *worker_key* could start on right now: its own idle
         cores plus — with LeWI — idle cores lent by others."""
+        cols = self.node.cols
+        owner_col, lent_col = cols.owner, cols.lent
+        lewi = self.lewi_enabled
         count = 0
-        for core in self.node.cores:
-            if core.occupant is not None:
+        for i, occupant in enumerate(cols.occupant):
+            if occupant is not None:
                 continue
-            if core.owner == worker_key:
+            if owner_col[i] == worker_key:
                 count += 1
-            elif self.lewi_enabled and core.lent:
+            elif lewi and lent_col[i]:
                 count += 1
         return count
 
@@ -248,17 +253,21 @@ class NodeArbiter:
     def _acquire_core(self, worker: WorkerPort) -> Optional[Core]:
         if self.dead:
             return None
-        for core in self.node.cores:
-            if core.occupant is None and core.owner == worker.key:
-                core.lent = False
-                return core
+        cols = self.node.cols
+        owner_col, occ_col, lent_col = cols.owner, cols.occupant, cols.lent
+        cores = self.node.cores
+        key = worker.key
+        for i in range(len(cores)):
+            if occ_col[i] is None and owner_col[i] == key:
+                lent_col[i] = False
+                return cores[i]
         if self.lewi_enabled:
-            for core in self.node.cores:
-                if core.occupant is None and core.lent and core.owner != worker.key:
+            for i in range(len(cores)):
+                if occ_col[i] is None and lent_col[i] and owner_col[i] != key:
                     self.borrows += 1
                     if self.obs is not None:
-                        self.obs.lewi_borrow(self.node.node_id, worker.key)
-                    return core
+                        self.obs.lewi_borrow(self.node.node_id, key)
+                    return cores[i]
         return None
 
     def lend_idle_cores(self, worker_key: WorkerKey) -> int:
@@ -280,27 +289,36 @@ class NodeArbiter:
     def _lend_idle_cores(self, worker_key: WorkerKey) -> int:
         if not self.lewi_enabled or self.dead:
             return 0
-        idle = [core for core in self.node.cores
-                if core.owner == worker_key and core.occupant is None
-                and not core.lent]
+        cols = self.node.cols
+        owner_col, occ_col, lent_col = cols.owner, cols.occupant, cols.lent
+        idle = [i for i in range(self.node.num_cores)
+                if owner_col[i] == worker_key and occ_col[i] is None
+                and not lent_col[i]]
         if not idle:
             return 0
-        worker = self.workers.get(worker_key)
-        view = LendView(node_id=self.node.node_id, worker_key=worker_key,
-                        idle_owned_cores=len(idle),
-                        backlog=self._backlog(worker) if worker is not None
-                        else 0)
-        if self.perf is None:
-            decided = self.lend_policy.lend_count(view)
+        if type(self.lend_policy) is EagerLend:
+            # EagerLend lends every idle core unconditionally; skip the
+            # view snapshot (and its backlog probe) on the default path.
+            if self.perf is not None:
+                self.perf.count("policies")
+            decided = len(idle)
         else:
-            self.perf.begin("policies")
-            try:
+            worker = self.workers.get(worker_key)
+            view = LendView(node_id=self.node.node_id, worker_key=worker_key,
+                            idle_owned_cores=len(idle),
+                            backlog=self._backlog(worker) if worker is not None
+                            else 0)
+            if self.perf is None:
                 decided = self.lend_policy.lend_count(view)
-            finally:
-                self.perf.end()
+            else:
+                self.perf.begin("policies")
+                try:
+                    decided = self.lend_policy.lend_count(view)
+                finally:
+                    self.perf.end()
         lent = max(0, min(decided, len(idle)))
-        for core in idle[:lent]:
-            core.lent = True
+        for i in idle[:lent]:
+            lent_col[i] = True
         self.lends += lent
         if lent and self.obs is not None:
             self.obs.lewi_lend(self.node.node_id, worker_key, lent)
@@ -341,6 +359,11 @@ class NodeArbiter:
         moved = core.apply_pending_owner()
         if moved:
             self.cores_moved += 1
+        if (self.obs is None and self.validator is None
+                and type(self.reclaim_policy) is OwnerFirstReclaim
+                and type(self.lend_policy) is EagerLend):
+            self._release_core_fast(core, worker_key)
+            return
         view = self._grant_view(core, worker_key)
         if self.perf is None:
             order = self.reclaim_policy.grant_order(view)
@@ -390,6 +413,56 @@ class NodeArbiter:
                 self.obs.lewi_lend(self.node.node_id, core.owner, 1)
         if self.validator is not None:
             self.validator.check_node(self)
+
+    def _release_core_fast(self, core: Core, worker_key: WorkerKey) -> None:
+        """Default-policy release: OwnerFirstReclaim order and EagerLend's
+        release rule inlined, with no view snapshots.
+
+        Must stay decision-for-decision identical to the general path
+        under the default policies: owner → releaser → others by
+        ``(-backlog, key)``, counters bumped before the start attempt,
+        non-owners eligible only with LeWI. The final lend decision is
+        EagerLend's "lend unless the owner has ready work" — reaching the
+        idle branch means the owner grant above found nothing ready (or no
+        registered owner), so with LeWI enabled the core is always lent.
+        """
+        perf = self.perf
+        if perf is not None:
+            perf.count("policies")
+        workers = self.workers
+        owner_key = core.owner
+        lewi = self.lewi_enabled
+        if owner_key is not None:
+            owner = workers.get(owner_key)
+            if owner is not None and owner.has_ready():
+                if owner_key != worker_key:
+                    self.reclaims += 1
+                core.lent = False
+                if owner.start_next_on(core):
+                    return
+        if lewi:
+            if worker_key != owner_key:
+                releaser = workers.get(worker_key)
+                if releaser is not None and releaser.has_ready():
+                    self.borrows += 1
+                    if releaser.start_next_on(core):
+                        return
+            others = [(key, worker) for key, worker in workers.items()
+                      if key != owner_key and key != worker_key]
+            if len(others) > 1:
+                others.sort(key=lambda kw: (-self._backlog(kw[1]), kw[0]))
+            for key, worker in others:
+                if not worker.has_ready():
+                    continue
+                self.borrows += 1
+                if worker.start_next_on(core):
+                    return
+            if perf is not None:
+                perf.count("policies")
+            core.lent = True
+            self.lends += 1
+        else:
+            core.lent = False
 
     def _grant_view(self, core: Core, worker_key: WorkerKey) -> CoreGrantView:
         """Immutable snapshot of one released-core decision."""
@@ -469,10 +542,14 @@ class NodeArbiter:
 
     def _dispatch_idle_cores(self) -> None:
         """After ownership moves, put newly idle-owned cores to work."""
-        for core in self.node.cores:
-            if core.occupant is not None:
+        cols = self.node.cols
+        owner_col, occ_col, lent_col = cols.owner, cols.occupant, cols.lent
+        cores = self.node.cores
+        for i in range(len(cores)):
+            if occ_col[i] is not None:
                 continue
-            owner = self.workers.get(core.owner) if core.owner is not None else None
+            owner_key = owner_col[i]
+            owner = self.workers.get(owner_key) if owner_key is not None else None
             if owner is not None and owner.has_ready():
-                core.lent = False
-                owner.start_next_on(core)
+                lent_col[i] = False
+                owner.start_next_on(cores[i])

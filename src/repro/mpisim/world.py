@@ -10,6 +10,7 @@ sees the **app communicator** containing the appranks — the analogue of
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable, Generator, Optional, Sequence
 
 from ..cluster.topology import Cluster
@@ -134,18 +135,19 @@ class MpiWorld:
         if eager:
             # Buffered at the sender: local completion after injection overhead.
             self.sim.schedule(self.cluster.network.overhead_s,
-                              lambda: request._complete(None),
+                              partial(request._complete, None),
                               label="send-local-complete")
             arrival = self._transfer_time(env.src, env.dst, env.nbytes) + extra
             for _copy in range(copies):
                 self.sim.schedule(arrival,
-                                  lambda: self._arrive_eager(env, sent_at),
+                                  partial(self._arrive_eager, env, sent_at),
                                   priority=EventPriority.DELIVERY,
                                   label="msg-arrival")
         else:
             pending = _PendingSend(env, request, sent_at)
             rts_delay = self._latency(env.src, env.dst) + extra
-            self.sim.schedule(rts_delay, lambda: self._arrive_rendezvous(pending),
+            self.sim.schedule(rts_delay,
+                              partial(self._arrive_rendezvous, pending),
                               priority=EventPriority.DELIVERY, label="rts-arrival")
         return request
 
@@ -213,9 +215,9 @@ class MpiWorld:
                 "rdv", env.src, env.dst, self.node_of(env.src),
                 self.node_of(env.dst), env.nbytes,
                 start=pending.sent_at, end=self.sim.now + total)
-        self.sim.schedule(total, lambda: recv.request._complete(env.payload),
+        self.sim.schedule(total, partial(recv.request._complete, env.payload),
                           priority=EventPriority.DELIVERY, label="rdv-recv-complete")
-        self.sim.schedule(total, lambda: pending.request._complete(None),
+        self.sim.schedule(total, partial(pending.request._complete, None),
                           priority=EventPriority.DELIVERY, label="rdv-send-complete")
 
     def _post_recv(self, dst_w: int, src_w: int, tag: int, comm_id: int) -> Request:
@@ -241,7 +243,7 @@ class MpiWorld:
             if pending is None:
                 # Eager payload was waiting: small unpack cost only.
                 self.sim.schedule(self.cluster.network.overhead_s,
-                                  lambda: request._complete(env.payload),
+                                  partial(request._complete, env.payload),
                                   priority=EventPriority.DELIVERY,
                                   label="recv-late-complete")
             else:

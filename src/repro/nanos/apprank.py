@@ -9,6 +9,7 @@ mirroring the OmpSs-2 programmer's model.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING, Any, Generator, Iterable, Optional
 
 from ..cluster.network import NetworkModel
@@ -140,9 +141,11 @@ class AppRankRuntime:
         if worker.node_id == self.home_node:
             self._finish_at_home(task)
         else:
-            self.sim.schedule(self.network.control_message_time(),
-                              lambda: self._finish_at_home(task),
-                              label=f"task-finish-notice:{task.task_id}")
+            sim = self.sim
+            sim.schedule(self.network.control_message_time(),
+                         partial(self._finish_at_home, task),
+                         label=(f"task-finish-notice:{task.task_id}"
+                                if sim.labels else ""))
 
     def _finish_at_home(self, task: Task) -> None:
         execution = self._child_exec.pop(task, None)

@@ -9,7 +9,6 @@ finishes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..errors import DependencyError
@@ -19,19 +18,25 @@ from .task import AccessType, Task, TaskState
 __all__ = ["DependencyTracker"]
 
 
-@dataclass
 class _RegionState:
     """Per-segment dependency frontier.
 
     ``writers`` is the current write frontier: a single ordinary writer, or
     an open *concurrent group* (several tasks that may run simultaneously);
-    ``readers`` are the in-accesses since that frontier.
+    ``readers`` are the in-accesses since that frontier. A ``__slots__``
+    class: one is allocated per gap-fill and per segment split in the
+    hottest registration path.
     """
 
-    writers: list[Task] = field(default_factory=list)
-    #: True while ``writers`` is an open concurrent group
-    concurrent_group: bool = False
-    readers: list[Task] = field(default_factory=list)
+    __slots__ = ("writers", "concurrent_group", "readers")
+
+    def __init__(self, writers: Optional[list[Task]] = None,
+                 concurrent_group: bool = False,
+                 readers: Optional[list[Task]] = None) -> None:
+        self.writers = writers if writers is not None else []
+        #: True while ``writers`` is an open concurrent group
+        self.concurrent_group = concurrent_group
+        self.readers = readers if readers is not None else []
 
     def clone(self) -> "_RegionState":
         """Segment-split hook for :class:`IntervalMap`."""

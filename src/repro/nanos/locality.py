@@ -10,8 +10,7 @@ stays remote until someone reads it elsewhere.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Optional
 
 from ..errors import RuntimeModelError
 from .regions import IntervalMap
@@ -20,11 +19,17 @@ from .task import DataAccess
 __all__ = ["DataDirectory"]
 
 
-@dataclass
 class _Locations:
-    """Segment value: the set of nodes holding a valid copy."""
+    """Segment value: the set of nodes holding a valid copy.
 
-    nodes: set[int] = field(default_factory=set)
+    ``__slots__`` class: allocated on every segment split and gap-fill in
+    the directory's per-dispatch updates.
+    """
+
+    __slots__ = ("nodes",)
+
+    def __init__(self, nodes: Optional[set[int]] = None) -> None:
+        self.nodes = nodes if nodes is not None else set()
 
     def clone(self) -> "_Locations":
         return _Locations(set(self.nodes))
@@ -40,6 +45,9 @@ class DataDirectory:
     def __init__(self, home_node: int) -> None:
         self.home_node = home_node
         self._map: IntervalMap[_Locations] = IntervalMap()
+        #: bumped on every mutation; placement caches key their locality
+        #: snapshots on it (same version ⇒ same ``bytes_present_at`` answers)
+        self.version = 0
         self.bytes_transferred = 0
         self.transfers = 0
         #: bytes whose only valid copy sat on a crashed node (see drop_node)
@@ -63,36 +71,108 @@ class DataDirectory:
         return pieces
 
     def bytes_missing_at(self, accesses: Iterable[DataAccess], node: int) -> int:
-        """Input bytes that must be copied in before executing at *node*."""
+        """Input bytes that must be copied in before executing at *node*.
+
+        Walks the interval map directly (same pieces as
+        :meth:`locations_of`, without materialising the frozenset list):
+        this runs per dispatch, on the scheduler's hot path.
+        """
         missing = 0
+        home_missing = node != self.home_node
+        overlapping = self._map.overlapping
         for access in accesses:
             if not access.mode.reads:
                 continue
-            for start, end, nodes in self.locations_of(access.start, access.end):
-                if node not in nodes:
-                    missing += end - start
+            start, end = access.start, access.end
+            cursor = start
+            for seg in overlapping(start, end):
+                seg_start, seg_end = seg.start, seg.end
+                if seg_start > cursor and home_missing:
+                    missing += seg_start - cursor
+                stop = seg_end if seg_end < end else end
+                if node not in seg.value.nodes:
+                    missing += stop - (seg_start if seg_start > start else start)
+                cursor = stop
+            if cursor < end and home_missing:
+                missing += end - cursor
         return missing
 
     def bytes_present_at(self, accesses: Iterable[DataAccess], node: int) -> int:
         """Input bytes already valid at *node* (the scheduler's locality score)."""
         present = 0
+        home_present = node == self.home_node
+        overlapping = self._map.overlapping
         for access in accesses:
             if not access.mode.reads:
                 continue
-            for start, end, nodes in self.locations_of(access.start, access.end):
-                if node in nodes:
-                    present += end - start
+            start, end = access.start, access.end
+            cursor = start
+            for seg in overlapping(start, end):
+                seg_start, seg_end = seg.start, seg.end
+                if seg_start > cursor and home_present:
+                    present += seg_start - cursor
+                stop = seg_end if seg_end < end else end
+                if node in seg.value.nodes:
+                    present += stop - (seg_start if seg_start > start else start)
+                cursor = stop
+            if cursor < end and home_present:
+                present += end - cursor
         return present
 
-    def record_copy_in(self, accesses: Iterable[DataAccess], node: int) -> int:
-        """Mark every read region valid at *node*; returns bytes copied."""
-        copied = 0
+    def present_bytes_for(self, accesses: Iterable[DataAccess],
+                          node_ids: Iterable[int]) -> dict[int, int]:
+        """Locality scores for *every* node in one pass.
+
+        Equivalent to ``{n: bytes_present_at(accesses, n) for n in
+        node_ids}`` but walks the interval map once instead of once per
+        node — the placement fast path scores all adjacent nodes per
+        ready task.
+        """
+        totals = dict.fromkeys(node_ids, 0)
+        home = self.home_node
+        home_known = home in totals
+        overlapping = self._map.overlapping
         for access in accesses:
             if not access.mode.reads:
                 continue
+            start, end = access.start, access.end
+            cursor = start
+            for seg in overlapping(start, end):
+                seg_start, seg_end = seg.start, seg.end
+                if seg_start > cursor and home_known:
+                    totals[home] += seg_start - cursor
+                stop = seg_end if seg_end < end else end
+                length = stop - (seg_start if seg_start > start else start)
+                for node in seg.value.nodes:
+                    if node in totals:
+                        totals[node] += length
+                cursor = stop
+            if cursor < end and home_known:
+                totals[home] += end - cursor
+        return totals
+
+    def record_copy_in(self, accesses: Iterable[DataAccess], node: int) -> int:
+        """Mark every read region valid at *node*; returns bytes copied.
+
+        Regions already fully valid at *node* are left untouched — no
+        segment materialisation and, when *every* region is valid, no
+        version bump, so locally re-read data keeps placement caches
+        warm. Skipping is sound because adding *node* to sets that
+        already contain it changes no location query's answer.
+        """
+        copied = 0
+        changed = False
+        for access in accesses:
+            if not access.mode.reads:
+                continue
+            missing = False
             for start, end, nodes in self.locations_of(access.start, access.end):
                 if node not in nodes:
                     copied += end - start
+                    missing = True
+            if not missing:
+                continue
+            changed = True
 
             def update(value):
                 if value is None:
@@ -101,17 +181,40 @@ class DataDirectory:
                 return value
 
             self._map.apply(access.start, access.end, update)
+        if changed:
+            self.version += 1
         self.bytes_transferred += copied
         if copied:
             self.transfers += 1
         return copied
 
     def record_write(self, accesses: Iterable[DataAccess], node: int) -> None:
-        """A write at *node* makes it the sole valid location of out regions."""
+        """A write at *node* makes it the sole valid location of out regions.
+
+        Rewriting a region whose sole valid copy is already at *node* is
+        a semantic no-op (the steady state of iterative apps rerunning a
+        task on its home placement): it is detected with one overlap
+        scan and skipped — no segment splits, and when every region is
+        in that state, no version bump either, which is what keeps the
+        scheduler's placement cache hot across iterations.
+        """
+        sole = {node}
+        changed = False
         for access in accesses:
             if not access.mode.writes:
                 continue
-            self._map.set_range(access.start, access.end, _Locations({node}))
+            start, end = access.start, access.end
+            cursor = start
+            for seg in self._map.overlapping(start, end):
+                if seg.start > cursor or seg.value.nodes != sole:
+                    break
+                cursor = seg.end if seg.end < end else end
+            if cursor >= end:
+                continue
+            changed = True
+            self._map.set_range(start, end, _Locations({node}))
+        if changed:
+            self.version += 1
 
     def bytes_missing_home(self) -> int:
         """Bytes written remotely whose value is not valid at home."""
@@ -124,6 +227,7 @@ class DataDirectory:
         Returns the bytes that had to move (§3.2: values come home when
         "needed by a task or a taskwait").
         """
+        self.version += 1
         pulled = 0
         for seg in self._map:
             if self.home_node not in seg.value.nodes:
@@ -143,6 +247,7 @@ class DataDirectory:
         Returns the bytes recovered that way (also counted in
         :attr:`bytes_lost`).
         """
+        self.version += 1
         lost = 0
         for seg in self._map:
             if node in seg.value.nodes:

@@ -11,7 +11,6 @@ directory are thin layers over this one structure, mirroring the paper's
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from dataclasses import dataclass
 from typing import Callable, Generic, Iterator, Optional, TypeVar
 
 from ..errors import RuntimeModelError
@@ -21,17 +20,31 @@ __all__ = ["Segment", "IntervalMap"]
 V = TypeVar("V")
 
 
-@dataclass
 class Segment(Generic[V]):
-    """A maximal run ``[start, end)`` with one value."""
+    """A maximal run ``[start, end)`` with one value.
 
-    start: int
-    end: int
-    value: V
+    A ``__slots__`` class rather than a dataclass: segments are created on
+    every split and gap-fill inside the dependency registry's per-access
+    updates, one of the simulator's hottest allocation sites.
+    """
 
-    def __post_init__(self) -> None:
-        if self.end <= self.start:
-            raise RuntimeModelError(f"empty segment [{self.start}, {self.end})")
+    __slots__ = ("start", "end", "value")
+
+    def __init__(self, start: int, end: int, value: V) -> None:
+        if end <= start:
+            raise RuntimeModelError(f"empty segment [{start}, {end})")
+        self.start = start
+        self.end = end
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Segment):
+            return NotImplemented
+        return (self.start == other.start and self.end == other.end
+                and self.value == other.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Segment({self.start}, {self.end}, {self.value!r})"
 
     @property
     def length(self) -> int:
@@ -68,14 +81,20 @@ class IntervalMap(Generic[V]):
         """Segments intersecting ``[start, end)``, in order."""
         if end <= start:
             raise RuntimeModelError(f"empty query [{start}, {end})")
+        segments = self._segments
+        n = len(segments)
         i = bisect_right(self._starts, start) - 1
-        if i >= 0 and self._segments[i].end <= start:
+        if i >= 0 and segments[i].end <= start:
             i += 1
-        i = max(i, 0)
+        if i < 0:
+            i = 0
         out = []
-        while i < len(self._segments) and self._segments[i].start < end:
-            if self._segments[i].end > start:
-                out.append(self._segments[i])
+        while i < n:
+            seg = segments[i]
+            if seg.start >= end:
+                break
+            if seg.end > start:
+                out.append(seg)
             i += 1
         return out
 
@@ -134,26 +153,46 @@ class IntervalMap(Generic[V]):
         """
         if end <= start:
             raise RuntimeModelError(f"empty update [{start}, {end})")
+        # Fast path: the range coincides with one existing segment — the
+        # steady state once an iterative app's access pattern has carved
+        # its boundaries into the map. Both splits would no-op and the
+        # scan would touch exactly this segment, so skip straight to it.
+        starts = self._starts
+        i = bisect_left(starts, start)
+        if i < len(starts) and starts[i] == start:
+            seg = self._segments[i]
+            if seg.end == end:
+                seg.value = update(seg.value)
+                return [seg]
         self._split_at(start)
         self._split_at(end)
-        existing = self.overlapping(start, end)
+        # Post-split, every segment intersecting the range lies fully
+        # inside it, so one scan updates existing segments and inserts
+        # gap-fills in place — already in order, no sort needed.
+        starts = self._starts
+        segments = self._segments
         touched: list[Segment[V]] = []
         cursor = start
-        new_entries: list[Segment[V]] = []
-        for seg in existing:
+        i = bisect_left(starts, start)
+        while i < len(segments):
+            seg = segments[i]
+            if seg.start >= end:
+                break
             if seg.start > cursor:
-                new_entries.append(Segment(cursor, seg.start, update(None)))
+                gap = Segment(cursor, seg.start, update(None))
+                segments.insert(i, gap)
+                starts.insert(i, cursor)
+                touched.append(gap)
+                i += 1
             seg.value = update(seg.value)
             touched.append(seg)
             cursor = seg.end
+            i += 1
         if cursor < end:
-            new_entries.append(Segment(cursor, end, update(None)))
-        for seg in new_entries:
-            i = bisect_left(self._starts, seg.start)
-            self._starts.insert(i, seg.start)
-            self._segments.insert(i, seg)
-            touched.append(seg)
-        touched.sort(key=lambda s: s.start)
+            gap = Segment(cursor, end, update(None))
+            segments.insert(i, gap)
+            starts.insert(i, cursor)
+            touched.append(gap)
         return touched
 
     def set_range(self, start: int, end: int, value: V) -> None:

@@ -27,6 +27,7 @@ from ..cluster.network import NetworkModel
 from ..errors import PolicyError, SchedulerError, TaskLostError
 from ..policies import (KEEP, OFFLOAD_POLICIES, QUEUE, NodeView,
                         OffloadPolicy, SchedulerView, TaskView)
+from ..policies.offload import TentativeImmediateOffload
 from ..sim.engine import Simulator
 from .locality import DataDirectory
 from .task import Task, TaskState
@@ -93,6 +94,9 @@ class AppRankScheduler:
         self.faults: Optional["FaultInjector"] = None
         self._dispatches: dict[Task, _OffloadDispatch] = {}
         self.offload_resends = 0
+        #: cached placement order for input-less tasks (invalidated when
+        #: the worker set changes); see :meth:`_no_input_order`
+        self._zero_order: Optional[tuple] = None
 
     # -- entry points -------------------------------------------------------
 
@@ -153,20 +157,29 @@ class AppRankScheduler:
 
     def _drain_once(self) -> None:
         items = list(self.queue)
-        task_views = tuple(self._task_view(t) for t in items)
-        perf = self.sim.perf
-        if perf is not None:
-            perf.begin("policies")
-        try:
-            order = list(self.policy.drain_order(task_views,
-                                                 self.scheduler_view(None)))
-        finally:
+        if type(self.policy).drain_order is OffloadPolicy.drain_order:
+            # The base-class order is the identity (FIFO): skip building
+            # the task/scheduler views the policy would ignore. The call
+            # still lands in the deterministic perf call counts.
+            perf = self.sim.perf
             if perf is not None:
-                perf.end()
-        if sorted(order) != list(range(len(items))):
-            raise PolicyError(
-                f"{self.policy.name!r}.drain_order returned {order!r}, not "
-                f"a permutation of range({len(items)})")
+                perf.count("policies")
+            order = range(len(items))
+        else:
+            task_views = tuple(self._task_view(t) for t in items)
+            perf = self.sim.perf
+            if perf is not None:
+                perf.begin("policies")
+            try:
+                order = list(self.policy.drain_order(task_views,
+                                                     self.scheduler_view(None)))
+            finally:
+                if perf is not None:
+                    perf.end()
+            if sorted(order) != list(range(len(items))):
+                raise PolicyError(
+                    f"{self.policy.name!r}.drain_order returned {order!r}, not "
+                    f"a permutation of range({len(items)})")
         for position in order:
             task = items[position]
             if task not in self.queue:
@@ -225,6 +238,8 @@ class AppRankScheduler:
         task-agnostic view handed to ``drain_order``).
         """
         inputs = task.inputs if task is not None else ()
+        present = (self.directory.present_bytes_for(inputs, self.workers.keys())
+                   if inputs else None)
         nodes = []
         for node_id, worker in self.workers.items():
             nodes.append(NodeView(
@@ -232,19 +247,20 @@ class AppRankScheduler:
                 alive=worker.alive,
                 owned_cores=worker.arbiter.owned_count(worker.key),
                 active_tasks=worker.assigned - worker.blocked_bodies,
-                bytes_present=(self.directory.bytes_present_at(inputs, node_id)
-                               if inputs else 0)))
+                bytes_present=present[node_id] if present is not None else 0))
         return SchedulerView(apprank=self.apprank, home_node=self.home_node,
                              tasks_per_core=self.config.tasks_per_core,
                              nodes=tuple(nodes))
 
     @staticmethod
     def _task_view(task: Task) -> TaskView:
-        return TaskView(task_id=task.task_id,
-                        input_bytes=sum(a.nbytes for a in task.inputs))
+        return TaskView(task_id=task.task_id, input_bytes=task.input_bytes)
 
     def _place(self, task: Task, drained: bool = False) -> Optional[int]:
         """Ask the policy; validate; return a node id or None (= spill)."""
+        if (self.obs is None and self.validator is None
+                and type(self.policy) is TentativeImmediateOffload):
+            return self._place_fast(task)
         view = self.scheduler_view(task)
         perf = self.sim.perf
         if perf is not None:
@@ -278,6 +294,65 @@ class AppRankScheduler:
                 self.policy.name, f"drained-{outcome}" if drained else outcome)
         return node_id
 
+    def _place_fast(self, task: Task) -> Optional[int]:
+        """Inlined §5.5 tentative placement (the default policy).
+
+        Semantically identical to routing through
+        :class:`~repro.policies.offload.TentativeImmediateOffload` over a
+        :meth:`scheduler_view` snapshot — same locality order, same load
+        bound, same tie-breaks — but without constructing the per-decision
+        view dataclasses. Only taken when no observer or validator needs
+        the snapshot; the decision still lands in the perf call counts.
+        """
+        perf = self.sim.perf
+        if perf is not None:
+            perf.count("policies")
+        workers = self.workers
+        inputs = task.inputs
+        if inputs:
+            # The locality order only changes when the directory or the
+            # worker set does; spilled tasks are re-placed on every task
+            # completion, so cache the sorted order per task and key it on
+            # both (node ids only — workers are re-fetched at use time, so
+            # a replaced worker object can never be served stale).
+            keys = tuple(workers)
+            version = self.directory.version
+            cached = task._place_cache
+            if (cached is not None and cached[0] == version
+                    and cached[1] == keys):
+                order = cached[2]
+            else:
+                home = self.home_node
+                present = self.directory.present_bytes_for(inputs, keys)
+                order = sorted([(-present[node_id], node_id != home, node_id)
+                                for node_id in keys])
+                task._place_cache = (version, keys, order)
+        else:
+            order = self._no_input_order()
+        tasks_per_core = self.config.tasks_per_core
+        for _neg_bytes, _away, node_id in order:
+            worker = workers[node_id]
+            if not worker.alive:
+                continue
+            # arbiter.owned_count inlined to its dict read: this loop runs
+            # per candidate node per placement, the hottest query in the
+            # scheduler (owned_counts is maintained by Core ownership moves).
+            owned = worker.arbiter.node.cols.owned_counts.get(worker.key, 0)
+            active = worker.assigned - worker.blocked_bodies
+            if active / (owned if owned > 0 else 1) < tasks_per_core:
+                return node_id
+        return None
+
+    def _no_input_order(self) -> list[tuple[int, bool, int]]:
+        """Placement order for input-less tasks (all locality scores 0)."""
+        cached = self._zero_order
+        keys = tuple(self.workers)
+        if cached is None or cached[0] != keys:
+            home = self.home_node
+            order = sorted((0, node_id != home, node_id) for node_id in keys)
+            self._zero_order = cached = (keys, order)
+        return cached[1]
+
     # -- binding and data movement -------------------------------------------
 
     def _assign(self, task: Task, node_id: int) -> None:
@@ -301,14 +376,26 @@ class AppRankScheduler:
                 self._dispatches[task] = dispatch
             self._send(dispatch)
             return
-        delay = self._dispatch_delay(task, node_id)
+        # Home placement: no control message, so the dispatch delay is
+        # purely the eager pull of remotely-written inputs. The steady
+        # local case (``missing == 0``) hands off synchronously — no
+        # other directory mutation can interleave — which makes the
+        # delivery-time ``record_copy_in`` a provable no-op: skip it and
+        # the second region walk it would cost.
+        missing = self.directory.bytes_missing_at(task.inputs, node_id)
+        if missing == 0:
+            worker.enqueue(task)
+            return
+        delay = self.network.transfer_time(missing)
         if delay <= 0.0:
             self._deliver(task, worker, None)
         else:
             task.state = TaskState.TRANSFERRING
-            self.sim.schedule(delay,
-                              lambda: self._deliver(task, worker, None),
-                              label=f"task-dispatch:{task.task_id}")
+            sim = self.sim
+            sim.schedule(delay,
+                         lambda: self._deliver(task, worker, None),
+                         label=(f"task-dispatch:{task.task_id}"
+                                if sim.labels else ""))
 
     def _dispatch_delay(self, task: Task, node_id: int) -> float:
         """Offload control message plus eager input copies (§3.2)."""
@@ -362,10 +449,12 @@ class AppRankScheduler:
                 self._deliver(task, dispatch.worker, sent_at)
             else:
                 task.state = TaskState.TRANSFERRING
-                dispatch.delivery = self.sim.schedule(
+                sim = self.sim
+                dispatch.delivery = sim.schedule(
                     delay,
                     lambda: self._deliver(task, dispatch.worker, sent_at),
-                    label=f"task-dispatch:{task.task_id}")
+                    label=(f"task-dispatch:{task.task_id}"
+                           if sim.labels else ""))
             return
         send_lost = self.faults.offload_send_lost()
         ack_lost = self.faults.offload_ack_lost()

@@ -37,15 +37,19 @@ class AccessType(enum.Enum):
     CONCURRENT = "concurrent"
     COMMUTATIVE = "commutative"
 
-    @property
-    def reads(self) -> bool:
-        return self in (AccessType.IN, AccessType.INOUT,
-                        AccessType.CONCURRENT, AccessType.COMMUTATIVE)
+    # ``reads``/``writes`` are plain member attributes (filled in below,
+    # once, at import): mode checks run per region piece in the locality
+    # directory's scans, where a property call would dominate.
+    reads: bool
+    writes: bool
 
-    @property
-    def writes(self) -> bool:
-        return self in (AccessType.OUT, AccessType.INOUT,
-                        AccessType.CONCURRENT, AccessType.COMMUTATIVE)
+
+for _mode in AccessType:
+    _mode.reads = _mode in (AccessType.IN, AccessType.INOUT,
+                            AccessType.CONCURRENT, AccessType.COMMUTATIVE)
+    _mode.writes = _mode in (AccessType.OUT, AccessType.INOUT,
+                             AccessType.CONCURRENT, AccessType.COMMUTATIVE)
+del _mode
 
 
 @dataclass(frozen=True)
@@ -134,6 +138,20 @@ class Task:
     #: re-submitted; bounded by :attr:`RuntimeConfig.max_retries`
     retries: int = 0
 
+    # Lazily-filled caches over the immutable ``accesses`` tuple: the
+    # scheduler and directory read ``inputs``/``input_bytes`` on every
+    # placement decision and dispatch.
+    _inputs: Optional[tuple[DataAccess, ...]] = field(
+        default=None, init=False, repr=False, compare=False)
+    _outputs: Optional[tuple[DataAccess, ...]] = field(
+        default=None, init=False, repr=False, compare=False)
+    _input_bytes: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False)
+    #: scheduler placement cache: (directory version, worker-key tuple,
+    #: candidate order) — see ``AppRankScheduler._place_fast``
+    _place_cache: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False)
+
     @property
     def depth(self) -> int:
         """Nesting depth (0 for top-level tasks)."""
@@ -161,15 +179,26 @@ class Task:
 
     @property
     def inputs(self) -> tuple[DataAccess, ...]:
-        return tuple(a for a in self.accesses if a.mode.reads)
+        inputs = self._inputs
+        if inputs is None:
+            inputs = self._inputs = tuple(
+                a for a in self.accesses if a.mode.reads)
+        return inputs
 
     @property
     def outputs(self) -> tuple[DataAccess, ...]:
-        return tuple(a for a in self.accesses if a.mode.writes)
+        outputs = self._outputs
+        if outputs is None:
+            outputs = self._outputs = tuple(
+                a for a in self.accesses if a.mode.writes)
+        return outputs
 
     @property
     def input_bytes(self) -> int:
-        return sum(a.nbytes for a in self.inputs)
+        nbytes = self._input_bytes
+        if nbytes is None:
+            nbytes = self._input_bytes = sum(a.nbytes for a in self.inputs)
+        return nbytes
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = self.label or f"task{self.task_id}"

@@ -10,6 +10,7 @@ and reports busy-core levels to its :class:`~repro.balance.load.LoadMeter`
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import TYPE_CHECKING, Callable, Optional
 
 from ..balance.load import LoadMeter
@@ -157,9 +158,10 @@ class Worker:
         if self.trace is not None:
             self.trace.busy_delta(self.sim.now, self.node_id, self.apprank, +1)
         duration = self.node.task_duration(task.work)
-        self._completion_events[task] = self.sim.schedule(
-            duration, lambda: self._complete(task),
-            label=f"task-complete:{task.task_id}")
+        sim = self.sim
+        self._completion_events[task] = sim.schedule(
+            duration, partial(self._complete, task),
+            label=(f"task-complete:{task.task_id}" if sim.labels else ""))
 
     # -- nested-task bodies (see nanos.nesting) ----------------------------
 

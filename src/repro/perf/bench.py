@@ -23,6 +23,7 @@ tooling.
 from __future__ import annotations
 
 import cProfile
+import gc
 import json
 import os
 import platform
@@ -204,6 +205,14 @@ def run_bench(target: str, scale: Scale = SMALL, repeat: int = 3,
               progress: Optional[Callable[[str], None]] = None) -> BenchResult:
     """Measure *target* ``repeat`` times; returns the aggregated result.
 
+    Each repeat runs with the cyclic garbage collector paused (a full
+    collection runs *between* repeats instead): the simulator allocates
+    heavily on the event hot path, and letting generational collections
+    fire mid-loop both slows the loop and makes the measurement depend on
+    allocator history rather than on the event core. Pausing the collector
+    is measurement hygiene only — it cannot affect the simulated outcome,
+    which is asserted identical across repeats regardless.
+
     Raises :class:`~repro.errors.ExperimentError` if the simulated outcome
     differs between repeats (a determinism break) or a repeat finishes
     with unbalanced begin/end perf frames (an instrumentation bug).
@@ -218,7 +227,15 @@ def run_bench(target: str, scale: Scale = SMALL, repeat: int = 3,
     for i in range(repeat):
         if progress is not None:
             progress(f"bench {target}: run {i + 1}/{repeat}")
-        result = _workload(target, scale)
+        gc_was_enabled = gc.isenabled()
+        gc.collect()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            result = _workload(target, scale)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         recorder = result.runtime.perf
         if recorder is None:
             raise ExperimentError("bench run built without config.perf")

@@ -52,7 +52,8 @@ PERF_PHASES = ("setup", "event_loop", "teardown")
 class PerfRecorder:
     """Accumulates wall-clock phases and exclusive subsystem buckets."""
 
-    __slots__ = ("phases", "buckets", "calls", "events_processed", "_stack")
+    __slots__ = ("phases", "buckets", "calls", "events_processed",
+                 "_stack", "_depth")
 
     def __init__(self) -> None:
         self.phases: dict[str, float] = {}
@@ -61,14 +62,26 @@ class PerfRecorder:
         #: simulator events fired during the ``event_loop`` phase; set by
         #: the runtime from ``Simulator.events_fired`` around the loop
         self.events_processed = 0
-        #: open timing frames: [name, start, child_seconds]
+        #: preallocated timing frames ([name, start, child_seconds]) plus
+        #: a depth cursor: frames are recycled across begin/end pairs so
+        #: the hooks never allocate — they fire thousands of times per
+        #: simulated second and a list build per frame is measurable.
         self._stack: list[list[Any]] = []
+        self._depth = 0
 
     # -- hot-path hooks ----------------------------------------------------
 
     def begin(self, name: str) -> None:
         """Open a timing frame for subsystem *name* (must be paired)."""
-        self._stack.append([name, perf_counter(), 0.0])
+        depth = self._depth
+        stack = self._stack
+        if depth == len(stack):
+            stack.append([None, 0.0, 0.0])
+        frame = stack[depth]
+        frame[0] = name
+        frame[2] = 0.0
+        self._depth = depth + 1
+        frame[1] = perf_counter()   # last: exclude our own setup time
 
     def end(self) -> None:
         """Close the innermost frame; charge its *exclusive* time.
@@ -77,12 +90,30 @@ class PerfRecorder:
         child accumulator, so nested hooks never double-count: a policy
         call inside a scheduler hook lands in ``policies``, not both.
         """
-        name, start, child = self._stack.pop()
-        elapsed = perf_counter() - start
-        self.buckets[name] = self.buckets.get(name, 0.0) + elapsed - child
+        now = perf_counter()        # first: exclude our own teardown time
+        depth = self._depth - 1
+        name, start, child = self._stack[depth]
+        self._depth = depth
+        elapsed = now - start
+        buckets = self.buckets
+        buckets[name] = buckets.get(name, 0.0) + elapsed - child
+        calls = self.calls
+        calls[name] = calls.get(name, 0) + 1
+        if depth:
+            self._stack[depth - 1][2] += elapsed
+
+    def count(self, name: str) -> None:
+        """Record one call into bucket *name* without reading the clock.
+
+        Used by fast-path hooks that inline a subsystem's work into the
+        caller's frame: the call still shows up in the deterministic call
+        counts (and the bucket exists in the attribution table), but its
+        wall clock is charged to the enclosing frame instead of paying
+        two ``perf_counter()`` reads per call.
+        """
         self.calls[name] = self.calls.get(name, 0) + 1
-        if self._stack:
-            self._stack[-1][2] += elapsed
+        if name not in self.buckets:
+            self.buckets[name] = 0.0
 
     @contextmanager
     def section(self, name: str) -> Iterator[None]:
@@ -104,7 +135,7 @@ class PerfRecorder:
     @property
     def balanced(self) -> bool:
         """Whether every ``begin`` has been matched by an ``end``."""
-        return not self._stack
+        return self._depth == 0
 
     def loop_seconds(self) -> float:
         """Wall-clock of the event-loop phase (0.0 before the run)."""

@@ -9,6 +9,7 @@ of yielding.
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import Any, Callable, Deque, Optional
 
 from ..errors import SimulationError
@@ -46,15 +47,17 @@ class Signal:
         self._fired = True
         self._value = value
         waiters, self._waiters = self._waiters, []
+        sim = self.sim
+        label = f"signal:{self.name}" if sim.labels else ""
         for resume in waiters:
-            self.sim.schedule(0.0, lambda r=resume: r(value),
-                              label=f"signal:{self.name}")
+            sim.schedule(0.0, partial(resume, value), label=label)
 
     def wait(self, callback: Callable[[Any], None]) -> None:
         """Callback-style wait."""
         if self._fired:
-            self.sim.schedule(0.0, lambda: callback(self._value),
-                              label=f"signal:{self.name}")
+            sim = self.sim
+            sim.schedule(0.0, partial(callback, self._value),
+                         label=f"signal:{self.name}" if sim.labels else "")
         else:
             self._waiters.append(callback)
 
@@ -86,8 +89,10 @@ class Gate:
         """Open the gate and release every queued waiter."""
         self._open = True
         waiters, self._waiters = self._waiters, []
+        sim = self.sim
+        label = f"gate:{self.name}" if sim.labels else ""
         for resume in waiters:
-            self.sim.schedule(0.0, lambda r=resume: r(None), label=f"gate:{self.name}")
+            sim.schedule(0.0, partial(resume, None), label=label)
 
     def close(self) -> None:
         """Close the gate; subsequent waiters queue until :meth:`open`."""
@@ -96,7 +101,9 @@ class Gate:
     def wait(self, callback: Callable[[Any], None]) -> None:
         """Callback-style wait: fires now if open, else queues."""
         if self._open:
-            self.sim.schedule(0.0, lambda: callback(None), label=f"gate:{self.name}")
+            sim = self.sim
+            sim.schedule(0.0, partial(callback, None),
+                         label=f"gate:{self.name}" if sim.labels else "")
         else:
             self._waiters.append(callback)
 

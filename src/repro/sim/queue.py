@@ -1,13 +1,40 @@
-"""Binary-heap event queue with lazy cancellation.
+"""Calendar/slot event queue with lazy cancellation.
 
 Kept separate from the engine so it can be unit-tested (and property-tested)
-in isolation: the heap invariant plus the deterministic ``(time, priority,
-seq)`` total order is what makes whole-simulation runs reproducible.
+in isolation: the deterministic ``(time, priority, seq)`` total order is
+what makes whole-simulation runs reproducible.
+
+Structure
+---------
+
+A discrete-event simulation schedules most events at a *small* set of
+distinct timestamps (zero-delay control events pile up at "now"; task
+completions land on a handful of future times). The queue exploits that:
+
+* **slots** — a dict keyed by exact timestamp. Each slot is a short list
+  of ``[priority, band]`` pairs kept sorted by priority; each *band* is a
+  FIFO list whose element 0 is the head cursor (events at ``band[head:]``
+  are pending). Because the engine's sequence numbers are monotonically
+  increasing, appending to a band in push order keeps the band sorted by
+  ``seq`` for free — no comparisons at all on the push path.
+* **times heap** — a min-heap of the distinct slot timestamps. Heap
+  operations compare plain floats (C-level), never Event objects.
+* **overflow heap** — when the number of distinct pending timestamps
+  exceeds ``slot_limit``, far-future events (beyond every current slot)
+  divert to a classic binary heap; they migrate back into slots in
+  time-grouped batches when the calendar drains. The invariant is that
+  every overflow event is strictly later than ``_bound`` and every slot
+  time is ``<= _bound``, so the calendar always serves the front.
+
+Cancellation stays lazy: cancelled events are dropped when they surface
+(pop/peek) or at compaction, which keeps ``cancel`` O(1) at the cost of
+transient growth — the right trade for runtimes that cancel timeouts
+constantly.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from typing import Iterator, Optional
 
 from ..errors import SimulationError
@@ -15,18 +42,23 @@ from .events import Event
 
 
 class EventQueue:
-    """Priority queue of :class:`Event` ordered by ``(time, priority, seq)``.
+    """Priority queue of :class:`Event` ordered by ``(time, priority, seq)``."""
 
-    Cancellation is lazy: cancelled events stay in the heap and are dropped
-    when popped, which keeps ``cancel`` O(1) at the cost of transient heap
-    growth — the right trade for runtimes that cancel timeouts constantly.
-    """
+    __slots__ = ("_slots", "_times", "_overflow", "_bound", "_max_slot_time",
+                 "_live", "_stored", "_slot_limit", "_refill")
 
-    __slots__ = ("_heap", "_live")
-
-    def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._live = 0
+    def __init__(self, slot_limit: int = 512, refill: int = 64) -> None:
+        #: timestamp -> [[priority, band], ...] sorted by priority, where
+        #: band = [head_index, event, event, ...] (pending = band[head:])
+        self._slots: dict[float, list] = {}
+        self._times: list[float] = []       # min-heap of distinct slot times
+        self._overflow: list[Event] = []    # far-future heap (> _bound)
+        self._bound: Optional[float] = None  # None = overflow disengaged
+        self._max_slot_time = float("-inf")
+        self._live = 0      # non-cancelled events currently enqueued
+        self._stored = 0    # physically stored events (incl. cancelled)
+        self._slot_limit = slot_limit
+        self._refill = refill
 
     def __len__(self) -> int:
         """Number of *live* (non-cancelled) events."""
@@ -35,51 +67,193 @@ class EventQueue:
     def __bool__(self) -> bool:
         return self._live > 0
 
+    # -- insertion ---------------------------------------------------------
+
     def push(self, event: Event) -> None:
         """Insert *event*; it must not already be cancelled."""
         if event.cancelled:
             raise SimulationError("cannot enqueue a cancelled event")
-        heapq.heappush(self._heap, event)
+        t = event.time
+        slot = self._slots.get(t)
+        if slot is None:
+            bound = self._bound
+            if bound is not None and t > bound:
+                heappush(self._overflow, event)
+            elif (bound is None and t > self._max_slot_time
+                    and len(self._times) >= self._slot_limit):
+                # Calendar is wide and this event is beyond all of it:
+                # engage the far-future overflow at the current horizon.
+                self._bound = self._max_slot_time
+                heappush(self._overflow, event)
+            else:
+                self._slots[t] = [[event.priority, [1, event]]]
+                heappush(self._times, t)
+                if t > self._max_slot_time:
+                    self._max_slot_time = t
+        else:
+            self._slot_insert(slot, event)
         self._live += 1
+        self._stored += 1
+
+    @staticmethod
+    def _slot_insert(slot: list, event: Event) -> None:
+        """Append *event* to its priority band within *slot* (create it
+        in sorted position if absent). Slots hold 1-2 bands in practice."""
+        p = event.priority
+        for pair in slot:
+            if pair[0] == p:
+                pair[1].append(event)
+                return
+        for i, pair in enumerate(slot):
+            if pair[0] > p:
+                slot.insert(i, [p, [1, event]])
+                return
+        slot.append([p, [1, event]])
+
+    # -- cancellation ------------------------------------------------------
 
     def notify_cancelled(self) -> None:
         """Account for one event cancelled while still enqueued."""
         self._live -= 1
         if self._live < 0:
             raise SimulationError("cancellation accounting underflow")
-        # Compact when the heap is dominated by dead entries, so a runtime
-        # that cancels many timeouts does not grow the heap unboundedly.
-        if len(self._heap) > 64 and self._live * 4 < len(self._heap):
-            self._heap = [e for e in self._heap if not e.cancelled]
-            heapq.heapify(self._heap)
+        # Compact when storage is dominated by dead entries, so a runtime
+        # that cancels many timeouts does not grow the queue unboundedly.
+        if self._stored > 64 and self._live * 4 < self._stored:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild every structure with cancelled events filtered out."""
+        new_slots: dict[float, list] = {}
+        for t, slot in self._slots.items():
+            new_slot = []
+            for priority, band in slot:
+                kept = [e for e in band[band[0]:] if not e.cancelled]
+                if kept:
+                    new_slot.append([priority, [1, *kept]])
+            if new_slot:
+                new_slots[t] = new_slot
+        self._slots = new_slots
+        self._times = list(new_slots)
+        heapify(self._times)
+        self._overflow = [e for e in self._overflow if not e.cancelled]
+        heapify(self._overflow)
+        if not self._overflow:
+            self._bound = None
+        self._stored = self._live
+
+    # -- consumption -------------------------------------------------------
 
     def pop(self) -> Event:
         """Remove and return the earliest live event.
 
         Raises :class:`SimulationError` when empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                self._live -= 1
-                event.fired = True
-                return event
-        raise SimulationError("pop from empty event queue")
+        slots = self._slots
+        times = self._times
+        while True:
+            while times:
+                t = times[0]
+                for pair in slots[t]:
+                    band = pair[1]
+                    head = band[0]
+                    n = len(band)
+                    while head < n:
+                        event = band[head]
+                        head += 1
+                        if event.cancelled:
+                            self._stored -= 1
+                            continue
+                        band[0] = head
+                        self._stored -= 1
+                        self._live -= 1
+                        event.fired = True
+                        return event
+                    band[0] = head
+                del slots[t]
+                heappop(times)
+            if self._overflow:
+                self._migrate()
+                continue
+            raise SimulationError("pop from empty event queue")
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the earliest live event, or ``None`` when empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        slots = self._slots
+        times = self._times
+        while True:
+            while times:
+                t = times[0]
+                for pair in slots[t]:
+                    band = pair[1]
+                    head = band[0]
+                    n = len(band)
+                    while head < n and band[head].cancelled:
+                        head += 1
+                        self._stored -= 1
+                    band[0] = head
+                    if head < n:
+                        return t
+                del slots[t]
+                heappop(times)
+            if self._overflow:
+                self._migrate()
+                continue
+            return None
+
+    def _migrate(self) -> None:
+        """Move the front of the overflow heap back into (empty) slots.
+
+        Events move in ascending-key batches of at least ``refill``,
+        always finishing the final timestamp group so the bound between
+        calendar and overflow stays a clean "every overflow time is
+        strictly later than every slot time".
+        """
+        overflow = self._overflow
+        slots = self._slots
+        times = self._times
+        refill = self._refill
+        moved = 0
+        last_t: Optional[float] = None
+        while overflow and (moved < refill or overflow[0].time == last_t):
+            event = heappop(overflow)
+            last_t = event.time
+            slot = slots.get(last_t)
+            if slot is None:
+                slots[last_t] = [[event.priority, [1, event]]]
+                heappush(times, last_t)
+            else:
+                self._slot_insert(slot, event)
+            moved += 1
+        if overflow:
+            self._bound = last_t
+        else:
+            self._bound = None
+        if last_t is not None:
+            self._max_slot_time = last_t
+
+    # -- diagnostics -------------------------------------------------------
 
     def iter_pending(self) -> Iterator[Event]:
-        """Yield live events in heap (not chronological) order.
+        """Yield live events in internal (not chronological) order.
 
         Intended for diagnostics and tests only.
         """
-        return (e for e in self._heap if not e.cancelled)
+        for slot in self._slots.values():
+            for _priority, band in slot:
+                for event in band[band[0]:]:
+                    if not event.cancelled:
+                        yield event
+        for event in self._overflow:
+            if not event.cancelled:
+                yield event
 
     def clear(self) -> None:
         """Drop every event."""
-        self._heap.clear()
+        self._slots.clear()
+        self._times.clear()
+        self._overflow.clear()
+        self._bound = None
+        self._max_slot_time = float("-inf")
         self._live = 0
+        self._stored = 0

@@ -1,5 +1,7 @@
 """EventQueue: heap order, lazy cancellation, compaction; property tests."""
 
+import heapq
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -137,3 +139,78 @@ class TestProperties:
         assert len(queue) == expected
         for _ in range(expected):
             assert not queue.pop().cancelled
+
+
+#: One step of the model test. Push times mix a small sampled pool (forcing
+#: same-timestamp bursts across priority bands) with wide floats (forcing
+#: calendar growth into the far-future overflow heap).
+_MODEL_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"),
+                  st.one_of(st.sampled_from([0.0, 1.0, 2.5, 7.0, 1e3]),
+                            st.floats(min_value=0, max_value=1e6,
+                                      allow_nan=False)),
+                  st.integers(0, 3)),
+        st.tuples(st.just("cancel"), st.integers(0, 10 ** 6)),
+        st.tuples(st.just("pop")),
+        st.tuples(st.just("peek")),
+    ),
+    min_size=1, max_size=300)
+
+
+class TestModelEquivalence:
+    """The calendar queue against a plain-heapq reference model.
+
+    Random interleavings of push/cancel/pop/peek must produce the exact
+    pop order and live-count accounting a lazy-cancellation binary heap
+    of ``(time, priority, seq)`` keys produces. Tiny ``slot_limit``
+    configurations force the overflow heap and migration batching to
+    engage, which a default-sized queue never does at this scale.
+    """
+
+    @given(ops=_MODEL_OPS,
+           config=st.sampled_from([(512, 64), (4, 2), (1, 1)]))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_plain_heapq_model(self, ops, config):
+        slot_limit, refill = config
+        queue = EventQueue(slot_limit=slot_limit, refill=refill)
+        model = []    # binary heap of Events (compare by precomputed key)
+        pending = []  # pushed, not yet popped or cancelled — in push order
+        seq = 0
+        for op in ops:
+            if op[0] == "push":
+                event = Event(time=op[1], priority=op[2], seq=seq,
+                              callback=lambda: None)
+                seq += 1
+                queue.push(event)
+                heapq.heappush(model, event)
+                pending.append(event)
+            elif op[0] == "cancel":
+                if pending:
+                    victim = pending.pop(op[1] % len(pending))
+                    victim.cancel()
+                    queue.notify_cancelled()
+            elif op[0] == "pop":
+                while model and model[0].cancelled:
+                    heapq.heappop(model)
+                if model:
+                    expected = heapq.heappop(model)
+                    pending.remove(expected)
+                    assert queue.pop() is expected
+                else:
+                    with pytest.raises(SimulationError):
+                        queue.pop()
+            else:  # peek
+                while model and model[0].cancelled:
+                    heapq.heappop(model)
+                expected_time = model[0].time if model else None
+                assert queue.peek_time() == expected_time
+            assert len(queue) == len(pending)
+        # Drain both: every remaining live event surfaces, in model order.
+        while model:
+            if model[0].cancelled:
+                heapq.heappop(model)
+                continue
+            assert queue.pop() is heapq.heappop(model)
+        assert len(queue) == 0
+        assert queue.peek_time() is None

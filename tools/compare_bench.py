@@ -15,14 +15,16 @@ within-noise / incomparable).
 
 Exit status: 0 when no tracked metric regressed (or ``--report-only``),
 1 on a regression, 2 when the records cannot be compared at all
-(missing baseline, schema/target/scale mismatch). CI runs this with
-``--report-only`` — the trajectory is informative there, the gate is
-for local before/after checks.
+(missing baseline, schema/target/scale mismatch). ``--metrics`` narrows
+the comparison to a subset of the tracked metrics — CI gates on the
+throughput pair (``events_per_sec,event_loop_s``), which is stable even
+on noisy shared runners, while RSS and total time stay report-only.
 
 Usage::
 
     python tools/compare_bench.py headline                  # run + gate
     python tools/compare_bench.py headline synthetic nbody --report-only
+    python tools/compare_bench.py headline --metrics events_per_sec,event_loop_s
     python tools/compare_bench.py headline --current fresh/BENCH_headline.json
 """
 
@@ -68,11 +70,28 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--report-only", action="store_true",
                         help="always exit 0 on regressions (CI mode); "
                              "incomparable records still exit 2")
+    parser.add_argument("--metrics", default=None,
+                        help="comma-separated subset of tracked metrics to "
+                             "compare and gate on (full names like "
+                             "'events_per_sec.max' or stems like "
+                             "'events_per_sec'); default: all tracked")
     args = parser.parse_args(argv)
     if args.current is not None and len(args.targets) != 1:
         parser.error("--current compares exactly one target")
 
     bench, compare = _import_repro()
+    metrics = compare.TRACKED_METRICS
+    if args.metrics is not None:
+        wanted = [name.strip() for name in args.metrics.split(",")
+                  if name.strip()]
+        known = {m.path for m in metrics}
+        stems = {m.path.split(".")[0] for m in metrics}
+        for name in wanted:
+            if name not in known and name not in stems:
+                parser.error(f"unknown metric {name!r} (tracked: "
+                             f"{', '.join(sorted(known))})")
+        metrics = tuple(m for m in metrics
+                        if m.path in wanted or m.path.split(".")[0] in wanted)
     from repro.errors import ExperimentError
     from repro.experiments import MEDIUM, PAPER, SMALL, TINY
     scales = {s.name: s for s in (TINY, SMALL, MEDIUM, PAPER)}
@@ -102,7 +121,8 @@ def main(argv: "list[str] | None" = None) -> int:
                 return 2
             current = result.record()
         try:
-            report = compare.compare_records(baseline, current)
+            report = compare.compare_records(baseline, current,
+                                             metrics=metrics)
         except compare.BenchCompareError as exc:
             print(f"compare_bench: {exc}", file=sys.stderr)
             return 2
