@@ -12,9 +12,16 @@ Axes are ``;``-separated; values are ``,``-separated except the
 ``faults`` axis, whose values are full :meth:`repro.faults.FaultPlan.parse`
 specs (which themselves contain ``,`` and ``;``) — fault alternatives
 are therefore ``|``-separated and use ``+`` where a plan would use
-``;``. Integer axes accept ``a..b`` ranges. Unknown keys, unknown
-policy/scale/app names and malformed values all raise a one-line
-:class:`~repro.errors.CampaignError` naming the offending token.
+``;``. The ``trace`` axis follows the same convention for multi-job
+arrival traces (:meth:`repro.jobs.trace.JobTrace.parse` specs):
+alternatives are ``|``-separated and use ``+`` where a trace spec would
+use ``,``, e.g. ``trace=poisson:seed=1+rate=0.5+n=6|bursty:seed=2+n=6``.
+A cell with a trace runs the multi-job engine (the ``realloc``,
+``nodes``, ``scale`` and ``seed`` axes apply; the single-application
+axes are normalised away). Integer axes accept ``a..b`` ranges. Unknown
+keys, unknown policy/scale/app names and malformed values all raise a
+one-line :class:`~repro.errors.CampaignError` naming the offending
+token.
 
 The grid expands to an ordered list of :class:`Cell` — one simulator run
 each, with a stable human-readable ``cell_id`` and a JSON round-trip —
@@ -35,7 +42,7 @@ from ..experiments.base import MEDIUM, PAPER, SMALL, TINY, Scale
 from ..faults.plan import FaultPlan
 
 __all__ = ["Cell", "CampaignGrid", "SCALES", "APPS", "expand_fault_spec",
-           "fault_tag"]
+           "fault_tag", "expand_trace_spec", "trace_tag"]
 
 #: Scales a campaign cell may run at, by grid-axis name.
 SCALES: dict[str, Scale] = {"tiny": TINY, "small": SMALL, "medium": MEDIUM,
@@ -47,7 +54,7 @@ APPS = ("synthetic", "micropp", "nbody")
 #: Axis iteration order — also the nesting order of the cross product,
 #: so cell order (and therefore journal/report order) is stable.
 AXES = ("app", "scale", "nodes", "degree", "imbalance", "policy", "lend",
-        "realloc", "faults", "seed")
+        "realloc", "faults", "trace", "seed")
 
 _DEFAULTS: dict[str, tuple] = {
     "app": ("synthetic",),
@@ -59,6 +66,7 @@ _DEFAULTS: dict[str, tuple] = {
     "lend": ("eager",),
     "realloc": ("global",),
     "faults": ("none",),
+    "trace": ("none",),
     "seed": (1234,),
 }
 
@@ -79,6 +87,19 @@ def fault_tag(token: str) -> str:
     return f"f{digest[:8]}"
 
 
+def expand_trace_spec(token: str) -> str:
+    """The grid trace syntax (``+`` joins) as a real JobTrace spec."""
+    return token.replace("+", ",")
+
+
+def trace_tag(token: str) -> str:
+    """Short stable tag for a trace alternative (CSV-safe column value)."""
+    if token == "none":
+        return "none"
+    digest = hashlib.sha1(expand_trace_spec(token).encode()).hexdigest()
+    return f"t{digest[:8]}"
+
+
 @dataclass(frozen=True)
 class Cell:
     """One point of a campaign grid: a single deterministic simulator run."""
@@ -93,13 +114,18 @@ class Cell:
     realloc: str
     faults: str             # grid syntax ("none" or a '+'-joined plan)
     seed: int
+    #: multi-job arrival trace in grid syntax ("none" = single-app cell)
+    trace: str = "none"
 
     @property
     def cell_id(self) -> str:
         """Stable, human-readable identity used by journal and report."""
-        return (f"{self.app}:{self.scale}:n{self.nodes}:d{self.degree}"
+        base = (f"{self.app}:{self.scale}:n{self.nodes}:d{self.degree}"
                 f":i{self.imbalance:g}:{self.policy}:{self.lend}"
                 f":{self.realloc}:{fault_tag(self.faults)}:s{self.seed}")
+        if self.trace != "none":
+            return f"{base}:{trace_tag(self.trace)}"
+        return base
 
     @property
     def fault_plan(self) -> "FaultPlan | None":
@@ -158,6 +184,21 @@ def _parse_axis(key: str, token: str) -> tuple:
                 except FaultError as exc:
                     raise CampaignError(
                         f"bad fault spec {alt!r} in grid: {exc}") from None
+            values.append(alt)
+    elif key == "trace":
+        from ..errors import JobsError
+        from ..jobs.trace import JobTrace
+        values = []
+        for alt in token.split("|"):
+            alt = alt.strip()
+            if not alt:
+                continue
+            if alt != "none":
+                try:
+                    JobTrace.parse(expand_trace_spec(alt))
+                except JobsError as exc:
+                    raise CampaignError(
+                        f"bad trace spec {alt!r} in grid: {exc}") from None
             values.append(alt)
     elif key in _INT_AXES:
         values = list(_parse_int_values(key, token))
@@ -279,6 +320,18 @@ class CampaignGrid:
         for combo in itertools.product(*pools):
             params = dict(zip(keys, combo))
             scale = SCALES[params["scale"]]
+            if params["trace"] != "none":
+                # multi-job cell: the single-application axes do not
+                # apply — normalise them so the app/degree/... pools
+                # collapse into one jobs cell per (trace, realloc,
+                # nodes, scale, seed) point
+                params.update(app="jobs", degree=0, imbalance=0.0,
+                              policy="-", lend="-", faults="none")
+                cell = Cell(**params)
+                if cell.cell_id not in seen:
+                    seen.add(cell.cell_id)
+                    cells.append(cell)
+                continue
             if params["degree"] > params["nodes"]:
                 continue
             if params["degree"] > 1 and not scale.feasible(
@@ -301,8 +354,13 @@ class CampaignGrid:
         return cells
 
     def fingerprint(self) -> str:
-        """Content hash tying a journal to the grid that produced it."""
-        canonical = json.dumps([[k, list(v)] for k, v in self.axes],
+        """Content hash tying a journal to the grid that produced it.
+
+        The default (trace-free) ``trace`` axis is omitted so journals
+        written before the axis existed still match their grid.
+        """
+        canonical = json.dumps([[k, list(v)] for k, v in self.axes
+                                if not (k == "trace" and v == ("none",))],
                                sort_keys=True)
         return hashlib.sha256(("campaign-grid-v1:" + canonical)
                               .encode()).hexdigest()

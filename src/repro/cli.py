@@ -57,6 +57,19 @@ timeout) to prove the recovery paths::
 On Ctrl-C the campaign terminates its workers, flushes the journal,
 prints the exact resume command, and exits 130.
 
+The ``jobs`` target simulates a whole cluster of jobs arriving over
+time and sharing nodes under cross-job DROM reallocation
+(:mod:`repro.jobs`): ``--trace`` picks a seeded arrival trace
+(``poisson:...``, ``bursty:...``, ``diurnal:...``, ``single:...``) and
+``--realloc-policy`` the arbitration rule (any registered reallocation
+policy — ``local``, ``global``, ``gavel``). ``--check`` arms the
+cross-job sanitizer, ``--obs`` the event bus; the ``multijob`` figure
+target sweeps offered load against all three policies::
+
+    python -m repro jobs --trace poisson:seed=1,rate=0.5,n=8 \\
+        --realloc-policy gavel --check
+    python -m repro multijob --scale small
+
 The ``bench`` target measures the simulator itself on the wall clock
 (:mod:`repro.perf`): events/sec, per-phase timings, peak RSS and
 per-subsystem attribution over a pinned workload, written to a
@@ -121,11 +134,14 @@ def _run_target(target: str, scale: Scale, faults: str | None = None,
         return [resilience.run(scale, faults=faults, fault_seed=fault_seed)]
     if target == "ablation":
         return [fig_policies_ablation.run(scale, policies=policies)]
+    if target == "multijob":
+        from .experiments import fig_multijob
+        return [fig_multijob.run(scale)]
     raise ValueError(f"unknown target {target!r}")
 
 
 TARGETS = ("fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
-           "headline", "resilience", "ablation")
+           "headline", "resilience", "ablation", "multijob")
 
 #: flags that only make sense for the ``campaign`` target
 _CAMPAIGN_FLAGS = ("--grid", "--workers", "--chaos", "--cell-timeout",
@@ -254,16 +270,19 @@ def main(argv: Iterable[str] | None = None) -> int:
                     "DLB' (ICPP 2022) on the simulator.")
     parser.add_argument("target", choices=TARGETS + ("all", "trace",
                                                      "policies", "check",
-                                                     "campaign", "bench"),
+                                                     "campaign", "bench",
+                                                     "jobs"),
                         help="which figure/table to regenerate, 'trace' "
                              "to record one instrumented run, 'policies' "
                              "to list the registered policy-kernel "
                              "strategies, 'check' to run the invariant "
                              "sanitizer over a conformance workload, "
                              "'campaign' to shard a sweep grid across a "
-                             "fault-tolerant worker pool, or 'bench' to "
+                             "fault-tolerant worker pool, 'bench' to "
                              "measure the simulator's wall-clock "
-                             "performance and write BENCH_<target>.json")
+                             "performance and write BENCH_<target>.json, "
+                             "or 'jobs' to run a multi-job arrival trace "
+                             "under cross-job DROM reallocation")
     parser.add_argument("experiment", nargs="?", default=None,
                         help="trace/check/bench only: which workload to run "
                              f"(trace: {', '.join(traced.TRACE_TARGETS)}; "
@@ -331,6 +350,19 @@ def main(argv: Iterable[str] | None = None) -> int:
     parser.add_argument("--max-requeues", type=int, default=10, metavar="N",
                         help="campaign only: crash/hang interruptions of "
                              "one cell before quarantine (default: 10)")
+    parser.add_argument("--trace", default=None, metavar="SPEC",
+                        help="jobs only: the arrival trace, e.g. "
+                             "'poisson:seed=1,rate=0.5,n=8', "
+                             "'bursty:seed=2,n=6,burst=3,gap=2.0', "
+                             "'diurnal:seed=3,n=8,period=20', or "
+                             "'single:app=synthetic,nodes=2'")
+    parser.add_argument("--realloc-policy", default=None, metavar="NAME",
+                        help="jobs only: the cross-job reallocation policy "
+                             "(default: gavel); see 'policies'")
+    parser.add_argument("--cluster-nodes", type=int, default=None,
+                        metavar="N",
+                        help="jobs only: nodes in the shared cluster "
+                             "(default: the trace's largest job, min 2)")
     parser.add_argument("--repeat", type=int, default=None, metavar="N",
                         help="bench only: measurement repeats (default: 3); "
                              "simulated outcomes must be identical across "
@@ -373,6 +405,15 @@ def _dispatch(parser: argparse.ArgumentParser, args) -> int:
             parser.error("--profile only applies to the 'bench' target")
         if args.bench_dir is not None:
             parser.error("--bench-dir only applies to the 'bench' target")
+    if args.target != "jobs":
+        if args.trace is not None:
+            parser.error("--trace only applies to the 'jobs' target")
+        if args.realloc_policy is not None:
+            parser.error("--realloc-policy only applies to the 'jobs' "
+                         "target")
+        if args.cluster_nodes is not None:
+            parser.error("--cluster-nodes only applies to the 'jobs' "
+                         "target")
     if args.target != "campaign":
         for flag in _CAMPAIGN_FLAGS:
             name = flag.lstrip("-").replace("-", "_")
@@ -400,7 +441,45 @@ def _dispatch(parser: argparse.ArgumentParser, args) -> int:
     if args.scale is not None:
         scale = _SCALES[args.scale]
     else:   # checks/benches favour quick feedback; the rest paper sizing
-        scale = SMALL if args.target in ("check", "bench") else MEDIUM
+        scale = SMALL if args.target in ("check", "bench", "jobs") else MEDIUM
+
+    if args.target == "jobs":
+        from .errors import AllocationError, JobsError, ValidationError
+        from .jobs import JobTrace, run_trace
+        if args.experiment is not None:
+            parser.error("jobs does not take an experiment name")
+        if args.trace is None:
+            parser.error("jobs needs --trace (e.g. "
+                         "'poisson:seed=1,rate=0.5,n=8')")
+        started = time.perf_counter()
+        try:
+            result = run_trace(JobTrace.parse(args.trace),
+                               policy=args.realloc_policy or "gavel",
+                               scale=scale,
+                               cluster_nodes=args.cluster_nodes,
+                               check=args.check, obs=args.obs)
+        except (JobsError, AllocationError, ValidationError) as exc:
+            return _fail(str(exc))
+        print(result.table().format())
+        if result.sanitizer is not None:
+            checked = result.sanitizer.summary()
+            print(f"# check: {checked['allocations']} allocations, "
+                  f"{checked['grants']} grants, "
+                  f"{checked['progress']} progress updates, "
+                  f"{checked['finishes']} finishes — all cross-job "
+                  "invariants held")
+        if result.obs is not None:
+            summary = result.obs.bus.summary()
+            print(f"# obs: {summary['spans']} spans, "
+                  f"{summary['instants']} instants, "
+                  f"{summary['counter_samples']} counter samples")
+        if args.csv is not None:
+            args.csv.mkdir(parents=True, exist_ok=True)
+            path = args.csv / f"jobs_{scale.name}.csv"
+            atomic_write_text(path, result.table().to_csv() + "\n")
+            print(f"# wrote {path}")
+        print(f"# wall time: {time.perf_counter() - started:.1f} s")
+        return 0
 
     if args.target == "bench":
         from .perf import bench as bench_mod

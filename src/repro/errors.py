@@ -119,6 +119,12 @@ class TaskLostError(FaultError):
         self.task = task
 
 
+class JobsError(ReproError):
+    """Invalid multi-job usage (malformed trace spec, infeasible cluster,
+    unknown job kind, ...). Messages are single-line so the CLI and the
+    campaign grid parser can surface them without a traceback."""
+
+
 class CampaignError(ReproError):
     """Invalid campaign usage (bad grid spec, journal/grid mismatch, ...).
 

@@ -2,7 +2,8 @@
 
 from . import (fig05_policies, fig06_applications, fig07_local, fig08_sweep,
                fig09_traces, fig10_slownode, fig11_convergence,
-               fig_policies_ablation, headline, resilience, traced)
+               fig_multijob, fig_policies_ablation, headline, resilience,
+               traced)
 from .base import (MEDIUM, PAPER, SMALL, TINY, ResultTable, RunResult, Scale,
                    force_observability, force_policies, force_validation,
                    run_workload)
@@ -27,6 +28,7 @@ __all__ = [
     "fig09_traces",
     "fig10_slownode",
     "fig11_convergence",
+    "fig_multijob",
     "fig_policies_ablation",
     "headline",
     "resilience",

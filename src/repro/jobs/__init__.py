@@ -1,0 +1,45 @@
+"""Multi-job malleable cluster scheduling (the paper's setting, scaled up).
+
+The single-application stack balances load *within* one job; this
+package simulates a whole cluster of such jobs sharing nodes under
+cross-job DROM reallocation — the multi-application promise of
+[email protected]+DLB played out at job granularity:
+
+* :mod:`repro.jobs.trace` — arrival traces: :class:`JobSpec` /
+  :class:`JobTrace` plus seeded Poisson, bursty, diurnal, and
+  single-job generators, all reachable through the compact
+  ``generator:key=value,...`` spec strings the CLI and campaign use;
+* :mod:`repro.jobs.profile` — each distinct job shape runs **once** on
+  the real runtime stack; the measured makespan becomes its work volume
+  for the fluid layer (:class:`JobProfile`, :func:`profile_job`);
+* :mod:`repro.jobs.arbiter` — :class:`JobsArbiter` drives any policy in
+  :data:`repro.policies.REALLOCATION_POLICIES` (``local``, ``global``,
+  ``gavel``) over *jobs* instead of appranks;
+* :mod:`repro.jobs.engine` — admission, fluid progress, completion on
+  one simulated clock; :func:`run_trace` returns a :class:`JobsResult`
+  with slowdown/fairness/utilization/makespan metrics, a printable
+  table, and a determinism fingerprint.
+
+``python -m repro jobs --trace poisson:seed=1,rate=0.5,n=8
+--realloc-policy gavel --check`` is the CLI entry;
+``experiments/fig_multijob.py`` sweeps load against policies.
+"""
+
+from .arbiter import JobsArbiter
+from .engine import JobRecord, JobsResult, run_trace
+from .profile import JobProfile, clear_profile_cache, profile_job
+from .trace import JOB_KINDS, JobSpec, JobTrace, TracedJob
+
+__all__ = [
+    "JOB_KINDS",
+    "JobSpec",
+    "TracedJob",
+    "JobTrace",
+    "JobProfile",
+    "profile_job",
+    "clear_profile_cache",
+    "JobsArbiter",
+    "JobRecord",
+    "JobsResult",
+    "run_trace",
+]

@@ -1,0 +1,155 @@
+"""The cluster-level DROM arbiter: jobs in, an integer allocation out.
+
+The single-application stack drives a reallocation policy over
+*appranks*; here the same registry (:data:`repro.policies.REALLOCATION_POLICIES`)
+is driven over *jobs*. The arbiter presents the whole cluster as one
+"fat node" whose cores are the cluster total, with one worker edge per
+live job:
+
+* a :class:`~repro.policies.ClusterReallocationPolicy` (``global``,
+  ``gavel``) receives an :class:`~repro.policies.AllocationView` with
+  ``work`` = each job's outstanding demand, ``throughput`` = each job's
+  modelled speedup curve, and a single node holding every core;
+* a :class:`~repro.policies.NodeReallocationPolicy` (``local``) receives
+  the equivalent :class:`~repro.policies.NodeAllocationView`, its
+  ``averages`` being the cores each job is currently burning — the
+  per-node proportional rule applied verbatim at job granularity.
+
+The returned counts are post-processed identically for every policy:
+capped at each job's natural parallelism (a job cannot burn more cores
+than its profile run ever used), with freed surplus re-apportioned to
+uncapped jobs by largest remaining demand. That keeps every registered
+policy feasible at the job level without policy-specific glue.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+from ..errors import AllocationError, JobsError
+from ..graph.bipartite import BipartiteGraph
+from ..policies import (REALLOCATION_POLICIES, AllocationView,
+                        ClusterReallocationPolicy, NodeAllocationView,
+                        NodeReallocationPolicy)
+
+__all__ = ["JobsArbiter"]
+
+
+class JobsArbiter:
+    """Drives one reallocation policy over the live jobs of a cluster."""
+
+    def __init__(self, policy: str, total_cores: int) -> None:
+        if policy not in REALLOCATION_POLICIES:
+            raise JobsError(
+                f"unknown reallocation policy {policy!r}; registered: "
+                f"{', '.join(REALLOCATION_POLICIES.names())}")
+        self.policy_name = policy
+        self.total_cores = total_cores
+        self.strategy: Union[ClusterReallocationPolicy,
+                             NodeReallocationPolicy] = (
+            REALLOCATION_POLICIES.create(policy))
+        #: trivial one-node topologies per live-job count (views need a
+        #: BipartiteGraph; every job's single edge lands on node 0)
+        self._graphs: dict[int, BipartiteGraph] = {}
+
+    def _graph(self, num_jobs: int) -> BipartiteGraph:
+        graph = self._graphs.get(num_jobs)
+        if graph is None:
+            graph = BipartiteGraph(num_appranks=num_jobs, num_nodes=1,
+                                   degree=1,
+                                   adjacency=tuple((0,)
+                                                   for _ in range(num_jobs)))
+            self._graphs[num_jobs] = graph
+        return graph
+
+    def decide(self, demand: Mapping[int, float],
+               busy: Mapping[int, float],
+               caps: Mapping[int, int],
+               curves: Optional[Mapping[int, tuple[float, ...]]] = None
+               ) -> dict[int, int]:
+        """One arbitration: target cores per live job.
+
+        *demand* is each job's outstanding work signal (core-seconds it
+        could still burn this period), *busy* the cores it currently
+        holds (the local policy's smoothed-average analogue), *caps*
+        its natural parallelism, *curves* its throughput-vs-cores model.
+        """
+        jobs = sorted(caps)
+        if not jobs:
+            return {}
+        if len(jobs) > self.total_cores:
+            raise AllocationError(
+                f"{len(jobs)} live jobs exceed the {self.total_cores}-core "
+                "one-core floor")
+        counts = self._invoke(jobs, demand, busy, curves)
+        return self._cap(counts, caps, demand)
+
+    # -- policy invocation -------------------------------------------------
+
+    def _invoke(self, jobs: list[int], demand: Mapping[int, float],
+                busy: Mapping[int, float],
+                curves: Optional[Mapping[int, tuple[float, ...]]]
+                ) -> dict[int, int]:
+        if isinstance(self.strategy, NodeReallocationPolicy):
+            view = NodeAllocationView(
+                node_id=0, cores=self.total_cores,
+                averages={(j, 0): float(busy.get(j, 0.0)) for j in jobs})
+            node_counts = self.strategy.allocate_node(view)
+            return {key[0]: int(c) for key, c in node_counts.items()}
+        dense = {j: i for i, j in enumerate(jobs)}
+        # an almost-done job still needs its floor core; a (near-)zero
+        # work weight would make the LP-backed policies unbounded
+        floor = 1e-6 * max(1.0, max((float(demand.get(j, 0.0))
+                                     for j in jobs), default=1.0))
+        view = AllocationView(
+            work={dense[j]: max(float(demand.get(j, 0.0)), floor)
+                  for j in jobs},
+            node_cores={0: self.total_cores},
+            node_speed={0: 1.0},
+            offload_penalty=0.0,
+            edges=tuple((dense[j], 0) for j in jobs),
+            home_of={dense[j]: 0 for j in jobs},
+            num_nodes=1,
+            partition_nodes=None,
+            dead_nodes=frozenset(),
+            graph=self._graph(len(jobs)),
+            throughput=({dense[j]: curves[j] for j in jobs if j in curves}
+                        if curves else None),
+        )
+        per_node = self.strategy.allocate(view)
+        sparse = {i: j for j, i in dense.items()}
+        counts: dict[int, int] = {}
+        for node_counts in per_node.values():
+            for key, cores in node_counts.items():
+                counts[sparse[key[0]]] = counts.get(sparse[key[0]], 0) \
+                    + int(cores)
+        return counts
+
+    # -- feasibility post-processing ---------------------------------------
+
+    def _cap(self, counts: dict[int, int], caps: Mapping[int, int],
+             demand: Mapping[int, float]) -> dict[int, int]:
+        jobs = sorted(caps)
+        out = {j: max(1, min(int(counts.get(j, 0)), int(caps[j])))
+               for j in jobs}
+        # a policy may under-grant (leftover idle cores) or the caps may
+        # free surplus: hand freed cores to uncapped jobs, largest
+        # outstanding demand first (deterministic tie-break by id)
+        surplus = min(self.total_cores,
+                      sum(int(counts.get(j, 0)) for j in jobs)) \
+            - sum(out.values())
+        if surplus > 0:
+            order = sorted(jobs,
+                           key=lambda j: (-float(demand.get(j, 0.0)), j))
+            while surplus > 0:
+                progressed = False
+                for j in order:
+                    if surplus == 0:
+                        break
+                    if out[j] < int(caps[j]):
+                        out[j] += 1
+                        surplus -= 1
+                        progressed = True
+                if not progressed:
+                    break       # everyone saturated; leave cores idle
+        return out

@@ -1,0 +1,393 @@
+"""The multi-job engine: admission, fluid execution, completion.
+
+One :class:`~repro.sim.engine.Simulator` owns the shared clock. A
+:class:`~repro.jobs.trace.JobTrace` schedules arrivals on it; each
+arrival is profiled once on the real single-application stack
+(:mod:`repro.jobs.profile`) and then executes *fluidly*: a job with
+profile makespan ``M`` at natural allocation ``c`` progresses at rate
+``granted / c`` natural-seconds per simulated second (capped at 1 — the
+speedup curve is flat past the natural parallelism), so a job that
+keeps its natural allocation finishes in exactly ``M`` seconds and the
+degenerate single-job trace is metric-identical to the single-app path.
+
+Between arrivals and completions a cluster-level DROM arbiter
+(:class:`~repro.jobs.arbiter.JobsArbiter`) periodically re-divides the
+cluster's cores across the live jobs through any registered
+reallocation policy; every applied allocation is checked by the
+:class:`~repro.validate.jobs.JobsSanitizer` when ``--check`` is armed.
+Admission is FIFO under the one-core floor: a job waits in the queue
+while the cluster already hosts ``total_cores`` live jobs.
+
+Everything observable is simulated-deterministic: same trace, same
+policy, same scale — bit-identical :class:`JobsResult` (the
+``fingerprint`` the conformance tests and campaign journal rely on).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Optional
+
+from ..cluster.machine import MARENOSTRUM4, MachineSpec
+from ..errors import JobsError
+from ..experiments.base import ResultTable, Scale, SMALL
+from ..sim.engine import Simulator
+from ..validate.jobs import JobsSanitizer
+from .arbiter import JobsArbiter
+from .profile import JobProfile, profile_job
+from .trace import JobTrace, TracedJob
+
+__all__ = ["JobRecord", "JobsResult", "run_trace"]
+
+#: Float-drift tolerance on remaining natural-seconds.
+_EPS = 1e-9
+
+
+class _JobState:
+    """Mutable per-job bookkeeping (internal to the engine)."""
+
+    __slots__ = ("traced", "profile", "cap", "remaining", "cores",
+                 "last_update", "start", "finish", "core_seconds",
+                 "completion")
+
+    def __init__(self, traced: TracedJob, profile: JobProfile,
+                 cap: int) -> None:
+        self.traced = traced
+        self.profile = profile
+        self.cap = cap                       # usable parallelism here
+        self.remaining = profile.makespan    # natural-seconds left
+        self.cores = 0
+        self.last_update = traced.arrival
+        self.start: Optional[float] = None
+        self.finish: Optional[float] = None
+        self.core_seconds = 0.0
+        self.completion = None               # pending completion Event
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One finished job's metrics."""
+
+    job_id: int
+    kind: str
+    nodes: int
+    arrival: float
+    start: float
+    finish: float
+    #: the job's profile makespan at natural allocation
+    ideal: float
+    #: (finish - arrival) / ideal, >= 1 up to float grain
+    slowdown: float
+    #: useful core-seconds delivered to the job
+    core_seconds: float
+
+
+@dataclass
+class JobsResult:
+    """Everything one multi-job run reports."""
+
+    trace_spec: str
+    policy: str
+    scale: str
+    cluster_nodes: int
+    total_cores: int
+    records: list[JobRecord]
+    #: simulated time of the last completion
+    makespan: float
+    #: applied allocations that changed at least one job's cores
+    reallocations: int
+    #: cores moved into jobs across applied allocation changes
+    cores_moved: int
+    sanitizer: Optional[JobsSanitizer] = None
+    obs: Optional[object] = None
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def mean_slowdown(self) -> float:
+        """Mean job slowdown (1.0 = every job ran as if alone)."""
+        if not self.records:
+            return 0.0
+        return sum(r.slowdown for r in self.records) / len(self.records)
+
+    @property
+    def max_slowdown(self) -> float:
+        """Worst job slowdown."""
+        return max((r.slowdown for r in self.records), default=0.0)
+
+    @property
+    def utilization(self) -> float:
+        """Useful core-seconds over the cluster's capacity to makespan."""
+        if self.makespan <= 0.0:
+            return 0.0
+        delivered = sum(r.core_seconds for r in self.records)
+        return delivered / (self.total_cores * self.makespan)
+
+    @property
+    def fairness(self) -> float:
+        """Jain's index over per-job normalized progress (1/slowdown)."""
+        shares = [1.0 / r.slowdown for r in self.records if r.slowdown > 0]
+        if not shares:
+            return 0.0
+        return (sum(shares) ** 2) / (len(shares) * sum(s * s
+                                                       for s in shares))
+
+    def table(self) -> ResultTable:
+        """Per-job rows plus summary notes (what the CLI prints)."""
+        table = ResultTable(
+            title=(f"Multi-job run — trace {self.trace_spec!r}, "
+                   f"policy {self.policy}, {self.cluster_nodes} nodes "
+                   f"({self.total_cores} cores), scale {self.scale}"),
+            columns=["job", "kind", "nodes", "arrival", "start", "finish",
+                     "ideal", "slowdown"])
+        for r in self.records:
+            table.add(job=r.job_id, kind=r.kind, nodes=r.nodes,
+                      arrival=r.arrival, start=r.start, finish=r.finish,
+                      ideal=r.ideal, slowdown=r.slowdown)
+        table.note(f"makespan {self.makespan:.4f} s, "
+                   f"mean slowdown {self.mean_slowdown:.4f}, "
+                   f"max {self.max_slowdown:.4f}")
+        table.note(f"utilization {self.utilization:.4f}, "
+                   f"fairness (Jain) {self.fairness:.4f}, "
+                   f"{self.reallocations} reallocations moving "
+                   f"{self.cores_moved} cores")
+        for note in self.notes:
+            table.note(note)
+        return table
+
+    def fingerprint(self) -> str:
+        """Content hash of every simulated outcome (determinism proofs)."""
+        canonical = json.dumps({
+            "trace": self.trace_spec,
+            "policy": self.policy,
+            "scale": self.scale,
+            "total_cores": self.total_cores,
+            "makespan": repr(self.makespan),
+            "reallocations": self.reallocations,
+            "cores_moved": self.cores_moved,
+            "records": [[r.job_id, r.kind, r.nodes, repr(r.arrival),
+                         repr(r.start), repr(r.finish), repr(r.ideal),
+                         repr(r.slowdown), repr(r.core_seconds)]
+                        for r in self.records],
+        }, sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class _Engine:
+    """One run of a trace (see the module docstring)."""
+
+    def __init__(self, trace: JobTrace, policy: str, scale: Scale,
+                 cluster_nodes: int, machine: MachineSpec, period: float,
+                 check: bool, obs: bool) -> None:
+        self.trace = trace
+        self.scale = scale
+        self.machine = scale.machine(machine)
+        self.cluster_nodes = cluster_nodes
+        self.total_cores = cluster_nodes * self.machine.cores_per_node
+        self.period = period
+        self.sim = Simulator()
+        self.arbiter = JobsArbiter(policy, self.total_cores)
+        self.sanitizer = JobsSanitizer(self.total_cores) if check else None
+        self.obs = None
+        if obs:
+            from ..obs.observe import Observability
+            self.obs = Observability(self.sim)
+        self.pending: list[_JobState] = []
+        self.running: dict[int, _JobState] = {}
+        self.done: list[_JobState] = []
+        self.reallocations = 0
+        self.cores_moved = 0
+        self._tick_pending = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self) -> JobsResult:
+        """Play the whole trace to completion and collect the result."""
+        for traced in self.trace:
+            self.sim.schedule_at(traced.arrival,
+                                 partial(self._arrive, traced),
+                                 label=f"job{traced.job_id}:arrive")
+        self.sim.run()
+        if self.pending or self.running:
+            raise JobsError("trace ended with unfinished jobs "
+                            "(engine invariant)")
+        if self.obs is not None:
+            self.obs.finish()
+        records = [self._record(state) for state in self.done]
+        records.sort(key=lambda r: r.job_id)
+        makespan = max((r.finish for r in records), default=0.0)
+        return JobsResult(
+            trace_spec=self.trace.spec, policy=self.arbiter.policy_name,
+            scale=self.scale.name, cluster_nodes=self.cluster_nodes,
+            total_cores=self.total_cores, records=records,
+            makespan=makespan, reallocations=self.reallocations,
+            cores_moved=self.cores_moved, sanitizer=self.sanitizer,
+            obs=self.obs)
+
+    def _record(self, state: _JobState) -> JobRecord:
+        assert state.start is not None and state.finish is not None
+        ideal = state.profile.makespan
+        return JobRecord(
+            job_id=state.traced.job_id, kind=state.traced.spec.kind,
+            nodes=state.traced.spec.nodes, arrival=state.traced.arrival,
+            start=state.start, finish=state.finish, ideal=ideal,
+            slowdown=(state.finish - state.traced.arrival) / ideal,
+            core_seconds=state.core_seconds)
+
+    # -- events ------------------------------------------------------------
+
+    def _arrive(self, traced: TracedJob) -> None:
+        profile = profile_job(traced.spec, self.scale, self.machine)
+        cap = min(profile.cores, self.total_cores)
+        self.pending.append(_JobState(traced, profile, cap))
+        if self.obs is not None:
+            self.obs.job_event("arrived", traced.job_id,
+                               kind=traced.spec.kind,
+                               nodes=traced.spec.nodes)
+        self._arbitrate()
+
+    def _tick(self) -> None:
+        self._tick_pending = False
+        if self.running or self.pending:
+            self._arbitrate()
+
+    def _completion(self, job_id: int) -> None:
+        state = self.running.get(job_id)
+        if state is None:       # stale event (superseded allocation)
+            return
+        state.completion = None
+        self._advance(state)
+        if state.remaining > _EPS:
+            # float drift across allocation changes: finish the remainder
+            self._schedule_completion(state)
+            return
+        now = self.sim.now
+        state.remaining = 0.0
+        state.finish = now
+        state.cores = 0
+        del self.running[job_id]
+        self.done.append(state)
+        if self.sanitizer is not None:
+            self.sanitizer.on_finish(now, job_id)
+        if self.obs is not None:
+            self.obs.job_event("finished", job_id,
+                               slowdown=(now - state.traced.arrival)
+                               / state.profile.makespan)
+        self._arbitrate()
+
+    # -- the arbitration step ----------------------------------------------
+
+    def _arbitrate(self) -> None:
+        now = self.sim.now
+        while self.pending and len(self.running) < self.total_cores:
+            state = self.pending.pop(0)
+            self.running[state.traced.job_id] = state
+            state.last_update = now
+            if self.obs is not None:
+                self.obs.job_event("admitted", state.traced.job_id,
+                                   queued=now - state.traced.arrival)
+        if self.obs is not None:
+            self.obs.metrics.gauge("jobs.queued").set(len(self.pending))
+        if not self.running:
+            return
+        for state in self.running.values():
+            self._advance(state)
+        demand = {j: min(float(s.cap), s.remaining * s.cap / self.period
+                         if self.period > 0 else float(s.cap))
+                  for j, s in self.running.items()}
+        busy = {j: float(s.cores) for j, s in self.running.items()}
+        caps = {j: s.cap for j, s in self.running.items()}
+        curves = {j: s.profile.throughput_curve(self.total_cores)
+                  for j, s in self.running.items()}
+        alloc = self.arbiter.decide(demand, busy, caps, curves)
+        if self.sanitizer is not None:
+            self.sanitizer.on_allocation(now, alloc,
+                                         frozenset(self.running))
+        self._apply(alloc)
+        if not self._tick_pending and (self.running or self.pending):
+            self._tick_pending = True
+            self.sim.schedule(self.period, self._tick, label="jobs:tick")
+
+    def _apply(self, alloc: dict[int, int]) -> None:
+        now = self.sim.now
+        moved = 0
+        changed = False
+        for job_id in sorted(self.running):
+            state = self.running[job_id]
+            new = alloc.get(job_id, 0)
+            if new != state.cores:
+                changed = True
+                moved += max(0, new - state.cores)
+                state.cores = new
+                if state.start is None and new > 0:
+                    state.start = now
+                self._schedule_completion(state)
+            elif state.completion is None and new > 0:
+                self._schedule_completion(state)
+        if changed:
+            self.reallocations += 1
+            self.cores_moved += moved
+            if self.obs is not None:
+                self.obs.jobs_allocation(now, alloc)
+
+    # -- fluid mechanics ---------------------------------------------------
+
+    def _advance(self, state: _JobState) -> None:
+        """Integrate a job's progress up to the current time."""
+        now = self.sim.now
+        dt = now - state.last_update
+        state.last_update = now
+        if dt <= 0.0 or state.cores <= 0 or state.remaining <= 0.0:
+            return
+        factor = state.cores / state.cap      # 1.0 at natural allocation
+        burn = dt * factor
+        if burn >= state.remaining:
+            state.core_seconds += state.remaining * state.cap
+            state.remaining = 0.0
+        else:
+            state.core_seconds += dt * state.cores
+            state.remaining -= burn
+        if self.sanitizer is not None:
+            self.sanitizer.on_progress(now, state.traced.job_id,
+                                       state.remaining)
+
+    def _schedule_completion(self, state: _JobState) -> None:
+        if state.completion is not None:
+            self.sim.cancel(state.completion)
+            state.completion = None
+        if state.cores <= 0:
+            return
+        # remaining natural-seconds stretched by the allocation ratio;
+        # (cap / cores) == 1.0 exactly at natural allocation, so an
+        # undisturbed job finishes in exactly its profiled makespan
+        delay = state.remaining * (state.cap / state.cores)
+        state.completion = self.sim.schedule(
+            delay, partial(self._completion, state.traced.job_id),
+            label=f"job{state.traced.job_id}:done")
+
+
+def run_trace(trace: JobTrace, policy: str = "gavel",
+              scale: Scale = SMALL, cluster_nodes: Optional[int] = None,
+              machine: MachineSpec = MARENOSTRUM4,
+              period: Optional[float] = None, check: bool = False,
+              obs: bool = False) -> JobsResult:
+    """Run one arrival trace on a shared cluster and report the metrics.
+
+    *cluster_nodes* defaults to the larger of 2 and the biggest natural
+    node count in the trace; *period* defaults to the scale's global
+    policy period. *check* arms the :class:`JobsSanitizer`; *obs*
+    attaches a :class:`repro.obs.Observability` facade over the jobs
+    simulator.
+    """
+    if len(trace) == 0:
+        raise JobsError("empty job trace")
+    nodes = cluster_nodes if cluster_nodes is not None \
+        else max(2, trace.max_nodes)
+    if nodes < 1:
+        raise JobsError(f"cluster needs nodes >= 1, got {nodes}")
+    engine = _Engine(trace, policy, scale, nodes, machine,
+                     period if period is not None else scale.global_period,
+                     check, obs)
+    return engine.run()

@@ -1,0 +1,309 @@
+"""Arrival traces: which jobs hit the shared cluster, and when.
+
+A :class:`JobTrace` is an ordered tuple of :class:`TracedJob` — arrival
+time plus a :class:`JobSpec` (app kind, natural node count, per-job
+seed) — produced by one of three seeded generators or parsed from a
+compact CLI spec::
+
+    poisson:seed=1,rate=0.5,n=8          # exponential inter-arrivals
+    bursty:seed=2,n=9,burst=3,gap=4.0    # bursts of 3 every 4 s
+    diurnal:seed=3,n=12,period=20,peak=1.0   # sinusoidal rate (thinning)
+    single:app=micropp,nodes=2,seed=5    # one job at t=0 (conformance)
+
+Common optional keys: ``apps=<kind/kind/...>`` restricts the app pool
+(default all three of synthetic/micropp/nbody) and ``nodes=<max>`` caps
+each job's natural node count (default 2). Everything is driven by
+``random.Random(seed)`` with a *separate* stream for arrival times and
+job bodies, so rescaling the arrival rate (load sweeps) keeps the same
+job population — the figure harness compares policies on identical
+seeded traces at every load point.
+
+Malformed specs raise a one-line :class:`~repro.errors.JobsError`
+naming the offending token (the campaign grid parser rewraps it as a
+:class:`~repro.errors.CampaignError`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import JobsError
+
+__all__ = ["JobSpec", "TracedJob", "JobTrace", "JOB_KINDS"]
+
+#: App kinds a traced job may run (the same pool the campaign sweeps).
+JOB_KINDS = ("synthetic", "micropp", "nbody")
+
+#: Decorrelates the spec stream from the arrival stream (golden-ratio
+#: increment, the usual stream-splitting constant).
+_SPEC_STREAM = 0x9E3779B9
+
+#: Per-job seed pool: small, so identical (kind, nodes, seed) jobs recur
+#: across a trace and their runtime profiles are computed once.
+_JOB_SEEDS = 8
+
+#: Imbalance choices for synthetic jobs.
+_IMBALANCES = (1.5, 2.0)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What one job runs: app kind, natural size, and its own seed."""
+
+    kind: str               # one of JOB_KINDS
+    nodes: int              # natural node count (degree of parallelism)
+    seed: int = 0
+    imbalance: float = 2.0  # synthetic only
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise JobsError(f"unknown job kind {self.kind!r} "
+                            f"(known: {', '.join(JOB_KINDS)})")
+        if self.nodes < 1:
+            raise JobsError(f"job needs nodes >= 1, got {self.nodes}")
+        if self.imbalance < 1.0:
+            raise JobsError(f"imbalance must be >= 1, got {self.imbalance:g}")
+
+
+@dataclass(frozen=True)
+class TracedJob:
+    """One arrival: a job id, its arrival time, and what it runs."""
+
+    job_id: int
+    arrival: float
+    spec: JobSpec
+
+
+@dataclass(frozen=True)
+class JobTrace:
+    """An ordered, seeded arrival trace (see the module docstring)."""
+
+    jobs: tuple[TracedJob, ...]
+    spec: str               # the generator spec that produced it
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self):
+        """Iterate the traced jobs in arrival order."""
+        return iter(self.jobs)
+
+    @property
+    def max_nodes(self) -> int:
+        """The largest natural node count any traced job asks for."""
+        return max(job.spec.nodes for job in self.jobs)
+
+    # -- generators --------------------------------------------------------
+
+    @staticmethod
+    def _draw_specs(seed: int, n: int, kinds: Sequence[str],
+                    max_nodes: int) -> list[JobSpec]:
+        rng = random.Random(seed + _SPEC_STREAM)
+        specs = []
+        for _ in range(n):
+            kind = rng.choice(list(kinds))
+            nodes = rng.randint(1, max_nodes)
+            job_seed = rng.randrange(_JOB_SEEDS)
+            # a synthetic job's imbalance cannot exceed its apprank count
+            imbalance = 1.0 if nodes == 1 else rng.choice(_IMBALANCES)
+            specs.append(JobSpec(kind=kind, nodes=nodes, seed=job_seed,
+                                 imbalance=imbalance))
+        return specs
+
+    @staticmethod
+    def _assemble(spec: str, arrivals: Sequence[float],
+                  specs: Sequence[JobSpec]) -> "JobTrace":
+        jobs = tuple(TracedJob(job_id=i, arrival=float(t), spec=s)
+                     for i, (t, s) in enumerate(zip(arrivals, specs)))
+        return JobTrace(jobs=jobs, spec=spec)
+
+    @classmethod
+    def poisson(cls, seed: int, rate: float, n: int,
+                kinds: Sequence[str] = JOB_KINDS,
+                max_nodes: int = 2) -> "JobTrace":
+        """Exponential inter-arrival times at *rate* jobs per second."""
+        if rate <= 0:
+            raise JobsError(f"poisson rate must be positive, got {rate:g}")
+        if n < 1:
+            raise JobsError(f"trace needs n >= 1 jobs, got {n}")
+        rng = random.Random(seed)
+        now = 0.0
+        arrivals = []
+        for _ in range(n):
+            now += rng.expovariate(rate)
+            arrivals.append(now)
+        spec = f"poisson:seed={seed},rate={rate:g},n={n}"
+        return cls._assemble(spec, arrivals,
+                             cls._draw_specs(seed, n, kinds, max_nodes))
+
+    @classmethod
+    def bursty(cls, seed: int, n: int, burst: int = 3, gap: float = 4.0,
+               kinds: Sequence[str] = JOB_KINDS,
+               max_nodes: int = 2) -> "JobTrace":
+        """Bursts of *burst* near-simultaneous jobs every *gap* seconds."""
+        if n < 1:
+            raise JobsError(f"trace needs n >= 1 jobs, got {n}")
+        if burst < 1:
+            raise JobsError(f"burst must be >= 1, got {burst}")
+        if gap <= 0:
+            raise JobsError(f"gap must be positive, got {gap:g}")
+        rng = random.Random(seed)
+        arrivals = []
+        for i in range(n):
+            base = (i // burst) * gap
+            arrivals.append(base + rng.uniform(0.0, 0.01 * gap))
+        arrivals.sort()
+        spec = f"bursty:seed={seed},n={n},burst={burst},gap={gap:g}"
+        return cls._assemble(spec, arrivals,
+                             cls._draw_specs(seed, n, kinds, max_nodes))
+
+    @classmethod
+    def diurnal(cls, seed: int, n: int, period: float = 20.0,
+                peak: float = 1.0, kinds: Sequence[str] = JOB_KINDS,
+                max_nodes: int = 2) -> "JobTrace":
+        """Sinusoidal arrival rate via thinning (peak *peak* jobs/s)."""
+        if n < 1:
+            raise JobsError(f"trace needs n >= 1 jobs, got {n}")
+        if period <= 0 or peak <= 0:
+            raise JobsError("diurnal needs positive period and peak")
+        rng = random.Random(seed)
+        now = 0.0
+        arrivals: list[float] = []
+        while len(arrivals) < n:
+            now += rng.expovariate(peak)
+            # accept with the instantaneous (sinusoidal) rate fraction
+            fraction = 0.5 * (1.0 + math.sin(2.0 * math.pi * now / period))
+            if rng.random() <= fraction:
+                arrivals.append(now)
+        spec = f"diurnal:seed={seed},n={n},period={period:g},peak={peak:g}"
+        return cls._assemble(spec, arrivals,
+                             cls._draw_specs(seed, n, kinds, max_nodes))
+
+    @classmethod
+    def single(cls, app: str = "synthetic", nodes: int = 2, seed: int = 0,
+               imbalance: float = 2.0) -> "JobTrace":
+        """One job arriving at t=0 — the conformance degenerate case."""
+        spec = JobSpec(kind=app, nodes=nodes, seed=seed, imbalance=imbalance)
+        text = f"single:app={app},nodes={nodes},seed={seed}"
+        return cls._assemble(text, [0.0], [spec])
+
+    # -- the CLI / grid spec syntax ----------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str, seed_offset: int = 0) -> "JobTrace":
+        """Parse a ``generator:key=value,...`` trace spec.
+
+        *seed_offset* is added to the generator seed (and to single-job
+        seeds), so a campaign's ``seed`` axis re-seeds a shared trace
+        spec deterministically per cell.
+        """
+        text = spec.strip()
+        name, sep, body = text.partition(":")
+        name = name.strip()
+        if not sep and name not in ("single",):
+            raise JobsError(
+                f"malformed trace spec {spec!r} "
+                "(expected generator:key=value,...)")
+        params = _parse_params(spec, body)
+        kinds = _parse_kinds(spec, params.pop("apps", None))
+        max_nodes = _pop_int(spec, params, "nodes", default=2)
+        if name == "poisson":
+            seed = _pop_int(spec, params, "seed", default=0) + seed_offset
+            rate = _pop_float(spec, params, "rate", default=0.5)
+            n = _pop_int(spec, params, "n", default=8)
+            _reject_leftover(spec, params)
+            return cls.poisson(seed, rate, n, kinds, max_nodes)
+        if name == "bursty":
+            seed = _pop_int(spec, params, "seed", default=0) + seed_offset
+            n = _pop_int(spec, params, "n", default=8)
+            burst = _pop_int(spec, params, "burst", default=3)
+            gap = _pop_float(spec, params, "gap", default=4.0)
+            _reject_leftover(spec, params)
+            return cls.bursty(seed, n, burst, gap, kinds, max_nodes)
+        if name == "diurnal":
+            seed = _pop_int(spec, params, "seed", default=0) + seed_offset
+            n = _pop_int(spec, params, "n", default=8)
+            period = _pop_float(spec, params, "period", default=20.0)
+            peak = _pop_float(spec, params, "peak", default=1.0)
+            _reject_leftover(spec, params)
+            return cls.diurnal(seed, n, period, peak, kinds, max_nodes)
+        if name == "single":
+            app = params.pop("app", "synthetic")
+            seed = _pop_int(spec, params, "seed", default=0) + seed_offset
+            imbalance = _pop_float(spec, params, "imbalance", default=2.0)
+            _reject_leftover(spec, params)
+            return cls.single(app=app, nodes=max_nodes, seed=seed,
+                              imbalance=imbalance)
+        raise JobsError(
+            f"unknown trace generator {name!r} in {spec!r} "
+            "(known: poisson, bursty, diurnal, single)")
+
+    def reseeded(self, seed_offset: int) -> "JobTrace":
+        """The same trace spec regenerated with its seed shifted."""
+        if seed_offset == 0:
+            return self
+        return JobTrace.parse(self.spec, seed_offset=seed_offset)
+
+
+def _parse_params(spec: str, body: str) -> dict[str, str]:
+    params: dict[str, str] = {}
+    for item in body.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        key, value = key.strip(), value.strip()
+        if not sep or not key or not value:
+            raise JobsError(f"malformed trace parameter {item!r} in {spec!r} "
+                            "(expected key=value)")
+        if key in params:
+            raise JobsError(f"duplicate trace parameter {key!r} in {spec!r}")
+        params[key] = value
+    return params
+
+
+def _parse_kinds(spec: str, token: Optional[str]) -> tuple[str, ...]:
+    if token is None:
+        return JOB_KINDS
+    kinds = tuple(k.strip() for k in token.split("/") if k.strip())
+    if not kinds:
+        raise JobsError(f"empty apps list in trace spec {spec!r}")
+    for kind in kinds:
+        if kind not in JOB_KINDS:
+            raise JobsError(f"unknown job kind {kind!r} in trace spec "
+                            f"{spec!r} (known: {', '.join(JOB_KINDS)})")
+    return kinds
+
+
+def _pop_int(spec: str, params: dict[str, str], key: str,
+             default: int) -> int:
+    token = params.pop(key, None)
+    if token is None:
+        return default
+    try:
+        return int(token)
+    except ValueError:
+        raise JobsError(f"bad integer {token!r} for trace parameter "
+                        f"{key!r} in {spec!r}") from None
+
+
+def _pop_float(spec: str, params: dict[str, str], key: str,
+               default: float) -> float:
+    token = params.pop(key, None)
+    if token is None:
+        return default
+    try:
+        return float(token)
+    except ValueError:
+        raise JobsError(f"bad number {token!r} for trace parameter "
+                        f"{key!r} in {spec!r}") from None
+
+
+def _reject_leftover(spec: str, params: dict[str, str]) -> None:
+    if params:
+        unknown = ", ".join(sorted(params))
+        raise JobsError(f"unknown trace parameter(s) {unknown} in {spec!r}")
+

@@ -217,6 +217,22 @@ class Observability:
                            Track(node, f"a{apprank}:own"),
                            start=start, end=end, apprank=apprank, cores=count)
 
+    # -- jobs (multi-job engine) ---------------------------------------------
+
+    def job_event(self, what: str, job_id: int, **detail: Any) -> None:
+        """A job lifecycle edge: ``arrived``, ``admitted``, ``finished``."""
+        self.bus.emit_instant(f"job-{what}", CAT_SCHED,
+                              Track(-1, f"job{job_id}"), job=job_id, **detail)
+        self.metrics.counter(f"jobs.{what}").add()
+
+    def jobs_allocation(self, now: float, alloc: dict) -> None:
+        """A cross-job DROM allocation was applied (cores per live job)."""
+        for job_id, cores in sorted(alloc.items()):
+            self.bus.emit_counter(f"cores:job{job_id}",
+                                  Track(-1, f"job{job_id}:cores"), cores)
+        self.metrics.counter("jobs.reallocations").add()
+        self.metrics.gauge("jobs.live").set(len(alloc))
+
     # -- faults -------------------------------------------------------------
 
     def fault(self, kind: str, node: int = -1, apprank: int = -1,

@@ -146,7 +146,11 @@ class BenchResult:
         names = sorted({n for r in self.recorders for n in r.attribution()})
         subsystems = {}
         for name in names:
-            per_run = [r.attribution()[name] for r in self.recorders]
+            # tolerate a bucket appearing in only some repeats (a new
+            # subsystem registered mid-series must not KeyError the record)
+            per_run = [a[name] for a in (r.attribution()
+                                         for r in self.recorders)
+                       if name in a]
             subsystems[name] = {
                 "self_s": sum(p["self_s"] for p in per_run) / len(per_run),
                 "share": sum(p["share"] for p in per_run) / len(per_run),

@@ -145,6 +145,36 @@ def _classify(metric: Metric, baseline: Optional[float],
     return MetricVerdict(metric.path, baseline, current, change, verdict)
 
 
+def _attribution_verdicts(baseline: dict[str, Any],
+                          current: dict[str, Any]) -> list[MetricVerdict]:
+    """Compare the subsystem-attribution tables by bucket *union*.
+
+    The attribution vocabulary grows over time (a new phase or subsystem
+    adds a bucket to newer records). A bucket present on only one side
+    is structurally ``incomparable`` — reported so the reader sees the
+    vocabulary drift, never a crash and never a regression. Buckets on
+    both sides carry no verdict of their own: their time is already
+    gated through ``total_s``/``event_loop_s``, and per-bucket shares
+    shift with every refactor.
+    """
+    base = baseline.get("wall_clock", {}).get("subsystems", {})
+    cur = current.get("wall_clock", {}).get("subsystems", {})
+    if not isinstance(base, dict) or not isinstance(cur, dict):
+        return []
+    verdicts = []
+    for name in sorted(set(base) | set(cur)):
+        if name in base and name in cur:
+            continue
+        side = base.get(name) or cur.get(name) or {}
+        value = side.get("self_s") if isinstance(side, dict) else None
+        verdicts.append(MetricVerdict(
+            f"subsystems.{name}",
+            baseline=value if name in base else None,
+            current=value if name in cur else None,
+            change=None, verdict="incomparable"))
+    return verdicts
+
+
 def compare_records(baseline: dict[str, Any], current: dict[str, Any],
                     metrics: tuple[Metric, ...] = TRACKED_METRICS
                     ) -> ComparisonReport:
@@ -173,6 +203,7 @@ def compare_records(baseline: dict[str, Any], current: dict[str, Any],
                      "changed behaviour, not just speed)")
     verdicts = [_classify(m, _lookup(baseline, m.path),
                           _lookup(current, m.path)) for m in metrics]
+    verdicts += _attribution_verdicts(baseline, current)
     return ComparisonReport(target=str(baseline.get("target")),
                             scale=str(baseline.get("scale")),
                             verdicts=verdicts, notes=notes)

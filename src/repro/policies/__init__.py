@@ -34,6 +34,7 @@ from .lewi import (CandidateView, CoreGrantView, EagerLend, HoardLend,
 from .offload import (BoundedWorkSharingOffload, LocalityWeightedOffload,
                       TentativeImmediateOffload)
 from .reallocation import (AllocationView, ClusterReallocationPolicy,
+                           GavelMaxThroughputReallocation,
                            GlobalLpReallocation, LocalProportionalReallocation,
                            NodeAllocationView, NodeReallocationPolicy)
 from .registry import PolicyRegistry, register_entry_points
@@ -65,6 +66,7 @@ __all__ = [
     "NodeReallocationPolicy",
     "GlobalLpReallocation",
     "LocalProportionalReallocation",
+    "GavelMaxThroughputReallocation",
     "PolicyRegistry",
     "register_entry_points",
     "OFFLOAD_POLICIES",
@@ -96,6 +98,7 @@ RECLAIM_POLICIES.register(OwnerFirstReclaim)
 RECLAIM_POLICIES.register(ReleaserFirstReclaim)
 REALLOCATION_POLICIES.register(GlobalLpReallocation)
 REALLOCATION_POLICIES.register(LocalProportionalReallocation)
+REALLOCATION_POLICIES.register(GavelMaxThroughputReallocation)
 
 #: every registry by kind, for listings and entry-point loading
 _REGISTRIES: dict[str, PolicyRegistry[Any]] = {

@@ -11,8 +11,12 @@ decided here, from immutable snapshots of the measured work:
   :class:`~repro.balance.local_policy.LocalConvergencePolicy`).
 
 ``global`` and ``local`` reproduce §5.4.2 / §5.4.1 bit-identically (the
-parity-tested defaults). The solver imports are deliberately lazy so
-this module stays import-light (stdlib only at module level).
+parity-tested defaults). ``gavel`` is the Gavel-style max-sum-throughput
+strategy used by the multi-job layer (:mod:`repro.jobs`), where the
+"appranks" in the view are whole jobs and the optional
+:attr:`AllocationView.throughput` curves carry each job's modelled
+throughput at every core count. The solver imports are deliberately
+lazy so this module stays import-light (stdlib only at module level).
 """
 
 from __future__ import annotations
@@ -26,7 +30,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["AllocationView", "NodeAllocationView",
            "ClusterReallocationPolicy", "NodeReallocationPolicy",
-           "GlobalLpReallocation", "LocalProportionalReallocation"]
+           "GlobalLpReallocation", "LocalProportionalReallocation",
+           "GavelMaxThroughputReallocation"]
 
 #: Worker identity: ``(apprank, node)`` edge tuples in the runtime (Any
 #: rather than a tuple alias so allocation dicts returned by concrete
@@ -59,6 +64,12 @@ class AllocationView:
     dead_nodes: frozenset[int]
     #: the static bipartite topology (treat as immutable)
     graph: "BipartiteGraph"
+    #: optional per-apprank throughput-vs-cores curves: entry ``c - 1``
+    #: is the modelled throughput at ``c`` cores. Supplied by the
+    #: multi-job layer (where appranks are whole jobs); ``None`` on the
+    #: single-application path, where curve-driven policies synthesise
+    #: concave curves from :attr:`work` instead.
+    throughput: Optional[Mapping[int, tuple[float, ...]]] = None
 
 
 @dataclass(frozen=True)
@@ -140,3 +151,152 @@ class LocalProportionalReallocation(NodeReallocationPolicy):
         from ..balance.rounding import proportional_allocation
         return proportional_allocation(dict(view.averages), view.cores,
                                        minimum=1)
+
+
+class GavelMaxThroughputReallocation(ClusterReallocationPolicy):
+    """Gavel-style max-sum-throughput allocation (``"gavel"``).
+
+    Greedy marginal-gain ascent over per-apprank throughput-vs-cores
+    curves: after the one-core DLB floor, each remaining core goes to the
+    apprank whose curve gains the most from it. For concave curves (true
+    of real speedup curves, and of the synthesised ``min(c, cap)``
+    fallback) the greedy solution *is* the max-sum-throughput optimum,
+    and it is monotone: adding an apprank never increases another
+    apprank's allocation.
+
+    Ties are broken by accumulated *deficit* — the running difference
+    between an apprank's continuous work-fair share and the integer
+    cores it was actually granted (Gavel's rounding trick) — then by
+    apprank id, so repeated ties rotate toward the apprank that has been
+    shorted the longest. The deficit state evolves deterministically
+    from the sequence of views, so same-seed runs stay bit-identical.
+    """
+
+    name = "gavel"
+
+    def __init__(self) -> None:
+        #: accumulated continuous-share minus granted-cores per apprank
+        self._deficits: dict[int, float] = {}
+
+    # -- curve handling ----------------------------------------------------
+
+    @staticmethod
+    def _synthesise_curve(work: float, work_sum: float, total: int
+                          ) -> tuple[float, ...]:
+        """A concave ``min(c, cap)`` curve with a work-proportional cap."""
+        if work_sum > 0.0:
+            cap = max(1, round(total * max(0.0, work) / work_sum))
+        else:
+            cap = total
+        return tuple(float(min(c, cap)) for c in range(1, total + 1))
+
+    def _curves(self, view: AllocationView, appranks: list[int],
+                total: int) -> dict[int, tuple[float, ...]]:
+        given = view.throughput or {}
+        work_sum = sum(max(0.0, float(view.work.get(a, 0.0)))
+                       for a in appranks)
+        curves: dict[int, tuple[float, ...]] = {}
+        for apprank in appranks:
+            curve = given.get(apprank)
+            if curve:
+                curves[apprank] = tuple(float(v) for v in curve)
+            else:
+                curves[apprank] = self._synthesise_curve(
+                    float(view.work.get(apprank, 0.0)), work_sum, total)
+        return curves
+
+    # -- the greedy core ---------------------------------------------------
+
+    def _greedy(self, appranks: list[int],
+                curves: Mapping[int, tuple[float, ...]],
+                total: int) -> dict[int, int]:
+        counts = {a: 1 for a in appranks}
+        budget = total - len(appranks)
+        if budget < 0:
+            from ..errors import AllocationError
+            raise AllocationError(
+                f"cannot give {len(appranks)} jobs >= 1 core from {total}")
+
+        def marginal(apprank: int) -> float:
+            held = counts[apprank]
+            curve = curves[apprank]
+            if held >= len(curve):
+                return 0.0
+            return curve[held] - curve[held - 1]
+
+        for _ in range(budget):
+            best: Optional[int] = None
+            best_key: Optional[tuple[float, float, int]] = None
+            for apprank in appranks:
+                gain = marginal(apprank)
+                if gain <= 1e-12:
+                    continue
+                key = (gain, self._deficits.get(apprank, 0.0), -apprank)
+                if best_key is None or key > best_key:
+                    best, best_key = apprank, key
+            if best is None:
+                break
+            counts[best] += 1
+        # DROM ownership partitions a node's cores, so cores past every
+        # curve's saturation point are still owned by someone (their
+        # holders simply lend them through LeWI): round-robin spread.
+        leftover = total - sum(counts.values())
+        for i in range(leftover):
+            counts[appranks[i % len(appranks)]] += 1
+        return counts
+
+    def _update_deficits(self, view: AllocationView, appranks: list[int],
+                         counts: Mapping[int, int], total: int) -> None:
+        live = set(appranks)
+        for stale in [a for a in self._deficits if a not in live]:
+            del self._deficits[stale]
+        work_sum = sum(max(0.0, float(view.work.get(a, 0.0)))
+                       for a in appranks)
+        for apprank in appranks:
+            if work_sum > 0.0:
+                share = total * max(0.0, float(view.work.get(apprank, 0.0))
+                                    ) / work_sum
+            else:
+                share = total / len(appranks)
+            deficit = self._deficits.get(apprank, 0.0) + share - counts[apprank]
+            self._deficits[apprank] = max(-float(total),
+                                          min(float(total), deficit))
+
+    # -- ClusterReallocationPolicy -----------------------------------------
+
+    def allocate(self, view: AllocationView
+                 ) -> dict[int, dict[WorkerKey, int]]:
+        """Greedy max-sum-throughput counts, packed onto the nodes."""
+        appranks = sorted({a for a, _ in view.edges})
+        if not appranks:
+            return {n: {} for n in view.node_cores}
+        total = sum(view.node_cores[n] for n in view.node_cores)
+        curves = self._curves(view, appranks, total)
+        counts = self._greedy(appranks, curves, total)
+        self._update_deficits(view, appranks, counts, total)
+
+        by_node: dict[int, list[tuple[int, int]]] = {}
+        degree: dict[int, int] = {}
+        for apprank, node in view.edges:
+            by_node.setdefault(node, []).append((apprank, node))
+            degree[apprank] = degree.get(apprank, 0) + 1
+        if len(by_node) == 1 and all(d == 1 for d in degree.values()):
+            # the multi-job case: one fat node, one edge per job — the
+            # greedy counts are returned exactly
+            node = next(iter(by_node))
+            return {node: {key: counts[key[0]]
+                           for key in sorted(by_node[node])}}
+        # the apprank-level case: apportion each node's cores to its
+        # workers weighted by the cluster-wide greedy targets
+        from ..balance.rounding import proportional_allocation
+        result: dict[int, dict[WorkerKey, int]] = {}
+        for node in sorted(view.node_cores):
+            workers = sorted(by_node.get(node, []))
+            if not workers:
+                result[node] = {}
+                continue
+            weights = {key: counts[key[0]] / degree[key[0]]
+                       for key in workers}
+            result[node] = dict(proportional_allocation(
+                weights, view.node_cores[node], minimum=1))
+        return result

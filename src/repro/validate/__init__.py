@@ -9,6 +9,10 @@ executes*:
   events (sim), FIFO ordering and message conservation (mpisim),
   dependency/lifecycle/placement/coherence rules (nanos), core
   conservation across LeWI/DROM (dlb);
+* :class:`JobsSanitizer` — the same discipline lifted to job
+  granularity for the multi-job layer (:mod:`repro.jobs`): cross-job
+  core conservation, the one-core floor per live job, and no grants to
+  finished or unknown jobs;
 * :mod:`repro.validate.reference` — the differential oracle: a
   sequential reference executor replays each apprank's recorded task
   graph and must agree on the task set, dependency order, and final data
@@ -25,6 +29,7 @@ timing and event counts to the same run unvalidated. Violations raise
 """
 
 from ..errors import ValidationError
+from .jobs import JobsSanitizer
 from .metamorphic import (assert_network_speedup_helps,
                           assert_slow_node_physics_invariant, faster_network)
 from .reference import (ReferenceResult, TaskRecord, compare_with_reference,
@@ -34,6 +39,7 @@ from .sanitizer import Sanitizer
 
 __all__ = [
     "Sanitizer",
+    "JobsSanitizer",
     "ValidationError",
     "TaskRecord",
     "ReferenceResult",

@@ -1,0 +1,109 @@
+"""Cross-job invariants for the multi-job layer (:mod:`repro.jobs`).
+
+The single-application sanitizer checks core conservation *within* one
+runtime; once DROM moves cores *across* jobs a new set of rules applies,
+checked here at every applied allocation:
+
+* ``jobs.core_conservation`` — granted cores never exceed the cluster
+  total and are never negative;
+* ``jobs.one_core_floor`` — every admitted, unfinished job holds at
+  least one core (the DLB floor lifted to job granularity);
+* ``jobs.grant_to_dead_job`` — no cores are granted to a job that has
+  finished or never arrived;
+* ``jobs.progress`` — a job's remaining work never goes negative and a
+  job never finishes twice.
+
+Like the single-run :class:`~repro.validate.sanitizer.Sanitizer`, this
+is strictly passive: it schedules nothing and draws no randomness, so a
+checked multi-job run is bit-identical to an unchecked one. Violations
+raise :class:`~repro.errors.ValidationError` with structured context.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import ValidationError
+
+__all__ = ["JobsSanitizer"]
+
+#: Slack for float drift in remaining-work accounting (core-seconds).
+_EPS = 1e-6
+
+
+class JobsSanitizer:
+    """In-line invariant checks for one multi-job engine run."""
+
+    def __init__(self, total_cores: int) -> None:
+        self.total_cores = total_cores
+        self.allocations_checked = 0
+        self.grants_checked = 0
+        self.progress_checked = 0
+        self.finishes_checked = 0
+        self._finished: set[int] = set()
+
+    # -- hooks (called by repro.jobs.engine) -------------------------------
+
+    def on_allocation(self, now: float, alloc: Mapping[int, int],
+                      live: frozenset[int]) -> None:
+        """One allocation is about to apply: conservation, floor, liveness."""
+        self.allocations_checked += 1
+        granted = 0
+        for job_id, cores in sorted(alloc.items()):
+            self.grants_checked += 1
+            if cores < 0:
+                raise ValidationError(
+                    f"negative core grant {cores} to job {job_id}",
+                    invariant="jobs.core_conservation", time=now,
+                    context={"job": job_id, "cores": cores})
+            if job_id not in live or job_id in self._finished:
+                raise ValidationError(
+                    f"cores granted to finished/unknown job {job_id}",
+                    invariant="jobs.grant_to_dead_job", time=now,
+                    context={"job": job_id, "cores": cores,
+                             "live": sorted(live)})
+            granted += cores
+        if granted > self.total_cores:
+            raise ValidationError(
+                f"allocation grants {granted} cores on a "
+                f"{self.total_cores}-core cluster",
+                invariant="jobs.core_conservation", time=now,
+                context={"granted": granted, "total": self.total_cores})
+        for job_id in sorted(live):
+            if alloc.get(job_id, 0) < 1:
+                raise ValidationError(
+                    f"live job {job_id} left below the one-core floor",
+                    invariant="jobs.one_core_floor", time=now,
+                    context={"job": job_id,
+                             "cores": alloc.get(job_id, 0)})
+
+    def on_progress(self, now: float, job_id: int,
+                    remaining: float) -> None:
+        """A job's remaining work was advanced."""
+        self.progress_checked += 1
+        if remaining < -_EPS:
+            raise ValidationError(
+                f"job {job_id} has negative remaining work {remaining:g}",
+                invariant="jobs.progress", time=now,
+                context={"job": job_id, "remaining": remaining})
+
+    def on_finish(self, now: float, job_id: int) -> None:
+        """A job completed; record it so later grants to it are caught."""
+        self.finishes_checked += 1
+        if job_id in self._finished:
+            raise ValidationError(
+                f"job {job_id} finished twice",
+                invariant="jobs.progress", time=now,
+                context={"job": job_id})
+        self._finished.add(job_id)
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> dict[str, int]:
+        """What was checked (the CLI's ``# check:`` line)."""
+        return {
+            "allocations": self.allocations_checked,
+            "grants": self.grants_checked,
+            "progress": self.progress_checked,
+            "finishes": self.finishes_checked,
+        }

@@ -1,0 +1,123 @@
+"""The campaign grid's multi-job ``trace=`` axis.
+
+Covers parsing (``|`` alternatives, ``+`` -> ``,`` expansion), cell
+normalisation, the jobs result row, and — the integration proof — a
+chaos campaign over multi-job cells whose merged results are
+bit-identical to an undisturbed run.
+"""
+
+import pytest
+
+from repro.campaign import RESULTS_NAME, CampaignGrid, run_campaign
+from repro.campaign.cells import RESULT_COLUMNS, run_cell
+from repro.campaign.grid import Cell, expand_trace_spec, trace_tag
+from repro.errors import CampaignError
+from repro.jobs import clear_profile_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_profiles():
+    clear_profile_cache()
+    yield
+    clear_profile_cache()
+
+
+TRACE_GRID = ("trace=poisson:seed=1+rate=0.5+n=3|bursty:seed=2+n=3+burst=3;"
+              "realloc=global,gavel;nodes=2;scale=tiny;seed=0,1")
+
+
+class TestTraceAxisParsing:
+    def test_plus_expands_to_comma(self):
+        assert expand_trace_spec("poisson:seed=1+rate=0.5+n=3") == \
+            "poisson:seed=1,rate=0.5,n=3"
+
+    def test_grid_expands_alternatives_times_axes(self):
+        grid = CampaignGrid.parse(TRACE_GRID)
+        assert len(grid.cells()) == 2 * 2 * 2   # traces x reallocs x seeds
+
+    def test_jobs_cells_are_normalised(self):
+        for cell in CampaignGrid.parse(TRACE_GRID).cells():
+            assert cell.app == "jobs"
+            assert cell.degree == 0
+            assert cell.imbalance == 0.0
+            assert cell.policy == "-" and cell.lend == "-"
+            assert cell.faults == "none"
+            assert cell.cell_id.endswith(trace_tag(cell.trace))
+
+    def test_single_app_axes_collapse_for_trace_cells(self):
+        wide = CampaignGrid.parse(
+            "app=synthetic,micropp;degree=1,2;"
+            "trace=poisson:seed=1+rate=1+n=2;nodes=2;scale=tiny")
+        assert len(wide.cells()) == 1
+
+    def test_bad_trace_spec_is_a_campaign_error(self):
+        with pytest.raises(CampaignError) as exc:
+            CampaignGrid.parse("trace=warp:seed=1")
+        assert "bad trace spec" in str(exc.value)
+
+    def test_traceless_grid_fingerprint_is_unchanged(self):
+        """Journals written before the trace axis existed must still
+        match their grid: the default axis is excluded from the hash."""
+        grid = CampaignGrid.parse("app=synthetic;nodes=2;scale=tiny;seed=0")
+        assert all(key != "trace" or values == ("none",)
+                   for key, values in grid.axes)
+        import hashlib
+        import json
+        legacy = json.dumps([[k, list(v)] for k, v in grid.axes
+                             if k != "trace"], sort_keys=True)
+        assert grid.fingerprint() == hashlib.sha256(
+            ("campaign-grid-v1:" + legacy).encode()).hexdigest()
+
+    def test_cell_json_roundtrip_without_trace_key(self):
+        """Old journal cells (no trace field) still deserialise."""
+        cell = Cell.from_json({
+            "app": "synthetic", "scale": "tiny", "nodes": 2, "degree": 1,
+            "imbalance": 1.5, "policy": "tentative", "lend": "eager",
+            "realloc": "local", "faults": "none", "seed": 0})
+        assert cell.trace == "none"
+        assert Cell.from_json(cell.to_json()) == cell
+
+
+class TestJobsCellRow:
+    def test_row_has_every_result_column(self):
+        cell = CampaignGrid.parse(TRACE_GRID).cells()[0]
+        row = run_cell(cell, check=True)
+        assert set(RESULT_COLUMNS) <= set(row)
+        assert row["app"] == "jobs"
+        assert row["trace"] == trace_tag(cell.trace)
+        assert row["tasks"] == row["executed"] == 3
+        assert row["makespan"] > 0.0
+        assert row["time_per_iter"] >= 1.0 - 1e-9      # mean slowdown
+        assert 0.0 < row["steady_per_iter"] <= 1.0     # utilization
+
+    def test_seed_axis_reseeds_the_trace(self):
+        cells = CampaignGrid.parse(TRACE_GRID).cells()
+        by_seed = {}
+        for cell in cells:
+            if cell.realloc == "gavel" and \
+                    cell.trace.startswith("poisson"):
+                by_seed[cell.seed] = run_cell(cell)
+        assert by_seed[0]["makespan"] != by_seed[1]["makespan"]
+
+    def test_single_app_row_has_trace_none(self):
+        cell = CampaignGrid.parse(
+            "app=synthetic;nodes=2;degree=1;scale=tiny;seed=0").cells()[0]
+        assert run_cell(cell)["trace"] == "none"
+
+
+class TestChaosCampaignWithTraceCells:
+    def test_chaos_resume_is_bit_identical_with_multijob_cells(
+            self, tmp_path):
+        """The campaign's headline robustness property holds for
+        multi-job cells: a chaos run (worker SIGKILLed, cell wedged)
+        merges to byte-identical results."""
+        grid = CampaignGrid.parse(TRACE_GRID)
+        chaos = run_campaign(grid, tmp_path / "chaos", workers=2,
+                             chaos=True, chaos_seed=1, check=True)
+        assert chaos.exit_code == 0
+        assert chaos.completed == len(grid.cells())
+        clean = run_campaign(grid, tmp_path / "clean", workers=2,
+                             check=True)
+        assert clean.exit_code == 0
+        assert ((tmp_path / "chaos" / RESULTS_NAME).read_bytes()
+                == (tmp_path / "clean" / RESULTS_NAME).read_bytes())

@@ -1,0 +1,46 @@
+"""The multi-job load-sweep figure."""
+
+import pytest
+
+from repro.experiments import fig_multijob
+from repro.experiments.base import TINY
+from repro.jobs import clear_profile_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_profiles():
+    clear_profile_cache()
+    yield
+    clear_profile_cache()
+
+
+class TestFigMultijob:
+    def test_sweeps_three_policies_per_load(self):
+        table = fig_multijob.run(scale=TINY, loads=(0.4, 0.9), jobs=4)
+        assert len(table.rows) == 6
+        for load in (0.4, 0.9):
+            policies = [r["policy"] for r in table.find(load=load)]
+            assert policies == ["local", "global", "gavel"]
+        assert len(fig_multijob.DEFAULT_POLICIES) >= 3
+
+    def test_metrics_are_sane(self):
+        table = fig_multijob.run(scale=TINY, loads=(0.8,), jobs=4)
+        for row in table.rows:
+            assert row["mean_slowdown"] >= 1.0 - 1e-9
+            assert row["max_slowdown"] >= row["mean_slowdown"] - 1e-9
+            assert 0.0 < row["utilization"] <= 1.0
+            assert 0.0 < row["fairness"] <= 1.0
+            assert row["makespan"] > 0.0
+
+    def test_deterministic_across_runs(self):
+        first = fig_multijob.run(scale=TINY, loads=(0.6,), jobs=3)
+        clear_profile_cache()
+        second = fig_multijob.run(scale=TINY, loads=(0.6,), jobs=3)
+        assert first.rows == second.rows
+
+    def test_higher_load_increases_contention(self):
+        table = fig_multijob.run(scale=TINY, loads=(0.2, 3.0), jobs=5)
+        for policy in fig_multijob.DEFAULT_POLICIES:
+            low = table.find(load=0.2, policy=policy)[0]
+            high = table.find(load=3.0, policy=policy)[0]
+            assert high["mean_slowdown"] >= low["mean_slowdown"] - 1e-9

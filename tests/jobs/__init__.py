@@ -1,0 +1,1 @@
+"""Tests of the multi-job layer (repro.jobs)."""

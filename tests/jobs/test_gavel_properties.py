@@ -1,0 +1,119 @@
+"""Hypothesis properties of job-level reallocation (gavel and friends).
+
+The gavel policy is a greedy marginal-gain ascent over concave
+throughput curves; on concave inputs the greedy is exact, which yields
+strong structural properties worth pinning for *any* job population:
+capacity is never exceeded, every live job keeps its one-core floor,
+adding a competitor never *increases* anyone else's allocation, and the
+whole pipeline is a pure function of its inputs (same seed, same
+answer — for every registered reallocation policy, not just gavel).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jobs import JobsArbiter
+from repro.policies import REALLOCATION_POLICIES
+
+TOTAL_CORES = 16
+
+#: Per-job concave throughput curves: non-increasing marginal gains,
+#: cumulatively summed over 1..TOTAL_CORES cores.
+GAINS = st.lists(st.floats(min_value=0.0, max_value=10.0,
+                           allow_nan=False, allow_infinity=False),
+                 min_size=TOTAL_CORES, max_size=TOTAL_CORES)
+
+
+@st.composite
+def job_populations(draw, min_jobs=1, max_jobs=8):
+    n = draw(st.integers(min_value=min_jobs, max_value=max_jobs))
+    job_ids = draw(st.lists(st.integers(min_value=0, max_value=99),
+                            min_size=n, max_size=n, unique=True))
+    jobs = {}
+    for job_id in job_ids:
+        gains = sorted(draw(GAINS), reverse=True)
+        curve = []
+        acc = 0.0
+        for g in gains:
+            acc += g
+            curve.append(acc)
+        demand = draw(st.floats(min_value=0.0, max_value=float(TOTAL_CORES),
+                                allow_nan=False))
+        cap = draw(st.integers(min_value=1, max_value=TOTAL_CORES))
+        jobs[job_id] = {"curve": tuple(curve), "demand": demand,
+                        "cap": cap}
+    return jobs
+
+
+def _decide(policy, jobs, uncapped=False):
+    arbiter = JobsArbiter(policy, TOTAL_CORES)
+    return arbiter.decide(
+        demand={j: v["demand"] for j, v in jobs.items()},
+        busy={j: 0.0 for j in jobs},
+        caps={j: (TOTAL_CORES if uncapped else v["cap"])
+              for j, v in jobs.items()},
+        curves={j: v["curve"] for j, v in jobs.items()})
+
+
+class TestGavelProperties:
+    @given(jobs=job_populations())
+    @settings(max_examples=150, deadline=None)
+    def test_never_exceeds_cluster_cores(self, jobs):
+        alloc = _decide("gavel", jobs)
+        assert sum(alloc.values()) <= TOTAL_CORES
+
+    @given(jobs=job_populations())
+    @settings(max_examples=150, deadline=None)
+    def test_every_live_job_keeps_one_core(self, jobs):
+        alloc = _decide("gavel", jobs)
+        assert set(alloc) == set(jobs)
+        assert all(cores >= 1 for cores in alloc.values())
+
+    @given(jobs=job_populations(min_jobs=2, max_jobs=8))
+    @settings(max_examples=150, deadline=None)
+    def test_adding_a_job_never_increases_others(self, jobs):
+        """Monotonicity: a new competitor can only shrink (or keep) the
+        cores everyone else holds — greedy on concave curves takes the
+        top-k marginal-gain claims, and a new job only adds claims."""
+        job_ids = sorted(jobs)
+        newcomer = job_ids[-1]
+        without = {j: jobs[j] for j in job_ids[:-1]}
+        before = _decide("gavel", without, uncapped=True)
+        after = _decide("gavel", jobs, uncapped=True)
+        for job_id in without:
+            assert after[job_id] <= before[job_id], (
+                f"job {job_id} grew from {before[job_id]} to "
+                f"{after[job_id]} when {newcomer} arrived")
+
+    @given(jobs=job_populations(), seed=st.integers(0, 3))
+    @settings(max_examples=100, deadline=None)
+    def test_same_inputs_same_answer_for_every_policy(self, jobs, seed):
+        """Job-level determinism across ALL registered reallocation
+        policies: a fresh arbiter fed identical inputs — in any
+        insertion order — returns the identical allocation."""
+        keys = sorted(jobs)
+        rotation = seed % len(keys)
+        reordered = {k: jobs[k]
+                     for k in keys[rotation:] + keys[:rotation]}
+        for policy in REALLOCATION_POLICIES.names():
+            first = _decide(policy, jobs)
+            second = _decide(policy, reordered)
+            assert first == second, policy
+
+    @given(jobs=job_populations())
+    @settings(max_examples=100, deadline=None)
+    def test_caps_respected(self, jobs):
+        alloc = _decide("gavel", jobs)
+        for job_id, cores in alloc.items():
+            assert cores <= max(1, jobs[job_id]["cap"])
+
+
+class TestAllPoliciesFeasible:
+    @given(jobs=job_populations())
+    @settings(max_examples=60, deadline=None)
+    def test_every_registered_policy_is_feasible_at_job_level(self, jobs):
+        for policy in REALLOCATION_POLICIES.names():
+            alloc = _decide(policy, jobs)
+            assert set(alloc) == set(jobs)
+            assert sum(alloc.values()) <= TOTAL_CORES
+            assert all(cores >= 1 for cores in alloc.values())

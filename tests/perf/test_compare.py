@@ -91,6 +91,47 @@ class TestVerdicts:
         assert report.ok  # incomparable is not a regression
 
 
+class TestAttributionBuckets:
+    """The subsystem-attribution vocabulary grows over time; new or
+    retired buckets must classify as incomparable, never crash."""
+
+    def _with_subsystems(self, **buckets):
+        rec = _record()
+        rec["wall_clock"]["subsystems"] = {
+            name: {"self_s": value, "share": 0.1, "calls": 100}
+            for name, value in buckets.items()}
+        return rec
+
+    def test_new_bucket_in_current_is_incomparable_not_a_crash(self):
+        baseline = self._with_subsystems(dlb=0.5, mpi=0.3)
+        current = self._with_subsystems(dlb=0.5, mpi=0.3, jobs=0.2)
+        report = compare_records(baseline, current)   # must not KeyError
+        verdicts = {v.name: v.verdict for v in report.verdicts}
+        assert verdicts["subsystems.jobs"] == "incomparable"
+        assert report.ok                # vocabulary drift never gates
+        assert "subsystems.jobs" in report.format()
+
+    def test_retired_bucket_in_baseline_is_incomparable(self):
+        baseline = self._with_subsystems(dlb=0.5, legacy=0.1)
+        current = self._with_subsystems(dlb=0.5)
+        report = compare_records(baseline, current)
+        verdicts = {v.name: v.verdict for v in report.verdicts}
+        assert verdicts["subsystems.legacy"] == "incomparable"
+        assert report.ok
+
+    def test_matched_buckets_carry_no_verdict(self):
+        baseline = self._with_subsystems(dlb=0.5, mpi=0.3)
+        current = self._with_subsystems(dlb=0.9, mpi=0.1)
+        report = compare_records(baseline, current)
+        assert not any(v.name.startswith("subsystems.")
+                       for v in report.verdicts)
+
+    def test_records_without_attribution_are_unaffected(self):
+        report = compare_records(_record(), _record())
+        assert not any(v.name.startswith("subsystems.")
+                       for v in report.verdicts)
+
+
 class TestRefusals:
     @pytest.mark.parametrize("key,value", [
         ("schema", "repro-bench/0"),
@@ -182,3 +223,24 @@ class TestCompareBenchTool:
         code = tool.main(["headline", "--bench-dir", str(tmp_path),
                           "--current", str(current), "--report-only"])
         assert code == 2
+
+    def test_new_attribution_bucket_still_exits_zero(self, tool, tmp_path,
+                                                     capsys):
+        """Regression guard: a committed baseline whose attribution
+        table lacks a bucket the current record gained (e.g. a future
+        'jobs' phase) must compare cleanly — incomparable, exit 0."""
+        baseline = _record()
+        baseline["wall_clock"]["subsystems"] = {
+            "dlb": {"self_s": 0.5, "share": 0.25, "calls": 10}}
+        current = _record()
+        current["wall_clock"]["subsystems"] = {
+            "dlb": {"self_s": 0.5, "share": 0.25, "calls": 10},
+            "jobs": {"self_s": 0.1, "share": 0.05, "calls": 4}}
+        self._write(tmp_path / "BENCH_headline.json", baseline)
+        path = self._write(tmp_path / "fresh.json", current)
+        code = tool.main(["headline", "--bench-dir", str(tmp_path),
+                          "--current", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "subsystems.jobs" in out
+        assert "incomparable" in out

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.validate",
     "repro.campaign",
     "repro.perf",
+    "repro.jobs",
 ]
 
 
